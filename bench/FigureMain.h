@@ -1,0 +1,83 @@
+//===- bench/FigureMain.h - Common main for the figure benches -----------------===//
+//
+// Part of the LBP reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared driver for bench_fig19/20/21: registers one google-benchmark
+/// entry per matmul version (single deterministic iteration, counters =
+/// simulated cycles / IPC / retired instructions) and prints the
+/// paper-style table afterwards. Fig. 21 appends the Xeon-Phi-like
+/// reference model row.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LBP_BENCH_FIGUREMAIN_H
+#define LBP_BENCH_FIGUREMAIN_H
+
+#include "bench/BenchUtil.h"
+#include "refmodel/VectorCore.h"
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+namespace lbp {
+namespace bench {
+
+inline int figureMain(const char *Figure, unsigned NumHarts,
+                      bool IncludePhiReference, int argc, char **argv) {
+  static std::map<std::string, MatMulOutcome> Results;
+
+  for (workloads::MatMulVersion V : AllVersions) {
+    workloads::MatMulSpec Spec = workloads::MatMulSpec::paper(NumHarts, V);
+    std::string Name = std::string(Figure) + "/" +
+                       workloads::matMulVersionName(V);
+    benchmark::RegisterBenchmark(
+        Name.c_str(),
+        [Spec](benchmark::State &St) {
+          MatMulOutcome Out;
+          for (auto _ : St)
+            Out = runMatMul(Spec);
+          St.counters["sim_cycles"] =
+              static_cast<double>(Out.Cycles);
+          St.counters["sim_IPC"] = Out.Ipc;
+          St.counters["retired"] = static_cast<double>(Out.Retired);
+          Results[Out.Version] = Out;
+        })
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+  }
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  std::vector<MatMulOutcome> Rows;
+  for (workloads::MatMulVersion V : AllVersions) {
+    auto It = Results.find(workloads::matMulVersionName(V));
+    if (It != Results.end())
+      Rows.push_back(It->second);
+  }
+  printFigureTable(Figure, NumHarts, Rows);
+
+  if (IncludePhiReference) {
+    refmodel::VectorCoreConfig Phi;
+    refmodel::VectorCoreResult R =
+        refmodel::evaluateTiledMatMul(Phi, NumHarts);
+    std::printf("%-12s %14llu %8.2f %14llu %12s %14s   (analytic "
+                "reference model, see DESIGN.md)\n",
+                "xeon-phi2", static_cast<unsigned long long>(R.Cycles),
+                R.Ipc, static_cast<unsigned long long>(R.Instructions),
+                "-", "-");
+  }
+  return 0;
+}
+
+} // namespace bench
+} // namespace lbp
+
+#endif // LBP_BENCH_FIGUREMAIN_H

@@ -1,0 +1,150 @@
+//===- bench/bench_ablation.cpp - Design-choice ablations -----------------------===//
+//
+// Part of the LBP reproduction project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Sweeps over the design parameters DESIGN.md calls out, using the
+// 16-core copy matmul (the Fig. 20 winner) as the probe workload:
+//
+//   * router-tree link capacity (the calibration lever; the paper's r2
+//     text implies separate request/result channels),
+//   * global bank size (how concentrated the contiguous layout is),
+//   * remote hop latency (sensitivity of latency hiding),
+//   * team-launch overhead: cycles to fork/join an N-hart empty team
+//     (the Deterministic OpenMP runtime cost itself).
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchUtil.h"
+#include "dsl/Ast.h"
+#include "dsl/CodeGen.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace lbp;
+using namespace lbp::bench;
+using namespace lbp::sim;
+using namespace lbp::workloads;
+
+namespace {
+
+MatMulOutcome runWith(const MatMulSpec &Spec, SimConfig Cfg) {
+  assembler::AsmResult R = assembler::assemble(buildMatMulProgram(Spec));
+  if (!R.succeeded())
+    std::exit(1);
+  Machine M(Cfg);
+  M.load(R.Prog);
+  if (M.run() != RunStatus::Exited)
+    std::exit(1);
+  MatMulOutcome Out;
+  Out.Cycles = M.cycles();
+  Out.Ipc = M.ipc();
+  Out.Retired = M.retired();
+  Out.Contention = M.contentionCycles();
+  return Out;
+}
+
+void BM_LinkCapacity(benchmark::State &State) {
+  MatMulSpec Spec = MatMulSpec::paper(64, MatMulVersion::Copy);
+  SimConfig Cfg = SimConfig::lbp(Spec.cores());
+  Cfg.GlobalBankSizeLog2 = Spec.BankSizeLog2;
+  Cfg.RouterLinkCapacity = static_cast<unsigned>(State.range(0));
+  MatMulOutcome Out;
+  for (auto _ : State)
+    Out = runWith(Spec, Cfg);
+  State.counters["sim_cycles"] = static_cast<double>(Out.Cycles);
+  State.counters["sim_IPC"] = Out.Ipc;
+  State.counters["queue_cycles"] = static_cast<double>(Out.Contention);
+}
+BENCHMARK(BM_LinkCapacity)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->ArgNames({"cap"})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_BankSize(benchmark::State &State) {
+  // Keep the machine fixed, vary how many banks the matrices span.
+  MatMulSpec Spec = MatMulSpec::paper(64, MatMulVersion::Base);
+  Spec.BankSizeLog2 = static_cast<unsigned>(State.range(0));
+  SimConfig Cfg = SimConfig::lbp(Spec.cores());
+  Cfg.GlobalBankSizeLog2 = Spec.BankSizeLog2;
+  MatMulOutcome Out;
+  for (auto _ : State)
+    Out = runWith(Spec, Cfg);
+  State.counters["sim_cycles"] = static_cast<double>(Out.Cycles);
+  State.counters["sim_IPC"] = Out.Ipc;
+  State.counters["queue_cycles"] = static_cast<double>(Out.Contention);
+}
+BENCHMARK(BM_BankSize)
+    ->Arg(11) // 2 KiB: matrices exactly fill the banks (paper sizing)
+    ->Arg(13) // 8 KiB: matrices in a quarter of the banks
+    ->Arg(15) // 32 KiB: everything concentrates in one group
+    ->ArgNames({"log2_bank"})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_HopLatency(benchmark::State &State) {
+  MatMulSpec Spec = MatMulSpec::paper(64, MatMulVersion::Copy);
+  SimConfig Cfg = SimConfig::lbp(Spec.cores());
+  Cfg.GlobalBankSizeLog2 = Spec.BankSizeLog2;
+  Cfg.RouterHopLatency = static_cast<unsigned>(State.range(0));
+  MatMulOutcome Out;
+  for (auto _ : State)
+    Out = runWith(Spec, Cfg);
+  State.counters["sim_cycles"] = static_cast<double>(Out.Cycles);
+  State.counters["sim_IPC"] = Out.Ipc;
+}
+BENCHMARK(BM_HopLatency)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->ArgNames({"hop_lat"})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+/// Cycles to launch and join an N-hart team whose threads do nothing:
+/// the pure Deterministic OpenMP runtime cost.
+void BM_TeamLaunch(benchmark::State &State) {
+  unsigned Harts = static_cast<unsigned>(State.range(0));
+  dsl::Module M;
+  dsl::Function *T = M.function("thread", dsl::FnKind::Thread);
+  (void)T->param("t");
+  dsl::Function *Main = M.function("main", dsl::FnKind::Main);
+  Main->append(M.parallelFor("thread", Harts));
+  assembler::AsmResult R = assembler::assemble(dsl::compileModule(M));
+  if (!R.succeeded()) {
+    State.SkipWithError("assembly failed");
+    return;
+  }
+  uint64_t Cycles = 0, Retired = 0;
+  for (auto _ : State) {
+    Machine Mach(SimConfig::lbp((Harts + 3) / 4));
+    Mach.load(R.Prog);
+    if (Mach.run(10000000) != RunStatus::Exited) {
+      State.SkipWithError("run failed");
+      return;
+    }
+    Cycles = Mach.cycles();
+    Retired = Mach.retired();
+  }
+  State.counters["sim_cycles"] = static_cast<double>(Cycles);
+  State.counters["retired"] = static_cast<double>(Retired);
+  State.counters["cycles_per_member"] =
+      static_cast<double>(Cycles) / Harts;
+}
+BENCHMARK(BM_TeamLaunch)
+    ->Arg(4)
+    ->Arg(16)
+    ->Arg(64)
+    ->Arg(256)
+    ->ArgNames({"harts"})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,51 @@
+//===- bench/bench_determinism.cpp - Cycle-determinism claim --------------------===//
+//
+// Part of the LBP reproduction project.
+//
+//===----------------------------------------------------------------------===//
+//
+// The paper's Section 1/7 claim: a Deterministic OpenMP program on LBP
+// produces an invariant number of cycles, an invariant number of retired
+// instructions and an unchanging cycle-by-cycle event stream. This bench
+// runs each workload repeatedly and reports the event-stream hash plus a
+// hard failure if anything diverges.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchUtil.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace lbp;
+using namespace lbp::bench;
+using namespace lbp::workloads;
+
+static void BM_Determinism(benchmark::State &State) {
+  MatMulSpec Spec = MatMulSpec::paper(
+      static_cast<unsigned>(State.range(0)),
+      static_cast<MatMulVersion>(State.range(1)));
+  MatMulOutcome First = runMatMul(Spec);
+  uint64_t Repeats = 0;
+  for (auto _ : State) {
+    MatMulOutcome Again = runMatMul(Spec);
+    if (Again.Cycles != First.Cycles || Again.Retired != First.Retired ||
+        Again.TraceHash != First.TraceHash) {
+      State.SkipWithError("DETERMINISM VIOLATION");
+      return;
+    }
+    ++Repeats;
+  }
+  State.counters["sim_cycles"] = static_cast<double>(First.Cycles);
+  State.counters["trace_hash_lo32"] =
+      static_cast<double>(First.TraceHash & 0xFFFFFFFFu);
+  State.counters["identical_repeats"] = static_cast<double>(Repeats);
+}
+
+BENCHMARK(BM_Determinism)
+    ->ArgsProduct({{16, 64},
+                   {static_cast<long>(MatMulVersion::Base),
+                    static_cast<long>(MatMulVersion::Tiled)}})
+    ->Iterations(3)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,22 @@
+//===- bench/bench_fig19.cpp - Paper Fig. 19 (4-core LBP) -----------------------===//
+//
+// Part of the LBP reproduction project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Regenerates Fig. 19: cycles, IPC and retired instructions for the five
+// matmul versions on a 4-core / 16-hart LBP (X: 16x8, Y: 8x16).
+//
+// Paper anchors: the base version is the fastest (about twice as fast as
+// tiled); tiled has the highest IPC (3.67 of a 4-IPC peak); base retires
+// ~16.7K instructions (7 * h^3/2 = 14336 from the inner loop plus ~2.4K
+// of outer-loop and parallelization control).
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/FigureMain.h"
+
+int main(int argc, char **argv) {
+  return lbp::bench::figureMain("fig19", 16, /*IncludePhiReference=*/false,
+                                argc, argv);
+}

@@ -1,0 +1,21 @@
+//===- bench/bench_fig20.cpp - Paper Fig. 20 (16-core LBP) ----------------------===//
+//
+// Part of the LBP reproduction project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Regenerates Fig. 20: the five matmul versions on a 16-core / 64-hart
+// LBP (X: 64x32, Y: 32x64).
+//
+// Paper anchors: copy is the fastest version; base achieves a poor 12.7
+// IPC while copy exceeds 15 (peak 16), saving more than 10000 cycles
+// (~16%); copy's instruction overhead is moderate (~1.5%).
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/FigureMain.h"
+
+int main(int argc, char **argv) {
+  return lbp::bench::figureMain("fig20", 64, /*IncludePhiReference=*/false,
+                                argc, argv);
+}

@@ -1,0 +1,24 @@
+//===- bench/bench_fig21.cpp - Paper Fig. 21 (64-core LBP) ----------------------===//
+//
+// Part of the LBP reproduction project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Regenerates Fig. 21: the five matmul versions on the full 64-core /
+// 256-hart LBP (X: 256x128, Y: 128x256), plus the Xeon Phi 2 tiled
+// reference (here: the analytic vector-core model, see DESIGN.md).
+//
+// Paper anchors: tiled is the best version (about 2x faster than
+// distributed and 4x faster than base; 1.18M vs 2.08M vs 4.14M cycles);
+// tiled reaches 61.7 IPC of a 64-IPC peak; tiling costs +23% retired
+// instructions (73M vs 59M); the Phi runs ~2.28x fewer instructions
+// (vectors) in ~3x fewer cycles at only 21% of its 6-IPC/core peak.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/FigureMain.h"
+
+int main(int argc, char **argv) {
+  return lbp::bench::figureMain("fig21", 256, /*IncludePhiReference=*/true,
+                                argc, argv);
+}

@@ -1,0 +1,69 @@
+//===- bench/bench_pipeline.cpp - Deterministic channels extension --------------===//
+//
+// Part of the LBP reproduction project.
+//
+//===----------------------------------------------------------------------===//
+//
+// The Section 8 perspective ("a deterministic version of MPI ... built
+// around ordered communicators where a sender always precedes its
+// receiver") as a measurable extension: an S-stage pipeline over
+// flag-based channels placed in the receiving core's bank. Reports
+// throughput (cycles per item end-to-end) as the pipeline deepens and
+// crosses core boundaries.
+//
+//===----------------------------------------------------------------------===//
+
+#include "asm/Assembler.h"
+#include "sim/Machine.h"
+#include "workloads/Pipeline.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace lbp;
+using namespace lbp::sim;
+using namespace lbp::workloads;
+
+static void BM_Pipeline(benchmark::State &State) {
+  PipelineSpec Spec;
+  Spec.Stages = static_cast<unsigned>(State.range(0));
+  Spec.Items = static_cast<unsigned>(State.range(1));
+  assembler::AsmResult R =
+      assembler::assemble(buildPipelineProgram(Spec));
+  if (!R.succeeded()) {
+    State.SkipWithError("assembly failed");
+    return;
+  }
+  uint64_t Cycles = 0;
+  double Ipc = 0;
+  for (auto _ : State) {
+    SimConfig Cfg = SimConfig::lbp(Spec.cores());
+    Cfg.GlobalBankSizeLog2 = Spec.BankSizeLog2;
+    Machine M(Cfg);
+    M.load(R.Prog);
+    if (M.run(100000000) != RunStatus::Exited) {
+      State.SkipWithError("run failed");
+      return;
+    }
+    for (unsigned I = 0; I != Spec.Items; ++I) {
+      if (M.debugReadWord(pipelineOutAddress(Spec, I)) !=
+          pipelineExpectedValue(Spec, I)) {
+        State.SkipWithError("wrong pipeline output");
+        return;
+      }
+    }
+    Cycles = M.cycles();
+    Ipc = M.ipc();
+  }
+  State.counters["sim_cycles"] = static_cast<double>(Cycles);
+  State.counters["sim_IPC"] = Ipc;
+  State.counters["cycles_per_item"] =
+      static_cast<double>(Cycles) / Spec.Items;
+}
+
+BENCHMARK(BM_Pipeline)
+    ->ArgsProduct({{2, 4, 8, 16, 32}, {256}})
+    ->ArgNames({"stages", "items"})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,100 @@
+//===- bench/bench_realtime.cpp - Real-time jitter and WCET claims --------------===//
+//
+// Part of the LBP reproduction project.
+//
+//===----------------------------------------------------------------------===//
+//
+// The paper's motivating domain: safety-critical real time. Two claims
+// made measurable:
+//
+//   * **zero jitter**: with fixed-latency sensors, the control loop's
+//     actuation interval is *exactly* constant, cycle for cycle — there
+//     is no OS, no interrupt, no cache and no predictor to perturb it;
+//   * **bounded response**: with bounded-latency sensors, the interval
+//     stays within (max sensor latency + the fixed software path).
+//
+//===----------------------------------------------------------------------===//
+
+#include "asm/Assembler.h"
+#include "sim/Machine.h"
+#include "workloads/SensorFusion.h"
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+using namespace lbp;
+using namespace lbp::sim;
+using namespace lbp::workloads;
+
+namespace {
+
+struct LoopTiming {
+  std::vector<uint64_t> Intervals;
+  bool Ok = false;
+};
+
+LoopTiming runLoop(unsigned Rounds, uint64_t MinLat, uint64_t MaxLat,
+                   uint64_t Seed) {
+  SensorFusionSpec Spec;
+  Spec.Rounds = Rounds;
+  assembler::AsmResult R =
+      assembler::assemble(buildSensorFusionProgram(Spec));
+  if (!R.succeeded())
+    return {};
+  Machine M(SimConfig::lbp(1));
+  for (unsigned S = 0; S != 4; ++S) {
+    std::vector<uint32_t> Samples(Rounds, 100 + S);
+    M.addDevice(SensorBase(S), 0x100,
+                std::make_unique<SensorDevice>(Samples, Seed + S, MinLat,
+                                               MaxLat));
+  }
+  auto Act = std::make_unique<ActuatorDevice>();
+  ActuatorDevice *ActPtr = Act.get();
+  M.addDevice(ActuatorBase, 0x100, std::move(Act));
+  M.load(R.Prog);
+  if (M.run(100000000) != RunStatus::Exited)
+    return {};
+  LoopTiming Out;
+  Out.Ok = true;
+  for (size_t K = 1; K < ActPtr->records().size(); ++K)
+    Out.Intervals.push_back(ActPtr->records()[K].Cycle -
+                            ActPtr->records()[K - 1].Cycle);
+  return Out;
+}
+
+void BM_ControlLoopJitter(benchmark::State &State) {
+  uint64_t MinLat = static_cast<uint64_t>(State.range(0));
+  uint64_t MaxLat = static_cast<uint64_t>(State.range(1));
+  LoopTiming T;
+  for (auto _ : State)
+    T = runLoop(/*Rounds=*/16, MinLat, MaxLat, /*Seed=*/7);
+  if (!T.Ok || T.Intervals.empty()) {
+    State.SkipWithError("control loop failed");
+    return;
+  }
+  uint64_t Min = T.Intervals[0], Max = T.Intervals[0];
+  for (uint64_t I : T.Intervals) {
+    Min = std::min(Min, I);
+    Max = std::max(Max, I);
+  }
+  if (MinLat == MaxLat && Min != Max) {
+    State.SkipWithError("JITTER with fixed-latency devices");
+    return;
+  }
+  State.counters["interval_min"] = static_cast<double>(Min);
+  State.counters["interval_max"] = static_cast<double>(Max);
+  State.counters["jitter"] = static_cast<double>(Max - Min);
+}
+
+} // namespace
+
+BENCHMARK(BM_ControlLoopJitter)
+    ->Args({100, 100})  // fixed-latency sensors: jitter must be 0
+    ->Args({100, 400})  // bounded: jitter <= latency spread + epsilon
+    ->Args({50, 2000})
+    ->ArgNames({"min_lat", "max_lat"})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

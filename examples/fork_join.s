@@ -1,0 +1,44 @@
+# fork_join.s — the paper's Fig. 8 fork protocol, by hand.
+#
+# Hart 0 (holding the token) forks a hart on its own core, runs `child`
+# itself while the new hart executes the continuation, and the two join
+# back through the ending-signal chain. Run it with:
+#
+#   ./run_asm fork_join.s 1 --trace
+#
+# and watch the hart-reserve / hart-start / token-pass / join events.
+
+    .equ CHILD_OUT, 0x20000000
+    .equ CONT_OUT,  0x20000004
+
+main:
+    p_set t0                  # t0 = hart-reference: join = this hart
+    la ra, rp                 # the team's join address
+    p_fc t6                   # allocate a hart on this core
+    p_swcv ra, t6, 0          # fill its continuation frame ...
+    p_swcv t0, t6, 4
+    p_merge t0, t0, t6        # record the successor for the token chain
+    p_syncm                   # frame writes must land before the start
+    la a0, child
+    p_jalr ra, t0, a0         # call child here; start pc+4 over there
+
+    # ---- the forked hart starts here ----
+    p_lwcv ra, 0              # restore the join address
+    p_lwcv t0, 4              # and the team reference
+    la a1, CONT_OUT
+    li a2, 2026
+    sw a2, 0(a1)
+    p_syncm
+    p_ret                     # ra != 0: carry ra and the token to the head
+
+rp: # ---- hart 0 resumes here after the join ----
+    li ra, 0
+    li t0, -1
+    p_ret                     # ra == 0, t0 == -1: exit the process
+
+child:                        # runs on hart 0 (the team head)
+    la a1, CHILD_OUT
+    li a2, 1234
+    sw a2, 0(a1)
+    p_syncm
+    p_ret                     # ra == 0, join == me: pass the token, park

@@ -1,0 +1,78 @@
+//===- examples/sensor_fusion.cpp - Non-interruptible real-time I/O -------------===//
+//
+// Part of the LBP reproduction project.
+//
+//===----------------------------------------------------------------------===//
+//
+// The paper's Section 6 scenario (Figs. 16/17): a single-core LBP
+// microcontroller polls four sensors with a 4-hart team, fuses the
+// samples and drives an actuator — no interrupts anywhere. The sensors
+// answer after pseudo-random delays; run the example with different
+// seeds to see the timing move while the actuated values stay identical:
+//
+//   ./sensor_fusion [seed]
+//
+//===----------------------------------------------------------------------===//
+
+#include "asm/Assembler.h"
+#include "sim/Machine.h"
+#include "workloads/SensorFusion.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+using namespace lbp;
+using namespace lbp::sim;
+using namespace lbp::workloads;
+
+int main(int argc, char **argv) {
+  uint64_t Seed = argc > 1 ? std::strtoull(argv[1], nullptr, 0) : 1;
+  constexpr unsigned Rounds = 6;
+
+  SensorFusionSpec Spec;
+  Spec.Rounds = Rounds;
+  assembler::AsmResult R =
+      assembler::assemble(buildSensorFusionProgram(Spec));
+  if (!R.succeeded()) {
+    std::fprintf(stderr, "assembly failed:\n%s", R.errorText().c_str());
+    return 1;
+  }
+
+  Machine M(SimConfig::lbp(1));
+  M.load(R.Prog);
+
+  // Four sensors: temperature-ish streams, 20..500 cycle response times.
+  for (unsigned S = 0; S != 4; ++S) {
+    std::vector<uint32_t> Samples;
+    for (unsigned K = 0; K != Rounds; ++K)
+      Samples.push_back(20 + 5 * S + K);
+    M.addDevice(SensorBase(S), 0x100,
+                std::make_unique<SensorDevice>(Samples, Seed + 31 * S, 20,
+                                               500));
+  }
+  auto Act = std::make_unique<ActuatorDevice>();
+  ActuatorDevice *ActPtr = Act.get();
+  M.addDevice(ActuatorBase, 0x100, std::move(Act));
+
+  if (M.run(10000000) != RunStatus::Exited) {
+    std::fprintf(stderr, "run failed: %s\n", M.faultMessage().c_str());
+    return 1;
+  }
+
+  std::printf("sensor fusion on a 1-core / 4-hart LBP, seed %llu\n\n",
+              static_cast<unsigned long long>(Seed));
+  std::printf("%8s %12s   (fused = (s0+s1+s2+s3)/4)\n", "round",
+              "actuated");
+  for (unsigned K = 0; K != ActPtr->records().size(); ++K) {
+    const ActuatorDevice::Record &Rec = ActPtr->records()[K];
+    std::printf("%8u %12u   at cycle %llu\n", K, Rec.Value,
+                static_cast<unsigned long long>(Rec.Cycle));
+  }
+  std::printf("\ntotal: %llu cycles, %llu instructions\n",
+              static_cast<unsigned long long>(M.cycles()),
+              static_cast<unsigned long long>(M.retired()));
+  std::printf("Try another seed: the cycles change, the values do "
+              "not.\n");
+  return 0;
+}

@@ -1,0 +1,117 @@
+//===- examples/wcet_timing.cpp - Exact timing on a deterministic machine -------===//
+//
+// Part of the LBP reproduction project.
+//
+//===----------------------------------------------------------------------===//
+//
+// The paper's motivation: "parallelization can hardly benefit real time
+// critical applications as a precise timing cannot be ensured" — unless
+// the machine is cycle-deterministic. This example measures a control
+// kernel with the machine's own cycle counter (rdcycle, the "internal
+// timer" of Sec. 6), sweeps the input space, and reports *exact*
+// per-input timings with a worst case that is a guarantee, not an
+// estimate: re-running any input reproduces its cycle count bit for bit.
+//
+//===----------------------------------------------------------------------===//
+
+#include "asm/Assembler.h"
+#include "frontend/Compiler.h"
+#include "sim/Machine.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+using namespace lbp;
+using namespace lbp::sim;
+
+namespace {
+
+// A clamped PID-style step with an input-dependent branch: timing
+// varies with the input, which is exactly what a WCET bound must cover.
+const char *Kernel = R"(
+int input at 0x20000000;
+int out_cycles at 0x20000010;
+int out_value at 0x20000014;
+
+int pid_step(int err) {
+  int p = err * 3;
+  int i = err / 4;
+  int d = err - (err >> 2);
+  int u = p + i + d;
+  if (u > 1000) u = 1000;        /* actuator saturation */
+  if (u < 0 - 1000) u = 0 - 1000;
+  return u;
+}
+
+void main() {
+  int e = input;
+  int t0 = __cycles();
+  int u;
+  u = pid_step(e);
+  int t1 = __cycles();
+  out_cycles = t1 - t0;
+  out_value = u;
+  __syncm();
+}
+)";
+
+struct Sample {
+  int32_t Input;
+  uint32_t Cycles;
+  uint32_t Value;
+};
+
+Sample runOnce(const assembler::Program &P, int32_t Input) {
+  Machine M(SimConfig::lbp(1));
+  M.load(P);
+  M.debugWriteWord(0x20000000, static_cast<uint32_t>(Input));
+  if (M.run(100000) != RunStatus::Exited) {
+    std::fprintf(stderr, "run failed: %s\n", M.faultMessage().c_str());
+    std::exit(1);
+  }
+  return {Input, M.debugReadWord(0x20000010), M.debugReadWord(0x20000014)};
+}
+
+} // namespace
+
+int main() {
+  std::string Errors;
+  std::string Asm = frontend::compileDetCToAsm(Kernel, Errors);
+  if (!Errors.empty()) {
+    std::fprintf(stderr, "%s", Errors.c_str());
+    return 1;
+  }
+  assembler::AsmResult R = assembler::assemble(Asm);
+  if (!R.succeeded()) {
+    std::fprintf(stderr, "%s", R.errorText().c_str());
+    return 1;
+  }
+
+  std::vector<Sample> Samples;
+  for (int32_t E = -600; E <= 600; E += 60)
+    Samples.push_back(runOnce(R.Prog, E));
+
+  std::printf("pid_step timing sweep (measured with rdcycle on the "
+              "hart itself):\n\n%8s %10s %10s\n", "input", "cycles",
+              "output");
+  for (const Sample &S : Samples)
+    std::printf("%8d %10u %10u\n", S.Input, S.Cycles, S.Value);
+
+  auto Worst = std::max_element(
+      Samples.begin(), Samples.end(),
+      [](const Sample &A, const Sample &B) { return A.Cycles < B.Cycles; });
+  std::printf("\nworst case: input %d -> %u cycles\n", Worst->Input,
+              Worst->Cycles);
+
+  // The WCET property: re-measuring the worst case gives the same
+  // number, exactly, every time.
+  bool Stable = true;
+  for (unsigned K = 0; K != 5; ++K)
+    Stable &= runOnce(R.Prog, Worst->Input).Cycles == Worst->Cycles;
+  std::printf("re-measured 5x: %s\n",
+              Stable ? "identical every time (a guarantee, not an "
+                       "estimate)"
+                     : "UNSTABLE (bug!)");
+  return Stable ? 0 : 1;
+}

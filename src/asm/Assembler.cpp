@@ -1,0 +1,990 @@
+//===- asm/Assembler.cpp - Two-pass RV32IM + X_PAR assembler ---------------===//
+//
+// Part of the LBP reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "asm/Assembler.h"
+#include "isa/AddressMap.h"
+#include "isa/Encoding.h"
+#include "isa/Instr.h"
+#include "isa/Reg.h"
+#include "support/Compiler.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace lbp;
+using namespace lbp::assembler;
+using namespace lbp::isa;
+
+namespace {
+
+/// %hi/%lo relocation-style modifier on an operand expression.
+enum class Mod : uint8_t { None, Hi, Lo };
+
+/// symbol + addend, with an optional %hi/%lo wrapper.
+struct ExprRef {
+  std::string Symbol; ///< Empty for pure constants.
+  bool NegateSymbol = false;
+  int64_t Addend = 0;
+  Mod M = Mod::None;
+
+  bool isConstant() const { return Symbol.empty(); }
+};
+
+/// A parsed operand: either a register, an expression, or the memory
+/// form `expr(reg)`.
+struct Operand {
+  enum Kind : uint8_t { Reg, Expr, Mem } K = Expr;
+  uint8_t RegNo = 0; ///< For Reg and the base of Mem.
+  ExprRef E;         ///< For Expr and the offset of Mem.
+};
+
+/// One source statement surviving to pass 2.
+struct Stmt {
+  unsigned Line = 0;
+  uint32_t Addr = 0;
+  std::string Mnemonic;
+  std::vector<Operand> Ops;
+  /// Pre-decided expansion for `li` (chosen in pass 1 so sizes are
+  /// stable): number of instructions and the split immediate.
+  bool IsLi = false;
+  bool LiNeedsLui = false;
+  bool LiNeedsAddi = false;
+  int32_t LiHi = 0, LiLo = 0;
+  /// Data directives carry their byte payload semantics instead.
+  enum class DataKind : uint8_t { None, Word, Space } DK = DataKind::None;
+  uint32_t Size = 0; ///< Bytes this statement occupies.
+};
+
+/// Growable output segment under construction.
+struct BuildSegment {
+  uint32_t Base = 0;
+  bool IsText = false;
+  uint32_t PlannedSize = 0; ///< Bytes assigned in pass 1.
+  std::vector<uint8_t> Bytes;
+};
+
+class AsmContext {
+public:
+  AsmResult run(std::string_view Source);
+
+private:
+  std::vector<AsmError> Errors;
+  std::map<std::string, uint32_t> Symbols;
+  std::vector<Stmt> Stmts;
+  std::vector<BuildSegment> Segments;
+  int CurSeg = -1;      ///< Index into Segments during pass 1 and 2.
+  uint32_t Loc = 0;     ///< Current location counter.
+  unsigned CurLine = 0; ///< For diagnostics.
+  uint32_t NextTextLoc = isa::CodeBase;
+  uint32_t NextDataLoc = isa::GlobalBase;
+
+  void error(const std::string &Msg) { Errors.push_back({CurLine, Msg}); }
+
+  void switchSection(bool Text, std::optional<uint32_t> Addr);
+  void passOneLine(std::string_view Line);
+  bool handleDirective(std::string_view Name,
+                       const std::vector<std::string_view> &Args);
+  std::optional<Operand> parseOperand(std::string_view Text);
+  std::optional<ExprRef> parseExpr(std::string_view Text);
+  std::optional<int64_t> evalExpr(const ExprRef &E, bool AllowUndef = false);
+  uint32_t stmtSize(Stmt &S);
+
+  void passTwo();
+  void emitStmt(const Stmt &S);
+  void emitBytes(uint32_t Addr, const uint8_t *Data, uint32_t N);
+  void emitWord(const Stmt &S, uint32_t Addr, uint32_t Word);
+  void emitInstr(const Stmt &S, uint32_t Addr, Instr I);
+  std::optional<uint8_t> wantReg(const Stmt &S, unsigned Index);
+  std::optional<int64_t> wantValue(const Stmt &S, unsigned Index);
+  std::optional<int32_t> wantPcRel(const Stmt &S, unsigned Index,
+                                   uint32_t Addr);
+};
+
+void AsmContext::switchSection(bool Text, std::optional<uint32_t> Addr) {
+  // Remember where the section we are leaving stopped. Pass 1 tracks
+  // sizes through PlannedSize because bytes only appear in pass 2.
+  if (CurSeg >= 0) {
+    Segments[CurSeg].PlannedSize = Loc - Segments[CurSeg].Base;
+    if (Segments[CurSeg].IsText)
+      NextTextLoc = Loc;
+    else
+      NextDataLoc = Loc;
+  }
+  uint32_t Base = Addr.value_or(Text ? NextTextLoc : NextDataLoc);
+  // Continue an existing segment when it ends exactly at Base.
+  for (unsigned I = 0; I != Segments.size(); ++I) {
+    BuildSegment &S = Segments[I];
+    if (S.IsText == Text && S.Base + S.PlannedSize == Base) {
+      CurSeg = static_cast<int>(I);
+      Loc = Base;
+      return;
+    }
+  }
+  Segments.push_back({Base, Text, 0, {}});
+  CurSeg = static_cast<int>(Segments.size() - 1);
+  Loc = Base;
+}
+
+std::optional<ExprRef> AsmContext::parseExpr(std::string_view Text) {
+  Text = trim(Text);
+  if (Text.empty())
+    return std::nullopt;
+
+  ExprRef E;
+  if (Text.starts_with("%hi(") || Text.starts_with("%lo(")) {
+    if (!Text.ends_with(")"))
+      return std::nullopt;
+    E.M = Text[1] == 'h' ? Mod::Hi : Mod::Lo;
+    Text = Text.substr(4, Text.size() - 5);
+  }
+
+  // Split into +/- separated terms. The leading term may be a symbol.
+  size_t Pos = 0;
+  bool First = true;
+  while (Pos < Text.size()) {
+    int Sign = 1;
+    if (!First) {
+      char C = Text[Pos];
+      if (C == '+')
+        Sign = 1;
+      else if (C == '-')
+        Sign = -1;
+      else
+        return std::nullopt;
+      ++Pos;
+    } else if (Text[Pos] == '-') {
+      Sign = -1;
+      ++Pos;
+    }
+    size_t End = Pos;
+    while (End < Text.size() && Text[End] != '+' && Text[End] != '-')
+      ++End;
+    std::string_view Term = trim(Text.substr(Pos, End - Pos));
+    if (Term.empty())
+      return std::nullopt;
+    if (std::optional<int64_t> V = parseInteger(Term)) {
+      E.Addend += Sign * *V;
+    } else {
+      // Symbol term: only one allowed.
+      if (!E.Symbol.empty())
+        return std::nullopt;
+      E.NegateSymbol = Sign < 0;
+      for (char C : Term)
+        if (!std::isalnum(static_cast<unsigned char>(C)) && C != '_' &&
+            C != '.')
+          return std::nullopt;
+      E.Symbol = std::string(Term);
+    }
+    Pos = End;
+    First = false;
+  }
+  return E;
+}
+
+std::optional<Operand> AsmContext::parseOperand(std::string_view Text) {
+  Text = trim(Text);
+  if (Text.empty())
+    return std::nullopt;
+
+  // Memory form: expr(reg). Careful not to confuse with %hi(expr).
+  if (Text.ends_with(")") && !Text.starts_with("%")) {
+    size_t Open = Text.rfind('(');
+    if (Open != std::string_view::npos) {
+      std::string_view Inner = trim(Text.substr(Open + 1,
+                                                Text.size() - Open - 2));
+      if (std::optional<uint8_t> Base = parseRegName(Inner)) {
+        Operand Op;
+        Op.K = Operand::Mem;
+        Op.RegNo = *Base;
+        std::string_view OffText = trim(Text.substr(0, Open));
+        if (OffText.empty()) {
+          Op.E = ExprRef();
+        } else if (std::optional<ExprRef> E = parseExpr(OffText)) {
+          Op.E = *E;
+        } else {
+          return std::nullopt;
+        }
+        return Op;
+      }
+    }
+  }
+
+  if (std::optional<uint8_t> Reg = parseRegName(Text)) {
+    Operand Op;
+    Op.K = Operand::Reg;
+    Op.RegNo = *Reg;
+    return Op;
+  }
+
+  if (std::optional<ExprRef> E = parseExpr(Text)) {
+    Operand Op;
+    Op.K = Operand::Expr;
+    Op.E = *E;
+    return Op;
+  }
+  return std::nullopt;
+}
+
+std::optional<int64_t> AsmContext::evalExpr(const ExprRef &E,
+                                            bool AllowUndef) {
+  int64_t Value = E.Addend;
+  if (!E.Symbol.empty()) {
+    auto It = Symbols.find(E.Symbol);
+    if (It == Symbols.end()) {
+      if (!AllowUndef)
+        error("undefined symbol '" + E.Symbol + "'");
+      return std::nullopt;
+    }
+    Value += E.NegateSymbol ? -static_cast<int64_t>(It->second)
+                            : static_cast<int64_t>(It->second);
+  }
+  switch (E.M) {
+  case Mod::None:
+    return Value;
+  case Mod::Hi:
+    return (static_cast<uint32_t>(Value) + 0x800u) >> 12;
+  case Mod::Lo: {
+    uint32_t Lo = static_cast<uint32_t>(Value) & 0xFFFu;
+    return Lo >= 0x800 ? static_cast<int64_t>(Lo) - 0x1000 : Lo;
+  }
+  }
+  LBP_UNREACHABLE("unknown modifier");
+}
+
+/// Pseudo-instructions that expand to exactly one real instruction.
+static bool isSimplePseudo(std::string_view M) {
+  static constexpr std::string_view Names[] = {
+      "nop",  "mv",   "not",  "neg",  "seqz", "snez", "j",
+      "jr",   "call", "ret",  "beqz", "bnez", "bgez", "bltz",
+      "blez", "bgtz", "bgt",  "ble",  "bgtu", "bleu", "p_ret"};
+  return std::find(std::begin(Names), std::end(Names), M) != std::end(Names);
+}
+
+uint32_t AsmContext::stmtSize(Stmt &S) {
+  if (S.DK == Stmt::DataKind::Word || S.DK == Stmt::DataKind::Space)
+    return S.Size;
+
+  if (S.Mnemonic == "li") {
+    if (S.Ops.size() != 2 || S.Ops[0].K != Operand::Reg ||
+        S.Ops[1].K != Operand::Expr) {
+      error("li expects 'li rd, imm'");
+      return 4;
+    }
+    std::optional<int64_t> V = evalExpr(S.Ops[1].E, /*AllowUndef=*/true);
+    if (!V) {
+      // Forward references force the conservative two-instruction form.
+      S.IsLi = true;
+      S.LiNeedsLui = S.LiNeedsAddi = true;
+      return 8;
+    }
+    int32_t Value = static_cast<int32_t>(*V);
+    S.IsLi = true;
+    if (fitsImm12(Value)) {
+      S.LiNeedsAddi = true;
+      S.LiLo = Value;
+      return 4;
+    }
+    uint32_t U = static_cast<uint32_t>(Value);
+    S.LiHi = static_cast<int32_t>((U + 0x800u) >> 12) & 0xFFFFF;
+    uint32_t Lo = U & 0xFFFu;
+    S.LiLo = Lo >= 0x800 ? static_cast<int32_t>(Lo) - 0x1000
+                         : static_cast<int32_t>(Lo);
+    S.LiNeedsLui = true;
+    S.LiNeedsAddi = S.LiLo != 0;
+    return S.LiNeedsAddi ? 8 : 4;
+  }
+
+  if (S.Mnemonic == "la")
+    return 8;
+  if (isSimplePseudo(S.Mnemonic))
+    return 4;
+  if (opcodeByMnemonic(S.Mnemonic))
+    return 4;
+  error("unknown mnemonic '" + S.Mnemonic + "'");
+  return 4;
+}
+
+void AsmContext::passOneLine(std::string_view Line) {
+  // Strip comments.
+  size_t Hash = Line.find('#');
+  if (Hash != std::string_view::npos)
+    Line = Line.substr(0, Hash);
+  size_t Slashes = Line.find("//");
+  if (Slashes != std::string_view::npos)
+    Line = Line.substr(0, Slashes);
+
+  // Peel leading labels.
+  while (true) {
+    std::string_view T = trim(Line);
+    size_t Colon = T.find(':');
+    if (Colon == std::string_view::npos)
+      break;
+    std::string_view Label = trim(T.substr(0, Colon));
+    bool IsIdent = !Label.empty();
+    for (char C : Label)
+      if (!std::isalnum(static_cast<unsigned char>(C)) && C != '_' &&
+          C != '.')
+        IsIdent = false;
+    if (!IsIdent)
+      break;
+    if (CurSeg < 0)
+      switchSection(/*Text=*/true, std::nullopt);
+    if (Symbols.count(std::string(Label)))
+      error("redefinition of '" + std::string(Label) + "'");
+    Symbols[std::string(Label)] = Loc;
+    Line = T.substr(Colon + 1);
+  }
+
+  std::string_view T = trim(Line);
+  if (T.empty())
+    return;
+
+  // Split mnemonic from operands.
+  size_t Space = T.find_first_of(" \t");
+  std::string_view Mnemonic = Space == std::string_view::npos
+                                  ? T
+                                  : T.substr(0, Space);
+  std::string_view Rest = Space == std::string_view::npos
+                              ? std::string_view()
+                              : trim(T.substr(Space + 1));
+
+  std::vector<std::string_view> Args;
+  if (!Rest.empty())
+    for (std::string_view Piece : split(Rest, ','))
+      Args.push_back(trim(Piece));
+
+  if (Mnemonic[0] == '.') {
+    if (!handleDirective(Mnemonic, Args))
+      return;
+    return;
+  }
+
+  if (CurSeg < 0)
+    switchSection(/*Text=*/true, std::nullopt);
+  if (!Segments[CurSeg].IsText) {
+    error("instruction outside .text");
+    return;
+  }
+
+  Stmt S;
+  S.Line = CurLine;
+  S.Addr = Loc;
+  S.Mnemonic = std::string(Mnemonic);
+  for (std::string_view A : Args) {
+    std::optional<Operand> Op = parseOperand(A);
+    if (!Op) {
+      error("cannot parse operand '" + std::string(A) + "'");
+      return;
+    }
+    S.Ops.push_back(*Op);
+  }
+  S.Size = stmtSize(S);
+  Loc += S.Size;
+  Stmts.push_back(std::move(S));
+}
+
+bool AsmContext::handleDirective(std::string_view Name,
+                                 const std::vector<std::string_view> &Args) {
+  auto ArgValue = [&](unsigned I) -> std::optional<int64_t> {
+    std::optional<ExprRef> E = parseExpr(Args[I]);
+    if (!E) {
+      error("bad expression '" + std::string(Args[I]) + "'");
+      return std::nullopt;
+    }
+    return evalExpr(*E);
+  };
+
+  if (Name == ".text" || Name == ".data") {
+    std::optional<uint32_t> Addr;
+    if (!Args.empty()) {
+      std::optional<int64_t> V = ArgValue(0);
+      if (!V)
+        return false;
+      Addr = static_cast<uint32_t>(*V);
+    }
+    switchSection(Name == ".text", Addr);
+    return true;
+  }
+
+  if (Name == ".global" || Name == ".globl")
+    return true;
+
+  if (Name == ".equ" || Name == ".set") {
+    if (Args.size() != 2) {
+      error(std::string(Name) + " expects 'name, expr'");
+      return false;
+    }
+    std::optional<int64_t> V = ArgValue(1);
+    if (!V)
+      return false;
+    Symbols[std::string(Args[0])] = static_cast<uint32_t>(*V);
+    return true;
+  }
+
+  if (CurSeg < 0)
+    switchSection(Name != ".word" && Name != ".space" && Name != ".fill",
+                  std::nullopt);
+
+  if (Name == ".word") {
+    Stmt S;
+    S.Line = CurLine;
+    S.Addr = Loc;
+    S.DK = Stmt::DataKind::Word;
+    for (std::string_view A : Args) {
+      std::optional<Operand> Op = parseOperand(A);
+      if (!Op || Op->K != Operand::Expr) {
+        error("bad .word operand '" + std::string(A) + "'");
+        return false;
+      }
+      S.Ops.push_back(*Op);
+    }
+    S.Size = 4 * static_cast<uint32_t>(S.Ops.size());
+    Loc += S.Size;
+    Stmts.push_back(std::move(S));
+    return true;
+  }
+
+  if (Name == ".space" || Name == ".fill") {
+    if (Args.empty()) {
+      error(std::string(Name) + " expects a size");
+      return false;
+    }
+    std::optional<int64_t> Count = ArgValue(0);
+    if (!Count || *Count < 0)
+      return false;
+    Stmt S;
+    S.Line = CurLine;
+    S.Addr = Loc;
+    S.DK = Stmt::DataKind::Space;
+    if (Name == ".fill") {
+      // .fill count, word-value: emit count words of value.
+      if (Args.size() != 2) {
+        error(".fill expects 'count, value'");
+        return false;
+      }
+      std::optional<Operand> Op = parseOperand(Args[1]);
+      if (!Op || Op->K != Operand::Expr) {
+        error("bad .fill value");
+        return false;
+      }
+      S.DK = Stmt::DataKind::Word;
+      S.Ops.assign(static_cast<size_t>(*Count), *Op);
+      S.Size = 4 * static_cast<uint32_t>(*Count);
+    } else {
+      S.Size = static_cast<uint32_t>(*Count);
+    }
+    Loc += S.Size;
+    Stmts.push_back(std::move(S));
+    return true;
+  }
+
+  if (Name == ".align") {
+    std::optional<int64_t> Pow = ArgValue(0);
+    if (!Pow || *Pow < 0 || *Pow > 16)
+      return false;
+    uint32_t Align = 1u << *Pow;
+    uint32_t NewLoc = (Loc + Align - 1) & ~(Align - 1);
+    if (NewLoc != Loc) {
+      Stmt S;
+      S.Line = CurLine;
+      S.Addr = Loc;
+      S.DK = Stmt::DataKind::Space;
+      S.Size = NewLoc - Loc;
+      Loc = NewLoc;
+      Stmts.push_back(std::move(S));
+    }
+    return true;
+  }
+
+  error("unknown directive '" + std::string(Name) + "'");
+  return false;
+}
+
+void AsmContext::emitBytes(uint32_t Addr, const uint8_t *Data, uint32_t N) {
+  // Locate the segment whose pass-1 span covers Addr and patch it; the
+  // segment's byte vector is sized lazily up to its planned size.
+  for (BuildSegment &Seg : Segments) {
+    if (Addr < Seg.Base || Addr + N > Seg.Base + Seg.PlannedSize)
+      continue;
+    if (Seg.Bytes.size() < Seg.PlannedSize)
+      Seg.Bytes.resize(Seg.PlannedSize, 0);
+    for (uint32_t B = 0; B != N; ++B)
+      Seg.Bytes[Addr - Seg.Base + B] = Data[B];
+    return;
+  }
+  LBP_UNREACHABLE("emission outside any segment");
+}
+
+void AsmContext::emitWord(const Stmt &S, uint32_t Addr, uint32_t Word) {
+  (void)S;
+  uint8_t Bytes[4];
+  for (unsigned B = 0; B != 4; ++B)
+    Bytes[B] = static_cast<uint8_t>(Word >> (8 * B));
+  emitBytes(Addr, Bytes, 4);
+}
+
+void AsmContext::emitInstr(const Stmt &S, uint32_t Addr, Instr I) {
+  // Range-check immediates here so bad input is a diagnostic, not an
+  // assertion inside encode().
+  const InstrInfo &Info = instrInfo(I.Op);
+  bool Ok = true;
+  switch (Info.Form) {
+  case Format::I:
+  case Format::XParI:
+    if (I.Op == Opcode::SLLI || I.Op == Opcode::SRLI || I.Op == Opcode::SRAI)
+      Ok = I.Imm >= 0 && I.Imm < 32;
+    else
+      Ok = fitsImm12(I.Imm);
+    break;
+  case Format::S:
+  case Format::XParS:
+    Ok = fitsImm12(I.Imm);
+    break;
+  case Format::B:
+    Ok = fitsBranchOffset(I.Imm);
+    break;
+  case Format::J:
+    Ok = fitsJumpOffset(I.Imm);
+    break;
+  default:
+    break;
+  }
+  if (!Ok) {
+    Errors.push_back({S.Line, formatString("immediate %d out of range for %s",
+                                           I.Imm, Info.Mnemonic.data())});
+    return;
+  }
+  emitWord(S, Addr, encode(I));
+}
+
+std::optional<uint8_t> AsmContext::wantReg(const Stmt &S, unsigned Index) {
+  if (Index >= S.Ops.size() || S.Ops[Index].K != Operand::Reg) {
+    Errors.push_back({S.Line, formatString("operand %u of %s must be a "
+                                           "register",
+                                           Index + 1, S.Mnemonic.c_str())});
+    return std::nullopt;
+  }
+  return S.Ops[Index].RegNo;
+}
+
+std::optional<int64_t> AsmContext::wantValue(const Stmt &S, unsigned Index) {
+  if (Index >= S.Ops.size() || S.Ops[Index].K == Operand::Reg) {
+    Errors.push_back({S.Line, formatString("operand %u of %s must be an "
+                                           "expression",
+                                           Index + 1, S.Mnemonic.c_str())});
+    return std::nullopt;
+  }
+  CurLine = S.Line;
+  return evalExpr(S.Ops[Index].E);
+}
+
+std::optional<int32_t> AsmContext::wantPcRel(const Stmt &S, unsigned Index,
+                                             uint32_t Addr) {
+  std::optional<int64_t> Target = wantValue(S, Index);
+  if (!Target)
+    return std::nullopt;
+  return static_cast<int32_t>(*Target - static_cast<int64_t>(Addr));
+}
+
+void AsmContext::emitStmt(const Stmt &S) {
+  CurLine = S.Line;
+  uint32_t Addr = S.Addr;
+
+  if (S.DK == Stmt::DataKind::Word) {
+    for (const Operand &Op : S.Ops) {
+      std::optional<int64_t> V = evalExpr(Op.E);
+      emitWord(S, Addr, static_cast<uint32_t>(V.value_or(0)));
+      Addr += 4;
+    }
+    return;
+  }
+  if (S.DK == Stmt::DataKind::Space) {
+    std::vector<uint8_t> Zeros(S.Size, 0);
+    if (S.Size != 0)
+      emitBytes(Addr, Zeros.data(), S.Size);
+    return;
+  }
+
+  const std::string &M = S.Mnemonic;
+
+  // li: use the pass-1 decision.
+  if (S.IsLi) {
+    std::optional<uint8_t> Rd = wantReg(S, 0);
+    std::optional<int64_t> V = wantValue(S, 1);
+    if (!Rd || !V)
+      return;
+    int32_t Value = static_cast<int32_t>(*V);
+    if (S.LiNeedsLui && S.LiNeedsAddi) {
+      uint32_t U = static_cast<uint32_t>(Value);
+      int32_t Hi = static_cast<int32_t>((U + 0x800u) >> 12) & 0xFFFFF;
+      uint32_t LoBits = U & 0xFFFu;
+      int32_t Lo = LoBits >= 0x800 ? static_cast<int32_t>(LoBits) - 0x1000
+                                   : static_cast<int32_t>(LoBits);
+      emitInstr(S, Addr, {Opcode::LUI, *Rd, 0, 0, Hi});
+      emitInstr(S, Addr + 4, {Opcode::ADDI, *Rd, *Rd, 0, Lo});
+    } else if (S.LiNeedsLui) {
+      emitInstr(S, Addr, {Opcode::LUI, *Rd, 0, 0, S.LiHi});
+    } else {
+      emitInstr(S, Addr, {Opcode::ADDI, *Rd, RegZero, 0, Value});
+    }
+    return;
+  }
+
+  if (M == "la") {
+    std::optional<uint8_t> Rd = wantReg(S, 0);
+    std::optional<int64_t> V = wantValue(S, 1);
+    if (!Rd || !V)
+      return;
+    uint32_t U = static_cast<uint32_t>(*V);
+    int32_t Hi = static_cast<int32_t>((U + 0x800u) >> 12) & 0xFFFFF;
+    uint32_t LoBits = U & 0xFFFu;
+    int32_t Lo = LoBits >= 0x800 ? static_cast<int32_t>(LoBits) - 0x1000
+                                 : static_cast<int32_t>(LoBits);
+    emitInstr(S, Addr, {Opcode::LUI, *Rd, 0, 0, Hi});
+    emitInstr(S, Addr + 4, {Opcode::ADDI, *Rd, *Rd, 0, Lo});
+    return;
+  }
+
+  // Single-instruction pseudos.
+  if (M == "nop") {
+    emitInstr(S, Addr, {Opcode::ADDI, 0, 0, 0, 0});
+    return;
+  }
+  if (M == "mv") {
+    auto Rd = wantReg(S, 0), Rs = wantReg(S, 1);
+    if (Rd && Rs)
+      emitInstr(S, Addr, {Opcode::ADDI, *Rd, *Rs, 0, 0});
+    return;
+  }
+  if (M == "not") {
+    auto Rd = wantReg(S, 0), Rs = wantReg(S, 1);
+    if (Rd && Rs)
+      emitInstr(S, Addr, {Opcode::XORI, *Rd, *Rs, 0, -1});
+    return;
+  }
+  if (M == "neg") {
+    auto Rd = wantReg(S, 0), Rs = wantReg(S, 1);
+    if (Rd && Rs)
+      emitInstr(S, Addr, {Opcode::SUB, *Rd, RegZero, *Rs, 0});
+    return;
+  }
+  if (M == "seqz") {
+    auto Rd = wantReg(S, 0), Rs = wantReg(S, 1);
+    if (Rd && Rs)
+      emitInstr(S, Addr, {Opcode::SLTIU, *Rd, *Rs, 0, 1});
+    return;
+  }
+  if (M == "snez") {
+    auto Rd = wantReg(S, 0), Rs = wantReg(S, 1);
+    if (Rd && Rs)
+      emitInstr(S, Addr, {Opcode::SLTU, *Rd, RegZero, *Rs, 0});
+    return;
+  }
+  if (M == "j" || M == "call") {
+    std::optional<int32_t> Off = wantPcRel(S, 0, Addr);
+    if (Off)
+      emitInstr(S, Addr, {Opcode::JAL,
+                          static_cast<uint8_t>(M == "j" ? RegZero : RegRA), 0,
+                          0, *Off});
+    return;
+  }
+  if (M == "jr") {
+    auto Rs = wantReg(S, 0);
+    if (Rs)
+      emitInstr(S, Addr, {Opcode::JALR, RegZero, *Rs, 0, 0});
+    return;
+  }
+  if (M == "ret") {
+    emitInstr(S, Addr, {Opcode::JALR, RegZero, RegRA, 0, 0});
+    return;
+  }
+  if (M == "p_ret") {
+    emitInstr(S, Addr, {Opcode::P_JALR, RegZero, RegRA, RegT0, 0});
+    return;
+  }
+
+  // Branch pseudos against zero / with swapped operands.
+  struct BranchAlias {
+    std::string_view Name;
+    Opcode Op;
+    bool AgainstZero;
+    bool Swap;
+    bool ZeroFirst;
+  };
+  static constexpr BranchAlias BranchAliases[] = {
+      {"beqz", Opcode::BEQ, true, false, false},
+      {"bnez", Opcode::BNE, true, false, false},
+      {"bgez", Opcode::BGE, true, false, false},
+      {"bltz", Opcode::BLT, true, false, false},
+      {"blez", Opcode::BGE, true, false, true},
+      {"bgtz", Opcode::BLT, true, false, true},
+      {"bgt", Opcode::BLT, false, true, false},
+      {"ble", Opcode::BGE, false, true, false},
+      {"bgtu", Opcode::BLTU, false, true, false},
+      {"bleu", Opcode::BGEU, false, true, false},
+  };
+  for (const BranchAlias &A : BranchAliases) {
+    if (M != A.Name)
+      continue;
+    if (A.AgainstZero) {
+      auto Rs = wantReg(S, 0);
+      auto Off = wantPcRel(S, 1, Addr);
+      if (Rs && Off) {
+        uint8_t R1 = A.ZeroFirst ? static_cast<uint8_t>(RegZero) : *Rs;
+        uint8_t R2 = A.ZeroFirst ? *Rs : static_cast<uint8_t>(RegZero);
+        emitInstr(S, Addr, {A.Op, 0, R1, R2, *Off});
+      }
+    } else {
+      auto Ra = wantReg(S, 0), Rb = wantReg(S, 1);
+      auto Off = wantPcRel(S, 2, Addr);
+      if (Ra && Rb && Off)
+        emitInstr(S, Addr, {A.Op, 0, *Rb, *Ra, *Off});
+    }
+    return;
+  }
+
+  // Real instructions.
+  std::optional<Opcode> Op = opcodeByMnemonic(M);
+  if (!Op) {
+    Errors.push_back({S.Line, "unknown mnemonic '" + M + "'"});
+    return;
+  }
+  const InstrInfo &Info = instrInfo(*Op);
+  Instr I;
+  I.Op = *Op;
+
+  switch (Info.Form) {
+  case Format::R: {
+    auto Rd = wantReg(S, 0), Rs1 = wantReg(S, 1), Rs2 = wantReg(S, 2);
+    if (!Rd || !Rs1 || !Rs2)
+      return;
+    I.Rd = *Rd;
+    I.Rs1 = *Rs1;
+    I.Rs2 = *Rs2;
+    break;
+  }
+  case Format::I: {
+    if (I.Op == Opcode::RDCYCLE || I.Op == Opcode::RDINSTRET) {
+      auto Rd = wantReg(S, 0);
+      if (Rd)
+        emitInstr(S, Addr, {I.Op, *Rd, 0, 0, 0});
+      return;
+    }
+    // `jalr rs1` is the standard one-operand pseudo for jalr ra, 0(rs1).
+    if (I.Op == Opcode::JALR && S.Ops.size() == 1) {
+      auto Rs1 = wantReg(S, 0);
+      if (!Rs1)
+        return;
+      I.Rd = RegRA;
+      I.Rs1 = *Rs1;
+      I.Imm = 0;
+      break;
+    }
+    auto Rd = wantReg(S, 0);
+    if (!Rd)
+      return;
+    I.Rd = *Rd;
+    bool MemForm = S.Ops.size() == 2 && S.Ops[1].K == Operand::Mem;
+    if (MemForm) {
+      I.Rs1 = S.Ops[1].RegNo;
+      CurLine = S.Line;
+      std::optional<int64_t> V = evalExpr(S.Ops[1].E);
+      if (!V)
+        return;
+      I.Imm = static_cast<int32_t>(*V);
+    } else {
+      auto Rs1 = wantReg(S, 1);
+      auto V = wantValue(S, 2);
+      if (!Rs1 || !V)
+        return;
+      I.Rs1 = *Rs1;
+      I.Imm = static_cast<int32_t>(*V);
+    }
+    break;
+  }
+  case Format::S: {
+    auto Rs2 = wantReg(S, 0);
+    if (!Rs2 || S.Ops.size() != 2 || S.Ops[1].K != Operand::Mem) {
+      Errors.push_back({S.Line, "store expects 'sw rs2, off(rs1)'"});
+      return;
+    }
+    I.Rs2 = *Rs2;
+    I.Rs1 = S.Ops[1].RegNo;
+    CurLine = S.Line;
+    std::optional<int64_t> V = evalExpr(S.Ops[1].E);
+    if (!V)
+      return;
+    I.Imm = static_cast<int32_t>(*V);
+    break;
+  }
+  case Format::B: {
+    auto Rs1 = wantReg(S, 0), Rs2 = wantReg(S, 1);
+    auto Off = wantPcRel(S, 2, Addr);
+    if (!Rs1 || !Rs2 || !Off)
+      return;
+    I.Rs1 = *Rs1;
+    I.Rs2 = *Rs2;
+    I.Imm = *Off;
+    break;
+  }
+  case Format::U: {
+    auto Rd = wantReg(S, 0);
+    auto V = wantValue(S, 1);
+    if (!Rd || !V)
+      return;
+    I.Rd = *Rd;
+    I.Imm = static_cast<int32_t>(*V) & 0xFFFFF;
+    break;
+  }
+  case Format::J: {
+    // `jal label` is the standard one-operand pseudo for jal ra, label.
+    if (S.Ops.size() == 1) {
+      auto Off = wantPcRel(S, 0, Addr);
+      if (!Off)
+        return;
+      I.Rd = RegRA;
+      I.Imm = *Off;
+      break;
+    }
+    auto Rd = wantReg(S, 0);
+    auto Off = wantPcRel(S, 1, Addr);
+    if (!Rd || !Off)
+      return;
+    I.Rd = *Rd;
+    I.Imm = *Off;
+    break;
+  }
+  case Format::XParR:
+    switch (*Op) {
+    case Opcode::P_FC:
+    case Opcode::P_FN: {
+      auto Rd = wantReg(S, 0);
+      if (!Rd)
+        return;
+      I.Rd = *Rd;
+      break;
+    }
+    case Opcode::P_SET: {
+      auto Rd = wantReg(S, 0);
+      if (!Rd)
+        return;
+      I.Rd = *Rd;
+      // `p_set rd` takes rs1 = rd (merge into self), `p_set rd, rs1`
+      // names it explicitly.
+      if (S.Ops.size() >= 2) {
+        auto Rs1 = wantReg(S, 1);
+        if (!Rs1)
+          return;
+        I.Rs1 = *Rs1;
+      } else {
+        I.Rs1 = *Rd;
+      }
+      break;
+    }
+    case Opcode::P_SYNCM:
+      break;
+    default: { // P_MERGE, P_JALR
+      auto Rd = wantReg(S, 0), Rs1 = wantReg(S, 1), Rs2 = wantReg(S, 2);
+      if (!Rd || !Rs1 || !Rs2)
+        return;
+      I.Rd = *Rd;
+      I.Rs1 = *Rs1;
+      I.Rs2 = *Rs2;
+      break;
+    }
+    }
+    break;
+  case Format::XParI:
+    if (*Op == Opcode::P_JAL) {
+      auto Rd = wantReg(S, 0), Rs1 = wantReg(S, 1);
+      auto Off = wantPcRel(S, 2, Addr);
+      if (!Rd || !Rs1 || !Off)
+        return;
+      I.Rd = *Rd;
+      I.Rs1 = *Rs1;
+      I.Imm = *Off;
+    } else {
+      auto Rd = wantReg(S, 0);
+      auto V = wantValue(S, 1);
+      if (!Rd || !V)
+        return;
+      I.Rd = *Rd;
+      I.Imm = static_cast<int32_t>(*V);
+    }
+    break;
+  case Format::XParS: {
+    // Fig. 8 order: `p_swcv ra, t6, 0` sends value ra to hart t6 —
+    // value first (rs2), target hart second (rs1).
+    auto Value = wantReg(S, 0), Target = wantReg(S, 1);
+    auto V = wantValue(S, 2);
+    if (!Value || !Target || !V)
+      return;
+    I.Rs2 = *Value;
+    I.Rs1 = *Target;
+    I.Imm = static_cast<int32_t>(*V);
+    break;
+  }
+  }
+  emitInstr(S, Addr, I);
+}
+
+void AsmContext::passTwo() {
+  for (const Stmt &S : Stmts)
+    emitStmt(S);
+}
+
+AsmResult AsmContext::run(std::string_view Source) {
+  std::vector<std::string_view> Lines = splitLines(Source);
+  for (unsigned I = 0; I != Lines.size(); ++I) {
+    CurLine = I + 1;
+    passOneLine(Lines[I]);
+  }
+  if (CurSeg >= 0)
+    Segments[CurSeg].PlannedSize = Loc - Segments[CurSeg].Base;
+  // Layout from a failed first pass is unreliable; don't pile pass-2
+  // diagnostics on top of it.
+  if (Errors.empty())
+    passTwo();
+
+  AsmResult Result;
+  Result.Errors = std::move(Errors);
+  if (!Result.Errors.empty())
+    return Result;
+
+  for (BuildSegment &S : Segments) {
+    if (S.PlannedSize == 0)
+      continue;
+    S.Bytes.resize(S.PlannedSize, 0);
+    Segment Out;
+    Out.Base = S.Base;
+    Out.IsText = S.IsText;
+    Out.Bytes = std::move(S.Bytes);
+    Result.Prog.addSegment(std::move(Out));
+  }
+  for (const auto &[Name, Value] : Symbols)
+    Result.Prog.defineSymbol(Name, Value);
+
+  if (std::optional<uint32_t> E = Result.Prog.lookup("_start"))
+    Result.Prog.setEntry(*E);
+  else if (std::optional<uint32_t> E2 = Result.Prog.lookup("main"))
+    Result.Prog.setEntry(*E2);
+  return Result;
+}
+
+} // namespace
+
+std::string AsmResult::errorText() const {
+  std::string Text;
+  for (const AsmError &E : Errors)
+    Text += formatString("line %u: %s\n", E.Line, E.Message.c_str());
+  return Text;
+}
+
+AsmResult lbp::assembler::assemble(std::string_view Source) {
+  AsmContext Ctx;
+  return Ctx.run(Source);
+}

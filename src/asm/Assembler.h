@@ -1,0 +1,62 @@
+//===- asm/Assembler.h - Two-pass RV32IM + X_PAR assembler ----------------===//
+//
+// Part of the LBP reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A two-pass textual assembler for the LBP instruction set.
+///
+/// Supported syntax:
+///   * labels (`name:`), `#` / `//` comments
+///   * directives: `.text [addr]`, `.data [addr]`, `.word e, ...`,
+///     `.space n`, `.fill count, value`, `.align n` (power of two),
+///     `.equ name, expr`, `.global name` (accepted, no-op)
+///   * operand expressions: integers, symbols, `sym+const`, `sym-const`,
+///     `%hi(expr)` / `%lo(expr)` (pcless absolute hi/lo pairs)
+///   * pseudo-instructions: nop, mv, not, neg, seqz, snez, li, la, j, jr,
+///     call, ret, beqz, bnez, bgez, bltz, blez, bgtz, bgt, ble, bgtu,
+///     bleu, p_ret
+///
+/// Branch/jump label operands assemble to pc-relative offsets.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LBP_ASM_ASSEMBLER_H
+#define LBP_ASM_ASSEMBLER_H
+
+#include "asm/Program.h"
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lbp {
+namespace assembler {
+
+/// One diagnostic produced while assembling.
+struct AsmError {
+  unsigned Line; ///< 1-based source line.
+  std::string Message;
+};
+
+/// Result of an assembly run; the program is meaningful only when
+/// `succeeded()` is true.
+struct AsmResult {
+  Program Prog;
+  std::vector<AsmError> Errors;
+
+  bool succeeded() const { return Errors.empty(); }
+
+  /// All diagnostics joined as "line N: message" lines.
+  std::string errorText() const;
+};
+
+/// Assembles \p Source. Never exits the process: all problems come back
+/// as diagnostics in the result.
+AsmResult assemble(std::string_view Source);
+
+} // namespace assembler
+} // namespace lbp
+
+#endif // LBP_ASM_ASSEMBLER_H

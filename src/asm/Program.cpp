@@ -1,0 +1,32 @@
+//===- asm/Program.cpp - Assembled program image ----------------------------===//
+//
+// Part of the LBP reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "asm/Program.h"
+
+using namespace lbp;
+using namespace lbp::assembler;
+
+uint32_t Program::readWord(uint32_t Addr) const {
+  uint32_t Word = 0;
+  for (unsigned Byte = 0; Byte != 4; ++Byte) {
+    uint32_t A = Addr + Byte;
+    for (const Segment &S : Segments) {
+      if (A >= S.Base && A < S.end()) {
+        Word |= static_cast<uint32_t>(S.Bytes[A - S.Base]) << (8 * Byte);
+        break;
+      }
+    }
+  }
+  return Word;
+}
+
+uint32_t Program::textSize() const {
+  uint32_t Size = 0;
+  for (const Segment &S : Segments)
+    if (S.IsText)
+      Size += static_cast<uint32_t>(S.Bytes.size());
+  return Size;
+}

@@ -1,0 +1,71 @@
+//===- asm/Program.h - Assembled program image ------------------------------===//
+//
+// Part of the LBP reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The loadable result of assembling a source file: byte segments at
+/// absolute addresses plus a symbol table. The simulator's loader copies
+/// text segments into every core's code bank and data segments into the
+/// shared global banks they fall into.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LBP_ASM_PROGRAM_H
+#define LBP_ASM_PROGRAM_H
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace lbp {
+namespace assembler {
+
+/// A contiguous run of initialized bytes at an absolute address.
+struct Segment {
+  uint32_t Base = 0;
+  bool IsText = false;
+  std::vector<uint8_t> Bytes;
+
+  uint32_t end() const { return Base + static_cast<uint32_t>(Bytes.size()); }
+};
+
+/// An assembled, relocated program.
+class Program {
+  std::vector<Segment> Segments;
+  std::map<std::string, uint32_t> Symbols;
+  uint32_t Entry = 0;
+
+public:
+  void addSegment(Segment S) { Segments.push_back(std::move(S)); }
+  const std::vector<Segment> &segments() const { return Segments; }
+
+  void defineSymbol(const std::string &Name, uint32_t Value) {
+    Symbols[Name] = Value;
+  }
+  std::optional<uint32_t> lookup(const std::string &Name) const {
+    auto It = Symbols.find(Name);
+    if (It == Symbols.end())
+      return std::nullopt;
+    return It->second;
+  }
+  const std::map<std::string, uint32_t> &symbols() const { return Symbols; }
+
+  void setEntry(uint32_t E) { Entry = E; }
+  uint32_t entry() const { return Entry; }
+
+  /// Reads the 32-bit word at \p Addr from the initialized segments;
+  /// returns 0 for uninitialized locations.
+  uint32_t readWord(uint32_t Addr) const;
+
+  /// Total number of text bytes (used by tests and size reports).
+  uint32_t textSize() const;
+};
+
+} // namespace assembler
+} // namespace lbp
+
+#endif // LBP_ASM_PROGRAM_H

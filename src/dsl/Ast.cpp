@@ -1,0 +1,30 @@
+//===- dsl/Ast.cpp - Kernel-language abstract syntax ---------------------------===//
+//
+// Part of the LBP reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dsl/Ast.h"
+#include "support/Error.h"
+
+using namespace lbp;
+using namespace lbp::dsl;
+
+const Local *Function::param(const std::string &Name) {
+  if (!Body.empty() || Params.size() != Locals.size())
+    reportFatalError("parameters of '" + this->Name +
+                     "' must be declared first");
+  if (Params.size() == 4)
+    reportFatalError("function '" + this->Name +
+                     "' has more than four parameters");
+  Locals.push_back(std::make_unique<Local>(
+      Local{Name, static_cast<unsigned>(Locals.size())}));
+  Params.push_back(Locals.back().get());
+  return Locals.back().get();
+}
+
+const Local *Function::local(const std::string &Name) {
+  Locals.push_back(std::make_unique<Local>(
+      Local{Name, static_cast<unsigned>(Locals.size())}));
+  return Locals.back().get();
+}

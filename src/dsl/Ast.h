@@ -1,0 +1,454 @@
+//===- dsl/Ast.h - Kernel-language abstract syntax ----------------------------===//
+//
+// Part of the LBP reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The AST of the kernel language the workloads are written in: a small,
+/// explicitly register-resident C subset with Deterministic OpenMP
+/// parallel constructs. Programs are built through the Module/Function
+/// builder API and compiled by dsl::compileModule (CodeGen.h) into LBP
+/// assembly (RV32IM + X_PAR through the romp runtime).
+///
+/// Design notes:
+///  * every local variable lives in a register for its whole lifetime
+///    (the compiler rejects functions with more locals than the pool);
+///  * loops are bottom-tested (`while` costs one branch per iteration),
+///    which is what gives the paper's exact 7-instruction matmul inner
+///    loop;
+///  * the thread-function ABI matches romp::emitParallelStart:
+///    a0 = team index, a1 = data pointer, a2 = team size.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LBP_DSL_AST_H
+#define LBP_DSL_AST_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace lbp {
+namespace dsl {
+
+class Function;
+class Module;
+
+/// A named register-resident variable.
+struct Local {
+  std::string Name;
+  unsigned Index; ///< Ordinal within its function.
+};
+
+/// Binary operators on 32-bit values.
+enum class BinOp : uint8_t {
+  Add,
+  Sub,
+  Mul,
+  Div,  ///< Signed.
+  Rem,  ///< Signed.
+  And,
+  Or,
+  Xor,
+  Shl,
+  Shr, ///< Logical right shift.
+  Sra, ///< Arithmetic right shift.
+  Slt, ///< Signed set-less-than (0/1).
+  Sltu,
+};
+
+/// Comparison operators for control flow.
+enum class CmpOp : uint8_t { Eq, Ne, Lt, Ge, Ltu, Geu, Gt, Le };
+
+/// Expression node. Nodes are arena-owned by the Module; treat pointers
+/// as non-owning references.
+struct Expr {
+  enum class Kind : uint8_t {
+    Const,   ///< 32-bit literal.
+    LocalRef,///< Value of a local.
+    AddrOf,  ///< Address of a module global (+ constant addend).
+    Load,    ///< *(base + offset), 1/2/4 bytes.
+    Bin,     ///< Binary operation.
+    HartId,  ///< The executing hart's global id (via p_set).
+    CycleCount,   ///< rdcycle: the machine's current cycle.
+    InstretCount, ///< rdinstret: instructions retired by this hart.
+    RecvResult, ///< Blocking p_lwre from the hart's result slot IVal.
+  } K;
+
+  int32_t IVal = 0;            // Const value / Load offset / AddrOf addend
+  const Local *L = nullptr;    // LocalRef
+  std::string Symbol;          // AddrOf
+  const Expr *Lhs = nullptr;   // Bin / Load base
+  const Expr *Rhs = nullptr;   // Bin
+  BinOp Op = BinOp::Add;       // Bin
+  uint8_t Width = 4;           // Load
+  bool SignExtend = true;      // Load (for widths < 4)
+};
+
+/// Statement node (arena-owned by the Module).
+struct Stmt {
+  enum class Kind : uint8_t {
+    Assign,        ///< local = expr
+    Store,         ///< *(base + offset) = expr
+    If,            ///< if (cmp) then [else]
+    While,         ///< bottom-tested while (cmp)
+    DoWhile,       ///< body; while (cmp) — no entry test
+    Call,          ///< [local =] fn(args...)
+    Return,        ///< return [expr]
+    ParallelFor,   ///< omp parallel for: launch a team (main only)
+    ReduceSend,    ///< send a partial to the team head (threads only)
+    ReduceCollect, ///< local = local + sum of N member partials (main)
+    SendResult,    ///< p_swre Value to hart Base's result slot Offset
+    Break,         ///< exit the innermost loop
+    Continue,      ///< next iteration (runs the loop's step first)
+    Syncm,         ///< p_syncm
+    RawAsm,        ///< escape hatch: verbatim assembly lines
+  } K;
+
+  // Assign / ReduceSend / Return / Store value.
+  const Local *Dst = nullptr;
+  const Expr *Value = nullptr;
+
+  // Store.
+  const Expr *Base = nullptr;
+  int32_t Offset = 0;
+  uint8_t Width = 4;
+
+  // If / While / DoWhile.
+  CmpOp Cmp = CmpOp::Eq;
+  const Expr *CmpLhs = nullptr;
+  const Expr *CmpRhs = nullptr;
+  std::vector<const Stmt *> Then; // also loop/Call-arg-free bodies
+  std::vector<const Stmt *> Else; // loops: the step (continue target)
+
+  // Call / ParallelFor.
+  std::string Callee;
+  std::vector<const Expr *> Args;
+  unsigned NumHarts = 0;       // ParallelFor / ReduceCollect count
+  std::string DataSymbol;      // ParallelFor ("" = null pointer)
+
+  // RawAsm.
+  std::string Text;
+};
+
+/// How a function terminates / is invoked.
+enum class FnKind : uint8_t {
+  Normal, ///< Standard call/ret function.
+  Thread, ///< Team member: ends with p_ret (Deterministic OpenMP ABI).
+  Main,   ///< Program entry: wrapped in the romp prologue/epilogue.
+};
+
+/// A function under construction.
+class Function {
+  friend class Module;
+  friend class CodeGenTester;
+
+  Module *Parent;
+  std::string Name;
+  FnKind Kind;
+  std::vector<std::unique_ptr<Local>> Locals;
+  std::vector<const Local *> Params;
+  std::vector<const Stmt *> Body;
+
+  Function(Module *Parent, std::string Name, FnKind Kind)
+      : Parent(Parent), Name(std::move(Name)), Kind(Kind) {}
+
+public:
+  /// Declares a parameter (parameters are locals bound to a0..a3 on
+  /// entry; declare them before any plain local, at most four).
+  const Local *param(const std::string &Name);
+
+  /// Declares a register-resident local variable.
+  const Local *local(const std::string &Name);
+
+  /// Appends a statement to the function body.
+  void append(const Stmt *S) { Body.push_back(S); }
+
+  const std::string &name() const { return Name; }
+  FnKind kind() const { return Kind; }
+  const std::vector<const Local *> &params() const { return Params; }
+  const std::vector<const Stmt *> &body() const { return Body; }
+  unsigned numLocals() const {
+    return static_cast<unsigned>(Locals.size());
+  }
+};
+
+/// A module: globals with explicit placement plus functions. Owns every
+/// AST node created through its factory methods.
+class Module {
+  friend class Function;
+
+  std::vector<std::unique_ptr<Expr>> Exprs;
+  std::vector<std::unique_ptr<Stmt>> Stmts;
+  std::vector<std::unique_ptr<Function>> Functions;
+
+  Expr *newExpr(Expr::Kind K) {
+    Exprs.push_back(std::make_unique<Expr>());
+    Exprs.back()->K = K;
+    return Exprs.back().get();
+  }
+  Stmt *newStmt(Stmt::Kind K) {
+    Stmts.push_back(std::make_unique<Stmt>());
+    Stmts.back()->K = K;
+    return Stmts.back().get();
+  }
+
+public:
+  /// One placed global data object.
+  struct GlobalData {
+    std::string Name;
+    uint32_t Addr;                ///< Absolute address (global region).
+    uint32_t SizeWords;           ///< Zero-filled size when Init empty.
+    std::vector<uint32_t> Init;   ///< Explicit words (optional).
+    int32_t FillValue = 0;        ///< Used when Init is empty.
+    bool Filled = false;          ///< Emit .fill instead of .space.
+  };
+  std::vector<GlobalData> Globals;
+
+  // -- Functions -------------------------------------------------------
+  Function *function(const std::string &Name,
+                     FnKind Kind = FnKind::Normal) {
+    Functions.push_back(
+        std::unique_ptr<Function>(new Function(this, Name, Kind)));
+    return Functions.back().get();
+  }
+  const std::vector<std::unique_ptr<Function>> &functions() const {
+    return Functions;
+  }
+
+  // -- Globals ---------------------------------------------------------
+  /// A zero-initialized global of \p SizeWords words at \p Addr.
+  void global(const std::string &Name, uint32_t Addr, uint32_t SizeWords) {
+    Globals.push_back({Name, Addr, SizeWords, {}, 0, false});
+  }
+  /// A global of \p SizeWords words all holding \p Fill.
+  void globalFilled(const std::string &Name, uint32_t Addr,
+                    uint32_t SizeWords, int32_t Fill) {
+    Globals.push_back({Name, Addr, SizeWords, {}, Fill, true});
+  }
+  /// A global with explicit initial words.
+  void globalData(const std::string &Name, uint32_t Addr,
+                  std::vector<uint32_t> Words) {
+    uint32_t Size = static_cast<uint32_t>(Words.size());
+    Globals.push_back({Name, Addr, Size, std::move(Words), 0, false});
+  }
+
+  // -- Expression factories ---------------------------------------------
+  const Expr *c(int32_t V) {
+    Expr *E = newExpr(Expr::Kind::Const);
+    E->IVal = V;
+    return E;
+  }
+  const Expr *v(const Local *L) {
+    Expr *E = newExpr(Expr::Kind::LocalRef);
+    E->L = L;
+    return E;
+  }
+  const Expr *addrOf(const std::string &Symbol, int32_t Addend = 0) {
+    Expr *E = newExpr(Expr::Kind::AddrOf);
+    E->Symbol = Symbol;
+    E->IVal = Addend;
+    return E;
+  }
+  const Expr *load(const Expr *Base, int32_t Offset = 0,
+                   uint8_t Width = 4, bool SignExtend = true) {
+    Expr *E = newExpr(Expr::Kind::Load);
+    E->Lhs = Base;
+    E->IVal = Offset;
+    E->Width = Width;
+    E->SignExtend = SignExtend;
+    return E;
+  }
+  const Expr *bin(BinOp Op, const Expr *L, const Expr *R) {
+    // Fold constant operands at build time (division by zero keeps its
+    // runtime RISC-V semantics and is not folded).
+    if (L->K == Expr::Kind::Const && R->K == Expr::Kind::Const) {
+      int64_t A = L->IVal, B = R->IVal;
+      bool Folded = true;
+      int64_t V = 0;
+      switch (Op) {
+      case BinOp::Add:
+        V = A + B;
+        break;
+      case BinOp::Sub:
+        V = A - B;
+        break;
+      case BinOp::Mul:
+        V = static_cast<int32_t>(A) * static_cast<int32_t>(B);
+        break;
+      case BinOp::And:
+        V = A & B;
+        break;
+      case BinOp::Or:
+        V = A | B;
+        break;
+      case BinOp::Xor:
+        V = A ^ B;
+        break;
+      case BinOp::Shl:
+        V = static_cast<int32_t>(static_cast<uint32_t>(A) << (B & 31));
+        break;
+      case BinOp::Shr:
+        V = static_cast<int32_t>(static_cast<uint32_t>(A) >> (B & 31));
+        break;
+      case BinOp::Sra:
+        V = static_cast<int32_t>(A) >> (B & 31);
+        break;
+      case BinOp::Slt:
+        V = static_cast<int32_t>(A) < static_cast<int32_t>(B) ? 1 : 0;
+        break;
+      case BinOp::Sltu:
+        V = static_cast<uint32_t>(A) < static_cast<uint32_t>(B) ? 1 : 0;
+        break;
+      default:
+        Folded = false;
+        break;
+      }
+      if (Folded)
+        return c(static_cast<int32_t>(V));
+    }
+    // x + 0, x - 0, x | 0, x ^ 0, x << 0 keep the left operand.
+    if (R->K == Expr::Kind::Const && R->IVal == 0 &&
+        (Op == BinOp::Add || Op == BinOp::Sub || Op == BinOp::Or ||
+         Op == BinOp::Xor || Op == BinOp::Shl || Op == BinOp::Shr ||
+         Op == BinOp::Sra))
+      return L;
+    Expr *E = newExpr(Expr::Kind::Bin);
+    E->Op = Op;
+    E->Lhs = L;
+    E->Rhs = R;
+    return E;
+  }
+  const Expr *add(const Expr *L, const Expr *R) {
+    return bin(BinOp::Add, L, R);
+  }
+  const Expr *sub(const Expr *L, const Expr *R) {
+    return bin(BinOp::Sub, L, R);
+  }
+  const Expr *mul(const Expr *L, const Expr *R) {
+    return bin(BinOp::Mul, L, R);
+  }
+  const Expr *shl(const Expr *L, int32_t Amount) {
+    return bin(BinOp::Shl, L, c(Amount));
+  }
+  /// The executing hart's global id (4*core + hart, paper p_set).
+  const Expr *hartId() { return newExpr(Expr::Kind::HartId); }
+  /// The machine cycle counter (the paper's precise internal timer).
+  const Expr *cycles() { return newExpr(Expr::Kind::CycleCount); }
+  /// Instructions retired by the executing hart.
+  const Expr *instret() { return newExpr(Expr::Kind::InstretCount); }
+
+  /// Blocking receive from the hart's own remote-result slot \p Slot
+  /// (p_lwre): the paper's hardware producer/consumer synchronization.
+  const Expr *recvResult(int32_t Slot) {
+    Expr *E = newExpr(Expr::Kind::RecvResult);
+    E->IVal = Slot;
+    return E;
+  }
+
+  // -- Statement factories ----------------------------------------------
+  const Stmt *assign(const Local *Dst, const Expr *Value) {
+    Stmt *S = newStmt(Stmt::Kind::Assign);
+    S->Dst = Dst;
+    S->Value = Value;
+    return S;
+  }
+  const Stmt *store(const Expr *Base, int32_t Offset, const Expr *Value,
+                    uint8_t Width = 4) {
+    Stmt *S = newStmt(Stmt::Kind::Store);
+    S->Base = Base;
+    S->Offset = Offset;
+    S->Value = Value;
+    S->Width = Width;
+    return S;
+  }
+  const Stmt *ifStmt(CmpOp Cmp, const Expr *L, const Expr *R,
+                     std::vector<const Stmt *> Then,
+                     std::vector<const Stmt *> Else = {}) {
+    Stmt *S = newStmt(Stmt::Kind::If);
+    S->Cmp = Cmp;
+    S->CmpLhs = L;
+    S->CmpRhs = R;
+    S->Then = std::move(Then);
+    S->Else = std::move(Else);
+    return S;
+  }
+  const Stmt *whileStmt(CmpOp Cmp, const Expr *L, const Expr *R,
+                        std::vector<const Stmt *> Body,
+                        std::vector<const Stmt *> Step = {}) {
+    Stmt *S = newStmt(Stmt::Kind::While);
+    S->Cmp = Cmp;
+    S->CmpLhs = L;
+    S->CmpRhs = R;
+    S->Then = std::move(Body);
+    S->Else = std::move(Step);
+    return S;
+  }
+  const Stmt *breakStmt() { return newStmt(Stmt::Kind::Break); }
+  const Stmt *continueStmt() { return newStmt(Stmt::Kind::Continue); }
+  const Stmt *doWhile(std::vector<const Stmt *> Body, CmpOp Cmp,
+                      const Expr *L, const Expr *R) {
+    Stmt *S = newStmt(Stmt::Kind::DoWhile);
+    S->Cmp = Cmp;
+    S->CmpLhs = L;
+    S->CmpRhs = R;
+    S->Then = std::move(Body);
+    return S;
+  }
+  const Stmt *call(const std::string &Callee,
+                   std::vector<const Expr *> Args,
+                   const Local *Result = nullptr) {
+    Stmt *S = newStmt(Stmt::Kind::Call);
+    S->Callee = Callee;
+    S->Args = std::move(Args);
+    S->Dst = Result;
+    return S;
+  }
+  const Stmt *ret(const Expr *Value = nullptr) {
+    Stmt *S = newStmt(Stmt::Kind::Return);
+    S->Value = Value;
+    return S;
+  }
+  const Stmt *parallelFor(const std::string &ThreadFn, unsigned NumHarts,
+                          const std::string &DataSymbol = "") {
+    Stmt *S = newStmt(Stmt::Kind::ParallelFor);
+    S->Callee = ThreadFn;
+    S->NumHarts = NumHarts;
+    S->DataSymbol = DataSymbol;
+    return S;
+  }
+  const Stmt *reduceSend(const Expr *Value) {
+    Stmt *S = newStmt(Stmt::Kind::ReduceSend);
+    S->Value = Value;
+    return S;
+  }
+  const Stmt *reduceCollect(const Local *Acc, unsigned Count) {
+    Stmt *S = newStmt(Stmt::Kind::ReduceCollect);
+    S->Dst = Acc;
+    S->NumHarts = Count;
+    return S;
+  }
+  /// Sends \p Value to hart \p Target's result slot \p Slot (p_swre;
+  /// the target must be a prior hart on the core line).
+  const Stmt *sendResult(const Expr *Target, const Expr *Value,
+                         int32_t Slot) {
+    Stmt *S = newStmt(Stmt::Kind::SendResult);
+    S->Base = Target;
+    S->Value = Value;
+    S->Offset = Slot;
+    return S;
+  }
+  const Stmt *syncm() { return newStmt(Stmt::Kind::Syncm); }
+  const Stmt *rawAsm(const std::string &Text) {
+    Stmt *S = newStmt(Stmt::Kind::RawAsm);
+    S->Text = Text;
+    return S;
+  }
+};
+
+} // namespace dsl
+} // namespace lbp
+
+#endif // LBP_DSL_AST_H

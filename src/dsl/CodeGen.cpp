@@ -1,0 +1,695 @@
+//===- dsl/CodeGen.cpp - Kernel-language code generation ------------------------===//
+//
+// Part of the LBP reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dsl/CodeGen.h"
+#include "isa/Reg.h"
+#include "romp/Runtime.h"
+#include "support/Compiler.h"
+#include "support/Error.h"
+
+#include <algorithm>
+#include <functional>
+
+using namespace lbp;
+using namespace lbp::dsl;
+using namespace lbp::isa;
+
+namespace {
+
+/// A value produced by expression evaluation: a register plus whether
+/// the evaluator owns (and must release) it.
+struct Val {
+  uint8_t Reg;
+  bool Owned;
+};
+
+const char *rn(uint8_t Reg) { return regName(Reg).data(); }
+
+/// Walks every statement in a tree.
+void forEachStmt(const std::vector<const Stmt *> &Body,
+                 const std::function<void(const Stmt *)> &Fn) {
+  for (const Stmt *S : Body) {
+    Fn(S);
+    forEachStmt(S->Then, Fn);
+    forEachStmt(S->Else, Fn);
+  }
+}
+
+class FnCodeGen {
+public:
+  FnCodeGen(romp::AsmText &Out, const Function &F) : Out(Out), F(F) {}
+  void run();
+
+private:
+  romp::AsmText &Out;
+  const Function &F;
+
+  static constexpr uint8_t Scratch[4] = {RegT1, RegT2, RegT3, 29 /*t4*/};
+  bool ScratchBusy[4] = {false, false, false, false};
+
+  std::vector<uint8_t> LocalReg; // local index -> register
+  std::vector<uint8_t> SavedS;   // callee-saved registers to spill
+  bool HasCalls = false;
+  bool SaveRa = false;
+  std::string EpilogueLabel;
+  /// Innermost-first (continue-label, break-label) pairs.
+  std::vector<std::pair<std::string, std::string>> LoopStack;
+  /// The function's final top-level statement: a Return here falls
+  /// through to the epilogue instead of jumping to it.
+  const Stmt *LastTopLevel = nullptr;
+
+  void allocateRegisters();
+  void emitPrologue();
+  void emitEpilogue();
+  void genBody(const std::vector<const Stmt *> &Body);
+  void genStmt(const Stmt *S);
+
+  Val eval(const Expr *E, int FixedDest = -1);
+  void release(const Val &V) {
+    if (V.Owned)
+      freeScratch(V.Reg);
+  }
+  uint8_t allocScratch();
+  void freeScratch(uint8_t Reg);
+
+  uint8_t regOf(const Local *L) const {
+    assert(L && L->Index < LocalReg.size() && "unknown local");
+    return LocalReg[L->Index];
+  }
+
+  void branchOn(CmpOp Cmp, const Expr *L, const Expr *R,
+                const std::string &Target, bool WhenTrue);
+};
+
+uint8_t FnCodeGen::allocScratch() {
+  for (unsigned I = 0; I != 4; ++I) {
+    if (!ScratchBusy[I]) {
+      ScratchBusy[I] = true;
+      return Scratch[I];
+    }
+  }
+  reportFatalError("expression too deep in function '" + F.name() +
+                   "' (out of scratch registers)");
+}
+
+void FnCodeGen::freeScratch(uint8_t Reg) {
+  for (unsigned I = 0; I != 4; ++I) {
+    if (Scratch[I] == Reg) {
+      assert(ScratchBusy[I] && "double release of a scratch register");
+      ScratchBusy[I] = false;
+      return;
+    }
+  }
+  LBP_UNREACHABLE("released register is not a scratch");
+}
+
+void FnCodeGen::allocateRegisters() {
+  forEachStmt(F.body(), [&](const Stmt *S) {
+    if (S->K == Stmt::Kind::Call || S->K == Stmt::Kind::ParallelFor)
+      HasCalls = true;
+  });
+
+  unsigned NumParams = static_cast<unsigned>(F.params().size());
+  unsigned NumLocals = F.numLocals();
+  LocalReg.assign(NumLocals, 0);
+
+  std::vector<uint8_t> Pool;
+  if (HasCalls) {
+    // Calls clobber a/t registers: everything lives in s-registers.
+    for (uint8_t R = RegS0; R <= RegS1; ++R)
+      Pool.push_back(R);
+    for (uint8_t R = RegS2; R <= RegS11; ++R)
+      Pool.push_back(R);
+  } else {
+    // Leaf function: params stay in their argument registers, other
+    // locals prefer caller-saved registers, s-registers (which force a
+    // spill) come last.
+    for (unsigned P = 0; P != NumParams; ++P)
+      LocalReg[P] = static_cast<uint8_t>(RegA0 + P);
+    for (uint8_t R = static_cast<uint8_t>(RegA0 + NumParams); R <= RegA7;
+         ++R)
+      Pool.push_back(R);
+    Pool.push_back(RegT5);
+    for (uint8_t R = RegS0; R <= RegS1; ++R)
+      Pool.push_back(R);
+    for (uint8_t R = RegS2; R <= RegS11; ++R)
+      Pool.push_back(R);
+  }
+
+  unsigned Next = 0;
+  unsigned First = HasCalls ? 0 : NumParams;
+  for (unsigned L = First; L != NumLocals; ++L) {
+    if (Next == Pool.size())
+      reportFatalError("function '" + F.name() +
+                       "' needs more registers than the pool provides");
+    LocalReg[L] = Pool[Next++];
+  }
+
+  // Which callee-saved registers does the allocation touch?
+  for (uint8_t R : LocalReg)
+    if ((R >= RegS0 && R <= RegS1) || (R >= RegS2 && R <= RegS11))
+      SavedS.push_back(R);
+  std::sort(SavedS.begin(), SavedS.end());
+  SavedS.erase(std::unique(SavedS.begin(), SavedS.end()), SavedS.end());
+
+  SaveRa = HasCalls && F.kind() != FnKind::Main;
+}
+
+void FnCodeGen::emitPrologue() {
+  Out.blank();
+  Out.label(F.name() == "main" ? "main" : F.name());
+
+  if (F.kind() == FnKind::Main) {
+    // The romp convention: main saves the boot ra/t0 (0 / -1) and exits
+    // through p_ret after restoring them.
+    Out.line("addi sp, sp, -8");
+    Out.line("sw ra, 0(sp)");
+    Out.line("sw t0, 4(sp)");
+  }
+
+  unsigned FrameWords =
+      static_cast<unsigned>(SavedS.size()) + (SaveRa ? 1 : 0);
+  if (FrameWords != 0) {
+    Out.line("addi sp, sp, -%u", 4 * FrameWords);
+    unsigned Off = 0;
+    if (SaveRa)
+      Out.line("sw ra, %u(sp)", 4 * Off++);
+    for (uint8_t R : SavedS)
+      Out.line("sw %s, %u(sp)", rn(R), 4 * Off++);
+  }
+
+  // Copy parameters into their allocated homes.
+  for (unsigned P = 0; P != F.params().size(); ++P) {
+    uint8_t Home = LocalReg[P];
+    uint8_t Arg = static_cast<uint8_t>(RegA0 + P);
+    if (Home != Arg)
+      Out.line("mv %s, %s", rn(Home), rn(Arg));
+  }
+}
+
+void FnCodeGen::emitEpilogue() {
+  Out.label(EpilogueLabel);
+  unsigned FrameWords =
+      static_cast<unsigned>(SavedS.size()) + (SaveRa ? 1 : 0);
+  if (FrameWords != 0) {
+    unsigned Off = 0;
+    if (SaveRa)
+      Out.line("lw ra, %u(sp)", 4 * Off++);
+    for (uint8_t R : SavedS)
+      Out.line("lw %s, %u(sp)", rn(R), 4 * Off++);
+    Out.line("addi sp, sp, %u", 4 * FrameWords);
+  }
+
+  switch (F.kind()) {
+  case FnKind::Normal:
+    Out.line("ret");
+    break;
+  case FnKind::Thread:
+    Out.line("p_ret");
+    break;
+  case FnKind::Main:
+    Out.line("lw ra, 0(sp)");
+    Out.line("lw t0, 4(sp)");
+    Out.line("addi sp, sp, 8");
+    Out.line("p_ret");
+    break;
+  }
+}
+
+void FnCodeGen::run() {
+  allocateRegisters();
+  EpilogueLabel = Out.freshLabel("epi");
+  if (!F.body().empty())
+    LastTopLevel = F.body().back();
+  emitPrologue();
+  genBody(F.body());
+  emitEpilogue();
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+static bool fitsImm(int64_t V) { return V >= -2048 && V <= 2047; }
+
+/// Immediate-form mnemonic for ops that have one, else nullptr.
+static const char *immMnemonic(BinOp Op) {
+  switch (Op) {
+  case BinOp::Add:
+    return "addi";
+  case BinOp::And:
+    return "andi";
+  case BinOp::Or:
+    return "ori";
+  case BinOp::Xor:
+    return "xori";
+  case BinOp::Shl:
+    return "slli";
+  case BinOp::Shr:
+    return "srli";
+  case BinOp::Sra:
+    return "srai";
+  case BinOp::Slt:
+    return "slti";
+  case BinOp::Sltu:
+    return "sltiu";
+  default:
+    return nullptr;
+  }
+}
+
+static const char *regMnemonic(BinOp Op) {
+  switch (Op) {
+  case BinOp::Add:
+    return "add";
+  case BinOp::Sub:
+    return "sub";
+  case BinOp::Mul:
+    return "mul";
+  case BinOp::Div:
+    return "div";
+  case BinOp::Rem:
+    return "rem";
+  case BinOp::And:
+    return "and";
+  case BinOp::Or:
+    return "or";
+  case BinOp::Xor:
+    return "xor";
+  case BinOp::Shl:
+    return "sll";
+  case BinOp::Shr:
+    return "srl";
+  case BinOp::Sra:
+    return "sra";
+  case BinOp::Slt:
+    return "slt";
+  case BinOp::Sltu:
+    return "sltu";
+  }
+  LBP_UNREACHABLE("unknown binary operator");
+}
+
+Val FnCodeGen::eval(const Expr *E, int FixedDest) {
+  switch (E->K) {
+  case Expr::Kind::Const: {
+    if (E->IVal == 0 && FixedDest < 0)
+      return {RegZero, false};
+    uint8_t Dest = FixedDest >= 0 ? static_cast<uint8_t>(FixedDest)
+                                  : allocScratch();
+    Out.line("li %s, %d", rn(Dest), E->IVal);
+    return {Dest, FixedDest < 0};
+  }
+
+  case Expr::Kind::LocalRef: {
+    uint8_t Home = regOf(E->L);
+    if (FixedDest >= 0 && FixedDest != Home) {
+      Out.line("mv %s, %s", rn(static_cast<uint8_t>(FixedDest)), rn(Home));
+      return {static_cast<uint8_t>(FixedDest), false};
+    }
+    return {Home, false};
+  }
+
+  case Expr::Kind::AddrOf: {
+    uint8_t Dest = FixedDest >= 0 ? static_cast<uint8_t>(FixedDest)
+                                  : allocScratch();
+    if (E->IVal == 0)
+      Out.line("la %s, %s", rn(Dest), E->Symbol.c_str());
+    else
+      Out.line("la %s, %s+%d", rn(Dest), E->Symbol.c_str(), E->IVal);
+    return {Dest, FixedDest < 0};
+  }
+
+  case Expr::Kind::Load: {
+    Val Base = eval(E->Lhs);
+    uint8_t Dest = FixedDest >= 0 ? static_cast<uint8_t>(FixedDest)
+                                  : (Base.Owned ? Base.Reg
+                                                : allocScratch());
+    const char *M = E->Width == 4   ? "lw"
+                    : E->Width == 2 ? (E->SignExtend ? "lh" : "lhu")
+                                    : (E->SignExtend ? "lb" : "lbu");
+    Out.line("%s %s, %d(%s)", M, rn(Dest), E->IVal, rn(Base.Reg));
+    if (Base.Owned && Base.Reg != Dest)
+      freeScratch(Base.Reg);
+    return {Dest, FixedDest < 0 && (Base.Owned ? Base.Reg == Dest : true)};
+  }
+
+  case Expr::Kind::HartId: {
+    uint8_t Dest = FixedDest >= 0 ? static_cast<uint8_t>(FixedDest)
+                                  : allocScratch();
+    Out.line("p_set %s, zero", rn(Dest));
+    Out.line("slli %s, %s, 1", rn(Dest), rn(Dest));
+    Out.line("srli %s, %s, 17", rn(Dest), rn(Dest));
+    return {Dest, FixedDest < 0};
+  }
+
+  case Expr::Kind::CycleCount:
+  case Expr::Kind::InstretCount: {
+    uint8_t Dest = FixedDest >= 0 ? static_cast<uint8_t>(FixedDest)
+                                  : allocScratch();
+    Out.line("%s %s",
+             E->K == Expr::Kind::CycleCount ? "rdcycle" : "rdinstret",
+             rn(Dest));
+    return {Dest, FixedDest < 0};
+  }
+
+  case Expr::Kind::RecvResult: {
+    uint8_t Dest = FixedDest >= 0 ? static_cast<uint8_t>(FixedDest)
+                                  : allocScratch();
+    Out.line("p_lwre %s, %d", rn(Dest), E->IVal);
+    return {Dest, FixedDest < 0};
+  }
+
+  case Expr::Kind::Bin: {
+    // Canonicalize constants to the right for commutative operators.
+    const Expr *L = E->Lhs;
+    const Expr *R = E->Rhs;
+    bool Commutes = E->Op == BinOp::Add || E->Op == BinOp::And ||
+                    E->Op == BinOp::Or || E->Op == BinOp::Xor ||
+                    E->Op == BinOp::Mul;
+    if (Commutes && L->K == Expr::Kind::Const &&
+        R->K != Expr::Kind::Const)
+      std::swap(L, R);
+
+    // Immediate form when the right side is a fitting constant.
+    if (R->K == Expr::Kind::Const) {
+      int64_t C = R->IVal;
+      BinOp Op = E->Op;
+      if (Op == BinOp::Sub && fitsImm(-C)) {
+        Op = BinOp::Add;
+        C = -C;
+      }
+      const char *M = immMnemonic(Op);
+      bool ShiftOp = Op == BinOp::Shl || Op == BinOp::Shr ||
+                     Op == BinOp::Sra;
+      bool Fits = ShiftOp ? (C >= 0 && C < 32) : fitsImm(C);
+      if (M && Fits) {
+        Val LV = eval(L);
+        uint8_t Dest = FixedDest >= 0 ? static_cast<uint8_t>(FixedDest)
+                                      : (LV.Owned ? LV.Reg
+                                                  : allocScratch());
+        Out.line("%s %s, %s, %d", M, rn(Dest), rn(LV.Reg),
+                 static_cast<int32_t>(C));
+        if (LV.Owned && LV.Reg != Dest)
+          freeScratch(LV.Reg);
+        return {Dest,
+                FixedDest < 0 && (LV.Owned ? LV.Reg == Dest : true)};
+      }
+    }
+
+    Val LV = eval(L);
+    Val RV = eval(R);
+    uint8_t Dest;
+    if (FixedDest >= 0)
+      Dest = static_cast<uint8_t>(FixedDest);
+    else if (LV.Owned)
+      Dest = LV.Reg;
+    else if (RV.Owned)
+      Dest = RV.Reg;
+    else
+      Dest = allocScratch();
+    Out.line("%s %s, %s, %s", regMnemonic(E->Op), rn(Dest), rn(LV.Reg),
+             rn(RV.Reg));
+    bool Owned = FixedDest < 0 &&
+                 ((LV.Owned && LV.Reg == Dest) ||
+                  (RV.Owned && RV.Reg == Dest) ||
+                  (!LV.Owned && !RV.Owned));
+    if (LV.Owned && LV.Reg != Dest)
+      freeScratch(LV.Reg);
+    if (RV.Owned && RV.Reg != Dest)
+      freeScratch(RV.Reg);
+    return {Dest, Owned};
+  }
+  }
+  LBP_UNREACHABLE("unknown expression kind");
+}
+
+//===----------------------------------------------------------------------===//
+// Control flow
+//===----------------------------------------------------------------------===//
+
+/// Branch mnemonic and operand order for "branch when Cmp holds".
+static void cmpBranch(CmpOp Cmp, const char *&Mnemonic, bool &Swap) {
+  Swap = false;
+  switch (Cmp) {
+  case CmpOp::Eq:
+    Mnemonic = "beq";
+    return;
+  case CmpOp::Ne:
+    Mnemonic = "bne";
+    return;
+  case CmpOp::Lt:
+    Mnemonic = "blt";
+    return;
+  case CmpOp::Ge:
+    Mnemonic = "bge";
+    return;
+  case CmpOp::Ltu:
+    Mnemonic = "bltu";
+    return;
+  case CmpOp::Geu:
+    Mnemonic = "bgeu";
+    return;
+  case CmpOp::Gt:
+    Mnemonic = "blt";
+    Swap = true;
+    return;
+  case CmpOp::Le:
+    Mnemonic = "bge";
+    Swap = true;
+    return;
+  }
+  LBP_UNREACHABLE("unknown comparison");
+}
+
+static CmpOp negateCmp(CmpOp Cmp) {
+  switch (Cmp) {
+  case CmpOp::Eq:
+    return CmpOp::Ne;
+  case CmpOp::Ne:
+    return CmpOp::Eq;
+  case CmpOp::Lt:
+    return CmpOp::Ge;
+  case CmpOp::Ge:
+    return CmpOp::Lt;
+  case CmpOp::Ltu:
+    return CmpOp::Geu;
+  case CmpOp::Geu:
+    return CmpOp::Ltu;
+  case CmpOp::Gt:
+    return CmpOp::Le;
+  case CmpOp::Le:
+    return CmpOp::Gt;
+  }
+  LBP_UNREACHABLE("unknown comparison");
+}
+
+void FnCodeGen::branchOn(CmpOp Cmp, const Expr *L, const Expr *R,
+                         const std::string &Target, bool WhenTrue) {
+  if (!WhenTrue)
+    Cmp = negateCmp(Cmp);
+  const char *M;
+  bool Swap;
+  cmpBranch(Cmp, M, Swap);
+  Val LV = eval(L);
+  Val RV = eval(R);
+  const char *A = rn(Swap ? RV.Reg : LV.Reg);
+  const char *B = rn(Swap ? LV.Reg : RV.Reg);
+  Out.line("%s %s, %s, %s", M, A, B, Target.c_str());
+  release(LV);
+  release(RV);
+}
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+void FnCodeGen::genBody(const std::vector<const Stmt *> &Body) {
+  for (const Stmt *S : Body)
+    genStmt(S);
+}
+
+void FnCodeGen::genStmt(const Stmt *S) {
+  switch (S->K) {
+  case Stmt::Kind::Assign: {
+    Val V = eval(S->Value, regOf(S->Dst));
+    release(V);
+    return;
+  }
+
+  case Stmt::Kind::Store: {
+    Val V = eval(S->Value);
+    Val B = eval(S->Base);
+    const char *M = S->Width == 4 ? "sw" : S->Width == 2 ? "sh" : "sb";
+    Out.line("%s %s, %d(%s)", M, rn(V.Reg), S->Offset, rn(B.Reg));
+    release(V);
+    release(B);
+    return;
+  }
+
+  case Stmt::Kind::If: {
+    std::string EndL = Out.freshLabel("endif");
+    std::string ElseL = S->Else.empty() ? EndL : Out.freshLabel("else");
+    branchOn(S->Cmp, S->CmpLhs, S->CmpRhs, ElseL, /*WhenTrue=*/false);
+    genBody(S->Then);
+    if (!S->Else.empty()) {
+      Out.line("j %s", EndL.c_str());
+      Out.label(ElseL);
+      genBody(S->Else);
+    }
+    Out.label(EndL);
+    return;
+  }
+
+  case Stmt::Kind::While: {
+    std::string TestL = Out.freshLabel("wt");
+    std::string BodyL = Out.freshLabel("wb");
+    std::string StepL = S->Else.empty() ? TestL : Out.freshLabel("ws");
+    std::string EndL = Out.freshLabel("we");
+    Out.line("j %s", TestL.c_str());
+    Out.label(BodyL);
+    LoopStack.emplace_back(StepL, EndL);
+    genBody(S->Then);
+    LoopStack.pop_back();
+    if (!S->Else.empty()) {
+      Out.label(StepL);
+      genBody(S->Else);
+    }
+    Out.label(TestL);
+    branchOn(S->Cmp, S->CmpLhs, S->CmpRhs, BodyL, /*WhenTrue=*/true);
+    Out.label(EndL);
+    return;
+  }
+
+  case Stmt::Kind::DoWhile: {
+    std::string BodyL = Out.freshLabel("dw");
+    std::string StepL = Out.freshLabel("ds");
+    std::string EndL = Out.freshLabel("de");
+    Out.label(BodyL);
+    LoopStack.emplace_back(StepL, EndL);
+    genBody(S->Then);
+    LoopStack.pop_back();
+    Out.label(StepL);
+    genBody(S->Else);
+    branchOn(S->Cmp, S->CmpLhs, S->CmpRhs, BodyL, /*WhenTrue=*/true);
+    Out.label(EndL);
+    return;
+  }
+
+  case Stmt::Kind::Break:
+  case Stmt::Kind::Continue: {
+    if (LoopStack.empty())
+      reportFatalError("break/continue outside a loop in function '" +
+                       F.name() + "'");
+    const auto &[StepL, EndL] = LoopStack.back();
+    Out.line("j %s",
+             (S->K == Stmt::Kind::Break ? EndL : StepL).c_str());
+    return;
+  }
+
+  case Stmt::Kind::Call: {
+    for (unsigned A = 0; A != S->Args.size(); ++A) {
+      Val V = eval(S->Args[A], RegA0 + static_cast<int>(A));
+      release(V);
+    }
+    Out.line("jal %s", S->Callee.c_str());
+    if (S->Dst)
+      Out.line("mv %s, a0", rn(regOf(S->Dst)));
+    return;
+  }
+
+  case Stmt::Kind::Return: {
+    if (S->Value) {
+      Val V = eval(S->Value, RegA0);
+      release(V);
+    }
+    if (S != LastTopLevel)
+      Out.line("j %s", EpilogueLabel.c_str());
+    return;
+  }
+
+  case Stmt::Kind::ParallelFor: {
+    Out.comment("omp parallel for: %u harts of %s", S->NumHarts,
+                S->Callee.c_str());
+    if (S->DataSymbol.empty())
+      Out.line("li a1, 0");
+    else
+      Out.line("la a1, %s", S->DataSymbol.c_str());
+    Out.line("li a2, %u", S->NumHarts);
+    Out.line("la a3, %s", S->Callee.c_str());
+    Out.line("jal LBP_parallel_start");
+    return;
+  }
+
+  case Stmt::Kind::ReduceSend: {
+    Val V = eval(S->Value);
+    Out.line("p_swre %s, tp, %u", rn(V.Reg), romp::ReductionSlot);
+    release(V);
+    return;
+  }
+
+  case Stmt::Kind::ReduceCollect:
+    romp::emitReduceCollect(Out, rn(regOf(S->Dst)), S->NumHarts);
+    return;
+
+  case Stmt::Kind::SendResult: {
+    Val V = eval(S->Value);
+    Val T = eval(S->Base);
+    Out.line("p_swre %s, %s, %d", rn(V.Reg), rn(T.Reg), S->Offset);
+    release(V);
+    release(T);
+    return;
+  }
+
+  case Stmt::Kind::Syncm:
+    Out.line("p_syncm");
+    return;
+
+  case Stmt::Kind::RawAsm:
+    Out.line("%s", S->Text.c_str());
+    return;
+  }
+  LBP_UNREACHABLE("unknown statement kind");
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Module compilation
+//===----------------------------------------------------------------------===//
+
+std::string dsl::compileModule(const Module &M) {
+  romp::AsmText Out;
+  Out.comment("generated by the LBP kernel compiler");
+  Out.line(".text");
+
+  bool HasMain = false;
+  for (const auto &F : M.functions()) {
+    if (F->kind() == FnKind::Main)
+      HasMain = true;
+    FnCodeGen(Out, *F).run();
+  }
+  if (!HasMain)
+    reportFatalError("module has no main function");
+
+  romp::emitParallelStart(Out);
+
+  for (const Module::GlobalData &G : M.Globals) {
+    Out.blank();
+    Out.line(".data 0x%x", G.Addr);
+    Out.label(G.Name);
+    if (!G.Init.empty()) {
+      for (uint32_t W : G.Init)
+        Out.line(".word %d", static_cast<int32_t>(W));
+    } else if (G.Filled) {
+      Out.line(".fill %u, %d", G.SizeWords, G.FillValue);
+    } else {
+      Out.line(".space %u", 4 * G.SizeWords);
+    }
+  }
+
+  return Out.str();
+}

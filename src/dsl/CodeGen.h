@@ -1,0 +1,32 @@
+//===- dsl/CodeGen.h - Kernel-language code generation -------------------------===//
+//
+// Part of the LBP reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Compiles a dsl::Module into LBP assembly source: register allocation
+/// (register-resident locals), expression evaluation over a small
+/// scratch set, bottom-tested loops, the Deterministic OpenMP call
+/// protocol, and the module's placed globals as .data directives.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LBP_DSL_CODEGEN_H
+#define LBP_DSL_CODEGEN_H
+
+#include "dsl/Ast.h"
+
+#include <string>
+
+namespace lbp {
+namespace dsl {
+
+/// Compiles \p M to assembly accepted by assembler::assemble. Reports a
+/// fatal error on malformed modules (too many locals, missing main).
+std::string compileModule(const Module &M);
+
+} // namespace dsl
+} // namespace lbp
+
+#endif // LBP_DSL_CODEGEN_H

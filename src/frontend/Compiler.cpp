@@ -1,0 +1,955 @@
+//===- frontend/Compiler.cpp - The Deterministic OpenMP translator --------------===//
+//
+// Part of the LBP reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Compiler.h"
+#include "dsl/CodeGen.h"
+#include "frontend/Lexer.h"
+#include "isa/AddressMap.h"
+#include "support/StringUtils.h"
+
+#include <cstring>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+
+using namespace lbp;
+using namespace lbp::frontend;
+using namespace lbp::dsl;
+
+namespace {
+
+/// Per-global bookkeeping.
+struct GlobalInfo {
+  uint32_t Addr = 0;
+  uint32_t Words = 1;
+  bool IsArray = false;
+};
+
+class Parser {
+public:
+  Parser(std::vector<Token> Tokens, FrontendResult &Out)
+      : Toks(std::move(Tokens)), Out(Out) {
+    Out.M = std::make_unique<Module>();
+    M = Out.M.get();
+  }
+
+  void run();
+
+private:
+  std::vector<Token> Toks;
+  size_t Pos = 0;
+  FrontendResult &Out;
+  Module *M;
+
+  Function *CurFn = nullptr;
+  std::map<std::string, const Local *> Scope;
+  std::map<std::string, GlobalInfo> Globals;
+  std::set<std::string> ThreadFns;
+  std::set<std::string> KnownFns;
+  uint32_t NextGlobalAddr = isa::GlobalBase;
+  bool Dead = false; ///< Set after an unrecoverable parse error.
+
+  // -- Token helpers -----------------------------------------------------
+  const Token &peek(unsigned Ahead = 0) const {
+    size_t P = Pos + Ahead;
+    return P < Toks.size() ? Toks[P] : Toks.back();
+  }
+  const Token &advance() {
+    const Token &T = peek();
+    if (Pos + 1 < Toks.size())
+      ++Pos;
+    return T;
+  }
+  bool check(Tok K) const { return peek().Kind == K; }
+  bool match(Tok K) {
+    if (!check(K))
+      return false;
+    advance();
+    return true;
+  }
+  void error(const std::string &Msg) {
+    if (!Dead)
+      Out.Errors.push_back({peek().Line, Msg});
+    Dead = true;
+  }
+  bool expect(Tok K, const char *What) {
+    if (match(K))
+      return true;
+    error(std::string("expected ") + What);
+    return false;
+  }
+  std::string expectIdent(const char *What) {
+    if (check(Tok::Identifier))
+      return advance().Text;
+    error(std::string("expected ") + What);
+    return "";
+  }
+
+  // -- Pre-scan ---------------------------------------------------------
+  void preScanThreadFunctions();
+
+  // -- Grammar ----------------------------------------------------------
+  void parseTopLevel();
+  void parseGlobal(const std::string &Name);
+  void parseFunction(bool ReturnsInt, const std::string &Name);
+  std::vector<const Stmt *> parseBlock();
+  void parseStmtInto(std::vector<const Stmt *> &Into);
+  void parseSimpleInto(std::vector<const Stmt *> &Into);
+  void parsePragmaInto(std::vector<const Stmt *> &Into,
+                       const std::string &Text);
+  void parseParallelSectionsInto(std::vector<const Stmt *> &Into);
+  unsigned NextSectionsId = 0;
+
+  // Conditions: (CmpOp, lhs, rhs) triple.
+  struct Cond {
+    CmpOp Op = CmpOp::Ne;
+    const Expr *L = nullptr;
+    const Expr *R = nullptr;
+  };
+  Cond parseCond();
+
+  // Expressions (precedence climbing).
+  const Expr *parseExpr() { return parseBinary(0); }
+  const Expr *parseBinary(int MinPrec);
+  const Expr *parseUnary();
+  const Expr *parsePrimary();
+  int64_t parseConstExpr();
+
+  const Expr *boolify(const Expr *E) {
+    // 0/1 view of an arbitrary value: (0 <u e).
+    return M->bin(BinOp::Sltu, M->c(0), E);
+  }
+  const Local *lookupLocal(const std::string &Name) {
+    auto It = Scope.find(Name);
+    return It == Scope.end() ? nullptr : It->second;
+  }
+
+  // Root-comparison tracking so conditions compile to branches instead
+  // of set-then-test sequences.
+  bool LastCmpValid = false;
+  const Expr *LastCmpExpr = nullptr;
+  CmpOp LastCmpOp = CmpOp::Ne;
+  const Expr *LastCmpL = nullptr;
+  const Expr *LastCmpR = nullptr;
+};
+
+//===----------------------------------------------------------------------===//
+// Pre-scan: which functions are parallel-for targets?
+//===----------------------------------------------------------------------===//
+
+void Parser::preScanThreadFunctions() {
+  for (size_t I = 0; I != Toks.size(); ++I) {
+    if (Toks[I].Kind != Tok::Pragma ||
+        Toks[I].Text.find("parallel for") == std::string::npos)
+      continue;
+    // Skip to the for-header's closing parenthesis.
+    size_t J = I + 1;
+    if (J >= Toks.size() || Toks[J].Kind != Tok::KwFor)
+      continue;
+    ++J;
+    if (J >= Toks.size() || Toks[J].Kind != Tok::LParen)
+      continue;
+    unsigned Depth = 0;
+    for (; J < Toks.size(); ++J) {
+      if (Toks[J].Kind == Tok::LParen)
+        ++Depth;
+      else if (Toks[J].Kind == Tok::RParen && --Depth == 0)
+        break;
+    }
+    if (J + 1 < Toks.size() && Toks[J + 1].Kind == Tok::Identifier)
+      ThreadFns.insert(Toks[J + 1].Text);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Top level
+//===----------------------------------------------------------------------===//
+
+void Parser::run() {
+  preScanThreadFunctions();
+  while (!check(Tok::Eof) && !Dead)
+    parseTopLevel();
+}
+
+void Parser::parseTopLevel() {
+  if (match(Tok::KwVoid)) {
+    std::string Name = expectIdent("function name");
+    parseFunction(/*ReturnsInt=*/false, Name);
+    return;
+  }
+  if (match(Tok::KwInt)) {
+    std::string Name = expectIdent("declaration name");
+    if (check(Tok::LParen)) {
+      parseFunction(/*ReturnsInt=*/true, Name);
+      return;
+    }
+    parseGlobal(Name);
+    return;
+  }
+  error("expected a declaration");
+}
+
+void Parser::parseGlobal(const std::string &Name) {
+  GlobalInfo Info;
+  if (match(Tok::LBracket)) {
+    Info.IsArray = true;
+    Info.Words = static_cast<uint32_t>(parseConstExpr());
+    expect(Tok::RBracket, "']'");
+  }
+  if (match(Tok::KwAt))
+    Info.Addr = static_cast<uint32_t>(parseConstExpr());
+  else {
+    Info.Addr = NextGlobalAddr;
+  }
+  NextGlobalAddr =
+      std::max(NextGlobalAddr, Info.Addr + 4 * Info.Words);
+
+  if (match(Tok::Assign)) {
+    expect(Tok::LBrace, "'{'");
+    std::vector<uint32_t> Init;
+    if (!check(Tok::RBrace)) {
+      Init.push_back(static_cast<uint32_t>(parseConstExpr()));
+      while (match(Tok::Comma))
+        Init.push_back(static_cast<uint32_t>(parseConstExpr()));
+    }
+    expect(Tok::RBrace, "'}'");
+    if (Init.size() == 1 && Info.Words > 1) {
+      // `= { v }`: fill every element (the paper's {[0...N-1]=v}).
+      M->globalFilled(Name, Info.Addr, Info.Words,
+                      static_cast<int32_t>(Init[0]));
+    } else if (Init.size() == Info.Words) {
+      M->globalData(Name, Info.Addr, std::move(Init));
+    } else {
+      error("initializer has the wrong number of elements");
+      return;
+    }
+  } else {
+    M->global(Name, Info.Addr, Info.Words);
+  }
+  expect(Tok::Semi, "';'");
+  Globals[Name] = Info;
+}
+
+void Parser::parseFunction(bool ReturnsInt, const std::string &Name) {
+  (void)ReturnsInt;
+  FnKind Kind = Name == "main"            ? FnKind::Main
+                : ThreadFns.count(Name)   ? FnKind::Thread
+                                          : FnKind::Normal;
+  CurFn = M->function(Name, Kind);
+  KnownFns.insert(Name);
+  Scope.clear();
+
+  expect(Tok::LParen, "'('");
+  if (!check(Tok::RParen)) {
+    do {
+      if (match(Tok::KwVoid))
+        break;
+      expect(Tok::KwInt, "parameter type");
+      std::string P = expectIdent("parameter name");
+      Scope[P] = CurFn->param(P);
+    } while (match(Tok::Comma));
+  }
+  expect(Tok::RParen, "')'");
+  expect(Tok::LBrace, "'{'");
+  std::vector<const Stmt *> Body;
+  while (!check(Tok::RBrace) && !check(Tok::Eof) && !Dead)
+    parseStmtInto(Body);
+  expect(Tok::RBrace, "'}'");
+  for (const Stmt *S : Body)
+    CurFn->append(S);
+  CurFn = nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+std::vector<const Stmt *> Parser::parseBlock() {
+  std::vector<const Stmt *> Body;
+  if (match(Tok::LBrace)) {
+    while (!check(Tok::RBrace) && !check(Tok::Eof) && !Dead)
+      parseStmtInto(Body);
+    expect(Tok::RBrace, "'}'");
+  } else {
+    parseStmtInto(Body);
+  }
+  return Body;
+}
+
+void Parser::parseStmtInto(std::vector<const Stmt *> &Into) {
+  // Local declarations.
+  if (match(Tok::KwInt)) {
+    do {
+      std::string Name = expectIdent("variable name");
+      const Local *L = CurFn->local(Name);
+      Scope[Name] = L;
+      if (match(Tok::Assign))
+        Into.push_back(M->assign(L, parseExpr()));
+    } while (match(Tok::Comma));
+    expect(Tok::Semi, "';'");
+    return;
+  }
+
+  if (match(Tok::KwIf)) {
+    expect(Tok::LParen, "'('");
+    Cond C = parseCond();
+    expect(Tok::RParen, "')'");
+    std::vector<const Stmt *> Then = parseBlock();
+    std::vector<const Stmt *> Else;
+    if (match(Tok::KwElse))
+      Else = parseBlock();
+    Into.push_back(M->ifStmt(C.Op, C.L, C.R, std::move(Then),
+                             std::move(Else)));
+    return;
+  }
+
+  if (match(Tok::KwWhile)) {
+    expect(Tok::LParen, "'('");
+    Cond C = parseCond();
+    expect(Tok::RParen, "')'");
+    Into.push_back(M->whileStmt(C.Op, C.L, C.R, parseBlock()));
+    return;
+  }
+
+  if (match(Tok::KwDo)) {
+    std::vector<const Stmt *> Body = parseBlock();
+    expect(Tok::KwWhile, "'while'");
+    expect(Tok::LParen, "'('");
+    Cond C = parseCond();
+    expect(Tok::RParen, "')'");
+    expect(Tok::Semi, "';'");
+    Into.push_back(M->doWhile(std::move(Body), C.Op, C.L, C.R));
+    return;
+  }
+
+  if (match(Tok::KwFor)) {
+    expect(Tok::LParen, "'('");
+    std::vector<const Stmt *> Init;
+    if (!check(Tok::Semi))
+      parseSimpleInto(Init);
+    expect(Tok::Semi, "';'");
+    Cond C;
+    bool HasCond = !check(Tok::Semi);
+    if (HasCond)
+      C = parseCond();
+    expect(Tok::Semi, "';'");
+    std::vector<const Stmt *> Step;
+    if (!check(Tok::RParen))
+      parseSimpleInto(Step);
+    expect(Tok::RParen, "')'");
+    std::vector<const Stmt *> Body = parseBlock();
+    for (const Stmt *S : Init)
+      Into.push_back(S);
+    // The step is the loop's continue target (C semantics).
+    if (HasCond) {
+      Into.push_back(M->whileStmt(C.Op, C.L, C.R, std::move(Body),
+                                  std::move(Step)));
+    } else {
+      for (const Stmt *S : Step)
+        Body.push_back(S);
+      Into.push_back(
+          M->doWhile(std::move(Body), CmpOp::Eq, M->c(0), M->c(0)));
+    }
+    return;
+  }
+
+  if (match(Tok::KwBreak)) {
+    expect(Tok::Semi, "';'");
+    Into.push_back(M->breakStmt());
+    return;
+  }
+  if (match(Tok::KwContinue)) {
+    expect(Tok::Semi, "';'");
+    Into.push_back(M->continueStmt());
+    return;
+  }
+
+  if (match(Tok::KwReturn)) {
+    if (check(Tok::Semi))
+      Into.push_back(M->ret());
+    else
+      Into.push_back(M->ret(parseExpr()));
+    expect(Tok::Semi, "';'");
+    return;
+  }
+
+  if (check(Tok::Pragma)) {
+    std::string Text = advance().Text;
+    parsePragmaInto(Into, Text);
+    return;
+  }
+
+  parseSimpleInto(Into);
+  expect(Tok::Semi, "';'");
+}
+
+void Parser::parseSimpleInto(std::vector<const Stmt *> &Into) {
+  std::string Name = expectIdent("statement");
+  if (Dead)
+    return;
+
+  // Builtin / user calls in statement position.
+  if (check(Tok::LParen)) {
+    advance();
+    std::vector<const Expr *> Args;
+    if (!check(Tok::RParen)) {
+      Args.push_back(parseExpr());
+      while (match(Tok::Comma))
+        Args.push_back(parseExpr());
+    }
+    expect(Tok::RParen, "')'");
+
+    if (Name == "__syncm") {
+      Into.push_back(M->syncm());
+    } else if (Name == "__reduce_send") {
+      if (Args.size() != 1)
+        return error("__reduce_send takes one value");
+      Into.push_back(M->reduceSend(Args[0]));
+    } else if (Name == "__reduce_collect") {
+      return error("__reduce_collect must be assigned: use the "
+                   "reduction(+:var) pragma clause instead");
+    } else if (Name == "omp_set_num_threads") {
+      // Team sizes come from the pragma's loop bound; the call is
+      // accepted for source compatibility.
+    } else {
+      Into.push_back(M->call(Name, std::move(Args)));
+    }
+    return;
+  }
+
+  // Assignment forms.
+  const Local *L = lookupLocal(Name);
+  auto GIt = Globals.find(Name);
+
+  // Indexed lvalue: name[expr] op= ...
+  if (match(Tok::LBracket)) {
+    const Expr *Index = parseExpr();
+    expect(Tok::RBracket, "']'");
+    const Expr *Base;
+    if (L)
+      Base = M->v(L); // pointer-valued local
+    else if (GIt != Globals.end())
+      Base = M->addrOf(Name);
+    else
+      return error("unknown array '" + Name + "'");
+    const Expr *Addr = M->add(Base, M->shl(Index, 2));
+    const Expr *Old = M->load(Addr);
+    if (match(Tok::Assign))
+      Into.push_back(M->store(Addr, 0, parseExpr()));
+    else if (match(Tok::PlusAssign))
+      Into.push_back(M->store(Addr, 0, M->add(Old, parseExpr())));
+    else if (match(Tok::MinusAssign))
+      Into.push_back(M->store(Addr, 0, M->sub(Old, parseExpr())));
+    else if (match(Tok::PlusPlus))
+      Into.push_back(M->store(Addr, 0, M->add(Old, M->c(1))));
+    else if (match(Tok::MinusMinus))
+      Into.push_back(M->store(Addr, 0, M->sub(Old, M->c(1))));
+    else
+      error("expected an assignment operator");
+    return;
+  }
+
+  // Scalar lvalue.
+  auto Rhs = [&](const Expr *Old, bool &Ok) -> const Expr * {
+    Ok = true;
+    if (match(Tok::Assign))
+      return parseExpr();
+    if (match(Tok::PlusAssign))
+      return M->add(Old, parseExpr());
+    if (match(Tok::MinusAssign))
+      return M->sub(Old, parseExpr());
+    if (match(Tok::PlusPlus))
+      return M->add(Old, M->c(1));
+    if (match(Tok::MinusMinus))
+      return M->sub(Old, M->c(1));
+    Ok = false;
+    return nullptr;
+  };
+
+  if (L) {
+    // A call with a result? `x = f(...)`.
+    if (check(Tok::Assign) && peek(1).Kind == Tok::Identifier &&
+        peek(2).Kind == Tok::LParen && KnownFns.count(peek(1).Text)) {
+      advance();
+      std::string Callee = advance().Text;
+      advance(); // '('
+      std::vector<const Expr *> Args;
+      if (!check(Tok::RParen)) {
+        Args.push_back(parseExpr());
+        while (match(Tok::Comma))
+          Args.push_back(parseExpr());
+      }
+      expect(Tok::RParen, "')'");
+      Into.push_back(M->call(Callee, std::move(Args), L));
+      return;
+    }
+    bool Ok;
+    const Expr *V = Rhs(M->v(L), Ok);
+    if (!Ok)
+      return error("expected an assignment operator");
+    Into.push_back(M->assign(L, V));
+    return;
+  }
+
+  if (GIt != Globals.end()) {
+    const Expr *Addr = M->addrOf(Name);
+    bool Ok;
+    const Expr *V = Rhs(M->load(Addr), Ok);
+    if (!Ok)
+      return error("expected an assignment operator");
+    Into.push_back(M->store(Addr, 0, V));
+    return;
+  }
+
+  error("unknown identifier '" + Name + "'");
+}
+
+//===----------------------------------------------------------------------===//
+// OpenMP pragmas
+//===----------------------------------------------------------------------===//
+
+void Parser::parsePragmaInto(std::vector<const Stmt *> &Into,
+                             const std::string &Text) {
+  if (Text.find("omp") != std::string::npos &&
+      Text.find("parallel sections") != std::string::npos)
+    return parseParallelSectionsInto(Into);
+  if (Text.find("omp") == std::string::npos ||
+      Text.find("parallel for") == std::string::npos)
+    return error("unsupported pragma '" + Text + "'");
+
+  // Optional reduction(+:name) clause.
+  std::string ReduceVar;
+  size_t RPos = Text.find("reduction(+:");
+  if (RPos != std::string::npos) {
+    size_t Start = RPos + strlen("reduction(+:");
+    size_t End = Text.find(')', Start);
+    if (End == std::string::npos)
+      return error("malformed reduction clause");
+    ReduceVar = std::string(trim(Text.substr(Start, End - Start)));
+  }
+
+  // Canonical loop: for (id = 0; id < N; id++) callee(id);
+  expect(Tok::KwFor, "'for' after the parallel pragma");
+  expect(Tok::LParen, "'('");
+  std::string Var = expectIdent("loop variable");
+  expect(Tok::Assign, "'='");
+  if (parseConstExpr() != 0)
+    return error("parallel loops must start at 0");
+  expect(Tok::Semi, "';'");
+  std::string Var2 = expectIdent("loop variable");
+  if (Var2 != Var)
+    return error("parallel loop tests a different variable");
+  expect(Tok::Lt, "'<'");
+  int64_t Bound = parseConstExpr();
+  if (Bound <= 0 || Bound > 4096)
+    return error("parallel loop bound out of range");
+  expect(Tok::Semi, "';'");
+  std::string Var3 = expectIdent("loop variable");
+  if (Var3 != Var)
+    return error("parallel loop steps a different variable");
+  expect(Tok::PlusPlus, "'++'");
+  expect(Tok::RParen, "')'");
+
+  std::string Callee = expectIdent("thread function call");
+  expect(Tok::LParen, "'('");
+  std::string Arg = expectIdent("loop variable as the argument");
+  if (Arg != Var)
+    error("the thread call must pass the loop variable");
+  expect(Tok::RParen, "')'");
+  expect(Tok::Semi, "';'");
+
+  Into.push_back(
+      M->parallelFor(Callee, static_cast<unsigned>(Bound)));
+
+  if (!ReduceVar.empty()) {
+    const Local *Acc = lookupLocal(ReduceVar);
+    if (!Acc)
+      return error("reduction variable '" + ReduceVar +
+                   "' is not a local");
+    Into.push_back(
+        M->reduceCollect(Acc, static_cast<unsigned>(Bound)));
+  }
+}
+
+/// `#pragma omp parallel sections { #pragma omp section <block> ... }`
+/// (paper Fig. 16). Every section becomes one member of a team running
+/// a generated dispatcher thread function; section bodies are parsed in
+/// the dispatcher's scope, so they may declare their own locals and use
+/// globals, but not the enclosing function's locals (the paper's
+/// sections communicate through globals too).
+void Parser::parseParallelSectionsInto(std::vector<const Stmt *> &Into) {
+  std::string Name = "__sections_" + std::to_string(NextSectionsId++);
+
+  // Switch parsing context into the dispatcher function.
+  Function *Saved = CurFn;
+  std::map<std::string, const Local *> SavedScope = std::move(Scope);
+  Scope.clear();
+  CurFn = M->function(Name, FnKind::Thread);
+  KnownFns.insert(Name);
+  const Local *T = CurFn->param("t");
+
+  expect(Tok::LBrace, "'{' after parallel sections");
+  std::vector<std::vector<const Stmt *>> Sections;
+  while (check(Tok::Pragma) && !Dead) {
+    std::string SecText = advance().Text;
+    if (SecText.find("section") == std::string::npos) {
+      error("expected '#pragma omp section'");
+      break;
+    }
+    Sections.push_back(parseBlock());
+  }
+  expect(Tok::RBrace, "'}' closing parallel sections");
+
+  if (Sections.empty()) {
+    error("parallel sections without sections");
+  } else {
+    // Dispatch: if (t == 0) sec0; else if (t == 1) sec1; ...
+    std::vector<const Stmt *> Chain = Sections.back();
+    for (size_t K = Sections.size() - 1; K-- != 0;) {
+      const Stmt *If =
+          M->ifStmt(CmpOp::Eq, M->v(T), M->c(static_cast<int32_t>(K)),
+                    std::move(Sections[K]), std::move(Chain));
+      Chain = {If};
+    }
+    for (const Stmt *S : Chain)
+      CurFn->append(S);
+  }
+
+  unsigned Count = static_cast<unsigned>(Sections.size());
+  CurFn = Saved;
+  Scope = std::move(SavedScope);
+  Into.push_back(M->parallelFor(Name, Count));
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+Parser::Cond Parser::parseCond() {
+  const Expr *E = parseExpr();
+  // parseExpr lowers comparisons into set-style expressions; for
+  // conditions we instead want branch shapes, so parseBinary records
+  // the top-level comparison in LastCmp when one occurred at the root.
+  if (LastCmpValid && LastCmpExpr == E) {
+    LastCmpValid = false;
+    return {LastCmpOp, LastCmpL, LastCmpR};
+  }
+  return {CmpOp::Ne, E, M->c(0)};
+}
+
+const Expr *Parser::parseBinary(int MinPrec) {
+  const Expr *L = parseUnary();
+  while (true) {
+    Tok K = peek().Kind;
+    int Prec;
+    switch (K) {
+    case Tok::PipePipe:
+      Prec = 1;
+      break;
+    case Tok::AmpAmp:
+      Prec = 2;
+      break;
+    case Tok::Pipe:
+      Prec = 3;
+      break;
+    case Tok::Caret:
+      Prec = 4;
+      break;
+    case Tok::Amp:
+      Prec = 5;
+      break;
+    case Tok::EqEq:
+    case Tok::NotEq:
+      Prec = 6;
+      break;
+    case Tok::Lt:
+    case Tok::Gt:
+    case Tok::Le:
+    case Tok::Ge:
+      Prec = 7;
+      break;
+    case Tok::Shl:
+    case Tok::Shr:
+      Prec = 8;
+      break;
+    case Tok::Plus:
+    case Tok::Minus:
+      Prec = 9;
+      break;
+    case Tok::Star:
+    case Tok::Slash:
+    case Tok::Percent:
+      Prec = 10;
+      break;
+    default:
+      return L;
+    }
+    if (Prec < MinPrec)
+      return L;
+    advance();
+    const Expr *R = parseBinary(Prec + 1);
+
+    switch (K) {
+    case Tok::Plus:
+      L = M->add(L, R);
+      break;
+    case Tok::Minus:
+      L = M->sub(L, R);
+      break;
+    case Tok::Star:
+      L = M->mul(L, R);
+      break;
+    case Tok::Slash:
+      L = M->bin(BinOp::Div, L, R);
+      break;
+    case Tok::Percent:
+      L = M->bin(BinOp::Rem, L, R);
+      break;
+    case Tok::Amp:
+      L = M->bin(BinOp::And, L, R);
+      break;
+    case Tok::Pipe:
+      L = M->bin(BinOp::Or, L, R);
+      break;
+    case Tok::Caret:
+      L = M->bin(BinOp::Xor, L, R);
+      break;
+    case Tok::Shl:
+      L = M->bin(BinOp::Shl, L, R);
+      break;
+    case Tok::Shr:
+      // C's >> on int is implementation-defined for negatives; Det-C
+      // picks the arithmetic shift (what GCC does on RISC-V).
+      L = M->bin(BinOp::Sra, L, R);
+      break;
+    case Tok::AmpAmp:
+      L = M->bin(BinOp::And, boolify(L), boolify(R));
+      break;
+    case Tok::PipePipe:
+      L = M->bin(BinOp::Or, boolify(L), boolify(R));
+      break;
+    case Tok::Lt:
+    case Tok::Gt:
+    case Tok::Le:
+    case Tok::Ge:
+    case Tok::EqEq:
+    case Tok::NotEq: {
+      CmpOp Op = K == Tok::Lt   ? CmpOp::Lt
+                 : K == Tok::Gt ? CmpOp::Gt
+                 : K == Tok::Le ? CmpOp::Le
+                 : K == Tok::Ge ? CmpOp::Ge
+                 : K == Tok::EqEq ? CmpOp::Eq
+                                  : CmpOp::Ne;
+      const Expr *CL = L, *CR = R;
+      // Set-style value for expression contexts.
+      const Expr *SetExpr;
+      switch (Op) {
+      case CmpOp::Lt:
+        SetExpr = M->bin(BinOp::Slt, CL, CR);
+        break;
+      case CmpOp::Gt:
+        SetExpr = M->bin(BinOp::Slt, CR, CL);
+        break;
+      case CmpOp::Le:
+        SetExpr = M->bin(BinOp::Xor, M->bin(BinOp::Slt, CR, CL), M->c(1));
+        break;
+      case CmpOp::Ge:
+        SetExpr = M->bin(BinOp::Xor, M->bin(BinOp::Slt, CL, CR), M->c(1));
+        break;
+      case CmpOp::Eq:
+        SetExpr =
+            M->bin(BinOp::Sltu, M->bin(BinOp::Xor, CL, CR), M->c(1));
+        break;
+      default: // Ne
+        SetExpr = M->bin(BinOp::Sltu, M->c(0), M->bin(BinOp::Xor, CL, CR));
+        break;
+      }
+      L = SetExpr;
+      LastCmpValid = true;
+      LastCmpExpr = L;
+      LastCmpOp = Op;
+      LastCmpL = CL;
+      LastCmpR = CR;
+      continue;
+    }
+    default:
+      break;
+    }
+    LastCmpValid = false;
+  }
+}
+
+const Expr *Parser::parseUnary() {
+  if (match(Tok::Minus))
+    return M->sub(M->c(0), parseUnary());
+  if (match(Tok::Tilde))
+    return M->bin(BinOp::Xor, parseUnary(), M->c(-1));
+  if (match(Tok::Bang))
+    return M->bin(BinOp::Sltu, parseUnary(), M->c(1));
+  if (match(Tok::Amp)) {
+    // &name or &name[expr]: address of a global element.
+    std::string Name = expectIdent("global after '&'");
+    auto GIt = Globals.find(Name);
+    if (GIt == Globals.end()) {
+      error("cannot take the address of '" + Name + "'");
+      return M->c(0);
+    }
+    if (match(Tok::LBracket)) {
+      const Expr *Index = parseExpr();
+      expect(Tok::RBracket, "']'");
+      return M->add(M->addrOf(Name), M->shl(Index, 2));
+    }
+    return M->addrOf(Name);
+  }
+  return parsePrimary();
+}
+
+const Expr *Parser::parsePrimary() {
+  if (check(Tok::Number))
+    return M->c(static_cast<int32_t>(advance().Value));
+  if (match(Tok::LParen)) {
+    const Expr *E = parseExpr();
+    expect(Tok::RParen, "')'");
+    return E;
+  }
+  if (check(Tok::Identifier)) {
+    std::string Name = advance().Text;
+
+    if (Name == "__hart_id") {
+      expect(Tok::LParen, "'('");
+      expect(Tok::RParen, "')'");
+      return M->hartId();
+    }
+    if (Name == "__cycles") {
+      expect(Tok::LParen, "'('");
+      expect(Tok::RParen, "')'");
+      return M->cycles();
+    }
+    if (Name == "__instret") {
+      expect(Tok::LParen, "'('");
+      expect(Tok::RParen, "')'");
+      return M->instret();
+    }
+
+    if (check(Tok::LParen)) {
+      error("calls are statements in Det-C; assign the result: x = " +
+            Name + "(...)");
+      return M->c(0);
+    }
+
+    if (const Local *L = lookupLocal(Name)) {
+      if (match(Tok::LBracket)) {
+        const Expr *Index = parseExpr();
+        expect(Tok::RBracket, "']'");
+        return M->load(M->add(M->v(L), M->shl(Index, 2)));
+      }
+      return M->v(L);
+    }
+
+    auto GIt = Globals.find(Name);
+    if (GIt != Globals.end()) {
+      if (match(Tok::LBracket)) {
+        const Expr *Index = parseExpr();
+        expect(Tok::RBracket, "']'");
+        return M->load(M->add(M->addrOf(Name), M->shl(Index, 2)));
+      }
+      if (GIt->second.IsArray)
+        return M->addrOf(Name); // arrays decay to their address
+      return M->load(M->addrOf(Name));
+    }
+
+    error("unknown identifier '" + Name + "'");
+    return M->c(0);
+  }
+  error("expected an expression");
+  advance();
+  return M->c(0);
+}
+
+int64_t Parser::parseConstExpr() {
+  // Constant folding over the ordinary expression grammar.
+  const Expr *E = parseExpr();
+  // Fold the tree; only Const/Bin nodes are legal here.
+  std::function<std::optional<int64_t>(const Expr *)> Fold =
+      [&](const Expr *N) -> std::optional<int64_t> {
+    if (!N)
+      return std::nullopt;
+    if (N->K == Expr::Kind::Const)
+      return N->IVal;
+    if (N->K != Expr::Kind::Bin)
+      return std::nullopt;
+    auto L = Fold(N->Lhs), R = Fold(N->Rhs);
+    if (!L || !R)
+      return std::nullopt;
+    switch (N->Op) {
+    case BinOp::Add:
+      return *L + *R;
+    case BinOp::Sub:
+      return *L - *R;
+    case BinOp::Mul:
+      return *L * *R;
+    case BinOp::Div:
+      return *R == 0 ? std::optional<int64_t>() : *L / *R;
+    case BinOp::Rem:
+      return *R == 0 ? std::optional<int64_t>() : *L % *R;
+    case BinOp::And:
+      return *L & *R;
+    case BinOp::Or:
+      return *L | *R;
+    case BinOp::Xor:
+      return *L ^ *R;
+    case BinOp::Shl:
+      return *L << (*R & 31);
+    case BinOp::Shr:
+      return static_cast<int64_t>(static_cast<uint64_t>(*L) >> (*R & 31));
+    case BinOp::Sra:
+      return *L >> (*R & 31);
+    default:
+      return std::nullopt;
+    }
+  };
+  std::optional<int64_t> V = Fold(E);
+  if (!V) {
+    error("expected a constant expression");
+    return 0;
+  }
+  return *V;
+}
+
+} // namespace
+
+std::string FrontendResult::errorText() const {
+  std::string Text;
+  for (const FrontendError &E : Errors)
+    Text += formatString("line %u: %s\n", E.Line, E.Message.c_str());
+  return Text;
+}
+
+FrontendResult frontend::parseDetC(std::string_view Source) {
+  FrontendResult Result;
+  LexResult Lexed = tokenize(Source);
+  for (const LexError &E : Lexed.Errors)
+    Result.Errors.push_back({E.Line, E.Message});
+  if (!Result.Errors.empty())
+    return Result;
+  Parser P(std::move(Lexed.Tokens), Result);
+  P.run();
+  if (!Result.Errors.empty())
+    Result.M.reset();
+  return Result;
+}
+
+std::string frontend::compileDetCToAsm(std::string_view Source,
+                                       std::string &ErrorsOut) {
+  FrontendResult R = parseDetC(Source);
+  if (!R.succeeded()) {
+    ErrorsOut = R.errorText();
+    return "";
+  }
+  ErrorsOut.clear();
+  return dsl::compileModule(*R.M);
+}

@@ -1,0 +1,83 @@
+//===- frontend/Compiler.h - The Deterministic OpenMP translator --------------===//
+//
+// Part of the LBP reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The translator the paper describes in Section 3 (and promises to
+/// complete as future work): it accepts Det-C — a C subset with the
+/// OpenMP pragmas of the paper's examples — and lowers it onto the
+/// kernel-language AST, from which dsl::compileModule emits LBP
+/// assembly with the Deterministic OpenMP runtime.
+///
+/// Supported surface (see tests/frontend_test.cpp for examples):
+///
+///   * `#define`, `#include` (ignored), `#pragma omp parallel for`
+///     with an optional `reduction(+:var)` clause, applied to the
+///     canonical `for (t = 0; t < N; t++) thread(t);` loop;
+///   * `#pragma omp parallel sections` with `#pragma omp section`
+///     blocks (Fig. 16); each section runs on its own hart via a
+///     generated dispatcher and may use globals and its own locals (not
+///     the enclosing function's locals);
+///   * `omp_set_num_threads(N);` fixes the team size used by a
+///     subsequent pragma whose bound is the same N;
+///   * globals: `int x;`, `int v[N];`, with optional placement
+///     `at 0xADDR` and initializers `= { e }` (fill) or
+///     `= { e0, e1, ... }`;
+///   * functions over `int` values, locals, `if`/`else`, `while`,
+///     `do..while`, `for`, assignment (also `+=`, `-=`, `++`, `--`),
+///     calls, `return`;
+///   * expressions: the usual C integer operators (`&&`/`||` evaluate
+///     both sides — documented deviation), array indexing on globals
+///     and on pointer-valued locals, `&v[i]`;
+///   * builtins: `__syncm()`, `__hart_id()`, `__reduce_send(e)`,
+///     `__reduce_collect(acc, n)`.
+///
+/// Thread functions (those named by a parallel-for pragma) are compiled
+/// with the parallel epilogue (`p_ret`), exactly like the paper's
+/// translated thread copies.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LBP_FRONTEND_COMPILER_H
+#define LBP_FRONTEND_COMPILER_H
+
+#include "dsl/Ast.h"
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lbp {
+namespace frontend {
+
+struct FrontendError {
+  unsigned Line;
+  std::string Message;
+};
+
+struct FrontendResult {
+  std::unique_ptr<dsl::Module> M;
+  std::vector<FrontendError> Errors;
+
+  bool succeeded() const { return Errors.empty() && M != nullptr; }
+
+  /// All diagnostics as "line N: message" lines.
+  std::string errorText() const;
+};
+
+/// Parses and lowers \p Source to a kernel-language module.
+FrontendResult parseDetC(std::string_view Source);
+
+/// Convenience: parse + code-generate to LBP assembly. On failure the
+/// diagnostics are returned through \p ErrorsOut and the result is
+/// empty.
+std::string compileDetCToAsm(std::string_view Source,
+                             std::string &ErrorsOut);
+
+} // namespace frontend
+} // namespace lbp
+
+#endif // LBP_FRONTEND_COMPILER_H

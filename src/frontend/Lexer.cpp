@@ -1,0 +1,285 @@
+//===- frontend/Lexer.cpp - Det-C lexer with a mini-preprocessor ----------------===//
+//
+// Part of the LBP reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Lexer.h"
+#include "support/StringUtils.h"
+
+#include <cctype>
+#include <cstring>
+
+using namespace lbp;
+using namespace lbp::frontend;
+
+namespace {
+
+class Lexer {
+public:
+  explicit Lexer(std::string_view Source) : Src(Source) {}
+
+  LexResult run();
+
+private:
+  std::string_view Src;
+  size_t Pos = 0;
+  unsigned Line = 1;
+  LexResult Result;
+  std::map<std::string, std::vector<Token>> Macros;
+
+  char peek(unsigned Ahead = 0) const {
+    return Pos + Ahead < Src.size() ? Src[Pos + Ahead] : '\0';
+  }
+  char advance() {
+    char C = peek();
+    ++Pos;
+    if (C == '\n')
+      ++Line;
+    return C;
+  }
+  bool match(char C) {
+    if (peek() != C)
+      return false;
+    advance();
+    return true;
+  }
+  void error(const std::string &Msg) { Result.Errors.push_back({Line, Msg}); }
+
+  void push(Tok Kind, std::string Text = "", int64_t Value = 0) {
+    // Expand object-like macros at push time.
+    if (Kind == Tok::Identifier) {
+      auto It = Macros.find(Text);
+      if (It != Macros.end()) {
+        for (Token T : It->second) {
+          T.Line = Line;
+          Result.Tokens.push_back(std::move(T));
+        }
+        return;
+      }
+    }
+    Result.Tokens.push_back({Kind, std::move(Text), Value, Line});
+  }
+
+  void skipWhitespaceAndComments();
+  void lexDirective();
+  void lexNumber();
+  void lexIdentifier();
+  void lexOperator();
+};
+
+void Lexer::skipWhitespaceAndComments() {
+  while (Pos < Src.size()) {
+    char C = peek();
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '/') {
+      while (Pos < Src.size() && peek() != '\n')
+        advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '*') {
+      advance();
+      advance();
+      while (Pos < Src.size() && !(peek() == '*' && peek(1) == '/'))
+        advance();
+      if (Pos < Src.size()) {
+        advance();
+        advance();
+      }
+      continue;
+    }
+    return;
+  }
+}
+
+void Lexer::lexDirective() {
+  // Collect the rest of the line.
+  size_t Start = Pos;
+  while (Pos < Src.size() && peek() != '\n')
+    advance();
+  std::string_view LineText = Src.substr(Start, Pos - Start);
+
+  if (LineText.starts_with("include")) {
+    return; // det_omp.h / stdio.h: nothing to do
+  }
+  if (LineText.starts_with("pragma")) {
+    push(Tok::Pragma,
+         std::string(trim(LineText.substr(strlen("pragma")))));
+    return;
+  }
+  if (LineText.starts_with("define")) {
+    std::string_view Rest = trim(LineText.substr(strlen("define")));
+    size_t NameEnd = 0;
+    while (NameEnd < Rest.size() &&
+           (std::isalnum(static_cast<unsigned char>(Rest[NameEnd])) ||
+            Rest[NameEnd] == '_'))
+      ++NameEnd;
+    bool ValidName =
+        NameEnd != 0 && (std::isalpha(static_cast<unsigned char>(Rest[0])) ||
+                         Rest[0] == '_');
+    if (!ValidName) {
+      error("malformed #define");
+      return;
+    }
+    std::string Name(Rest.substr(0, NameEnd));
+    std::string Body(Rest.substr(NameEnd));
+    // Tokenize the body with a fresh sub-lexer (this also expands
+    // macros used inside the body, giving recursive expansion).
+    Lexer Sub(Body);
+    Sub.Macros = Macros;
+    LexResult SubResult = Sub.run();
+    for (const LexError &E : SubResult.Errors)
+      Result.Errors.push_back({Line, E.Message});
+    if (!SubResult.Tokens.empty())
+      SubResult.Tokens.pop_back(); // drop Eof
+    Macros[Name] = std::move(SubResult.Tokens);
+    return;
+  }
+  error("unsupported preprocessor directive '#" +
+        std::string(LineText.substr(0, 12)) + "...'");
+}
+
+void Lexer::lexNumber() {
+  size_t Start = Pos;
+  if (peek() == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+    advance();
+    advance();
+    while (std::isxdigit(static_cast<unsigned char>(peek())))
+      advance();
+  } else {
+    while (std::isdigit(static_cast<unsigned char>(peek())))
+      advance();
+  }
+  std::optional<int64_t> V = parseInteger(Src.substr(Start, Pos - Start));
+  if (!V) {
+    error("malformed number");
+    return;
+  }
+  push(Tok::Number, "", *V);
+}
+
+void Lexer::lexIdentifier() {
+  size_t Start = Pos;
+  while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')
+    advance();
+  std::string Text(Src.substr(Start, Pos - Start));
+
+  static const std::map<std::string, Tok, std::less<>> Keywords = {
+      {"int", Tok::KwInt},     {"void", Tok::KwVoid},
+      {"if", Tok::KwIf},       {"else", Tok::KwElse},
+      {"while", Tok::KwWhile}, {"do", Tok::KwDo},
+      {"for", Tok::KwFor},     {"return", Tok::KwReturn},
+      {"break", Tok::KwBreak}, {"continue", Tok::KwContinue},
+      {"at", Tok::KwAt}};
+  auto It = Keywords.find(Text);
+  if (It != Keywords.end()) {
+    push(It->second);
+    return;
+  }
+  push(Tok::Identifier, std::move(Text));
+}
+
+void Lexer::lexOperator() {
+  char C = advance();
+  switch (C) {
+  case '(':
+    return push(Tok::LParen);
+  case ')':
+    return push(Tok::RParen);
+  case '{':
+    return push(Tok::LBrace);
+  case '}':
+    return push(Tok::RBrace);
+  case '[':
+    return push(Tok::LBracket);
+  case ']':
+    return push(Tok::RBracket);
+  case ';':
+    return push(Tok::Semi);
+  case ',':
+    return push(Tok::Comma);
+  case '~':
+    return push(Tok::Tilde);
+  case '^':
+    return push(Tok::Caret);
+  case '%':
+    return push(Tok::Percent);
+  case '/':
+    return push(Tok::Slash);
+  case '*':
+    return push(Tok::Star);
+  case '+':
+    if (match('+'))
+      return push(Tok::PlusPlus);
+    if (match('='))
+      return push(Tok::PlusAssign);
+    return push(Tok::Plus);
+  case '-':
+    if (match('-'))
+      return push(Tok::MinusMinus);
+    if (match('='))
+      return push(Tok::MinusAssign);
+    return push(Tok::Minus);
+  case '&':
+    if (match('&'))
+      return push(Tok::AmpAmp);
+    return push(Tok::Amp);
+  case '|':
+    if (match('|'))
+      return push(Tok::PipePipe);
+    return push(Tok::Pipe);
+  case '!':
+    if (match('='))
+      return push(Tok::NotEq);
+    return push(Tok::Bang);
+  case '=':
+    if (match('='))
+      return push(Tok::EqEq);
+    return push(Tok::Assign);
+  case '<':
+    if (match('<'))
+      return push(Tok::Shl);
+    if (match('='))
+      return push(Tok::Le);
+    return push(Tok::Lt);
+  case '>':
+    if (match('>'))
+      return push(Tok::Shr);
+    if (match('='))
+      return push(Tok::Ge);
+    return push(Tok::Gt);
+  default:
+    error(std::string("unexpected character '") + C + "'");
+  }
+}
+
+LexResult Lexer::run() {
+  while (true) {
+    skipWhitespaceAndComments();
+    if (Pos >= Src.size())
+      break;
+    char C = peek();
+    if (C == '#') {
+      advance();
+      lexDirective();
+    } else if (std::isdigit(static_cast<unsigned char>(C))) {
+      lexNumber();
+    } else if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+      lexIdentifier();
+    } else {
+      lexOperator();
+    }
+  }
+  push(Tok::Eof);
+  return std::move(Result);
+}
+
+} // namespace
+
+LexResult frontend::tokenize(std::string_view Source) {
+  Lexer L(Source);
+  return L.run();
+}

@@ -1,0 +1,49 @@
+//===- frontend/Lexer.h - Det-C lexer with a mini-preprocessor ----------------===//
+//
+// Part of the LBP reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokenizes Det-C source. A small preprocessor handles the directives
+/// the paper's examples use:
+///
+///   * `#define NAME token-sequence` (object-like macros, recursively
+///     substituted),
+///   * `#include <...>` lines are ignored (det_omp.h provides nothing
+///     the translator does not know about),
+///   * `#pragma ...` lines become a single Pragma token.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LBP_FRONTEND_LEXER_H
+#define LBP_FRONTEND_LEXER_H
+
+#include "frontend/Token.h"
+
+#include <map>
+#include <string_view>
+#include <vector>
+
+namespace lbp {
+namespace frontend {
+
+struct LexError {
+  unsigned Line;
+  std::string Message;
+};
+
+struct LexResult {
+  std::vector<Token> Tokens; ///< Ends with an Eof token on success.
+  std::vector<LexError> Errors;
+
+  bool succeeded() const { return Errors.empty(); }
+};
+
+/// Tokenizes \p Source, applying the mini-preprocessor.
+LexResult tokenize(std::string_view Source);
+
+} // namespace frontend
+} // namespace lbp
+
+#endif // LBP_FRONTEND_LEXER_H

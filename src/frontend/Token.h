@@ -1,0 +1,89 @@
+//===- frontend/Token.h - Det-C token definitions --------------------------===//
+//
+// Part of the LBP reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokens of Det-C, the C subset the Deterministic OpenMP translator
+/// accepts (paper Sec. 3: "some standard OpenMP programs can be run on
+/// LBP simply by replacing the OpenMP header file by our Deterministic
+/// OpenMP one").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LBP_FRONTEND_TOKEN_H
+#define LBP_FRONTEND_TOKEN_H
+
+#include <cstdint>
+#include <string>
+
+namespace lbp {
+namespace frontend {
+
+enum class Tok : uint8_t {
+  Eof,
+  Identifier,
+  Number,
+  Pragma, // one whole "#pragma ..." line (text in Token::Text)
+
+  // Keywords.
+  KwInt,
+  KwVoid,
+  KwIf,
+  KwElse,
+  KwWhile,
+  KwDo,
+  KwFor,
+  KwReturn,
+  KwBreak,
+  KwContinue,
+  KwAt, // placement attribute: int v[64] at 0x20000100;
+
+  // Punctuation and operators.
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Semi,
+  Comma,
+  Assign,   // =
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+  Amp,
+  Pipe,
+  Caret,
+  Tilde,
+  Bang,
+  Shl,      // <<
+  Shr,      // >>
+  Lt,
+  Gt,
+  Le,
+  Ge,
+  EqEq,
+  NotEq,
+  AmpAmp,
+  PipePipe,
+  PlusPlus,
+  MinusMinus,
+  PlusAssign,  // +=
+  MinusAssign, // -=
+};
+
+struct Token {
+  Tok Kind = Tok::Eof;
+  std::string Text; ///< Identifier spelling / pragma line.
+  int64_t Value = 0; ///< Number value.
+  unsigned Line = 0;
+};
+
+} // namespace frontend
+} // namespace lbp
+
+#endif // LBP_FRONTEND_TOKEN_H

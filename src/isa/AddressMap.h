@@ -1,0 +1,71 @@
+//===- isa/AddressMap.h - LBP platform memory map ---------------------------===//
+//
+// Part of the LBP reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The byte-addressed memory map shared by the assembler, the runtime
+/// code generators and the simulator (paper Fig. 13: three banks per
+/// core — code, local data, shared global — plus the I/O registers of
+/// Fig. 17):
+///
+///   0x0000_0000  code        one bank per core, all cores see the image
+///   0x1000_0000  local       per-core private scratchpad (hart stacks
+///                            and continuation frames); every core maps
+///                            the same range onto its own bank
+///   0x2000_0000  global      shared banks; bank b of size GlobalBankSize
+///                            (a SimConfig parameter) is owned by core b
+///   0x3000_0000  I/O         device registers (input/output controllers)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LBP_ISA_ADDRESSMAP_H
+#define LBP_ISA_ADDRESSMAP_H
+
+#include <cstdint>
+
+namespace lbp {
+namespace isa {
+
+constexpr uint32_t CodeBase = 0x00000000u;
+constexpr uint32_t CodeLimit = 0x10000000u;
+
+constexpr uint32_t LocalBase = 0x10000000u;
+constexpr uint32_t LocalLimit = 0x20000000u;
+/// Private scratchpad bytes per core (4 hart stacks + frames).
+constexpr uint32_t LocalSize = 1u << 16;
+
+constexpr uint32_t GlobalBase = 0x20000000u;
+constexpr uint32_t GlobalLimit = 0x30000000u;
+
+constexpr uint32_t IoBase = 0x30000000u;
+constexpr uint32_t IoLimit = 0x40000000u;
+
+constexpr bool isCodeAddr(uint32_t A) { return A < CodeLimit; }
+constexpr bool isLocalAddr(uint32_t A) {
+  return A >= LocalBase && A < LocalLimit;
+}
+constexpr bool isGlobalAddr(uint32_t A) {
+  return A >= GlobalBase && A < GlobalLimit;
+}
+constexpr bool isIoAddr(uint32_t A) { return A >= IoBase && A < IoLimit; }
+
+/// Size in bytes of one hart's stack area within the local scratchpad.
+constexpr uint32_t HartStackSize = LocalSize / 4;
+
+/// Bytes reserved at each allocation for the continuation frame the
+/// forking hart fills with p_swcv (DESIGN.md: sp starts frame-sized
+/// below the stack top).
+constexpr uint32_t ContFrameSize = 64;
+
+/// Top-of-stack local address for hart \p HartInCore (0..3). The first
+/// word below the top is at stackTop - 4.
+constexpr uint32_t hartStackTop(uint32_t HartInCore) {
+  return LocalBase + (HartInCore + 1) * HartStackSize;
+}
+
+} // namespace isa
+} // namespace lbp
+
+#endif // LBP_ISA_ADDRESSMAP_H

@@ -1,0 +1,67 @@
+//===- isa/Disasm.cpp - Instruction printing --------------------------------===//
+//
+// Part of the LBP reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "isa/Disasm.h"
+#include "isa/Encoding.h"
+using lbp::isa::Opcode;
+#include "isa/Reg.h"
+#include "support/StringUtils.h"
+
+using namespace lbp;
+using namespace lbp::isa;
+
+std::string isa::printInstr(const Instr &I) {
+  const InstrInfo &Info = instrInfo(I.Op);
+  const char *M = Info.Mnemonic.data();
+  auto R = [](uint8_t Reg) { return regName(Reg).data(); };
+
+  if (I.Op == Opcode::RDCYCLE || I.Op == Opcode::RDINSTRET)
+    return formatString("%s %s", M, R(I.Rd));
+
+  switch (Info.Form) {
+  case Format::R:
+    return formatString("%s %s, %s, %s", M, R(I.Rd), R(I.Rs1), R(I.Rs2));
+  case Format::I:
+    if (Info.Class == ExecClass::Load || I.Op == Opcode::JALR)
+      return formatString("%s %s, %d(%s)", M, R(I.Rd), I.Imm, R(I.Rs1));
+    return formatString("%s %s, %s, %d", M, R(I.Rd), R(I.Rs1), I.Imm);
+  case Format::S:
+    return formatString("%s %s, %d(%s)", M, R(I.Rs2), I.Imm, R(I.Rs1));
+  case Format::B:
+    return formatString("%s %s, %s, %d", M, R(I.Rs1), R(I.Rs2), I.Imm);
+  case Format::U:
+    return formatString("%s %s, %d", M, R(I.Rd), I.Imm);
+  case Format::J:
+    return formatString("%s %s, %d", M, R(I.Rd), I.Imm);
+  case Format::XParR:
+    switch (I.Op) {
+    case Opcode::P_FC:
+    case Opcode::P_FN:
+      return formatString("%s %s", M, R(I.Rd));
+    case Opcode::P_SET:
+      return formatString("%s %s, %s", M, R(I.Rd), R(I.Rs1));
+    case Opcode::P_SYNCM:
+      return M;
+    default:
+      return formatString("%s %s, %s, %s", M, R(I.Rd), R(I.Rs1), R(I.Rs2));
+    }
+  case Format::XParI:
+    if (I.Op == Opcode::P_JAL)
+      return formatString("%s %s, %s, %d", M, R(I.Rd), R(I.Rs1), I.Imm);
+    return formatString("%s %s, %d", M, R(I.Rd), I.Imm);
+  case Format::XParS:
+    // Value first, target hart second (the Fig. 8 reading).
+    return formatString("%s %s, %s, %d", M, R(I.Rs2), R(I.Rs1), I.Imm);
+  }
+  return "<unknown>";
+}
+
+std::string isa::disassembleWord(uint32_t Word) {
+  Instr I = decode(Word);
+  if (!I.isValid())
+    return formatString(".word 0x%08x", Word);
+  return printInstr(I);
+}

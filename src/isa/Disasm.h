@@ -1,0 +1,32 @@
+//===- isa/Disasm.h - Instruction printing ---------------------------------===//
+//
+// Part of the LBP reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Textual rendering of decoded instructions, in the same syntax the
+/// assembler accepts so that print -> assemble round-trips.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LBP_ISA_DISASM_H
+#define LBP_ISA_DISASM_H
+
+#include "isa/Instr.h"
+
+#include <string>
+
+namespace lbp {
+namespace isa {
+
+/// Renders \p I as assembly text (e.g. "addi sp, sp, -8").
+std::string printInstr(const Instr &I);
+
+/// Decodes and renders \p Word; invalid words render as ".word 0x...".
+std::string disassembleWord(uint32_t Word);
+
+} // namespace isa
+} // namespace lbp
+
+#endif // LBP_ISA_DISASM_H

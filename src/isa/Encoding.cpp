@@ -1,0 +1,442 @@
+//===- isa/Encoding.cpp - Binary encoding of RV32IM + X_PAR ---------------===//
+//
+// Part of the LBP reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "isa/Encoding.h"
+#include "support/Compiler.h"
+
+using namespace lbp;
+using namespace lbp::isa;
+
+namespace {
+
+// Standard RISC-V major opcodes.
+constexpr uint32_t OpcLui = 0x37;
+constexpr uint32_t OpcAuipc = 0x17;
+constexpr uint32_t OpcJal = 0x6F;
+constexpr uint32_t OpcJalr = 0x67;
+constexpr uint32_t OpcBranch = 0x63;
+constexpr uint32_t OpcLoad = 0x03;
+constexpr uint32_t OpcStore = 0x23;
+constexpr uint32_t OpcOpImm = 0x13;
+constexpr uint32_t OpcOp = 0x33;
+constexpr uint32_t OpcSystem = 0x73;
+constexpr uint32_t CsrCycle = 0xC00;
+constexpr uint32_t CsrInstret = 0xC02;
+
+// X_PAR funct3 values within the custom-0 major opcode.
+constexpr uint32_t XParF3Reg = 0;  // P_FC/P_FN/P_SET/P_MERGE/P_SYNCM/P_JALR
+constexpr uint32_t XParF3Swcv = 1;
+constexpr uint32_t XParF3Lwcv = 2;
+constexpr uint32_t XParF3Swre = 3;
+constexpr uint32_t XParF3Lwre = 4;
+constexpr uint32_t XParF3Jal = 5;
+
+// X_PAR funct7 values for the register form.
+constexpr uint32_t XParF7Fc = 0x00;
+constexpr uint32_t XParF7Fn = 0x01;
+constexpr uint32_t XParF7Set = 0x02;
+constexpr uint32_t XParF7Merge = 0x03;
+constexpr uint32_t XParF7Syncm = 0x04;
+constexpr uint32_t XParF7Jalr = 0x05;
+
+struct BaseFields {
+  uint32_t Major;
+  uint32_t Funct3;
+  uint32_t Funct7;
+};
+
+/// Major/funct fields of every opcode, in a switch the compiler checks
+/// for full enum coverage.
+BaseFields fieldsFor(Opcode Op) {
+  switch (Op) {
+  case Opcode::LUI:
+    return {OpcLui, 0, 0};
+  case Opcode::AUIPC:
+    return {OpcAuipc, 0, 0};
+  case Opcode::JAL:
+    return {OpcJal, 0, 0};
+  case Opcode::JALR:
+    return {OpcJalr, 0, 0};
+  case Opcode::BEQ:
+    return {OpcBranch, 0, 0};
+  case Opcode::BNE:
+    return {OpcBranch, 1, 0};
+  case Opcode::BLT:
+    return {OpcBranch, 4, 0};
+  case Opcode::BGE:
+    return {OpcBranch, 5, 0};
+  case Opcode::BLTU:
+    return {OpcBranch, 6, 0};
+  case Opcode::BGEU:
+    return {OpcBranch, 7, 0};
+  case Opcode::LB:
+    return {OpcLoad, 0, 0};
+  case Opcode::LH:
+    return {OpcLoad, 1, 0};
+  case Opcode::LW:
+    return {OpcLoad, 2, 0};
+  case Opcode::LBU:
+    return {OpcLoad, 4, 0};
+  case Opcode::LHU:
+    return {OpcLoad, 5, 0};
+  case Opcode::SB:
+    return {OpcStore, 0, 0};
+  case Opcode::SH:
+    return {OpcStore, 1, 0};
+  case Opcode::SW:
+    return {OpcStore, 2, 0};
+  case Opcode::ADDI:
+    return {OpcOpImm, 0, 0};
+  case Opcode::SLTI:
+    return {OpcOpImm, 2, 0};
+  case Opcode::SLTIU:
+    return {OpcOpImm, 3, 0};
+  case Opcode::XORI:
+    return {OpcOpImm, 4, 0};
+  case Opcode::ORI:
+    return {OpcOpImm, 6, 0};
+  case Opcode::ANDI:
+    return {OpcOpImm, 7, 0};
+  case Opcode::SLLI:
+    return {OpcOpImm, 1, 0x00};
+  case Opcode::SRLI:
+    return {OpcOpImm, 5, 0x00};
+  case Opcode::SRAI:
+    return {OpcOpImm, 5, 0x20};
+  case Opcode::ADD:
+    return {OpcOp, 0, 0x00};
+  case Opcode::SUB:
+    return {OpcOp, 0, 0x20};
+  case Opcode::SLL:
+    return {OpcOp, 1, 0x00};
+  case Opcode::SLT:
+    return {OpcOp, 2, 0x00};
+  case Opcode::SLTU:
+    return {OpcOp, 3, 0x00};
+  case Opcode::XOR:
+    return {OpcOp, 4, 0x00};
+  case Opcode::SRL:
+    return {OpcOp, 5, 0x00};
+  case Opcode::SRA:
+    return {OpcOp, 5, 0x20};
+  case Opcode::OR:
+    return {OpcOp, 6, 0x00};
+  case Opcode::AND:
+    return {OpcOp, 7, 0x00};
+  case Opcode::MUL:
+    return {OpcOp, 0, 0x01};
+  case Opcode::MULH:
+    return {OpcOp, 1, 0x01};
+  case Opcode::MULHSU:
+    return {OpcOp, 2, 0x01};
+  case Opcode::MULHU:
+    return {OpcOp, 3, 0x01};
+  case Opcode::DIV:
+    return {OpcOp, 4, 0x01};
+  case Opcode::DIVU:
+    return {OpcOp, 5, 0x01};
+  case Opcode::REM:
+    return {OpcOp, 6, 0x01};
+  case Opcode::REMU:
+    return {OpcOp, 7, 0x01};
+  case Opcode::RDCYCLE:
+  case Opcode::RDINSTRET:
+    return {OpcSystem, 2 /*csrrs*/, 0};
+  case Opcode::P_FC:
+    return {XParMajorOpcode, XParF3Reg, XParF7Fc};
+  case Opcode::P_FN:
+    return {XParMajorOpcode, XParF3Reg, XParF7Fn};
+  case Opcode::P_SET:
+    return {XParMajorOpcode, XParF3Reg, XParF7Set};
+  case Opcode::P_MERGE:
+    return {XParMajorOpcode, XParF3Reg, XParF7Merge};
+  case Opcode::P_SYNCM:
+    return {XParMajorOpcode, XParF3Reg, XParF7Syncm};
+  case Opcode::P_JALR:
+    return {XParMajorOpcode, XParF3Reg, XParF7Jalr};
+  case Opcode::P_SWCV:
+    return {XParMajorOpcode, XParF3Swcv, 0};
+  case Opcode::P_LWCV:
+    return {XParMajorOpcode, XParF3Lwcv, 0};
+  case Opcode::P_SWRE:
+    return {XParMajorOpcode, XParF3Swre, 0};
+  case Opcode::P_LWRE:
+    return {XParMajorOpcode, XParF3Lwre, 0};
+  case Opcode::P_JAL:
+    return {XParMajorOpcode, XParF3Jal, 0};
+  case Opcode::Invalid:
+  case Opcode::NumOpcodes:
+    break;
+  }
+  LBP_UNREACHABLE("encoding an invalid opcode");
+}
+
+uint32_t bits(uint32_t Value, unsigned Hi, unsigned Lo) {
+  return (Value >> Lo) & ((1u << (Hi - Lo + 1)) - 1u);
+}
+
+int32_t signExtend(uint32_t Value, unsigned Bits) {
+  uint32_t Shift = 32 - Bits;
+  return static_cast<int32_t>(Value << Shift) >> Shift;
+}
+
+} // namespace
+
+uint32_t isa::encode(const Instr &I) {
+  const InstrInfo &Info = instrInfo(I.Op);
+  BaseFields F = fieldsFor(I.Op);
+  uint32_t Imm = static_cast<uint32_t>(I.Imm);
+  uint32_t Rd = I.Rd, Rs1 = I.Rs1, Rs2 = I.Rs2;
+  assert(Rd < 32 && Rs1 < 32 && Rs2 < 32 && "register index out of range");
+
+  // Counter reads carry their CSR number, not a signed immediate.
+  if (I.Op == Opcode::RDCYCLE || I.Op == Opcode::RDINSTRET) {
+    uint32_t Csr = I.Op == Opcode::RDCYCLE ? CsrCycle : CsrInstret;
+    return (Csr << 20) | (F.Funct3 << 12) | (Rd << 7) | F.Major;
+  }
+
+  switch (Info.Form) {
+  case Format::R:
+  case Format::XParR:
+    return (F.Funct7 << 25) | (Rs2 << 20) | (Rs1 << 15) | (F.Funct3 << 12) |
+           (Rd << 7) | F.Major;
+  case Format::I:
+  case Format::XParI:
+    if (I.Op == Opcode::SLLI || I.Op == Opcode::SRLI || I.Op == Opcode::SRAI) {
+      assert(I.Imm >= 0 && I.Imm < 32 && "shift amount out of range");
+      return (F.Funct7 << 25) | (bits(Imm, 4, 0) << 20) | (Rs1 << 15) |
+             (F.Funct3 << 12) | (Rd << 7) | F.Major;
+    }
+    assert(fitsImm12(I.Imm) && "I-format immediate out of range");
+    return (bits(Imm, 11, 0) << 20) | (Rs1 << 15) | (F.Funct3 << 12) |
+           (Rd << 7) | F.Major;
+  case Format::S:
+  case Format::XParS:
+    assert(fitsImm12(I.Imm) && "S-format immediate out of range");
+    return (bits(Imm, 11, 5) << 25) | (Rs2 << 20) | (Rs1 << 15) |
+           (F.Funct3 << 12) | (bits(Imm, 4, 0) << 7) | F.Major;
+  case Format::B:
+    assert(fitsBranchOffset(I.Imm) && "branch offset out of range");
+    return (bits(Imm, 12, 12) << 31) | (bits(Imm, 10, 5) << 25) | (Rs2 << 20) |
+           (Rs1 << 15) | (F.Funct3 << 12) | (bits(Imm, 4, 1) << 8) |
+           (bits(Imm, 11, 11) << 7) | F.Major;
+  case Format::U:
+    return (Imm << 12) | (Rd << 7) | F.Major;
+  case Format::J:
+    assert(fitsJumpOffset(I.Imm) && "jump offset out of range");
+    return (bits(Imm, 20, 20) << 31) | (bits(Imm, 10, 1) << 21) |
+           (bits(Imm, 11, 11) << 20) | (bits(Imm, 19, 12) << 12) | (Rd << 7) |
+           F.Major;
+  }
+  LBP_UNREACHABLE("unknown format");
+}
+
+Instr isa::decode(uint32_t Word) {
+  Instr I;
+  uint32_t Major = bits(Word, 6, 0);
+  uint32_t Rd = bits(Word, 11, 7);
+  uint32_t Funct3 = bits(Word, 14, 12);
+  uint32_t Rs1 = bits(Word, 19, 15);
+  uint32_t Rs2 = bits(Word, 24, 20);
+  uint32_t Funct7 = bits(Word, 31, 25);
+
+  auto makeR = [&](Opcode Op) {
+    I.Op = Op;
+    I.Rd = static_cast<uint8_t>(Rd);
+    I.Rs1 = static_cast<uint8_t>(Rs1);
+    I.Rs2 = static_cast<uint8_t>(Rs2);
+  };
+  auto makeI = [&](Opcode Op) {
+    I.Op = Op;
+    I.Rd = static_cast<uint8_t>(Rd);
+    I.Rs1 = static_cast<uint8_t>(Rs1);
+    I.Imm = signExtend(bits(Word, 31, 20), 12);
+  };
+  auto makeS = [&](Opcode Op) {
+    I.Op = Op;
+    I.Rs1 = static_cast<uint8_t>(Rs1);
+    I.Rs2 = static_cast<uint8_t>(Rs2);
+    I.Imm = signExtend((bits(Word, 31, 25) << 5) | bits(Word, 11, 7), 12);
+  };
+
+  switch (Major) {
+  case OpcLui:
+  case OpcAuipc:
+    I.Op = Major == OpcLui ? Opcode::LUI : Opcode::AUIPC;
+    I.Rd = static_cast<uint8_t>(Rd);
+    I.Imm = static_cast<int32_t>(bits(Word, 31, 12));
+    return I;
+
+  case OpcJal: {
+    I.Op = Opcode::JAL;
+    I.Rd = static_cast<uint8_t>(Rd);
+    uint32_t Imm = (bits(Word, 31, 31) << 20) | (bits(Word, 19, 12) << 12) |
+                   (bits(Word, 20, 20) << 11) | (bits(Word, 30, 21) << 1);
+    I.Imm = signExtend(Imm, 21);
+    return I;
+  }
+
+  case OpcJalr:
+    if (Funct3 != 0)
+      return Instr();
+    makeI(Opcode::JALR);
+    return I;
+
+  case OpcBranch: {
+    static constexpr Opcode Map[8] = {Opcode::BEQ,     Opcode::BNE,
+                                      Opcode::Invalid, Opcode::Invalid,
+                                      Opcode::BLT,     Opcode::BGE,
+                                      Opcode::BLTU,    Opcode::BGEU};
+    Opcode Op = Map[Funct3];
+    if (Op == Opcode::Invalid)
+      return Instr();
+    I.Op = Op;
+    I.Rs1 = static_cast<uint8_t>(Rs1);
+    I.Rs2 = static_cast<uint8_t>(Rs2);
+    uint32_t Imm = (bits(Word, 31, 31) << 12) | (bits(Word, 7, 7) << 11) |
+                   (bits(Word, 30, 25) << 5) | (bits(Word, 11, 8) << 1);
+    I.Imm = signExtend(Imm, 13);
+    return I;
+  }
+
+  case OpcLoad: {
+    static constexpr Opcode Map[8] = {Opcode::LB,      Opcode::LH,
+                                      Opcode::LW,      Opcode::Invalid,
+                                      Opcode::LBU,     Opcode::LHU,
+                                      Opcode::Invalid, Opcode::Invalid};
+    Opcode Op = Map[Funct3];
+    if (Op == Opcode::Invalid)
+      return Instr();
+    makeI(Op);
+    return I;
+  }
+
+  case OpcStore: {
+    static constexpr Opcode Map[8] = {Opcode::SB,      Opcode::SH,
+                                      Opcode::SW,      Opcode::Invalid,
+                                      Opcode::Invalid, Opcode::Invalid,
+                                      Opcode::Invalid, Opcode::Invalid};
+    Opcode Op = Map[Funct3];
+    if (Op == Opcode::Invalid)
+      return Instr();
+    makeS(Op);
+    return I;
+  }
+
+  case OpcOpImm:
+    switch (Funct3) {
+    case 0:
+      makeI(Opcode::ADDI);
+      return I;
+    case 1:
+      if (Funct7 != 0)
+        return Instr();
+      makeR(Opcode::SLLI);
+      I.Imm = static_cast<int32_t>(Rs2);
+      I.Rs2 = 0;
+      return I;
+    case 2:
+      makeI(Opcode::SLTI);
+      return I;
+    case 3:
+      makeI(Opcode::SLTIU);
+      return I;
+    case 4:
+      makeI(Opcode::XORI);
+      return I;
+    case 5:
+      if (Funct7 != 0x00 && Funct7 != 0x20)
+        return Instr();
+      makeR(Funct7 == 0x20 ? Opcode::SRAI : Opcode::SRLI);
+      I.Imm = static_cast<int32_t>(Rs2);
+      I.Rs2 = 0;
+      return I;
+    case 6:
+      makeI(Opcode::ORI);
+      return I;
+    case 7:
+      makeI(Opcode::ANDI);
+      return I;
+    default:
+      return Instr();
+    }
+
+  case OpcOp: {
+    if (Funct7 == 0x01) {
+      static constexpr Opcode Map[8] = {Opcode::MUL,  Opcode::MULH,
+                                        Opcode::MULHSU, Opcode::MULHU,
+                                        Opcode::DIV,  Opcode::DIVU,
+                                        Opcode::REM,  Opcode::REMU};
+      makeR(Map[Funct3]);
+      return I;
+    }
+    if (Funct7 == 0x00) {
+      static constexpr Opcode Map[8] = {Opcode::ADD, Opcode::SLL, Opcode::SLT,
+                                        Opcode::SLTU, Opcode::XOR, Opcode::SRL,
+                                        Opcode::OR,  Opcode::AND};
+      makeR(Map[Funct3]);
+      return I;
+    }
+    if (Funct7 == 0x20) {
+      if (Funct3 == 0) {
+        makeR(Opcode::SUB);
+        return I;
+      }
+      if (Funct3 == 5) {
+        makeR(Opcode::SRA);
+        return I;
+      }
+    }
+    return Instr();
+  }
+
+  case OpcSystem: {
+    if (Funct3 != 2 || Rs1 != 0)
+      return Instr();
+    uint32_t Csr = bits(Word, 31, 20);
+    if (Csr != CsrCycle && Csr != CsrInstret)
+      return Instr();
+    I.Op = Csr == CsrCycle ? Opcode::RDCYCLE : Opcode::RDINSTRET;
+    I.Rd = static_cast<uint8_t>(Rd);
+    return I;
+  }
+
+  case XParMajorOpcode:
+    switch (Funct3) {
+    case XParF3Reg: {
+      static constexpr Opcode Map[6] = {Opcode::P_FC,    Opcode::P_FN,
+                                        Opcode::P_SET,   Opcode::P_MERGE,
+                                        Opcode::P_SYNCM, Opcode::P_JALR};
+      if (Funct7 >= 6)
+        return Instr();
+      makeR(Map[Funct7]);
+      return I;
+    }
+    case XParF3Swcv:
+      makeS(Opcode::P_SWCV);
+      return I;
+    case XParF3Lwcv:
+      makeI(Opcode::P_LWCV);
+      I.Rs1 = 0;
+      return I;
+    case XParF3Swre:
+      makeS(Opcode::P_SWRE);
+      return I;
+    case XParF3Lwre:
+      makeI(Opcode::P_LWRE);
+      I.Rs1 = 0;
+      return I;
+    case XParF3Jal:
+      makeI(Opcode::P_JAL);
+      return I;
+    default:
+      return Instr();
+    }
+
+  default:
+    return Instr();
+  }
+}

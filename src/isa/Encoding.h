@@ -1,0 +1,54 @@
+//===- isa/Encoding.h - Binary encoding of RV32IM + X_PAR ----------------===//
+//
+// Part of the LBP reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// 32-bit binary encoding and decoding. RV32IM uses the standard RISC-V
+/// formats; X_PAR lives in the custom-0 major opcode (0x0B) with funct3
+/// selecting the sub-format and funct7 the register-form operation, as
+/// documented in DESIGN.md.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LBP_ISA_ENCODING_H
+#define LBP_ISA_ENCODING_H
+
+#include "isa/Instr.h"
+
+#include <cstdint>
+
+namespace lbp {
+namespace isa {
+
+/// Major opcode reserved for the X_PAR extension (RISC-V custom-0).
+constexpr uint32_t XParMajorOpcode = 0x0B;
+
+/// Encodes \p I into its 32-bit machine form.
+///
+/// Immediates out of range for the instruction's format are a caller bug
+/// (the assembler range-checks first); they trip an assertion.
+uint32_t encode(const Instr &I);
+
+/// Decodes a 32-bit word. Returns an Instr with Opcode::Invalid when the
+/// word is not a recognized instruction.
+Instr decode(uint32_t Word);
+
+/// Returns true when \p Imm fits the signed 12-bit immediate field.
+constexpr bool fitsImm12(int64_t Imm) { return Imm >= -2048 && Imm <= 2047; }
+
+/// Returns true when \p Imm is a valid B-format branch offset.
+constexpr bool fitsBranchOffset(int64_t Imm) {
+  return Imm >= -4096 && Imm <= 4094 && (Imm & 1) == 0;
+}
+
+/// Returns true when \p Imm is a valid J-format jump offset.
+constexpr bool fitsJumpOffset(int64_t Imm) {
+  return Imm >= -(1 << 20) && Imm < (1 << 20) && (Imm & 1) == 0;
+}
+
+} // namespace isa
+} // namespace lbp
+
+#endif // LBP_ISA_ENCODING_H

@@ -1,0 +1,60 @@
+//===- isa/HartRef.h - Hart-reference word packing -------------------------===//
+//
+// Part of the LBP reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The hart-reference word manipulated by p_set / p_merge and consumed by
+/// p_jalr / p_ret (paper Figs. 5-8). Layout (our documented
+/// reconstruction, see DESIGN.md):
+///
+///   bit  31     valid flag (set by p_set)
+///   bits 30..16 join hart id (the team head a join returns to)
+///   bits 15..0  successor hart id (the next team member, from p_fc/p_fn)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LBP_ISA_HARTREF_H
+#define LBP_ISA_HARTREF_H
+
+#include <cstdint>
+
+namespace lbp {
+namespace isa {
+
+/// Flag bit p_set ors into the reference word.
+constexpr uint32_t HartRefValidBit = 0x80000000u;
+
+/// Result of `p_set rd, rs1` on hart \p CurrentHart: keep the successor
+/// field of \p Prior, name the current hart as join target.
+constexpr uint32_t hartRefSet(uint32_t Prior, uint32_t CurrentHart) {
+  return (Prior & 0xFFFFu) | ((CurrentHart & 0x7FFFu) << 16) |
+         HartRefValidBit;
+}
+
+/// Result of `p_merge rd, rs1, rs2`: join field of \p JoinRef, successor
+/// field of \p SuccessorId.
+constexpr uint32_t hartRefMerge(uint32_t JoinRef, uint32_t SuccessorId) {
+  return (JoinRef & 0xFFFF0000u) | (SuccessorId & 0xFFFFu);
+}
+
+/// Join hart id carried by \p Ref.
+constexpr uint32_t hartRefJoin(uint32_t Ref) { return (Ref >> 16) & 0x7FFFu; }
+
+/// Successor hart id carried by \p Ref.
+constexpr uint32_t hartRefSuccessor(uint32_t Ref) { return Ref & 0xFFFFu; }
+
+/// True when \p Ref was produced by p_set/p_merge rather than holding a
+/// sentinel such as the -1 exit code.
+constexpr bool hartRefIsValid(uint32_t Ref) {
+  return (Ref & HartRefValidBit) != 0 && Ref != 0xFFFFFFFFu;
+}
+
+/// Sentinel in t0 meaning "exit the process" (paper: `li t0, -1`).
+constexpr uint32_t HartRefExit = 0xFFFFFFFFu;
+
+} // namespace isa
+} // namespace lbp
+
+#endif // LBP_ISA_HARTREF_H

@@ -1,0 +1,46 @@
+//===- isa/Reg.cpp - RISC-V integer register file names --------------------===//
+//
+// Part of the LBP reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "isa/Reg.h"
+
+#include <array>
+#include <cassert>
+
+using namespace lbp;
+using namespace lbp::isa;
+
+static constexpr std::array<std::string_view, NumRegs> AbiNames = {
+    "zero", "ra", "sp", "gp", "tp",  "t0",  "t1", "t2", "s0", "s1", "a0",
+    "a1",   "a2", "a3", "a4", "a5",  "a6",  "a7", "s2", "s3", "s4", "s5",
+    "s6",   "s7", "s8", "s9", "s10", "s11", "t3", "t4", "t5", "t6"};
+
+std::string_view isa::regName(uint8_t Reg) {
+  assert(Reg < NumRegs && "register index out of range");
+  return AbiNames[Reg];
+}
+
+std::optional<uint8_t> isa::parseRegName(std::string_view Name) {
+  for (unsigned I = 0; I != NumRegs; ++I)
+    if (AbiNames[I] == Name)
+      return static_cast<uint8_t>(I);
+
+  // "fp" is an alias for s0.
+  if (Name == "fp")
+    return RegS0;
+
+  // "xN" numeric form.
+  if (Name.size() >= 2 && Name.size() <= 3 && Name[0] == 'x') {
+    unsigned Value = 0;
+    for (char C : Name.substr(1)) {
+      if (C < '0' || C > '9')
+        return std::nullopt;
+      Value = Value * 10 + static_cast<unsigned>(C - '0');
+    }
+    if (Value < NumRegs)
+      return static_cast<uint8_t>(Value);
+  }
+  return std::nullopt;
+}

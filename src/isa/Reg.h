@@ -1,0 +1,73 @@
+//===- isa/Reg.h - RISC-V integer register file names ---------------------===//
+//
+// Part of the LBP reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Architectural register indices and ABI names for RV32I. The
+/// Deterministic OpenMP runtime gives `ra` (x1) and `t0` (x5) the special
+/// roles described in the paper's Section 4: `ra` carries the team join
+/// address and `t0` the hart-reference word.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LBP_ISA_REG_H
+#define LBP_ISA_REG_H
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace lbp {
+namespace isa {
+
+/// Number of architectural integer registers.
+constexpr unsigned NumRegs = 32;
+
+/// Well-known ABI register indices.
+enum : uint8_t {
+  RegZero = 0,
+  RegRA = 1,
+  RegSP = 2,
+  RegGP = 3,
+  RegTP = 4,
+  RegT0 = 5,
+  RegT1 = 6,
+  RegT2 = 7,
+  RegS0 = 8,
+  RegS1 = 9,
+  RegA0 = 10,
+  RegA1 = 11,
+  RegA2 = 12,
+  RegA3 = 13,
+  RegA4 = 14,
+  RegA5 = 15,
+  RegA6 = 16,
+  RegA7 = 17,
+  RegS2 = 18,
+  RegS3 = 19,
+  RegS4 = 20,
+  RegS5 = 21,
+  RegS6 = 22,
+  RegS7 = 23,
+  RegS8 = 24,
+  RegS9 = 25,
+  RegS10 = 26,
+  RegS11 = 27,
+  RegT3 = 28,
+  RegT4 = 29,
+  RegT5 = 30,
+  RegT6 = 31,
+};
+
+/// Returns the ABI name ("zero", "ra", "sp", ...) of register \p Reg.
+std::string_view regName(uint8_t Reg);
+
+/// Parses an ABI name or "xN" form. Returns std::nullopt on failure.
+std::optional<uint8_t> parseRegName(std::string_view Name);
+
+} // namespace isa
+} // namespace lbp
+
+#endif // LBP_ISA_REG_H

@@ -1,0 +1,41 @@
+//===- refmodel/VectorCore.cpp - Wide vector-core reference model --------------===//
+//
+// Part of the LBP reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "refmodel/VectorCore.h"
+
+#include <cmath>
+
+using namespace lbp;
+using namespace lbp::refmodel;
+
+VectorCoreResult
+refmodel::evaluateTiledMatMul(const VectorCoreConfig &Config, unsigned H) {
+  // Work decomposition of the tiled kernel (same algorithm the LBP
+  // workload runs): h^3/2 multiply-accumulates plus the tile traffic.
+  double Macs = 0.5 * std::pow(static_cast<double>(H), 3);
+  double Chunks = Macs / Config.VectorLanes;
+
+  // Tile copies: each of the h threads copies an X and a Y tile (h/2
+  // words each) per k-tile pass, sqrt(h) passes, plus the h^2-word Z
+  // write-back.
+  double Sqrt = std::sqrt(static_cast<double>(H));
+  double CopyWords = static_cast<double>(H) * Sqrt * H // h * sqrt(h) * h
+                     + static_cast<double>(H) * H;     // Z write-back
+
+  double Instr = Chunks * Config.InstrPerVectorChunk +
+                 CopyWords * Config.InstrPerCopyWord;
+
+  double PeakIpc = static_cast<double>(Config.IssueWidth) * Config.Cores *
+                   Config.PipelineEfficiency;
+  double Cycles = Instr / PeakIpc;
+
+  VectorCoreResult R;
+  R.Instructions = static_cast<uint64_t>(Instr);
+  R.Cycles = static_cast<uint64_t>(Cycles);
+  R.Ipc = Instr / Cycles;
+  R.IpcPerCore = R.Ipc / Config.Cores;
+  return R;
+}

@@ -1,0 +1,73 @@
+//===- refmodel/VectorCore.h - Wide vector-core reference model ---------------===//
+//
+// Part of the LBP reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An analytic timing model standing in for the paper's Xeon Phi 7210
+/// measurements (Fig. 21 compares the 64-core LBP against the Phi's best
+/// of 1000 runs of the tiled matmul). We do not model Knights Landing
+/// microarchitecture; we model the *structure* of the comparison the
+/// paper draws:
+///
+///   * the Phi executes ~2.28x fewer instructions because of its 16-lane
+///     int32 vector units (LBP has none),
+///   * it sustains ~1.28 IPC per core against a 6-wide issue peak (21%),
+///     while LBP sustains 96% of its 1-IPC peak,
+///   * netting ~3x fewer cycles on the 64-core tiled run.
+///
+/// The two calibration constants (instructions per 16-element vector
+/// chunk, pipeline efficiency) are fitted to the paper's PAPI
+/// measurements (32M instructions, 391K cycles at h = 256) and
+/// documented here; everything else is derived. See DESIGN.md for the
+/// substitution rationale.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LBP_REFMODEL_VECTORCORE_H
+#define LBP_REFMODEL_VECTORCORE_H
+
+#include <cstdint>
+
+namespace lbp {
+namespace refmodel {
+
+/// Machine parameters of the reference manycore (Xeon Phi 7210-like).
+struct VectorCoreConfig {
+  unsigned Cores = 64;          ///< Tiles used for the 256-thread run.
+  unsigned ThreadsPerCore = 4;
+  unsigned VectorLanes = 16;    ///< int32 lanes per AVX-512 operation.
+  unsigned IssueWidth = 6;      ///< 2 int + 2 mem + 2 vector per cycle.
+
+  /// Instructions retired per 16-MAC vector chunk of the tiled kernel
+  /// (vector load, broadcast, FMA, address updates, loop control and
+  /// the imperfectly vectorized remainder). Fitted to the paper's 32M
+  /// retired instructions at h = 256.
+  double InstrPerVectorChunk = 56.5;
+
+  /// Instructions per word moved by the tile-copy phases.
+  double InstrPerCopyWord = 3.0;
+
+  /// Sustained fraction of the issue-width peak (the paper reports
+  /// 1.28 IPC/core = 21% of the 6-wide peak).
+  double PipelineEfficiency = 0.213;
+};
+
+/// Predicted execution of the tiled matmul (X: h x h/2, Y: h/2 x h).
+struct VectorCoreResult {
+  uint64_t Instructions;
+  uint64_t Cycles;
+  double Ipc;        ///< Whole-machine IPC.
+  double IpcPerCore;
+};
+
+/// Evaluates the model for matrix dimension parameter \p H (the paper's
+/// h = number of LBP harts; the Phi runs the same 256-thread job).
+VectorCoreResult evaluateTiledMatMul(const VectorCoreConfig &Config,
+                                     unsigned H);
+
+} // namespace refmodel
+} // namespace lbp
+
+#endif // LBP_REFMODEL_VECTORCORE_H

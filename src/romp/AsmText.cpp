@@ -1,0 +1,55 @@
+//===- romp/AsmText.cpp - Assembly text builder -------------------------------===//
+//
+// Part of the LBP reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "romp/AsmText.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+using namespace lbp;
+using namespace lbp::romp;
+
+static void appendFormatted(std::string &Buffer, const char *Fmt,
+                            va_list Args) {
+  va_list Copy;
+  va_copy(Copy, Args);
+  int Needed = std::vsnprintf(nullptr, 0, Fmt, Copy);
+  va_end(Copy);
+  if (Needed <= 0)
+    return;
+  size_t Old = Buffer.size();
+  Buffer.resize(Old + static_cast<size_t>(Needed) + 1);
+  std::vsnprintf(Buffer.data() + Old, static_cast<size_t>(Needed) + 1, Fmt,
+                 Args);
+  Buffer.pop_back(); // drop the terminating NUL
+}
+
+void AsmText::line(const char *Fmt, ...) {
+  Buffer += "    ";
+  va_list Args;
+  va_start(Args, Fmt);
+  appendFormatted(Buffer, Fmt, Args);
+  va_end(Args);
+  Buffer += '\n';
+}
+
+void AsmText::label(const std::string &Name) {
+  Buffer += Name;
+  Buffer += ":\n";
+}
+
+void AsmText::comment(const char *Fmt, ...) {
+  Buffer += "    # ";
+  va_list Args;
+  va_start(Args, Fmt);
+  appendFormatted(Buffer, Fmt, Args);
+  va_end(Args);
+  Buffer += '\n';
+}
+
+std::string AsmText::freshLabel(const std::string &Prefix) {
+  return ".L" + Prefix + std::to_string(NextLabel++);
+}

@@ -1,0 +1,49 @@
+//===- romp/AsmText.h - Assembly text builder --------------------------------===//
+//
+// Part of the LBP reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small builder for assembly source used by the Deterministic OpenMP
+/// runtime emitter and the kernel compiler: formatted instruction lines,
+/// labels, directives and fresh-label generation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LBP_ROMP_ASMTEXT_H
+#define LBP_ROMP_ASMTEXT_H
+
+#include <string>
+
+namespace lbp {
+namespace romp {
+
+/// Accumulates an assembly source file.
+class AsmText {
+  std::string Buffer;
+  unsigned NextLabel = 0;
+
+public:
+  /// Appends one instruction or directive line (indented).
+  void line(const char *Fmt, ...) __attribute__((format(printf, 2, 3)));
+
+  /// Appends a label definition at column zero.
+  void label(const std::string &Name);
+
+  /// Appends a comment line.
+  void comment(const char *Fmt, ...) __attribute__((format(printf, 2, 3)));
+
+  /// Appends a blank line.
+  void blank() { Buffer += '\n'; }
+
+  /// Returns a fresh label with the given prefix (".L<prefix><n>").
+  std::string freshLabel(const std::string &Prefix);
+
+  const std::string &str() const { return Buffer; }
+};
+
+} // namespace romp
+} // namespace lbp
+
+#endif // LBP_ROMP_ASMTEXT_H

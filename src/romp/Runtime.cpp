@@ -1,0 +1,123 @@
+//===- romp/Runtime.cpp - Deterministic OpenMP runtime codegen ---------------===//
+//
+// Part of the LBP reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "romp/Runtime.h"
+
+using namespace lbp;
+using namespace lbp::romp;
+
+void romp::emitParallelStart(AsmText &Out) {
+  Out.blank();
+  Out.comment("Deterministic OpenMP team launcher (paper Figs. 2/7/8).");
+  Out.comment("a1 = data, a2 = team size, a3 = thread fn; thread gets");
+  Out.comment("a0 = team index, a1 = data. Clobbers a0, t0-t6, ra.");
+  Out.label("LBP_parallel_start");
+  Out.line("p_set t0");
+  Out.line("li t1, 0");
+  Out.label(".Lps_loop");
+  Out.line("addi t2, a2, -1");
+  Out.line("bge t1, t2, .Lps_last");
+  // Fill the current core's four harts before expanding (t % 4 == 3
+  // forks on the next core).
+  Out.line("andi t3, t1, 3");
+  Out.line("li t4, 3");
+  Out.line("blt t3, t4, .Lps_fc");
+  Out.line("p_fn t6");
+  Out.line("j .Lps_fork");
+  Out.label(".Lps_fc");
+  Out.line("p_fc t6");
+  Out.label(".Lps_fork");
+  // The Fig. 8 protocol, extended with the registers our continuation
+  // needs (the paper transmits the loop index through shared memory; we
+  // transmit it in a register, which removes the data race noted in
+  // DESIGN.md).
+  Out.line("p_swcv ra, t6, %u", CvRa);
+  Out.line("p_swcv t0, t6, %u", CvT0);
+  Out.line("p_swcv a1, t6, %u", CvData);
+  Out.line("p_swcv a2, t6, %u", CvNt);
+  Out.line("p_swcv a3, t6, %u", CvFn);
+  Out.line("addi t5, t1, 1");
+  Out.line("p_swcv t5, t6, %u", CvIndex);
+  Out.line("p_merge t0, t0, t6");
+  Out.line("p_syncm");
+  // Publish the join (team head) hart id in tp for the thread body:
+  // bits 30..16 of the reference word.
+  Out.line("slli tp, t0, 1");
+  Out.line("srli tp, tp, 17");
+  Out.line("mv a0, t1");
+  Out.line("p_jalr ra, t0, a3");
+  // ---- the allocated hart starts here (pc+4 of the p_jalr) ----
+  Out.line("p_lwcv ra, %u", CvRa);
+  Out.line("p_lwcv t0, %u", CvT0);
+  Out.line("p_lwcv a1, %u", CvData);
+  Out.line("p_lwcv a2, %u", CvNt);
+  Out.line("p_lwcv a3, %u", CvFn);
+  Out.line("p_lwcv t1, %u", CvIndex);
+  Out.line("j .Lps_loop");
+  // Last team member: ordinary call (Fig. 7); its final p_ret carries
+  // the join address back to the team head.
+  Out.label(".Lps_last");
+  Out.line("addi sp, sp, -8");
+  Out.line("sw ra, 0(sp)");
+  Out.line("sw t0, 4(sp)");
+  // The join id comes from the un-merged reference (p_set below names
+  // this hart for the sequential return-to-self instead).
+  Out.line("slli tp, t0, 1");
+  Out.line("srli tp, tp, 17");
+  Out.line("p_set t0");
+  Out.line("mv a0, t1");
+  Out.line("jalr a3");
+  Out.line("lw ra, 0(sp)");
+  Out.line("lw t0, 4(sp)");
+  Out.line("addi sp, sp, 8");
+  Out.line("p_ret");
+}
+
+void romp::emitParallelCall(AsmText &Out, const std::string &ThreadFn,
+                            unsigned NumHarts, const std::string &DataArg) {
+  Out.comment("parallel region: %u harts of %s", NumHarts,
+              ThreadFn.c_str());
+  if (DataArg == "0")
+    Out.line("li a1, 0");
+  else
+    Out.line("la a1, %s", DataArg.c_str());
+  Out.line("li a2, %u", NumHarts);
+  Out.line("la a3, %s", ThreadFn.c_str());
+  Out.line("jal LBP_parallel_start");
+  // Control resumes here after the team's in-order p_ret barrier.
+}
+
+void romp::emitMainPrologue(AsmText &Out) {
+  Out.label("main");
+  Out.line("addi sp, sp, -8");
+  Out.line("sw ra, 0(sp)");
+  Out.line("sw t0, 4(sp)");
+}
+
+void romp::emitMainEpilogue(AsmText &Out) {
+  Out.line("lw ra, 0(sp)");
+  Out.line("lw t0, 4(sp)");
+  Out.line("addi sp, sp, 8");
+  Out.line("p_ret");
+}
+
+void romp::emitReduceSend(AsmText &Out, const std::string &ValueReg) {
+  Out.comment("reduction: send the partial to the team head (id in tp)");
+  Out.line("p_swre %s, tp, %u", ValueReg.c_str(), ReductionSlot);
+}
+
+void romp::emitReduceCollect(AsmText &Out, const std::string &AccReg,
+                             unsigned Count) {
+  Out.comment("reduction: fold %u member partials into %s", Count,
+              AccReg.c_str());
+  std::string Loop = Out.freshLabel("red");
+  Out.line("li t3, %u", Count);
+  Out.label(Loop);
+  Out.line("p_lwre t2, %u", ReductionSlot);
+  Out.line("add %s, %s, t2", AccReg.c_str(), AccReg.c_str());
+  Out.line("addi t3, t3, -1");
+  Out.line("bnez t3, %s", Loop.c_str());
+}

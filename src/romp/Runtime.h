@@ -1,0 +1,82 @@
+//===- romp/Runtime.h - Deterministic OpenMP runtime codegen -----------------===//
+//
+// Part of the LBP reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Emits the Deterministic OpenMP runtime of paper Section 3: the
+/// LBP_parallel_start team launcher (Figs. 2 and 7), the hardware fork
+/// protocol (Fig. 8), and the reduction convention over p_swre/p_lwre.
+///
+/// Calling convention of the emitted runtime:
+///
+///   * `LBP_parallel_start` takes a1 = shared data pointer, a2 = team
+///     size (number of harts), a3 = thread function pointer. The thread
+///     function receives a0 = its team index, a1 = the data pointer,
+///     a2 = the team size and tp = the team head's hart id (for
+///     reductions); it must end with `p_ret` (thread functions are
+///     compiled with the parallel epilogue). The caller must have ra/t0 saved in its own
+///     frame; control resumes at the instruction after the call once the
+///     whole team has retired its p_rets in order — that in-order commit
+///     chain is the hardware barrier.
+///   * teams fill the four harts of a core before expanding to the next
+///     core, exactly like the paper's translator.
+///   * reductions: members 1..n-1 `p_swre` their partial value into the
+///     team head's result slot `ReductionSlot`; after the join the head
+///     collects n-1 values with blocking `p_lwre`s.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LBP_ROMP_RUNTIME_H
+#define LBP_ROMP_RUNTIME_H
+
+#include "romp/AsmText.h"
+
+namespace lbp {
+namespace romp {
+
+/// Result slot reserved for team reductions.
+constexpr unsigned ReductionSlot = 7;
+
+/// Frame-offset layout of the continuation values the fork protocol
+/// transmits (p_swcv/p_lwcv offsets).
+enum ContFrameSlot : unsigned {
+  CvRa = 0,    ///< Join address.
+  CvT0 = 4,    ///< Hart-reference word (join hart id).
+  CvData = 8,  ///< Shared data pointer (a1).
+  CvNt = 12,   ///< Team size (a2).
+  CvFn = 16,   ///< Thread function pointer (a3).
+  CvIndex = 20 ///< Team index of the continuation (t1).
+};
+
+/// Emits the LBP_parallel_start routine. Call once per module.
+void emitParallelStart(AsmText &Out);
+
+/// Emits a call to LBP_parallel_start launching \p NumHarts copies of
+/// \p ThreadFn with a1 = \p DataArg (an expression the assembler can
+/// evaluate, typically a symbol; pass "0" for none). The caller resumes
+/// after the team barrier.
+void emitParallelCall(AsmText &Out, const std::string &ThreadFn,
+                      unsigned NumHarts, const std::string &DataArg);
+
+/// Emits the entry/exit wrapper for `main`: saves ra/t0 (the boot values
+/// 0/-1), runs the body via the callback, restores and p_rets (= exit).
+void emitMainPrologue(AsmText &Out);
+void emitMainEpilogue(AsmText &Out);
+
+/// Emits the member-side reduction send: sends the value in \p ValueReg
+/// to the team head's ReductionSlot using the join id in t0. Clobbers
+/// t2/t3.
+void emitReduceSend(AsmText &Out, const std::string &ValueReg);
+
+/// Emits the head-side reduction collect: accumulates \p Count values
+/// into \p AccReg (which must already hold the head's own partial) with
+/// blocking p_lwre. Clobbers t2/t3.
+void emitReduceCollect(AsmText &Out, const std::string &AccReg,
+                       unsigned Count);
+
+} // namespace romp
+} // namespace lbp
+
+#endif // LBP_ROMP_RUNTIME_H

@@ -1,0 +1,99 @@
+//===- sim/Config.h - LBP machine configuration ----------------------------===//
+//
+// Part of the LBP reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural and timing parameters of a simulated LBP machine. The
+/// paper's three evaluation sizes are 4, 16 and 64 cores (16/64/256
+/// harts); the router tree instantiates r1 per 4 cores, r2 per 4 r1 and
+/// r3 per 4 r2 exactly as its Figs. 13-14. Latencies are our calibration
+/// (the paper does not publish them); every number is a parameter so the
+/// ablation benches can sweep them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LBP_SIM_CONFIG_H
+#define LBP_SIM_CONFIG_H
+
+#include <cstdint>
+
+namespace lbp {
+namespace sim {
+
+/// Harts per core is fixed by the LBP design (Fig. 11/12).
+constexpr unsigned HartsPerCore = 4;
+
+/// Per-hart reorder buffer entries (the paper keeps the out-of-order
+/// window minimal; 8 entries is enough to expose distant ILP through
+/// multithreading without acting like a big OoO core).
+constexpr unsigned RobEntries = 8;
+
+/// Remote-result buffer slots per hart (p_swre/p_lwre targets).
+constexpr unsigned ResultSlots = 8;
+
+struct SimConfig {
+  /// Number of cores on the line; must be a power of 4 between 1 and 64
+  /// for a full router tree (other values are allowed, the tree is then
+  /// partially populated).
+  unsigned NumCores = 4;
+
+  /// log2 of the per-core shared global bank size in bytes.
+  unsigned GlobalBankSizeLog2 = 16; // 64 KiB
+
+  // Functional-unit latencies (issue to result-ready), in cycles.
+  unsigned AluLatency = 1;
+  unsigned MulLatency = 3;
+  unsigned DivLatency = 16;
+
+  /// Local scratchpad access latency (issue to result-ready).
+  unsigned LocalMemLatency = 2;
+
+  /// Own-core shared-bank access through the bank's local port.
+  unsigned GlobalLocalPortLatency = 3;
+
+  /// Per-hop link traversal latency in the router tree.
+  unsigned RouterHopLatency = 1;
+
+  /// Transactions each router-tree link moves per cycle per direction.
+  /// The calibration that reproduces the paper's Fig. 21 ratios is 2
+  /// (request + response channels per link pair); the ablation bench
+  /// sweeps this.
+  unsigned RouterLinkCapacity = 2;
+
+  /// Bank service occupancy per router-side request (1 request/cycle).
+  unsigned BankServiceLatency = 1;
+
+  /// Direct forward link to the next core (forks, p_swcv, tokens).
+  unsigned ForwardLinkLatency = 1;
+
+  /// Per-core-hop latency on the backward line (joins, p_swre).
+  unsigned BackwardHopLatency = 1;
+
+  /// Abort threshold: cycles without any commit, delivery or hart start
+  /// before the machine reports a livelock.
+  uint64_t ProgressGuard = 1000000;
+
+  /// Record formatted trace events (hashing is always on).
+  bool RecordTrace = false;
+
+  /// Classify why each core issued nothing in a cycle (adds a per-cycle
+  /// scan; off by default).
+  bool CollectStallStats = false;
+
+  unsigned numHarts() const { return NumCores * HartsPerCore; }
+  uint32_t globalBankSize() const { return 1u << GlobalBankSizeLog2; }
+
+  /// The paper's machine sizes.
+  static SimConfig lbp(unsigned NumCores) {
+    SimConfig C;
+    C.NumCores = NumCores;
+    return C;
+  }
+};
+
+} // namespace sim
+} // namespace lbp
+
+#endif // LBP_SIM_CONFIG_H

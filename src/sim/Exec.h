@@ -1,0 +1,36 @@
+//===- sim/Exec.h - Functional instruction semantics ------------------------===//
+//
+// Part of the LBP reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Pure-function evaluation of RV32IM data operations, separated from the
+/// pipeline so it can be unit-tested exhaustively (including the RISC-V
+/// division edge cases).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LBP_SIM_EXEC_H
+#define LBP_SIM_EXEC_H
+
+#include "isa/Instr.h"
+
+#include <cstdint>
+
+namespace lbp {
+namespace sim {
+
+/// Computes the register result of an ALU / mul / div / upper-immediate /
+/// link-producing instruction. \p A and \p B are the rs1/rs2 source
+/// values, \p Pc the instruction's own address.
+uint32_t evalOp(const isa::Instr &I, uint32_t A, uint32_t B, uint32_t Pc);
+
+/// Returns true when the conditional branch \p I is taken given sources
+/// \p A and \p B.
+bool evalBranch(isa::Opcode Op, uint32_t A, uint32_t B);
+
+} // namespace sim
+} // namespace lbp
+
+#endif // LBP_SIM_EXEC_H

@@ -1,0 +1,200 @@
+//===- sim/Machine.h - The LBP manycore machine ------------------------------===//
+//
+// Part of the LBP reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The top-level simulator: a line of cores (Fig. 9), the banked memory
+/// and router tree (Figs. 13-14), the forward/backward inter-core links,
+/// memory-mapped devices (Fig. 17) and the global cycle loop. Everything
+/// is deterministic: rerunning the same program on the same configuration
+/// reproduces the cycle-by-cycle event stream bit for bit.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LBP_SIM_MACHINE_H
+#define LBP_SIM_MACHINE_H
+
+#include "asm/Program.h"
+#include "sim/Config.h"
+#include "sim/Device.h"
+#include "sim/Hart.h"
+#include "sim/Memory.h"
+#include "sim/Trace.h"
+
+#include <map>
+#include <memory>
+#include <string>
+
+namespace lbp {
+namespace sim {
+
+/// Why a run() returned.
+enum class RunStatus : uint8_t {
+  Exited,    ///< p_ret with ra == 0, t0 == -1 committed.
+  MaxCycles, ///< The cycle budget ran out first.
+  Livelock,  ///< No progress for SimConfig::ProgressGuard cycles.
+  Fault,     ///< Invalid instruction or protocol violation; see
+             ///< faultMessage().
+};
+
+class Machine {
+public:
+  explicit Machine(const SimConfig &Config);
+
+  /// Loads a program image: text into the code banks, data into the
+  /// global (or local) banks they fall into. Hart 0 of core 0 starts at
+  /// the program entry holding the ending-signal token.
+  void load(const assembler::Program &Prog);
+
+  /// Maps \p Device over [Base, Base + Size) in the I/O region.
+  void addDevice(uint32_t Base, uint32_t Size,
+                 std::unique_ptr<IoDevice> Device);
+
+  /// Runs until exit, fault, livelock or \p MaxCycles.
+  RunStatus run(uint64_t MaxCycles = UINT64_MAX);
+
+  // Observation.
+  uint64_t cycles() const { return Cycle; }
+  uint64_t retired() const { return TotalRetired; }
+  double ipc() const {
+    return Cycle == 0 ? 0.0
+                      : static_cast<double>(TotalRetired) /
+                            static_cast<double>(Cycle);
+  }
+  uint64_t retiredOnHart(unsigned HartId) const;
+  uint64_t traceHash() const { return Tr.hash(); }
+  const Trace &trace() const { return Tr; }
+  const std::string &faultMessage() const { return FaultMsg; }
+  uint64_t contentionCycles() const { return Net.contentionCycles(); }
+  const Interconnect &interconnect() const { return Net; }
+
+  /// Why issue slots went unused (filled when CollectStallStats is on).
+  /// One count per core-cycle that issued nothing, by dominant cause.
+  enum class StallCause : uint8_t {
+    NoActiveWork,    ///< No in-flight instructions on the core at all.
+    WaitingResponse, ///< Everything issued, awaiting memory/results.
+    RbBusy,          ///< Ready work blocked on the single result buffer.
+    SlotEmpty,       ///< p_lwre waiting for a producer.
+    OperandsNotReady,///< Entries waiting on in-flight producers.
+    NumCauses
+  };
+  uint64_t stallCycles(StallCause C) const {
+    return StallCounts[static_cast<unsigned>(C)];
+  }
+  /// Core-cycles in which an instruction issued.
+  uint64_t issuedCoreCycles() const { return IssuedCoreCycles; }
+  uint64_t remoteAccesses() const { return RemoteAccesses; }
+  uint64_t localAccesses() const { return LocalAccesses; }
+  const SimConfig &config() const { return Cfg; }
+
+  /// Host-side memory access for test setup and result checking (not
+  /// part of the simulated timing). Local addresses refer to \p Core.
+  uint32_t debugReadWord(uint32_t Addr, unsigned Core = 0) const;
+  void debugWriteWord(uint32_t Addr, uint32_t Value, unsigned Core = 0);
+
+  /// Host-side register peek for tests.
+  uint32_t debugReadReg(unsigned HartId, unsigned Reg) const;
+  HartState hartState(unsigned HartId) const;
+
+private:
+  // -- Deliveries -----------------------------------------------------
+  struct Delivery {
+    enum class Kind : uint8_t {
+      RbFill,     ///< Load/remote value lands in the hart's rb.
+      MemAck,     ///< Store acknowledged; OutstandingMem--.
+      BankAccess, ///< Perform the read/write at the serving bank.
+      IoAccess,   ///< Perform the device register access.
+      StartHart,  ///< p_jal/p_jalr start message reaches the hart.
+      Token,      ///< Ending-hart signal reaches the hart.
+      JoinMsg,    ///< Join address (+ token) resumes the team head.
+      SlotFill,   ///< p_swre value reaches a remote-result slot.
+    } K;
+    uint16_t HartId = 0; ///< Requesting/target hart.
+    uint32_t Value = 0;
+    uint32_t Addr = 0;
+    uint64_t RespCycle = 0; ///< For Bank/IoAccess: response arrival.
+    uint32_t StoreWord = 0; ///< Word address a MemAck retires.
+    uint8_t Width = 4;
+    uint8_t Slot = 0;
+    bool IsWrite = false;
+    bool SignExt = false;
+    bool CountsMem = false; ///< RbFill also decrements OutstandingMem.
+  };
+
+  void schedule(uint64_t At, Delivery D);
+  void deliver(const Delivery &D);
+
+  // -- Pipeline stages (per core, one hart each per cycle) -------------
+  void stageCommit(unsigned CoreId);
+  void stageWriteback(unsigned CoreId);
+  void stageIssue(unsigned CoreId);
+  void stageDecode(unsigned CoreId);
+  void stageFetch(unsigned CoreId);
+
+  // -- Issue helpers ---------------------------------------------------
+  bool tryIssue(unsigned CoreId, unsigned HartInCore, unsigned RobIdx);
+  bool issueMemOp(unsigned CoreId, unsigned HartInCore, Hart &H,
+                  RobEntry &E, unsigned RobIdx);
+  bool issueXPar(unsigned CoreId, unsigned HartInCore, Hart &H, RobEntry &E,
+                 unsigned RobIdx);
+  void commitRet(unsigned CoreId, unsigned HartInCore, Hart &H,
+                 RobEntry &E);
+
+  // -- Plumbing ---------------------------------------------------------
+  Hart &hart(unsigned HartId) {
+    return Cores[HartId / HartsPerCore].Harts[HartId % HartsPerCore];
+  }
+  const Hart &hart(unsigned HartId) const {
+    return Cores[HartId / HartsPerCore].Harts[HartId % HartsPerCore];
+  }
+  unsigned hartId(unsigned CoreId, unsigned HartInCore) const {
+    return CoreId * HartsPerCore + HartInCore;
+  }
+  void fault(const std::string &Msg);
+  void startHart(unsigned HartId, uint32_t StartPc);
+  void freeHart(unsigned HartId);
+  void sendToken(unsigned FromHart, unsigned ToHart);
+  int allocateHart(unsigned CoreId, unsigned ByHart);
+  void fillSlot(Hart &H, unsigned Slot, uint32_t Value);
+  void finishRb(Hart &H, uint32_t Value, uint64_t ReadyCycle);
+  bool loadBlockedByStore(const Hart &H, uint32_t Addr) const;
+  IoDevice *findDevice(uint32_t Addr, uint32_t &Offset);
+
+  SimConfig Cfg;
+  MemorySystem Mem;
+  Interconnect Net;
+  Trace Tr;
+  std::vector<Core> Cores;
+
+  uint64_t Cycle = 0;
+  uint64_t LastProgress = 0;
+  RunStatus Status = RunStatus::MaxCycles;
+  bool Halted = false;
+  std::string FaultMsg;
+
+  uint64_t TotalRetired = 0;
+  uint64_t RemoteAccesses = 0;
+  uint64_t LocalAccesses = 0;
+  uint64_t StallCounts[static_cast<unsigned>(StallCause::NumCauses)] = {};
+  uint64_t IssuedCoreCycles = 0;
+  void classifyIssueStall(unsigned CoreId);
+
+  // Delivery wheel with a far-future overflow map.
+  static constexpr uint64_t WheelSize = 1 << 14;
+  std::vector<std::vector<Delivery>> Wheel;
+  std::multimap<uint64_t, Delivery> Overflow;
+
+  struct DeviceMapping {
+    uint32_t Base;
+    uint32_t Size;
+    std::unique_ptr<IoDevice> Dev;
+  };
+  std::vector<DeviceMapping> Devices;
+};
+
+} // namespace sim
+} // namespace lbp
+
+#endif // LBP_SIM_MACHINE_H

@@ -1,0 +1,49 @@
+//===- sim/Trace.cpp - Cycle-deterministic event stream ---------------------===//
+//
+// Part of the LBP reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Trace.h"
+#include "support/StringUtils.h"
+
+using namespace lbp;
+using namespace lbp::sim;
+
+static const char *kindName(EventKind K) {
+  switch (K) {
+  case EventKind::Commit:
+    return "commit";
+  case EventKind::BankRead:
+    return "bank-read";
+  case EventKind::BankWrite:
+    return "bank-write";
+  case EventKind::HartStart:
+    return "hart-start";
+  case EventKind::HartEnd:
+    return "hart-end";
+  case EventKind::HartReserve:
+    return "hart-reserve";
+  case EventKind::TokenPass:
+    return "token-pass";
+  case EventKind::Join:
+    return "join";
+  case EventKind::IoRead:
+    return "io-read";
+  case EventKind::IoWrite:
+    return "io-write";
+  case EventKind::Exit:
+    return "exit";
+  }
+  return "?";
+}
+
+void Trace::event(uint64_t Cycle, EventKind Kind, uint64_t A, uint64_t B) {
+  Hash.addEvent(Cycle, static_cast<uint64_t>(Kind), A, B);
+  if (Recording)
+    Lines.push_back(formatString("cycle %llu: %s %llu %llu",
+                                 static_cast<unsigned long long>(Cycle),
+                                 kindName(Kind),
+                                 static_cast<unsigned long long>(A),
+                                 static_cast<unsigned long long>(B)));
+}

@@ -1,0 +1,64 @@
+//===- sim/Trace.h - Cycle-deterministic event stream ----------------------===//
+//
+// Part of the LBP reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Every observable machine event is folded into an order-sensitive hash;
+/// two runs of the same program on the same configuration are
+/// cycle-deterministic exactly when their hashes match (the paper's
+/// headline property). Optionally the events are also kept as text for
+/// debugging and for the examples that print "at cycle C, core X, hart H
+/// ..." statements like the paper's Section 1.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LBP_SIM_TRACE_H
+#define LBP_SIM_TRACE_H
+
+#include "support/EventHash.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lbp {
+namespace sim {
+
+/// Everything the trace distinguishes.
+enum class EventKind : uint8_t {
+  Commit,       ///< Instruction retired: (hart, pc).
+  BankRead,     ///< Shared-bank read served: (bank, addr).
+  BankWrite,    ///< Shared-bank write served: (bank, addr).
+  HartStart,    ///< Hart began fetching: (hart, pc).
+  HartEnd,      ///< Hart was freed: (hart).
+  HartReserve,  ///< Hart allocated by p_fc/p_fn: (hart, byHart).
+  TokenPass,    ///< Ending-hart signal moved: (fromHart, toHart).
+  Join,         ///< Join message delivered: (toHart, resumePc).
+  IoRead,       ///< Device register read: (addr, value).
+  IoWrite,      ///< Device register write: (addr, value).
+  Exit,         ///< Process exited: (hart).
+};
+
+/// Event sink: always hashes, optionally records formatted lines.
+class Trace {
+  EventHash Hash;
+  bool Recording = false;
+  std::vector<std::string> Lines;
+
+public:
+  void setRecording(bool R) { Recording = R; }
+
+  void event(uint64_t Cycle, EventKind Kind, uint64_t A, uint64_t B = 0);
+
+  /// Order-sensitive fingerprint of everything seen so far.
+  uint64_t hash() const { return Hash.value(); }
+
+  const std::vector<std::string> &lines() const { return Lines; }
+};
+
+} // namespace sim
+} // namespace lbp
+
+#endif // LBP_SIM_TRACE_H

@@ -1,0 +1,32 @@
+//===- support/Compiler.h - Portability and diagnostics macros -----------===//
+//
+// Part of the LBP reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small compiler portability helpers shared by every LBP library.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LBP_SUPPORT_COMPILER_H
+#define LBP_SUPPORT_COMPILER_H
+
+#include <cassert>
+#include <cstdlib>
+
+namespace lbp {
+
+/// Reports an internal invariant violation and aborts.
+///
+/// Used for code paths that are unconditionally bugs when reached (never
+/// for user-input errors, which go through reportFatalError).
+[[noreturn]] void reportUnreachable(const char *Msg, const char *File,
+                                    unsigned Line);
+
+} // namespace lbp
+
+/// Marks a point in code that must never execute.
+#define LBP_UNREACHABLE(MSG) ::lbp::reportUnreachable(MSG, __FILE__, __LINE__)
+
+#endif // LBP_SUPPORT_COMPILER_H

@@ -1,0 +1,22 @@
+//===- support/Error.cpp - Fatal error reporting --------------------------===//
+//
+// Part of the LBP reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Error.h"
+#include "support/Compiler.h"
+
+#include <cstdio>
+
+using namespace lbp;
+
+void lbp::reportFatalError(const std::string &Msg) {
+  std::fprintf(stderr, "error: %s\n", Msg.c_str());
+  std::exit(1);
+}
+
+void lbp::reportUnreachable(const char *Msg, const char *File, unsigned Line) {
+  std::fprintf(stderr, "internal error: %s at %s:%u\n", Msg, File, Line);
+  std::abort();
+}

@@ -1,0 +1,26 @@
+//===- support/Error.h - Fatal error reporting ----------------------------===//
+//
+// Part of the LBP reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fatal-error reporting for conditions triggered by user input (bad
+/// assembly, unresolvable symbols, invalid simulator configuration).
+/// Internal invariants use assert/LBP_UNREACHABLE instead.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LBP_SUPPORT_ERROR_H
+#define LBP_SUPPORT_ERROR_H
+
+#include <string>
+
+namespace lbp {
+
+/// Prints \p Msg on stderr in tool style ("error: ...") and exits.
+[[noreturn]] void reportFatalError(const std::string &Msg);
+
+} // namespace lbp
+
+#endif // LBP_SUPPORT_ERROR_H

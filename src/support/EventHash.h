@@ -1,0 +1,50 @@
+//===- support/EventHash.h - Incremental event-stream hashing ------------===//
+//
+// Part of the LBP reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// FNV-1a based incremental hash used to fingerprint the cycle-by-cycle
+/// event stream of a simulation. Two runs are cycle-deterministic exactly
+/// when their event hashes match.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LBP_SUPPORT_EVENTHASH_H
+#define LBP_SUPPORT_EVENTHASH_H
+
+#include <cstdint>
+
+namespace lbp {
+
+/// Order-sensitive 64-bit FNV-1a accumulator.
+class EventHash {
+  uint64_t Value = 0xcbf29ce484222325ULL;
+
+  void addByte(uint8_t B) {
+    Value ^= B;
+    Value *= 0x100000001b3ULL;
+  }
+
+public:
+  /// Folds a 64-bit word into the hash, low byte first.
+  void addWord(uint64_t W) {
+    for (unsigned I = 0; I != 8; ++I)
+      addByte(static_cast<uint8_t>(W >> (8 * I)));
+  }
+
+  /// Folds an event described by up to four fields into the hash.
+  void addEvent(uint64_t A, uint64_t B = 0, uint64_t C = 0, uint64_t D = 0) {
+    addWord(A);
+    addWord(B);
+    addWord(C);
+    addWord(D);
+  }
+
+  uint64_t value() const { return Value; }
+};
+
+} // namespace lbp
+
+#endif // LBP_SUPPORT_EVENTHASH_H

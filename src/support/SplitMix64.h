@@ -1,0 +1,49 @@
+//===- support/SplitMix64.h - Deterministic pseudo-random numbers ---------===//
+//
+// Part of the LBP reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SplitMix64, the seedable deterministic generator used wherever the
+/// reproduction injects "non-determinism" (device response latencies,
+/// property-test inputs). Using a fixed algorithm instead of std::mt19937
+/// keeps streams identical across standard libraries.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LBP_SUPPORT_SPLITMIX64_H
+#define LBP_SUPPORT_SPLITMIX64_H
+
+#include <cstdint>
+
+namespace lbp {
+
+/// Deterministic 64-bit generator (Steele, Lea, Flood 2014).
+class SplitMix64 {
+  uint64_t State;
+
+public:
+  explicit SplitMix64(uint64_t Seed) : State(Seed) {}
+
+  /// Returns the next 64-bit value in the stream.
+  uint64_t next() {
+    State += 0x9e3779b97f4a7c15ULL;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Returns a value uniformly distributed in [0, Bound) for Bound > 0.
+  uint64_t nextBelow(uint64_t Bound) { return next() % Bound; }
+
+  /// Returns a value uniformly distributed in [Lo, Hi] (inclusive).
+  uint64_t nextInRange(uint64_t Lo, uint64_t Hi) {
+    return Lo + nextBelow(Hi - Lo + 1);
+  }
+};
+
+} // namespace lbp
+
+#endif // LBP_SUPPORT_SPLITMIX64_H

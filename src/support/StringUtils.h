@@ -1,0 +1,44 @@
+//===- support/StringUtils.h - Small string helpers -----------------------===//
+//
+// Part of the LBP reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// String helpers shared by the assembler and the tools: trimming,
+/// splitting, integer parsing with RISC-V-style radix prefixes, and a
+/// printf-style std::string formatter.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LBP_SUPPORT_STRINGUTILS_H
+#define LBP_SUPPORT_STRINGUTILS_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lbp {
+
+/// Returns \p S without leading and trailing spaces and tabs.
+std::string_view trim(std::string_view S);
+
+/// Splits \p S on \p Sep; empty pieces are kept.
+std::vector<std::string_view> split(std::string_view S, char Sep);
+
+/// Splits \p S into lines (handles a missing final newline).
+std::vector<std::string_view> splitLines(std::string_view S);
+
+/// Parses a signed 64-bit integer with optional sign and 0x/0b/0 radix
+/// prefixes. Returns std::nullopt when \p S is not entirely a number.
+std::optional<int64_t> parseInteger(std::string_view S);
+
+/// printf-style formatting into a std::string.
+std::string formatString(const char *Fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace lbp
+
+#endif // LBP_SUPPORT_STRINGUTILS_H

@@ -1,0 +1,117 @@
+//===- workloads/Dma.cpp - Fig. 17 controller-hart streaming --------------------===//
+//
+// Part of the LBP reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Dma.h"
+#include "dsl/Ast.h"
+#include "dsl/CodeGen.h"
+
+#include <algorithm>
+
+using namespace lbp;
+using namespace lbp::dsl;
+using namespace lbp::workloads;
+
+namespace {
+
+/// Result-buffer slots used by the two directions.
+constexpr int32_t FeedSlot = 0;   ///< in-controller -> worker
+constexpr int32_t ResultSlot = 1; ///< worker -> out-controller
+
+} // namespace
+
+std::vector<uint32_t> workloads::dmaInputStream(const DmaSpec &Spec) {
+  std::vector<uint32_t> Data;
+  for (unsigned K = 0; K != Spec.totalItems(); ++K)
+    Data.push_back(5 * K + 1);
+  return Data;
+}
+
+std::vector<uint32_t> workloads::dmaExpectedSums(const DmaSpec &Spec) {
+  // The controller deals items round-robin: worker w (member w+1) gets
+  // items w, W+w, 2W+w, ...
+  std::vector<uint32_t> Sums(Spec.Workers, 0);
+  std::vector<uint32_t> In = dmaInputStream(Spec);
+  for (unsigned K = 0; K != In.size(); ++K)
+    Sums[K % Spec.Workers] += In[K];
+  std::sort(Sums.begin(), Sums.end());
+  return Sums;
+}
+
+std::string workloads::buildDmaStreamProgram(const DmaSpec &Spec) {
+  Module M;
+  Function *F = M.function("role", FnKind::Thread);
+  const Local *T = F->param("t");
+  const Local *I = F->local("i");
+  const Local *X = F->local("x");
+  const Local *Acc = F->local("acc");
+  const Local *Dev = F->local("dev");
+  const Local *W = F->local("w");
+
+  int32_t Workers = static_cast<int32_t>(Spec.Workers);
+  int32_t Items = static_cast<int32_t>(Spec.ItemsPerWorker);
+  int32_t LastMember = Workers + 1;
+
+  // Input controller (last member): poll the stream device, deal each
+  // value to the next worker over the backward line.
+  std::vector<const Stmt *> InCtl;
+  InCtl.push_back(
+      M.assign(Dev, M.c(static_cast<int32_t>(DmaInDeviceBase))));
+  InCtl.push_back(M.assign(I, M.c(0)));
+  {
+    std::vector<const Stmt *> Body;
+    // Active wait on STATUS (the paper's polling input controller).
+    Body.push_back(
+        M.whileStmt(CmpOp::Eq, M.load(M.v(Dev)), M.c(0), {}));
+    Body.push_back(M.assign(X, M.load(M.v(Dev), 4)));
+    // Deal to worker (i % W) + 1 (member ids 1..W).
+    Body.push_back(M.assign(W, M.add(M.bin(BinOp::Rem, M.v(I),
+                                           M.c(Workers)),
+                                     M.c(1))));
+    Body.push_back(M.sendResult(M.v(W), M.v(X), FeedSlot));
+    Body.push_back(M.assign(I, M.add(M.v(I), M.c(1))));
+    InCtl.push_back(M.doWhile(std::move(Body), CmpOp::Ne, M.v(I),
+                              M.c(Workers * Items)));
+  }
+
+  // Output controller (member 0): collect one sum per worker, write
+  // each to the output device as it arrives.
+  std::vector<const Stmt *> OutCtl;
+  OutCtl.push_back(
+      M.assign(Dev, M.c(static_cast<int32_t>(DmaOutDeviceBase))));
+  OutCtl.push_back(M.assign(I, M.c(0)));
+  {
+    std::vector<const Stmt *> Body;
+    Body.push_back(M.assign(X, M.recvResult(ResultSlot)));
+    Body.push_back(M.store(M.v(Dev), 4, M.v(X)));
+    Body.push_back(M.syncm());
+    Body.push_back(M.assign(I, M.add(M.v(I), M.c(1))));
+    OutCtl.push_back(
+        M.doWhile(std::move(Body), CmpOp::Ne, M.v(I), M.c(Workers)));
+  }
+
+  // Workers (members 1..W): consume Items values, send the sum to the
+  // output controller (member 0, a prior hart).
+  std::vector<const Stmt *> Worker;
+  Worker.push_back(M.assign(Acc, M.c(0)));
+  Worker.push_back(M.assign(I, M.c(0)));
+  {
+    std::vector<const Stmt *> Body;
+    Body.push_back(M.assign(X, M.recvResult(FeedSlot)));
+    Body.push_back(M.assign(Acc, M.add(M.v(Acc), M.v(X))));
+    Body.push_back(M.assign(I, M.add(M.v(I), M.c(1))));
+    Worker.push_back(
+        M.doWhile(std::move(Body), CmpOp::Ne, M.v(I), M.c(Items)));
+  }
+  Worker.push_back(M.sendResult(M.c(0), M.v(Acc), ResultSlot));
+
+  F->append(M.ifStmt(CmpOp::Eq, M.v(T), M.c(0), std::move(OutCtl),
+                     {M.ifStmt(CmpOp::Eq, M.v(T), M.c(LastMember),
+                               std::move(InCtl), std::move(Worker))}));
+
+  Function *Main = M.function("main", FnKind::Main);
+  Main->append(M.parallelFor("role", Spec.teamSize()));
+  return compileModule(M);
+}

@@ -1,0 +1,62 @@
+//===- workloads/Dma.h - Fig. 17 controller-hart streaming ---------------------===//
+//
+// Part of the LBP reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's Fig. 17 / DMA pattern: dedicated harts act as I/O
+/// controllers, synchronized with the computing harts through
+/// p_swre/p_lwre pairs instead of interrupts.
+///
+///   * the *input controller* is the team's last member (the paper puts
+///     it on the last hart of the last core): it polls the input stream
+///     device and feeds each worker over the backward line — "the
+///     intercore backward link acts as a stream filling the team";
+///   * *workers* block on p_lwre for each datum (the out-of-order engine
+///     is the synchronizer), accumulate, and send their result onward;
+///   * the *output controller* is member 0 (the paper's hart 0 of core
+///     0): it collects every worker's result with blocking p_lwre and
+///     writes it to the output device.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LBP_WORKLOADS_DMA_H
+#define LBP_WORKLOADS_DMA_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lbp {
+namespace workloads {
+
+/// Device placement used by the program and the harness.
+constexpr uint32_t DmaInDeviceBase = 0x30002000u;
+constexpr uint32_t DmaOutDeviceBase = 0x30002100u;
+
+struct DmaSpec {
+  unsigned Workers = 2;        ///< Computing harts (team size - 2).
+  unsigned ItemsPerWorker = 8; ///< Values streamed to each worker.
+
+  unsigned teamSize() const { return Workers + 2; }
+  unsigned cores() const { return (teamSize() + 3) / 4; }
+  unsigned totalItems() const { return Workers * ItemsPerWorker; }
+};
+
+/// Builds the controller/worker program.
+std::string buildDmaStreamProgram(const DmaSpec &Spec);
+
+/// The input stream the harness should load into the StreamInDevice:
+/// item k carries the value 5*k + 1.
+std::vector<uint32_t> dmaInputStream(const DmaSpec &Spec);
+
+/// The multiset of worker sums the output device must end up with
+/// (sorted ascending; arrival order is timing-dependent but
+/// reproducible).
+std::vector<uint32_t> dmaExpectedSums(const DmaSpec &Spec);
+
+} // namespace workloads
+} // namespace lbp
+
+#endif // LBP_WORKLOADS_DMA_H

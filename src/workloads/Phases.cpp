@@ -1,0 +1,79 @@
+//===- workloads/Phases.cpp - The Fig. 4 producer/consumer phases ---------------===//
+//
+// Part of the LBP reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Phases.h"
+#include "dsl/Ast.h"
+#include "dsl/CodeGen.h"
+#include "isa/AddressMap.h"
+
+using namespace lbp;
+using namespace lbp::dsl;
+using namespace lbp::workloads;
+
+// Per-bank layout: [4 chunks of WordsPerChunk][4 out words].
+uint32_t workloads::phasesOutAddress(const PhasesSpec &Spec,
+                                     unsigned Member) {
+  uint32_t Bank = isa::GlobalBase + (Member / 4) * (1u << Spec.BankSizeLog2);
+  return Bank + 4 * Spec.WordsPerChunk * 4 + (Member % 4) * 4;
+}
+
+std::string workloads::buildPhasesProgram(const PhasesSpec &Spec) {
+  Module M;
+  unsigned ChunkBytes = Spec.WordsPerChunk * 4;
+
+  // Expression for the member's chunk base: bank(t/4) + (t%4)*chunk.
+  auto ChunkBase = [&](Module &M, const Local *T) {
+    return M.add(
+        M.add(M.c(static_cast<int32_t>(isa::GlobalBase)),
+              M.shl(M.bin(BinOp::Shr, M.v(T), M.c(2)),
+                    static_cast<int32_t>(Spec.BankSizeLog2))),
+        M.mul(M.bin(BinOp::And, M.v(T), M.c(3)),
+              M.c(static_cast<int32_t>(ChunkBytes))));
+  };
+
+  // thread_set: v[chunk t][w] = t for every word.
+  {
+    Function *F = M.function("thread_set", FnKind::Thread);
+    const Local *T = F->param("t");
+    const Local *P = F->local("p");
+    const Local *End = F->local("end");
+    F->append(M.assign(P, ChunkBase(M, T)));
+    F->append(M.assign(End, M.add(M.v(P),
+                                  M.c(static_cast<int32_t>(ChunkBytes)))));
+    F->append(M.doWhile({M.store(M.v(P), 0, M.v(T)),
+                         M.assign(P, M.add(M.v(P), M.c(4)))},
+                        CmpOp::Ne, M.v(P), M.v(End)));
+  }
+
+  // thread_get: out[t] = sum of chunk t (= t * WordsPerChunk).
+  {
+    Function *F = M.function("thread_get", FnKind::Thread);
+    const Local *T = F->param("t");
+    const Local *P = F->local("p");
+    const Local *End = F->local("end");
+    const Local *Acc = F->local("acc");
+    F->append(M.assign(P, ChunkBase(M, T)));
+    F->append(M.assign(End, M.add(M.v(P),
+                                  M.c(static_cast<int32_t>(ChunkBytes)))));
+    F->append(M.assign(Acc, M.c(0)));
+    F->append(M.doWhile({M.assign(Acc, M.add(M.v(Acc), M.load(M.v(P)))),
+                         M.assign(P, M.add(M.v(P), M.c(4)))},
+                        CmpOp::Ne, M.v(P), M.v(End)));
+    // out word: chunk area end + (t%4)*4, still in the own bank.
+    F->append(M.store(
+        M.add(M.add(M.c(static_cast<int32_t>(isa::GlobalBase +
+                                             4 * ChunkBytes)),
+                    M.shl(M.bin(BinOp::Shr, M.v(T), M.c(2)),
+                          static_cast<int32_t>(Spec.BankSizeLog2))),
+              M.shl(M.bin(BinOp::And, M.v(T), M.c(3)), 2)),
+        0, M.v(Acc)));
+  }
+
+  Function *Main = M.function("main", FnKind::Main);
+  Main->append(M.parallelFor("thread_set", Spec.NumHarts));
+  Main->append(M.parallelFor("thread_get", Spec.NumHarts));
+  return compileModule(M);
+}

@@ -1,0 +1,45 @@
+//===- workloads/Phases.h - The Fig. 4 producer/consumer phases ----------------===//
+//
+// Part of the LBP reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's Fig. 4 program: a `thread_set` team initializes a vector
+/// chunk per hart, a hardware barrier (the in-order p_ret chain)
+/// separates the phases, then a `thread_get` team consumes the chunks.
+/// Chunks are placed in the bank of the core that processes them, so
+/// with the team's stable placement *every* vector access is local —
+/// the property the harness verifies by checking remoteAccesses() == 0
+/// for the vector traffic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LBP_WORKLOADS_PHASES_H
+#define LBP_WORKLOADS_PHASES_H
+
+#include <cstdint>
+#include <string>
+
+namespace lbp {
+namespace workloads {
+
+struct PhasesSpec {
+  unsigned NumHarts = 16;     ///< Team size (4 per core).
+  unsigned WordsPerChunk = 64;///< Vector words each hart owns.
+  unsigned BankSizeLog2 = 16; ///< Must match SimConfig.
+
+  unsigned cores() const { return NumHarts / 4; }
+};
+
+/// Builds the two-phase program. After the run, out[t] (see
+/// phasesOutAddress) holds t * WordsPerChunk for every team member t.
+std::string buildPhasesProgram(const PhasesSpec &Spec);
+
+/// Address of the per-member result word.
+uint32_t phasesOutAddress(const PhasesSpec &Spec, unsigned Member);
+
+} // namespace workloads
+} // namespace lbp
+
+#endif // LBP_WORKLOADS_PHASES_H

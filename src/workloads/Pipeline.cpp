@@ -1,0 +1,149 @@
+//===- workloads/Pipeline.cpp - Deterministic message-passing pipeline ----------===//
+//
+// Part of the LBP reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Pipeline.h"
+#include "dsl/Ast.h"
+#include "dsl/CodeGen.h"
+#include "isa/AddressMap.h"
+
+using namespace lbp;
+using namespace lbp::dsl;
+using namespace lbp::workloads;
+
+namespace {
+
+/// Channel s (from rank s to rank s+1) lives in the receiver's bank:
+/// flag word + value word.
+uint32_t channelAddress(const PipelineSpec &Spec, unsigned S) {
+  unsigned ReceiverCore = (S + 1) / 4;
+  return isa::GlobalBase + ReceiverCore * (1u << Spec.BankSizeLog2) +
+         0x100 + 8 * S;
+}
+
+} // namespace
+
+uint32_t workloads::pipelineOutAddress(const PipelineSpec &Spec,
+                                       unsigned I) {
+  unsigned SinkCore = (Spec.Stages - 1) / 4;
+  return isa::GlobalBase + SinkCore * (1u << Spec.BankSizeLog2) + 0x800 +
+         4 * I;
+}
+
+uint32_t workloads::pipelineExpectedValue(const PipelineSpec &Spec,
+                                          unsigned I) {
+  uint32_t V = 3 * I;
+  for (unsigned R = 1; R + 1 < Spec.Stages; ++R)
+    V += R;
+  return V;
+}
+
+std::string workloads::buildPipelineProgram(const PipelineSpec &Spec) {
+  Module M;
+  Function *F = M.function("stage", FnKind::Thread);
+  const Local *T = F->param("t");
+  const Local *I = F->local("i");
+  const Local *X = F->local("x");
+  const Local *Chan = F->local("chan");
+
+  auto ChanConst = [&](unsigned S) {
+    return M.c(static_cast<int32_t>(channelAddress(Spec, S)));
+  };
+
+  // send(chan, x): wait empty, write value, fence, raise the flag.
+  auto Send = [&](std::vector<const Stmt *> &Into) {
+    Into.push_back(M.whileStmt(CmpOp::Ne, M.load(M.v(Chan)), M.c(0), {}));
+    Into.push_back(M.store(M.v(Chan), 4, M.v(X)));
+    Into.push_back(M.syncm());
+    Into.push_back(M.store(M.v(Chan), 0, M.c(1)));
+    Into.push_back(M.syncm());
+  };
+  // x = recv(chan): wait full, read value, fence, clear the flag.
+  auto Recv = [&](std::vector<const Stmt *> &Into) {
+    Into.push_back(M.whileStmt(CmpOp::Eq, M.load(M.v(Chan)), M.c(0), {}));
+    Into.push_back(M.assign(X, M.load(M.v(Chan), 4)));
+    Into.push_back(M.syncm());
+    Into.push_back(M.store(M.v(Chan), 0, M.c(0)));
+    Into.push_back(M.syncm());
+  };
+
+  int32_t Items = static_cast<int32_t>(Spec.Items);
+  int32_t LastRank = static_cast<int32_t>(Spec.Stages - 1);
+
+  // Rank 0: produce 3*i into channel 0.
+  std::vector<const Stmt *> Producer;
+  Producer.push_back(M.assign(Chan, ChanConst(0)));
+  Producer.push_back(M.assign(I, M.c(0)));
+  {
+    std::vector<const Stmt *> Body;
+    Body.push_back(M.assign(X, M.mul(M.v(I), M.c(3))));
+    Send(Body);
+    Body.push_back(M.assign(I, M.add(M.v(I), M.c(1))));
+    Producer.push_back(
+        M.doWhile(std::move(Body), CmpOp::Ne, M.v(I), M.c(Items)));
+  }
+
+  // Sink: collect Items values from its inbound channel. The inbound
+  // channel of rank t is channel t-1; the address is computed from t.
+  auto InChan = [&](const Local *Rank) {
+    // GlobalBase + ((t)/4 << log2) + 0x100 + 8*(t-1): the receiver of
+    // channel t-1 is rank t, whose core is t/4.
+    return M.add(
+        M.add(M.c(static_cast<int32_t>(isa::GlobalBase + 0x100 - 8)),
+              M.shl(M.bin(BinOp::Shr, M.v(Rank), M.c(2)),
+                    static_cast<int32_t>(Spec.BankSizeLog2))),
+        M.shl(M.v(Rank), 3));
+  };
+
+  std::vector<const Stmt *> Sink;
+  Sink.push_back(M.assign(Chan, InChan(T)));
+  Sink.push_back(M.assign(I, M.c(0)));
+  {
+    std::vector<const Stmt *> Body;
+    Recv(Body);
+    Body.push_back(M.store(
+        M.add(M.c(static_cast<int32_t>(pipelineOutAddress(Spec, 0))),
+              M.shl(M.v(I), 2)),
+        0, M.v(X)));
+    Body.push_back(M.assign(I, M.add(M.v(I), M.c(1))));
+    Sink.push_back(
+        M.doWhile(std::move(Body), CmpOp::Ne, M.v(I), M.c(Items)));
+  }
+
+  // Middle ranks: x = recv(in); x += t; send(out). Out channel of rank
+  // t is channel t, received by rank t+1 on core (t+1)/4.
+  const Local *OutChan = F->local("ochan");
+  auto OutChanExpr = [&](const Local *Rank) {
+    return M.add(
+        M.add(M.c(static_cast<int32_t>(isa::GlobalBase + 0x100)),
+              M.shl(M.bin(BinOp::Shr,
+                          M.add(M.v(Rank), M.c(1)), M.c(2)),
+                    static_cast<int32_t>(Spec.BankSizeLog2))),
+        M.shl(M.v(Rank), 3));
+  };
+
+  std::vector<const Stmt *> Middle;
+  Middle.push_back(M.assign(OutChan, OutChanExpr(T)));
+  Middle.push_back(M.assign(I, M.c(0)));
+  {
+    std::vector<const Stmt *> Body;
+    Body.push_back(M.assign(Chan, InChan(T)));
+    Recv(Body);
+    Body.push_back(M.assign(X, M.add(M.v(X), M.v(T))));
+    Body.push_back(M.assign(Chan, M.v(OutChan)));
+    Send(Body);
+    Body.push_back(M.assign(I, M.add(M.v(I), M.c(1))));
+    Middle.push_back(
+        M.doWhile(std::move(Body), CmpOp::Ne, M.v(I), M.c(Items)));
+  }
+
+  F->append(M.ifStmt(CmpOp::Eq, M.v(T), M.c(0), std::move(Producer),
+                     {M.ifStmt(CmpOp::Eq, M.v(T), M.c(LastRank),
+                               std::move(Sink), std::move(Middle))}));
+
+  Function *Main = M.function("main", FnKind::Main);
+  Main->append(M.parallelFor("stage", Spec.Stages));
+  return compileModule(M);
+}

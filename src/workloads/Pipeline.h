@@ -1,0 +1,57 @@
+//===- workloads/Pipeline.h - Deterministic message-passing pipeline -----------===//
+//
+// Part of the LBP reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's Section 8 perspective — "a deterministic version of MPI
+/// could even be proposed, built around ordered communicators where a
+/// sender always precedes its receiver(s)" — realized as a small
+/// channel discipline on LBP:
+///
+///   * a channel is a (flag, value) rendezvous placed in the *receiving*
+///     core's bank, so the receiver's active wait is core-local;
+///   * the sender rank is lower than the receiver rank (the paper's
+///     ordering constraint), matching the team's placement along the
+///     core line;
+///   * store ordering inside send/recv uses p_syncm, exactly like every
+///     other producer/consumer handoff on LBP.
+///
+/// The workload is an S-stage pipeline: rank 0 produces Items values,
+/// ranks 1..S-2 transform, rank S-1 collects into memory. Everything is
+/// deterministic: same cycles, same event hash, every run.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LBP_WORKLOADS_PIPELINE_H
+#define LBP_WORKLOADS_PIPELINE_H
+
+#include <cstdint>
+#include <string>
+
+namespace lbp {
+namespace workloads {
+
+struct PipelineSpec {
+  unsigned Stages = 4;        ///< Pipeline depth = team size.
+  unsigned Items = 64;        ///< Values pushed through.
+  unsigned BankSizeLog2 = 16; ///< Must match SimConfig.
+
+  unsigned cores() const { return (Stages + 3) / 4; }
+};
+
+/// Builds the pipeline program. Rank 0 sends 3*i; each middle rank r
+/// adds r; the sink stores the results.
+std::string buildPipelineProgram(const PipelineSpec &Spec);
+
+/// Address of the i-th collected output word.
+uint32_t pipelineOutAddress(const PipelineSpec &Spec, unsigned I);
+
+/// The value the sink must have collected for item \p I.
+uint32_t pipelineExpectedValue(const PipelineSpec &Spec, unsigned I);
+
+} // namespace workloads
+} // namespace lbp
+
+#endif // LBP_WORKLOADS_PIPELINE_H

@@ -1,0 +1,68 @@
+//===- workloads/SensorFusion.cpp - The Fig. 16 sensor-fusion loop --------------===//
+//
+// Part of the LBP reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/SensorFusion.h"
+#include "dsl/Ast.h"
+#include "dsl/CodeGen.h"
+#include "isa/AddressMap.h"
+
+using namespace lbp;
+using namespace lbp::dsl;
+using namespace lbp::workloads;
+
+std::string
+workloads::buildSensorFusionProgram(const SensorFusionSpec &Spec) {
+  Module M;
+
+  // Samples land here, one word per sensor.
+  uint32_t SamplesAddr = isa::GlobalBase + 0x40;
+  M.global("samples", SamplesAddr, 4);
+
+  // sense(t): arm sensor t, poll its STATUS by active wait, then store
+  // its DATA sample into samples[t] (paper: get_sensorN).
+  {
+    Function *F = M.function("sense", FnKind::Thread);
+    const Local *T = F->param("t");
+    const Local *Dev = F->local("dev");
+    const Local *St = F->local("st");
+    F->append(M.assign(Dev, M.add(M.c(static_cast<int32_t>(SensorBase(0))),
+                                  M.shl(M.v(T), 8))));
+    // Arm (STATUS write schedules the sample after a device-chosen
+    // latency); the conservative same-word stall orders the first poll
+    // after the arm write.
+    F->append(M.store(M.v(Dev), 0, M.c(1)));
+    // Active wait: LBP is non-interruptible, inputs are polled.
+    F->append(M.assign(St, M.c(0)));
+    F->append(M.doWhile({M.assign(St, M.load(M.v(Dev)))}, CmpOp::Eq,
+                        M.v(St), M.c(0)));
+    F->append(M.store(M.add(M.addrOf("samples"), M.shl(M.v(T), 2)), 0,
+                      M.load(M.v(Dev), 4)));
+  }
+
+  // main: Rounds x { team of 4 senses; fuse; actuate }.
+  Function *Main = M.function("main", FnKind::Main);
+  const Local *R = Main->local("r");
+  const Local *F0 = Main->local("f");
+  Main->append(M.assign(R, M.c(static_cast<int32_t>(Spec.Rounds))));
+  Main->append(M.doWhile(
+      {M.parallelFor("sense", 4),
+       // Fusion: the static code order fixes the evaluation order even
+       // though the sensors responded in arbitrary order.
+       M.assign(
+           F0,
+           M.bin(BinOp::Div,
+                 M.add(M.add(M.load(M.addrOf("samples"), 0),
+                             M.load(M.addrOf("samples"), 4)),
+                       M.add(M.load(M.addrOf("samples"), 8),
+                             M.load(M.addrOf("samples"), 12))),
+                 M.c(4))),
+       M.store(M.c(static_cast<int32_t>(ActuatorBase)), 4, M.v(F0)),
+       M.syncm(),
+       M.assign(R, M.sub(M.v(R), M.c(1)))},
+      CmpOp::Ne, M.v(R), M.c(0)));
+
+  return compileModule(M);
+}

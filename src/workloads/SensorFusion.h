@@ -1,0 +1,46 @@
+//===- workloads/SensorFusion.h - The Fig. 16 sensor-fusion loop ---------------===//
+//
+// Part of the LBP reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's Section 6 application: a non-interruptible control loop
+/// on a 4-hart team. Each round, four harts concurrently arm and poll
+/// one sensor each (active wait — LBP has no interrupts), the hardware
+/// barrier joins them, the team head fuses the four samples
+/// ((s0+s1+s2+s3)/4, the static code order fixing the evaluation order)
+/// and writes the result to the actuator.
+///
+/// The sensors respond after seeded pseudo-random latencies; the point
+/// of the experiment is that the sequence of actuator VALUES is
+/// identical for every seed, and identical runs are cycle-identical.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LBP_WORKLOADS_SENSORFUSION_H
+#define LBP_WORKLOADS_SENSORFUSION_H
+
+#include <cstdint>
+#include <string>
+
+namespace lbp {
+namespace workloads {
+
+/// Device placement used by the program and the harness.
+constexpr uint32_t SensorBase(unsigned Index) {
+  return 0x30000000u + Index * 0x100u;
+}
+constexpr uint32_t ActuatorBase = 0x30001000u;
+
+struct SensorFusionSpec {
+  unsigned Rounds = 8;
+};
+
+/// Builds the control-loop program (4-hart teams; needs >= 1 core).
+std::string buildSensorFusionProgram(const SensorFusionSpec &Spec);
+
+} // namespace workloads
+} // namespace lbp
+
+#endif // LBP_WORKLOADS_SENSORFUSION_H

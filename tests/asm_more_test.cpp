@@ -1,0 +1,157 @@
+//===- tests/asm_more_test.cpp - Assembler corner cases --------------------------===//
+//
+// Part of the LBP reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "asm/Assembler.h"
+#include "isa/Encoding.h"
+#include "isa/Reg.h"
+
+#include <gtest/gtest.h>
+
+using namespace lbp;
+using namespace lbp::assembler;
+
+namespace {
+
+std::string firstError(const std::string &Src) {
+  AsmResult R = assemble(Src);
+  return R.Errors.empty() ? "" : R.Errors[0].Message;
+}
+
+Program assembleOk(const std::string &Src) {
+  AsmResult R = assemble(Src);
+  EXPECT_TRUE(R.succeeded()) << R.errorText();
+  return std::move(R.Prog);
+}
+
+TEST(AsmMore, InstructionOutsideTextIsAnError) {
+  EXPECT_NE(firstError(".data 0x20000000\n  addi a0, a0, 1\n")
+                .find("outside .text"),
+            std::string::npos);
+}
+
+TEST(AsmMore, OperandKindMismatchesAreDiagnosed) {
+  EXPECT_NE(firstError("main: add a0, 5, a1\n").find("register"),
+            std::string::npos);
+  EXPECT_NE(firstError("main: addi a0, a1\n").find("expression"),
+            std::string::npos);
+  EXPECT_NE(firstError("main: sw a0, a1, 4\n").find("sw rs2"),
+            std::string::npos);
+}
+
+TEST(AsmMore, ShiftAmountRangeIsChecked) {
+  EXPECT_NE(firstError("main: slli a0, a1, 32\n").find("out of range"),
+            std::string::npos);
+  AsmResult Ok = assemble("main: slli a0, a1, 31\n");
+  EXPECT_TRUE(Ok.succeeded());
+}
+
+TEST(AsmMore, HiLoPairsBuildFullAddresses) {
+  Program P = assembleOk(R"(
+    .equ TARGET, 0x2000abcd
+main:
+    lui a0, %hi(TARGET)
+    addi a0, a0, %lo(TARGET)
+)");
+  isa::Instr Lui = isa::decode(P.readWord(0));
+  isa::Instr Addi = isa::decode(P.readWord(4));
+  uint32_t Addr = (static_cast<uint32_t>(Lui.Imm) << 12) +
+                  static_cast<uint32_t>(Addi.Imm);
+  EXPECT_EQ(Addr, 0x2000abcdu);
+}
+
+TEST(AsmMore, HiAccountsForLowSignBit) {
+  // %lo of 0x...0800 is negative; %hi must compensate.
+  Program P = assembleOk(R"(
+    .equ TARGET, 0x20000800
+main:
+    lui a0, %hi(TARGET)
+    addi a0, a0, %lo(TARGET)
+)");
+  isa::Instr Lui = isa::decode(P.readWord(0));
+  isa::Instr Addi = isa::decode(P.readWord(4));
+  EXPECT_LT(Addi.Imm, 0);
+  uint32_t Addr = (static_cast<uint32_t>(Lui.Imm) << 12) +
+                  static_cast<uint32_t>(Addi.Imm);
+  EXPECT_EQ(Addr, 0x20000800u);
+}
+
+TEST(AsmMore, NegativeAndCompoundExpressions) {
+  Program P = assembleOk(R"(
+    .equ A, 16
+    .equ B, A + 0x10 - 8
+main:
+    addi a0, zero, B
+    addi a1, zero, -A
+)");
+  isa::Instr I0 = isa::decode(P.readWord(0));
+  EXPECT_EQ(I0.Imm, 24);
+  isa::Instr I1 = isa::decode(P.readWord(4));
+  EXPECT_EQ(I1.Imm, -16);
+}
+
+TEST(AsmMore, MemOperandWithSymbolicOffset) {
+  Program P = assembleOk(R"(
+    .equ OFF, 12
+main:
+    lw a0, OFF(sp)
+    sw a0, OFF+4(sp)
+)");
+  EXPECT_EQ(isa::decode(P.readWord(0)).Imm, 12);
+  isa::Instr St = isa::decode(P.readWord(4));
+  EXPECT_EQ(St.Imm, 16);
+}
+
+TEST(AsmMore, EmptyMemOffsetMeansZero) {
+  Program P = assembleOk("main: lw a0, (sp)\n");
+  EXPECT_EQ(isa::decode(P.readWord(0)).Imm, 0);
+}
+
+TEST(AsmMore, CounterReadsAssemble) {
+  Program P = assembleOk("main:\n  rdcycle a0\n  rdinstret t5\n");
+  isa::Instr C = isa::decode(P.readWord(0));
+  EXPECT_EQ(C.Op, isa::Opcode::RDCYCLE);
+  EXPECT_EQ(C.Rd, isa::RegA0);
+  isa::Instr R = isa::decode(P.readWord(4));
+  EXPECT_EQ(R.Op, isa::Opcode::RDINSTRET);
+  EXPECT_EQ(R.Rd, isa::RegT5);
+}
+
+TEST(AsmMore, SymbolTableExposesEverything) {
+  Program P = assembleOk(R"(
+    .equ K, 7
+main:
+    nop
+after:
+    nop
+)");
+  EXPECT_EQ(*P.lookup("K"), 7u);
+  EXPECT_EQ(*P.lookup("main"), 0u);
+  EXPECT_EQ(*P.lookup("after"), 4u);
+  EXPECT_FALSE(P.lookup("nothere").has_value());
+}
+
+TEST(AsmMore, JumpRangeIsEnforced) {
+  // A jal cannot span more than +/-1 MiB.
+  std::string Src = "main: j far\n  .space 1100000\nfar: nop\n";
+  AsmResult R = assemble(Src);
+  ASSERT_FALSE(R.succeeded());
+  EXPECT_NE(R.Errors[0].Message.find("out of range"), std::string::npos);
+}
+
+TEST(AsmMore, TextSizeSumsSegments) {
+  Program P = assembleOk(R"(
+main:
+    nop
+    nop
+    .data 0x20000000
+    .word 1
+    .text
+    nop
+)");
+  EXPECT_EQ(P.textSize(), 12u);
+}
+
+} // namespace

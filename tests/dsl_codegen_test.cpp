@@ -1,0 +1,148 @@
+//===- tests/dsl_codegen_test.cpp - Code-quality golden checks -------------------===//
+//
+// Part of the LBP reproduction project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Checks the *shape* of emitted code: constant folding, immediate-form
+// selection, loop structure, register-save discipline. The goal is to
+// keep the compiler honest about instruction counts — the currency every
+// paper number is denominated in.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dsl/Ast.h"
+#include "dsl/CodeGen.h"
+
+#include <gtest/gtest.h>
+
+using namespace lbp;
+using namespace lbp::dsl;
+
+namespace {
+
+/// Number of instruction lines in a function's body (between its label
+/// and the closing control transfer), excluding labels and comments.
+unsigned countInstructions(const std::string &Asm,
+                           const std::string &FnLabel) {
+  size_t Start = Asm.find(FnLabel + ":");
+  EXPECT_NE(Start, std::string::npos) << Asm;
+  unsigned Count = 0;
+  size_t Pos = Asm.find('\n', Start) + 1;
+  while (Pos < Asm.size()) {
+    size_t End = Asm.find('\n', Pos);
+    std::string Line = Asm.substr(Pos, End - Pos);
+    Pos = End + 1;
+    if (Line.empty() || Line.back() == ':')
+      continue;
+    std::string Trimmed = Line.substr(Line.find_first_not_of(' '));
+    if (Trimmed.rfind("#", 0) == 0)
+      continue;
+    ++Count;
+    if (Trimmed.rfind("ret", 0) == 0 || Trimmed.rfind("p_ret", 0) == 0)
+      break;
+  }
+  return Count;
+}
+
+TEST(DslCodeGen, ConstantsFoldAtBuildTime) {
+  Module M;
+  // (3 + 4) * 8 - (64 >> 2) folds to a single li.
+  const Expr *E = M.sub(M.mul(M.add(M.c(3), M.c(4)), M.c(8)),
+                        M.bin(BinOp::Shr, M.c(64), M.c(2)));
+  EXPECT_EQ(E->K, Expr::Kind::Const);
+  EXPECT_EQ(E->IVal, 40);
+}
+
+TEST(DslCodeGen, AddZeroIsElided) {
+  Module M;
+  Function *F = M.function("f");
+  const Local *X = F->param("x");
+  // x + 0 folds to x itself (the identical node).
+  const Expr *V = M.v(X);
+  EXPECT_EQ(M.add(V, M.c(0)), V);
+  EXPECT_EQ(M.bin(BinOp::Shl, V, M.c(0)), V);
+}
+
+TEST(DslCodeGen, DivisionByZeroIsNotFolded) {
+  Module M;
+  const Expr *E = M.bin(BinOp::Div, M.c(7), M.c(0));
+  EXPECT_EQ(E->K, Expr::Kind::Bin) << "runtime semantics preserved";
+}
+
+TEST(DslCodeGen, ImmediateFormsAreSelected) {
+  Module M;
+  Function *F = M.function("f", FnKind::Normal);
+  const Local *X = F->param("x");
+  F->append(M.ret(M.add(M.v(X), M.c(5))));
+  Function *Main = M.function("main", FnKind::Main);
+  (void)Main;
+  std::string Asm = compileModule(M);
+  EXPECT_NE(Asm.find("addi a0, a0, 5"), std::string::npos) << Asm;
+  EXPECT_EQ(Asm.find("li t1, 5"), std::string::npos)
+      << "no needless materialization:\n" << Asm;
+}
+
+TEST(DslCodeGen, LeafFunctionsSaveNothing) {
+  Module M;
+  Function *F = M.function("leaf", FnKind::Normal);
+  const Local *X = F->param("x");
+  F->append(M.ret(M.mul(M.v(X), M.v(X))));
+  Function *Main = M.function("main", FnKind::Main);
+  (void)Main;
+  std::string Asm = compileModule(M);
+  // leaf: mul + ret and nothing else.
+  EXPECT_EQ(countInstructions(Asm, "leaf"), 2u) << Asm;
+}
+
+TEST(DslCodeGen, CallersSaveCalleeSavedRegisters) {
+  Module M;
+  Function *F = M.function("caller", FnKind::Normal);
+  const Local *A = F->local("a");
+  F->append(M.assign(A, M.c(1)));
+  F->append(M.call("leaf", {M.v(A)}, A));
+  F->append(M.ret(M.v(A)));
+  Function *Leaf = M.function("leaf", FnKind::Normal);
+  const Local *X = Leaf->param("x");
+  Leaf->append(M.ret(M.v(X)));
+  Function *Main = M.function("main", FnKind::Main);
+  (void)Main;
+  std::string Asm = compileModule(M);
+  // caller keeps `a` in s0, so it must spill ra and s0.
+  EXPECT_NE(Asm.find("sw ra, 0(sp)"), std::string::npos) << Asm;
+  EXPECT_NE(Asm.find("sw s0, 4(sp)"), std::string::npos) << Asm;
+  EXPECT_NE(Asm.find("lw s0, 4(sp)"), std::string::npos) << Asm;
+}
+
+TEST(DslCodeGen, WhileLoopsAreBottomTested) {
+  Module M;
+  Function *F = M.function("f", FnKind::Normal);
+  const Local *I = F->param("i");
+  F->append(
+      M.whileStmt(CmpOp::Ne, M.v(I), M.c(0),
+                  {M.assign(I, M.sub(M.v(I), M.c(1)))}));
+  F->append(M.ret(M.v(I)));
+  Function *Main = M.function("main", FnKind::Main);
+  (void)Main;
+  std::string Asm = compileModule(M);
+  // One conditional branch, one entry jump — no unconditional
+  // back-branch in the loop body.
+  size_t FirstBne = Asm.find("bne");
+  EXPECT_NE(FirstBne, std::string::npos);
+  EXPECT_EQ(Asm.find("bne", FirstBne + 1), std::string::npos)
+      << "exactly one branch per loop:\n" << Asm;
+}
+
+TEST(DslCodeGen, ComparisonsAgainstZeroUseTheZeroRegister) {
+  Module M;
+  Function *F = M.function("f", FnKind::Normal);
+  const Local *I = F->param("i");
+  F->append(M.ifStmt(CmpOp::Eq, M.v(I), M.c(0), {M.ret(M.c(1))}));
+  F->append(M.ret(M.c(2)));
+  Function *Main = M.function("main", FnKind::Main);
+  (void)Main;
+  std::string Asm = compileModule(M);
+  EXPECT_NE(Asm.find("bne a0, zero"), std::string::npos) << Asm;
+}
+
+} // namespace

@@ -1,0 +1,138 @@
+//===- tests/frontend_diag_test.cpp - Translator diagnostics ----------------------===//
+//
+// Part of the LBP reproduction project.
+//
+//===----------------------------------------------------------------------===//
+//
+// The translator must reject malformed Det-C with pointed messages —
+// diagnostics are part of the tool's contract.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Compiler.h"
+#include "frontend/Lexer.h"
+
+#include <gtest/gtest.h>
+
+using namespace lbp;
+using namespace lbp::frontend;
+
+namespace {
+
+std::string errorOf(const std::string &Src) {
+  FrontendResult R = parseDetC(Src);
+  EXPECT_FALSE(R.succeeded()) << "expected a diagnostic for:\n" << Src;
+  return R.errorText();
+}
+
+TEST(FrontendDiag, LexerRejectsStrayCharacters) {
+  LexResult R = tokenize("int x = @;");
+  EXPECT_FALSE(R.succeeded());
+  EXPECT_NE(R.Errors[0].Message.find("unexpected character"),
+            std::string::npos);
+}
+
+TEST(FrontendDiag, LexerRejectsUnknownDirectives) {
+  LexResult R = tokenize("#ifdef FOO\n");
+  EXPECT_FALSE(R.succeeded());
+}
+
+TEST(FrontendDiag, MalformedDefine) {
+  LexResult R = tokenize("#define 123 4\n");
+  EXPECT_FALSE(R.succeeded());
+}
+
+TEST(FrontendDiag, MissingSemicolon) {
+  EXPECT_NE(errorOf("void main() { int x = 1 }").find("expected"),
+            std::string::npos);
+}
+
+TEST(FrontendDiag, WrongInitializerLength) {
+  EXPECT_NE(errorOf("int v[4] = { 1, 2 };\nvoid main() {}")
+                .find("wrong number"),
+            std::string::npos);
+}
+
+TEST(FrontendDiag, NonConstantArraySize) {
+  EXPECT_NE(errorOf("void f(int n) { }\nint v[n];\nvoid main() {}")
+                .find("constant"),
+            std::string::npos);
+}
+
+TEST(FrontendDiag, ParallelLoopMustUseOneVariable) {
+  EXPECT_NE(errorOf(R"(
+void th(int t) {}
+void main() {
+  int t;
+  int u;
+  #pragma omp parallel for
+  for (t = 0; u < 8; t++) th(t);
+}
+)")
+                .find("different variable"),
+            std::string::npos);
+}
+
+TEST(FrontendDiag, ParallelCallMustPassTheLoopVariable) {
+  EXPECT_NE(errorOf(R"(
+void th(int t) {}
+void main() {
+  int t;
+  int z;
+  #pragma omp parallel for
+  for (t = 0; t < 8; t++) th(z);
+}
+)")
+                .find("loop variable"),
+            std::string::npos);
+}
+
+TEST(FrontendDiag, ReductionVariableMustExist) {
+  EXPECT_NE(errorOf(R"(
+void th(int t) {}
+void main() {
+  int t;
+  #pragma omp parallel for reduction(+:ghost)
+  for (t = 0; t < 4; t++) th(t);
+}
+)")
+                .find("ghost"),
+            std::string::npos);
+}
+
+TEST(FrontendDiag, EmptyParallelSections) {
+  EXPECT_NE(errorOf(R"(
+void main() {
+  #pragma omp parallel sections
+  {
+  }
+}
+)")
+                .find("without sections"),
+            std::string::npos);
+}
+
+TEST(FrontendDiag, AddressOfNonGlobal) {
+  EXPECT_NE(errorOf("void main() { int x; int p = &x; }")
+                .find("address"),
+            std::string::npos);
+}
+
+TEST(FrontendDiag, UnsupportedPragma) {
+  EXPECT_NE(errorOf(R"(
+void main() {
+  #pragma omp critical
+  { }
+}
+)")
+                .find("unsupported pragma"),
+            std::string::npos);
+}
+
+TEST(FrontendDiag, ErrorsCarryLineNumbers) {
+  FrontendResult R = parseDetC("int a;\nint b;\nvoid main() { c = 1; }");
+  ASSERT_FALSE(R.succeeded());
+  EXPECT_EQ(R.Errors[0].Line, 3u);
+}
+
+} // namespace

@@ -1,0 +1,468 @@
+//===- tests/frontend_test.cpp - Deterministic OpenMP translator tests ----------===//
+//
+// Part of the LBP reproduction project.
+//
+//===----------------------------------------------------------------------===//
+//
+// End-to-end tests of the Det-C translator: paper-style OpenMP sources
+// compile through the kernel language to LBP assembly and run correctly
+// on the simulated machine.
+//
+//===----------------------------------------------------------------------===//
+
+#include "asm/Assembler.h"
+#include "frontend/Compiler.h"
+#include "frontend/Lexer.h"
+#include "sim/Machine.h"
+
+#include <gtest/gtest.h>
+
+using namespace lbp;
+using namespace lbp::frontend;
+using namespace lbp::sim;
+
+namespace {
+
+Machine compileAndRun(const std::string &Source, unsigned Cores,
+                      uint64_t MaxCycles = 10000000) {
+  std::string Errors;
+  std::string Asm = compileDetCToAsm(Source, Errors);
+  EXPECT_TRUE(Errors.empty()) << Errors;
+  assembler::AsmResult R = assembler::assemble(Asm);
+  EXPECT_TRUE(R.succeeded()) << R.errorText() << "\n" << Asm;
+  Machine M(SimConfig::lbp(Cores));
+  M.load(R.Prog);
+  EXPECT_EQ(M.run(MaxCycles), RunStatus::Exited)
+      << M.faultMessage() << "\n" << Asm;
+  return M;
+}
+
+//===----------------------------------------------------------------------===//
+// Lexer
+//===----------------------------------------------------------------------===//
+
+TEST(Lexer, TokensAndComments) {
+  LexResult R = tokenize("int x = 0x10; // comment\n/* block */ x += 2;");
+  ASSERT_TRUE(R.succeeded());
+  ASSERT_GE(R.Tokens.size(), 9u);
+  EXPECT_EQ(R.Tokens[0].Kind, Tok::KwInt);
+  EXPECT_EQ(R.Tokens[1].Text, "x");
+  EXPECT_EQ(R.Tokens[3].Value, 16);
+  EXPECT_EQ(R.Tokens[6].Kind, Tok::PlusAssign);
+}
+
+TEST(Lexer, DefinesExpandRecursively) {
+  LexResult R = tokenize("#define A 4\n#define B (A + 1)\nint v[B];");
+  ASSERT_TRUE(R.succeeded());
+  // B expands to ( 4 + 1 ).
+  std::vector<Tok> Kinds;
+  for (const Token &T : R.Tokens)
+    Kinds.push_back(T.Kind);
+  EXPECT_NE(std::find(Kinds.begin(), Kinds.end(), Tok::LParen),
+            Kinds.end());
+}
+
+TEST(Lexer, PragmaAndIncludeHandling) {
+  LexResult R = tokenize(
+      "#include <det_omp.h>\n#pragma omp parallel for\nint x;");
+  ASSERT_TRUE(R.succeeded());
+  EXPECT_EQ(R.Tokens[0].Kind, Tok::Pragma);
+  EXPECT_EQ(R.Tokens[0].Text, "omp parallel for");
+}
+
+//===----------------------------------------------------------------------===//
+// Whole-program translation
+//===----------------------------------------------------------------------===//
+
+// The paper's Fig. 1 shape, nearly verbatim.
+TEST(Frontend, PaperFigureOneProgram) {
+  const char *Src = R"(
+#include <det_omp.h>
+#define NUM_HART 8
+
+int out[NUM_HART] at 0x20000400;
+
+void thread(int t) {
+  out[t] = 100 + t;
+}
+
+void main() {
+  int t;
+  omp_set_num_threads(NUM_HART);
+  #pragma omp parallel for
+  for (t = 0; t < NUM_HART; t++) thread(t);
+}
+)";
+  Machine M = compileAndRun(Src, 2);
+  for (unsigned T = 0; T != 8; ++T)
+    EXPECT_EQ(M.debugReadWord(0x20000400 + 4 * T), 100 + T) << T;
+}
+
+TEST(Frontend, ControlFlowAndArithmetic) {
+  const char *Src = R"(
+int out[8] at 0x20000400;
+
+int collatz_steps(int n) {
+  int steps = 0;
+  while (n != 1) {
+    if (n % 2 == 0) n = n / 2;
+    else n = 3 * n + 1;
+    steps++;
+  }
+  return steps;
+}
+
+void main() {
+  int i;
+  for (i = 0; i < 8; i++) {
+    int s;
+    s = collatz_steps(i + 2);
+    out[i] = s;
+  }
+  __syncm();
+}
+)";
+  Machine M = compileAndRun(Src, 1);
+  // collatz steps for 2..9: 1,7,2,5,8,16,3,19.
+  const uint32_t Expect[8] = {1, 7, 2, 5, 8, 16, 3, 19};
+  for (unsigned K = 0; K != 8; ++K)
+    EXPECT_EQ(M.debugReadWord(0x20000400 + 4 * K), Expect[K]) << K;
+}
+
+TEST(Frontend, ReductionClause) {
+  const char *Src = R"(
+#define N 16
+
+void thread(int t) {
+  __reduce_send(t * t);
+}
+
+void main() {
+  int total = 0;
+  #pragma omp parallel for reduction(+:total)
+  for (int_t = 0; int_t < N; int_t++) thread(int_t);
+  __syncm();
+}
+)";
+  // Note: the loop variable must be declared; rewrite with a proper
+  // declaration.
+  const char *Src2 = R"(
+#define N 16
+int result at 0x20000500;
+
+void thread(int t) {
+  __reduce_send(t * t);
+}
+
+void main() {
+  int total = 0;
+  int t;
+  #pragma omp parallel for reduction(+:total)
+  for (t = 0; t < N; t++) thread(t);
+  result = total;
+  __syncm();
+}
+)";
+  (void)Src;
+  Machine M = compileAndRun(Src2, 4);
+  // sum t^2, t=0..15 = 1240.
+  EXPECT_EQ(M.debugReadWord(0x20000500), 1240u);
+}
+
+TEST(Frontend, TwoPhaseProgramLikeFigFour) {
+  const char *Src = R"(
+#define NH 8
+#define CHUNK 4
+int v[32] at 0x20000600;
+int out[NH] at 0x20000700;
+
+void thread_set(int t) {
+  int j;
+  for (j = 0; j < CHUNK; j++) v[t * CHUNK + j] = t;
+}
+
+void thread_get(int t) {
+  int j;
+  int acc = 0;
+  for (j = 0; j < CHUNK; j++) acc += v[t * CHUNK + j];
+  out[t] = acc;
+}
+
+void main() {
+  int t;
+  #pragma omp parallel for
+  for (t = 0; t < NH; t++) thread_set(t);
+  #pragma omp parallel for
+  for (t = 0; t < NH; t++) thread_get(t);
+}
+)";
+  Machine M = compileAndRun(Src, 2);
+  for (unsigned T = 0; T != 8; ++T)
+    EXPECT_EQ(M.debugReadWord(0x20000700 + 4 * T), 4 * T) << T;
+}
+
+TEST(Frontend, GlobalScalarsAndInitializers) {
+  const char *Src = R"(
+int ones[6] = { 1 };
+int table[3] = { 10, 20, 30 };
+int sum at 0x20000800;
+
+void main() {
+  int i;
+  int acc = 0;
+  for (i = 0; i < 6; i++) acc += ones[i];
+  for (i = 0; i < 3; i++) acc += table[i];
+  sum = acc;
+  __syncm();
+}
+)";
+  Machine M = compileAndRun(Src, 1);
+  EXPECT_EQ(M.debugReadWord(0x20000800), 66u);
+}
+
+TEST(Frontend, PointerLocalsAndAddressOf) {
+  const char *Src = R"(
+int v[8] at 0x20000900;
+int out at 0x20000940;
+
+void main() {
+  int p = &v[2];
+  int i;
+  for (i = 0; i < 4; i++) p[i] = i + 1;
+  __syncm();
+  out = v[2] + v[3] + v[4] + v[5];
+  __syncm();
+}
+)";
+  Machine M = compileAndRun(Src, 1);
+  EXPECT_EQ(M.debugReadWord(0x20000940), 10u);
+}
+
+TEST(Frontend, ComparisonValuesAndLogicalOps) {
+  const char *Src = R"(
+int out[6] at 0x20000a00;
+
+void main() {
+  int a = 5;
+  int b = 7;
+  out[0] = a < b;
+  out[1] = a > b;
+  out[2] = (a < b) && (b < 10);
+  out[3] = (a > b) || (b == 7);
+  out[4] = !(a == 5);
+  out[5] = (a <= 5) + (b >= 8);
+  __syncm();
+}
+)";
+  Machine M = compileAndRun(Src, 1);
+  const uint32_t Expect[6] = {1, 0, 1, 1, 0, 1};
+  for (unsigned K = 0; K != 6; ++K)
+    EXPECT_EQ(M.debugReadWord(0x20000a00 + 4 * K), Expect[K]) << K;
+}
+
+TEST(Frontend, HartIdBuiltin) {
+  const char *Src = R"(
+int out[4] at 0x20000b00;
+
+void thread(int t) {
+  out[t] = __hart_id();
+}
+
+void main() {
+  int t;
+  #pragma omp parallel for
+  for (t = 0; t < 4; t++) thread(t);
+}
+)";
+  Machine M = compileAndRun(Src, 1);
+  for (unsigned T = 0; T != 4; ++T)
+    EXPECT_EQ(M.debugReadWord(0x20000b00 + 4 * T), T) << T;
+}
+
+TEST(Frontend, CycleCounterBuiltins) {
+  // Self-timing Det-C (paper Sec. 6: precise internal timers): elapsed
+  // cycles are positive, plausible and exactly reproducible.
+  const char *Src = R"(
+int out[2] at 0x20000e40;
+
+void main() {
+  int t0 = __cycles();
+  int i;
+  int acc = 0;
+  for (i = 0; i < 50; i++) acc += i;
+  int t1 = __cycles();
+  out[0] = t1 - t0;
+  out[1] = __instret();
+  __syncm();
+}
+)";
+  Machine M1 = compileAndRun(Src, 1);
+  Machine M2 = compileAndRun(Src, 1);
+  uint32_t Elapsed = M1.debugReadWord(0x20000e40);
+  EXPECT_GT(Elapsed, 50u) << "a 50-iteration loop costs > 50 cycles";
+  EXPECT_LT(Elapsed, 2000u);
+  EXPECT_EQ(Elapsed, M2.debugReadWord(0x20000e40))
+      << "self-measured timing must be reproducible";
+  EXPECT_GT(M1.debugReadWord(0x20000e44), 100u) << "instret is counting";
+}
+
+TEST(Frontend, BreakAndContinue) {
+  const char *Src = R"(
+int out[3] at 0x20000f00;
+
+void main() {
+  int i;
+  int sum = 0;
+  for (i = 0; i < 100; i++) {
+    if (i == 10) break;
+    sum += i;
+  }
+  out[0] = sum;                 /* 0+..+9 = 45 */
+
+  int evens = 0;
+  for (i = 0; i < 10; i++) {
+    if (i % 2 == 1) continue;   /* the step still runs */
+    evens += i;
+  }
+  out[1] = evens;               /* 0+2+4+6+8 = 20 */
+
+  int n = 0;
+  while (1 == 1) {
+    n++;
+    if (n >= 7) break;
+  }
+  out[2] = n;
+  __syncm();
+}
+)";
+  Machine M = compileAndRun(Src, 1);
+  EXPECT_EQ(M.debugReadWord(0x20000f00), 45u);
+  EXPECT_EQ(M.debugReadWord(0x20000f04), 20u);
+  EXPECT_EQ(M.debugReadWord(0x20000f08), 7u);
+}
+
+TEST(Frontend, ParallelSectionsLikeFigSixteen) {
+  // Four sections each poll "their sensor" (here plain globals standing
+  // in for device registers) and publish a sample; main fuses after the
+  // barrier, like the paper's Fig. 16.
+  const char *Src = R"(
+int s[4] at 0x20000c00;
+int fused at 0x20000c40;
+
+void get0() { s[0] = 10; }
+void get1() { s[1] = 20; }
+void get2() { s[2] = 30; }
+void get3() { s[3] = 40; }
+
+void main() {
+  #pragma omp parallel sections
+  {
+    #pragma omp section
+    { get0(); }
+    #pragma omp section
+    { get1(); }
+    #pragma omp section
+    { get2(); }
+    #pragma omp section
+    { get3(); }
+  }
+  fused = (s[0] + s[1] + s[2] + s[3]) / 4;
+  __syncm();
+}
+)";
+  Machine M = compileAndRun(Src, 1);
+  EXPECT_EQ(M.debugReadWord(0x20000c40), 25u);
+}
+
+TEST(Frontend, SectionsMayDeclareTheirOwnLocals) {
+  const char *Src = R"(
+int out[2] at 0x20000d00;
+
+void main() {
+  #pragma omp parallel sections
+  {
+    #pragma omp section
+    {
+      int i;
+      int acc = 0;
+      for (i = 1; i <= 10; i++) acc += i;
+      out[0] = acc;
+    }
+    #pragma omp section
+    {
+      int p = 1;
+      int k;
+      for (k = 0; k < 10; k++) p = p * 2;
+      out[1] = p;
+    }
+  }
+  __syncm();
+}
+)";
+  Machine M = compileAndRun(Src, 1);
+  EXPECT_EQ(M.debugReadWord(0x20000d00), 55u);
+  EXPECT_EQ(M.debugReadWord(0x20000d04), 1024u);
+}
+
+TEST(Frontend, PointerLocalsReachDeviceRegisters) {
+  // Det-C can poll memory-mapped devices through pointer-valued locals,
+  // the software side of the paper's Fig. 17.
+  const char *Src = R"(
+int sample at 0x20000e00;
+
+void main() {
+  int dev = 0x30000000;
+  dev[0] = 1;                 /* arm the sensor */
+  __syncm();
+  while (dev[0] == 0) { }     /* active wait: LBP has no interrupts */
+  sample = dev[1];
+  __syncm();
+}
+)";
+  std::string Errors;
+  std::string Asm = compileDetCToAsm(Src, Errors);
+  ASSERT_TRUE(Errors.empty()) << Errors;
+  assembler::AsmResult R = assembler::assemble(Asm);
+  ASSERT_TRUE(R.succeeded()) << R.errorText();
+  Machine M(SimConfig::lbp(1));
+  M.addDevice(0x30000000, 0x100,
+              std::make_unique<SensorDevice>(
+                  std::vector<uint32_t>{777}, /*Seed=*/3, 50, 120));
+  M.load(R.Prog);
+  ASSERT_EQ(M.run(100000), RunStatus::Exited) << M.faultMessage();
+  EXPECT_EQ(M.debugReadWord(0x20000e00), 777u);
+}
+
+//===----------------------------------------------------------------------===//
+// Diagnostics
+//===----------------------------------------------------------------------===//
+
+TEST(Frontend, ReportsUnknownIdentifiers) {
+  FrontendResult R = parseDetC("void main() { x = 1; }");
+  EXPECT_FALSE(R.succeeded());
+  EXPECT_NE(R.errorText().find("unknown identifier"), std::string::npos);
+}
+
+TEST(Frontend, ReportsBadParallelLoops) {
+  FrontendResult R = parseDetC(R"(
+void thread(int t) {}
+void main() {
+  int t;
+  #pragma omp parallel for
+  for (t = 1; t < 8; t++) thread(t);
+}
+)");
+  EXPECT_FALSE(R.succeeded());
+  EXPECT_NE(R.errorText().find("start at 0"), std::string::npos);
+}
+
+TEST(Frontend, ReportsCallsInExpressions) {
+  FrontendResult R = parseDetC(R"(
+int f(int x) { return x; }
+void main() { int y = f(1) + 2; }
+)");
+  EXPECT_FALSE(R.succeeded());
+  EXPECT_NE(R.errorText().find("statements"), std::string::npos);
+}
+
+} // namespace

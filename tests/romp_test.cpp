@@ -1,0 +1,207 @@
+//===- tests/romp_test.cpp - Deterministic OpenMP runtime tests --------------===//
+//
+// Part of the LBP reproduction project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Exercises the generated LBP_parallel_start launcher: team distribution
+// over cores, the in-order p_ret barrier between successive parallel
+// regions (paper Fig. 4), reductions over the backward line, and the
+// determinism of the whole machinery.
+//
+//===----------------------------------------------------------------------===//
+
+#include "asm/Assembler.h"
+#include "romp/Runtime.h"
+#include "sim/Machine.h"
+
+#include <gtest/gtest.h>
+
+using namespace lbp;
+using namespace lbp::sim;
+
+namespace {
+
+constexpr uint32_t OutBase = 0x20000800;
+constexpr uint32_t FlagAddr = 0x20000900;
+
+/// Builds a program that runs `Body` between the main prologue/epilogue
+/// with the runtime appended.
+std::string withRuntime(const std::string &Body,
+                        const std::string &Functions) {
+  romp::AsmText T;
+  romp::emitMainPrologue(T);
+  std::string Out = T.str();
+  Out += Body;
+  romp::AsmText T2;
+  romp::emitMainEpilogue(T2);
+  romp::emitParallelStart(T2);
+  Out += T2.str();
+  Out += Functions;
+  return Out;
+}
+
+Machine runOrDie(const std::string &Source, unsigned Cores,
+                 uint64_t MaxCycles = 3000000) {
+  assembler::AsmResult R = assembler::assemble(Source);
+  EXPECT_TRUE(R.succeeded()) << R.errorText();
+  Machine M(SimConfig::lbp(Cores));
+  M.load(R.Prog);
+  RunStatus S = M.run(MaxCycles);
+  EXPECT_EQ(S, RunStatus::Exited) << M.faultMessage();
+  return M;
+}
+
+/// thread(t, data): OUT[t] = 100 + t.
+const char *WriterThread = R"(
+thread:
+    li a4, 0x20000800
+    slli a5, a0, 2
+    add a4, a4, a5
+    addi a6, a0, 100
+    sw a6, 0(a4)
+    p_ret
+)";
+
+std::string parallelCallBody(unsigned NumHarts) {
+  romp::AsmText T;
+  romp::emitParallelCall(T, "thread", NumHarts, "0");
+  // Post-barrier marker: proves main resumed after the team.
+  T.line("li a4, 0x20000900");
+  T.line("li a5, 1");
+  T.line("sw a5, 0(a4)");
+  T.line("p_syncm");
+  return T.str();
+}
+
+class TeamSizes : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(TeamSizes, EveryMemberRunsExactlyOnce) {
+  unsigned NumHarts = GetParam();
+  unsigned Cores = (NumHarts + HartsPerCore - 1) / HartsPerCore;
+  Machine M = runOrDie(withRuntime(parallelCallBody(NumHarts),
+                                   WriterThread),
+                       std::max(Cores, 1u));
+  for (unsigned T = 0; T != NumHarts; ++T)
+    EXPECT_EQ(M.debugReadWord(OutBase + 4 * T), 100 + T) << "member " << T;
+  EXPECT_EQ(M.debugReadWord(FlagAddr), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllShapes, TeamSizes,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 8u, 13u,
+                                           16u));
+
+TEST(Romp, TeamFillsCoresInOrder) {
+  // With 16 harts on 4 cores, team member t runs on hart t: members
+  // write their own hart id next to their index.
+  std::string Thread = R"(
+thread:
+    li a4, 0x20000800
+    slli a5, a0, 2
+    add a4, a4, a5
+    p_set a6
+    srli a6, a6, 16
+    li a5, 0x7fff
+    and a6, a6, a5
+    sw a6, 0(a4)
+    p_ret
+)";
+  Machine M = runOrDie(withRuntime(parallelCallBody(16), Thread), 4);
+  for (unsigned T = 0; T != 16; ++T)
+    EXPECT_EQ(M.debugReadWord(OutBase + 4 * T), T)
+        << "member " << T << " placed on the wrong hart";
+}
+
+TEST(Romp, TwoPhasesAreSeparatedByTheBarrier) {
+  // Paper Fig. 4: a set phase fills v, a get phase consumes it. The
+  // hardware barrier (in-order p_ret commits) separates them with no
+  // explicit synchronization in the threads.
+  std::string Body;
+  {
+    romp::AsmText T;
+    romp::emitParallelCall(T, "thread_set", 8, "0");
+    romp::emitParallelCall(T, "thread_get", 8, "0");
+    Body = T.str();
+  }
+  std::string Functions = R"(
+    .equ V,   0x20000a00
+    .equ OUT, 0x20000800
+thread_set:                  # v[4t..4t+3] = t
+    li a4, V
+    slli a5, a0, 4
+    add a4, a4, a5
+    li a6, 4
+.Lset:
+    sw a0, 0(a4)
+    addi a4, a4, 4
+    addi a6, a6, -1
+    bnez a6, .Lset
+    p_ret
+
+thread_get:                  # OUT[t] = sum v[4t..4t+3] (= 4t)
+    li a4, V
+    slli a5, a0, 4
+    add a4, a4, a5
+    li a6, 4
+    li a7, 0
+.Lget:
+    lw t2, 0(a4)
+    add a7, a7, t2
+    addi a4, a4, 4
+    addi a6, a6, -1
+    bnez a6, .Lget
+    li a4, OUT
+    slli a5, a0, 2
+    add a4, a4, a5
+    sw a7, 0(a4)
+    p_ret
+)";
+  Machine M = runOrDie(withRuntime(Body, Functions), 2);
+  for (unsigned T = 0; T != 8; ++T)
+    EXPECT_EQ(M.debugReadWord(OutBase + 4 * T), 4 * T) << "chunk " << T;
+}
+
+TEST(Romp, ReductionSumsAllPartials) {
+  // Every member sends 10 + t to the head's reduction slot; main folds
+  // the 8 partials after the barrier. Sum = 8*10 + 28 = 108.
+  std::string Body;
+  {
+    romp::AsmText T;
+    romp::emitParallelCall(T, "thread", 8, "0");
+    T.line("li a4, 0");
+    romp::emitReduceCollect(T, "a4", 8);
+    T.line("li a5, 0x20000900");
+    T.line("sw a4, 0(a5)");
+    T.line("p_syncm");
+    Body = T.str();
+  }
+  std::string Functions;
+  {
+    romp::AsmText T;
+    T.label("thread");
+    T.line("addi a4, a0, 10");
+    romp::emitReduceSend(T, "a4");
+    T.line("p_ret");
+    Functions = T.str();
+  }
+  Machine M = runOrDie(withRuntime(Body, Functions), 2);
+  EXPECT_EQ(M.debugReadWord(FlagAddr), 108u);
+}
+
+TEST(Romp, WholeTeamMachineryIsDeterministic) {
+  std::string Src = withRuntime(parallelCallBody(16), WriterThread);
+  Machine M1 = runOrDie(Src, 4);
+  Machine M2 = runOrDie(Src, 4);
+  EXPECT_EQ(M1.cycles(), M2.cycles());
+  EXPECT_EQ(M1.retired(), M2.retired());
+  EXPECT_EQ(M1.traceHash(), M2.traceHash());
+}
+
+TEST(Romp, AllHartsAreFreeAfterTheTeamJoins) {
+  Machine M = runOrDie(withRuntime(parallelCallBody(16), WriterThread), 4);
+  // After exit, every hart but the initial one must have been released.
+  for (unsigned H = 1; H != 16; ++H)
+    EXPECT_EQ(M.hartState(H), HartState::Free) << "hart " << H;
+}
+
+} // namespace

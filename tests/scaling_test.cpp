@@ -1,0 +1,131 @@
+//===- tests/scaling_test.cpp - Multi-chip scaling and machine properties -------===//
+//
+// Part of the LBP reproduction project.
+//
+//===----------------------------------------------------------------------===//
+//
+// The paper's Fig. 15 extension: the core line continues across chips
+// (128 cores = two 64-core chips; the top router layer plays Fig. 15's
+// r4). Teams, placement and determinism must keep working unchanged.
+// Plus whole-machine invariants: per-hart retired counts add up, IPC is
+// bounded by the core count, and different programs produce different
+// event streams.
+//
+//===----------------------------------------------------------------------===//
+
+#include "asm/Assembler.h"
+#include "dsl/Ast.h"
+#include "dsl/CodeGen.h"
+#include "sim/Machine.h"
+#include "workloads/Phases.h"
+
+#include <gtest/gtest.h>
+
+using namespace lbp;
+using namespace lbp::dsl;
+using namespace lbp::sim;
+
+namespace {
+
+std::string indexWriterProgram(unsigned Harts, uint32_t OutAddr) {
+  Module M;
+  M.global("out", OutAddr, Harts);
+  Function *T = M.function("thread", FnKind::Thread);
+  const Local *I = T->param("t");
+  T->append(M.store(M.add(M.addrOf("out"), M.shl(M.v(I), 2)), 0,
+                    M.add(M.v(I), M.c(1))));
+  Function *Main = M.function("main", FnKind::Main);
+  Main->append(M.parallelFor("thread", Harts));
+  return compileModule(M);
+}
+
+TEST(Scaling, TwoChipLineRunsA512HartTeam) {
+  // 128 cores: the line spans two 64-core chips (Fig. 15).
+  constexpr unsigned Cores = 128;
+  constexpr unsigned Harts = 4 * Cores;
+  SimConfig Cfg = SimConfig::lbp(Cores);
+  Cfg.GlobalBankSizeLog2 = 14; // 16 KiB banks: out spans several banks
+  assembler::AsmResult R =
+      assembler::assemble(indexWriterProgram(Harts, 0x20000000));
+  ASSERT_TRUE(R.succeeded()) << R.errorText();
+  Machine M(Cfg);
+  M.load(R.Prog);
+  ASSERT_EQ(M.run(10000000), RunStatus::Exited) << M.faultMessage();
+  for (unsigned T = 0; T != Harts; ++T)
+    ASSERT_EQ(M.debugReadWord(0x20000000 + 4 * T), T + 1) << T;
+  // Everything joined back: only hart 0 survives.
+  for (unsigned H = 1; H != Harts; ++H)
+    ASSERT_EQ(M.hartState(H), HartState::Free) << H;
+}
+
+TEST(Scaling, PhasesStayLocalOnTwoChips) {
+  workloads::PhasesSpec Spec;
+  Spec.NumHarts = 512;
+  Spec.WordsPerChunk = 16;
+  Spec.BankSizeLog2 = 12;
+  assembler::AsmResult R =
+      assembler::assemble(workloads::buildPhasesProgram(Spec));
+  ASSERT_TRUE(R.succeeded()) << R.errorText();
+  SimConfig Cfg = SimConfig::lbp(Spec.cores());
+  Cfg.GlobalBankSizeLog2 = Spec.BankSizeLog2;
+  Machine M(Cfg);
+  M.load(R.Prog);
+  ASSERT_EQ(M.run(10000000), RunStatus::Exited) << M.faultMessage();
+  EXPECT_EQ(M.remoteAccesses(), 0u);
+  for (unsigned T = 0; T < Spec.NumHarts; T += 37)
+    EXPECT_EQ(M.debugReadWord(workloads::phasesOutAddress(Spec, T)),
+              T * Spec.WordsPerChunk)
+        << T;
+}
+
+TEST(Scaling, MachineInvariantsHold) {
+  constexpr unsigned Cores = 16;
+  assembler::AsmResult R =
+      assembler::assemble(indexWriterProgram(64, 0x20000000));
+  ASSERT_TRUE(R.succeeded()) << R.errorText();
+  SimConfig Cfg = SimConfig::lbp(Cores);
+  Machine M(Cfg);
+  M.load(R.Prog);
+  ASSERT_EQ(M.run(1000000), RunStatus::Exited);
+
+  uint64_t Sum = 0;
+  for (unsigned H = 0; H != Cfg.numHarts(); ++H)
+    Sum += M.retiredOnHart(H);
+  EXPECT_EQ(Sum, M.retired()) << "per-hart counters must add up";
+  EXPECT_LE(M.ipc(), static_cast<double>(Cores))
+      << "IPC cannot exceed one per core";
+  EXPECT_GT(M.retired(), 64u * 3) << "every member did its work";
+}
+
+TEST(Scaling, DifferentProgramsProduceDifferentTraces) {
+  auto RunOne = [](uint32_t Value) {
+    Module M;
+    M.global("out", 0x20000000, 1);
+    Function *Main = M.function("main", FnKind::Main);
+    Main->append(M.store(M.addrOf("out"), 0,
+                         M.c(static_cast<int32_t>(Value))));
+    Main->append(M.syncm());
+    assembler::AsmResult R = assembler::assemble(compileModule(M));
+    Machine Mach(SimConfig::lbp(1));
+    Mach.load(R.Prog);
+    Mach.run(100000);
+    return Mach.traceHash();
+  };
+  EXPECT_NE(RunOne(1), RunOne(2))
+      << "the event hash must reflect program behaviour";
+}
+
+TEST(Scaling, TeamsCannotGrowPastTheLastCore) {
+  // A 513-member team on 128 cores needs a 129th core: the machine
+  // reports the paper's structural limit as a fault, deterministically.
+  assembler::AsmResult R =
+      assembler::assemble(indexWriterProgram(20, 0x20000000));
+  ASSERT_TRUE(R.succeeded()) << R.errorText();
+  Machine M(SimConfig::lbp(4)); // 16 harts only
+  M.load(R.Prog);
+  EXPECT_EQ(M.run(1000000), RunStatus::Fault);
+  EXPECT_NE(M.faultMessage().find("last core"), std::string::npos)
+      << M.faultMessage();
+}
+
+} // namespace

@@ -1,0 +1,85 @@
+//===- tests/sim_device_test.cpp - Memory-mapped device tests ------------------===//
+//
+// Part of the LBP reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Device.h"
+
+#include <gtest/gtest.h>
+
+using namespace lbp;
+using namespace lbp::sim;
+
+namespace {
+
+TEST(SensorDevice, ArmsAndRipensAfterLatency) {
+  SensorDevice S({11, 22, 33}, /*Seed=*/1, /*Min=*/10, /*Max=*/10);
+  EXPECT_EQ(S.read(DevStatusReg, 0), 0u) << "unarmed sensor is not ready";
+  S.write(DevStatusReg, 1, 100);
+  EXPECT_EQ(S.read(DevStatusReg, 105), 0u);
+  EXPECT_EQ(S.read(DevStatusReg, 110), 1u);
+  EXPECT_EQ(S.read(DevDataReg, 110), 11u);
+}
+
+TEST(SensorDevice, WalksItsSampleSequenceAndSticksAtTheEnd) {
+  SensorDevice S({5, 6}, 1, 1, 1);
+  S.write(DevStatusReg, 1, 0);
+  EXPECT_EQ(S.read(DevDataReg, 10), 5u);
+  S.write(DevStatusReg, 1, 10);
+  EXPECT_EQ(S.read(DevDataReg, 20), 6u);
+  S.write(DevStatusReg, 1, 20);
+  EXPECT_EQ(S.read(DevDataReg, 30), 6u) << "last sample repeats";
+}
+
+TEST(SensorDevice, LatencyIsSeededButBounded) {
+  for (uint64_t Seed : {1ull, 2ull, 999ull}) {
+    SensorDevice S({1}, Seed, 20, 50);
+    S.write(DevStatusReg, 1, 0);
+    EXPECT_EQ(S.read(DevStatusReg, 19), 0u) << Seed;
+    EXPECT_EQ(S.read(DevStatusReg, 50), 1u) << Seed;
+  }
+}
+
+TEST(SensorDevice, RearmingResetsReadiness) {
+  SensorDevice S({1, 2}, 7, 100, 100);
+  S.write(DevStatusReg, 1, 0);
+  EXPECT_EQ(S.read(DevStatusReg, 100), 1u);
+  S.write(DevStatusReg, 1, 100);
+  EXPECT_EQ(S.read(DevStatusReg, 150), 0u);
+  EXPECT_EQ(S.read(DevStatusReg, 200), 1u);
+}
+
+TEST(ActuatorDevice, RecordsWritesWithCycles) {
+  ActuatorDevice A;
+  EXPECT_EQ(A.read(DevStatusReg, 0), 1u) << "actuators are always ready";
+  A.write(DevDataReg, 42, 10);
+  A.write(DevDataReg, 43, 20);
+  ASSERT_EQ(A.records().size(), 2u);
+  EXPECT_EQ(A.records()[0].Cycle, 10u);
+  EXPECT_EQ(A.records()[0].Value, 42u);
+  EXPECT_EQ(A.records()[1].Value, 43u);
+  EXPECT_EQ(A.read(DevDataReg, 30), 43u) << "reads back the last value";
+}
+
+TEST(TimerDevice, ReadsTheCurrentCycle) {
+  TimerDevice T;
+  EXPECT_EQ(T.read(DevDataReg, 1234), 1234u);
+  EXPECT_EQ(T.read(DevStatusReg, 1234), 1u);
+}
+
+TEST(StreamDevices, PopAndAppend) {
+  StreamInDevice In({7, 8, 9});
+  EXPECT_EQ(In.read(DevStatusReg, 0), 1u);
+  EXPECT_EQ(In.read(DevDataReg, 0), 7u);
+  EXPECT_EQ(In.read(DevDataReg, 1), 8u);
+  EXPECT_EQ(In.read(DevDataReg, 2), 9u);
+  EXPECT_EQ(In.read(DevStatusReg, 3), 0u) << "drained stream not ready";
+
+  StreamOutDevice Out;
+  Out.write(DevDataReg, 1, 0);
+  Out.write(DevDataReg, 2, 1);
+  EXPECT_EQ(Out.data(), (std::vector<uint32_t>{1, 2}));
+}
+
+} // namespace

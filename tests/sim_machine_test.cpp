@@ -1,0 +1,330 @@
+//===- tests/sim_machine_test.cpp - Machine pipeline behaviour --------------===//
+//
+// Part of the LBP reproduction project.
+//
+//===----------------------------------------------------------------------===//
+//
+// End-to-end pipeline tests driven by hand-written assembly: sequential
+// semantics, memory, control flow, the X_PAR fork/join protocol, p_syncm,
+// p_swre/p_lwre synchronization and the determinism guarantee.
+//
+//===----------------------------------------------------------------------===//
+
+#include "asm/Assembler.h"
+#include "isa/AddressMap.h"
+#include "sim/Machine.h"
+
+#include <gtest/gtest.h>
+
+using namespace lbp;
+using namespace lbp::sim;
+
+namespace {
+
+/// Assembles \p Source or fails the test with the diagnostics.
+assembler::Program assembleOrDie(const std::string &Source) {
+  assembler::AsmResult R = assembler::assemble(Source);
+  EXPECT_TRUE(R.succeeded()) << R.errorText();
+  return std::move(R.Prog);
+}
+
+/// Builds a machine, loads \p Source and runs it to completion.
+struct RunResult {
+  RunStatus Status;
+  uint64_t Cycles;
+  uint64_t Retired;
+  uint64_t Hash;
+};
+
+RunResult runProgram(const std::string &Source, Machine &M,
+                     uint64_t MaxCycles = 2000000) {
+  M.load(assembleOrDie(Source));
+  RunStatus S = M.run(MaxCycles);
+  return {S, M.cycles(), M.retired(), M.traceHash()};
+}
+
+RunResult runProgram(const std::string &Source, unsigned Cores = 4,
+                     uint64_t MaxCycles = 2000000) {
+  Machine M(SimConfig::lbp(Cores));
+  return runProgram(Source, M, MaxCycles);
+}
+
+// The standard exit idiom: main must have been entered with ra=0, t0=-1.
+const char *Epilogue = R"(
+exit:
+    li ra, 0
+    li t0, -1
+    p_ret
+)";
+
+TEST(Machine, ExitsImmediately) {
+  RunResult R = runProgram(std::string("main:\n") + Epilogue);
+  EXPECT_EQ(R.Status, RunStatus::Exited);
+  EXPECT_EQ(R.Retired, 3u);
+}
+
+TEST(Machine, ArithmeticAndStore) {
+  std::string Src = R"(
+    .equ RESULT, 0x20000000
+main:
+    li a0, 21
+    li a1, 2
+    mul a2, a0, a1
+    la a3, RESULT
+    sw a2, 0(a3)
+    p_syncm
+)" + std::string(Epilogue);
+  Machine M(SimConfig::lbp(4));
+  RunResult R = runProgram(Src, M);
+  ASSERT_EQ(R.Status, RunStatus::Exited) << M.faultMessage();
+  EXPECT_EQ(M.debugReadWord(0x20000000), 42u);
+}
+
+TEST(Machine, LoadStoreRoundTripAllWidths) {
+  std::string Src = R"(
+    .equ BUF, 0x20000100
+main:
+    la a0, BUF
+    li a1, -2
+    sw a1, 0(a0)
+    sh a1, 4(a0)
+    sb a1, 8(a0)
+    p_syncm
+    lw a2, 0(a0)
+    lh a3, 4(a0)
+    lb a4, 8(a0)
+    lhu a5, 4(a0)
+    lbu a6, 8(a0)
+    la t1, BUF+12
+    sw a2, 0(t1)
+    sw a3, 4(t1)
+    sw a4, 8(t1)
+    sw a5, 12(t1)
+    sw a6, 16(t1)
+    p_syncm
+)" + std::string(Epilogue);
+  Machine M(SimConfig::lbp(4));
+  RunResult R = runProgram(Src, M);
+  ASSERT_EQ(R.Status, RunStatus::Exited) << M.faultMessage();
+  EXPECT_EQ(M.debugReadWord(0x2000010c), 0xFFFFFFFEu);
+  EXPECT_EQ(M.debugReadWord(0x20000110), 0xFFFFFFFEu);
+  EXPECT_EQ(M.debugReadWord(0x20000114), 0xFFFFFFFEu);
+  EXPECT_EQ(M.debugReadWord(0x20000118), 0x0000FFFEu);
+  EXPECT_EQ(M.debugReadWord(0x2000011c), 0x000000FEu);
+}
+
+TEST(Machine, LoopSumsIntegers) {
+  // sum 1..10 = 55.
+  std::string Src = R"(
+main:
+    li a0, 0
+    li a1, 1
+    li a2, 11
+loop:
+    add a0, a0, a1
+    addi a1, a1, 1
+    bne a1, a2, loop
+    la a3, 0x20000040
+    sw a0, 0(a3)
+    p_syncm
+)" + std::string(Epilogue);
+  Machine M(SimConfig::lbp(4));
+  RunResult R = runProgram(Src, M);
+  ASSERT_EQ(R.Status, RunStatus::Exited) << M.faultMessage();
+  EXPECT_EQ(M.debugReadWord(0x20000040), 55u);
+}
+
+TEST(Machine, FunctionCallAndReturn) {
+  std::string Src = R"(
+main:
+    addi sp, sp, -8
+    sw ra, 0(sp)
+    sw t0, 4(sp)
+    li a0, 5
+    call double_it
+    la a1, 0x20000080
+    sw a0, 0(a1)
+    p_syncm
+    lw ra, 0(sp)
+    lw t0, 4(sp)
+    addi sp, sp, 8
+    p_ret
+
+double_it:
+    add a0, a0, a0
+    ret
+)";
+  // main is entered with ra=0, t0=-1, so its final p_ret exits.
+  Machine M(SimConfig::lbp(4));
+  RunResult R = runProgram(Src, M);
+  ASSERT_EQ(R.Status, RunStatus::Exited) << M.faultMessage();
+  EXPECT_EQ(M.debugReadWord(0x20000080), 10u);
+}
+
+// The full fork protocol of paper Fig. 8: fork a hart on the current
+// core, run `child` on the forking hart, continue on the new hart.
+TEST(Machine, ForkOnCurrentRunsChildAndContinuation) {
+  // Hart 0 is the team head (p_set names it), runs `child` and parks at
+  // child's p_ret; the continuation hart's p_ret carries ra = rp back.
+  std::string Src2 = R"(
+    .equ CHILD_FLAG, 0x20000200
+    .equ CONT_FLAG,  0x20000204
+main:
+    li t0, -1
+    addi sp, sp, -8
+    sw ra, 0(sp)
+    sw t0, 4(sp)
+    p_set t0
+    la ra, rp               # join address for the team
+    p_fc t6
+    p_swcv ra, t6, 0
+    p_swcv t0, t6, 4
+    p_merge t0, t0, t6
+    p_syncm
+    la a0, child
+    p_jalr ra, t0, a0
+    p_lwcv ra, 0            # continuation hart starts here
+    p_lwcv t0, 4
+    la a1, CONT_FLAG
+    li a2, 7
+    sw a2, 0(a1)
+    p_syncm
+    p_ret                   # ra = rp, join = hart 0: send join, end hart
+
+rp: lw ra, 0(sp)
+    lw t0, 4(sp)
+    addi sp, sp, 8
+    p_ret                   # ra == 0 && t0 == -1: exit
+
+child:
+    la a1, CHILD_FLAG
+    li a2, 9
+    sw a2, 0(a1)
+    p_syncm
+    p_ret                   # ra == 0, join == current: head waits
+)";
+  Machine M(SimConfig::lbp(4));
+  RunResult R = runProgram(Src2, M);
+  ASSERT_EQ(R.Status, RunStatus::Exited) << M.faultMessage();
+  EXPECT_EQ(M.debugReadWord(0x20000200), 9u);
+  EXPECT_EQ(M.debugReadWord(0x20000204), 7u);
+}
+
+TEST(Machine, SwreLwreProducerConsumer) {
+  // Hart 0 forks hart 1; hart 1 (the continuation) produces a value with
+  // p_swre into hart 0's result slot 2; hart 0's child code consumes it
+  // with p_lwre before parking.
+  std::string Src = R"(
+    .equ OUT, 0x20000300
+main:
+    li t0, -1
+    addi sp, sp, -8
+    sw ra, 0(sp)
+    sw t0, 4(sp)
+    p_set t0
+    la ra, rp
+    p_fc t6
+    p_swcv ra, t6, 0
+    p_swcv t0, t6, 4
+    p_merge t0, t0, t6
+    p_syncm
+    la a0, child
+    p_jalr ra, t0, a0
+    p_lwcv ra, 0            # continuation (hart 1)
+    p_lwcv t0, 4
+    li a2, 1234
+    srli a3, t0, 16         # extract the join hart id from t0
+    li a4, 0x7fff
+    and a3, a3, a4
+    p_swre a2, a3, 2        # send 1234 to the join hart's slot 2
+    p_ret                   # join back to rp on hart 0
+
+rp: lw ra, 0(sp)
+    lw t0, 4(sp)
+    addi sp, sp, 8
+    p_ret                   # exit
+
+child:                      # runs on hart 0
+    p_lwre a5, 2            # blocks until the value arrives
+    la a6, OUT
+    sw a5, 0(a6)
+    p_syncm
+    p_ret                   # head waits for the join
+)";
+  Machine M(SimConfig::lbp(4));
+  RunResult R = runProgram(Src, M);
+  ASSERT_EQ(R.Status, RunStatus::Exited) << M.faultMessage();
+  EXPECT_EQ(M.debugReadWord(0x20000300), 1234u);
+}
+
+TEST(Machine, CycleDeterminism) {
+  std::string Src = R"(
+main:
+    li a0, 0
+    li a1, 1
+    li a2, 101
+loop:
+    add a0, a0, a1
+    addi a1, a1, 1
+    mul a3, a0, a1
+    la a4, 0x20000400
+    sw a3, 0(a4)
+    bne a1, a2, loop
+    p_syncm
+)" + std::string(Epilogue);
+  RunResult R1 = runProgram(Src);
+  RunResult R2 = runProgram(Src);
+  ASSERT_EQ(R1.Status, RunStatus::Exited);
+  EXPECT_EQ(R1.Cycles, R2.Cycles);
+  EXPECT_EQ(R1.Retired, R2.Retired);
+  EXPECT_EQ(R1.Hash, R2.Hash);
+}
+
+TEST(Machine, FaultsOnInvalidInstruction) {
+  // Jumping into zeroed memory decodes an invalid instruction.
+  std::string Src = R"(
+main:
+    la a0, 0x1000
+    jr a0
+)";
+  Machine M(SimConfig::lbp(4));
+  RunResult R = runProgram(Src, M);
+  EXPECT_EQ(R.Status, RunStatus::Fault);
+  EXPECT_FALSE(M.faultMessage().empty());
+}
+
+TEST(Machine, LivelockIsDetected) {
+  // p_lwre on a slot nobody fills can never issue.
+  std::string Src = R"(
+main:
+    p_lwre a0, 0
+    p_ret
+)";
+  SimConfig Cfg = SimConfig::lbp(4);
+  Cfg.ProgressGuard = 5000;
+  Machine M(Cfg);
+  RunResult R = runProgram(Src, M);
+  EXPECT_EQ(R.Status, RunStatus::Livelock);
+}
+
+TEST(Machine, SyncmOrdersStoreLoadThroughMemory) {
+  // Without p_syncm the load could be reordered before the store; the
+  // conservative same-word stall plus p_syncm make the value visible.
+  std::string Src = R"(
+main:
+    la a0, 0x20000500
+    li a1, 77
+    sw a1, 0(a0)
+    p_syncm
+    lw a2, 0(a0)
+    la a3, 0x20000504
+    sw a2, 0(a3)
+    p_syncm
+)" + std::string(Epilogue);
+  Machine M(SimConfig::lbp(4));
+  RunResult R = runProgram(Src, M);
+  ASSERT_EQ(R.Status, RunStatus::Exited) << M.faultMessage();
+  EXPECT_EQ(M.debugReadWord(0x20000504), 77u);
+}
+
+} // namespace

@@ -1,0 +1,129 @@
+//===- tests/stress_test.cpp - Runtime stress tests -------------------------------===//
+//
+// Part of the LBP reproduction project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Long-haul exercises of the Deterministic OpenMP machinery: dozens of
+// back-to-back teams, alternating shapes, wide reductions, and the whole
+// thing replaying cycle-identically.
+//
+//===----------------------------------------------------------------------===//
+
+#include "asm/Assembler.h"
+#include "dsl/Ast.h"
+#include "dsl/CodeGen.h"
+#include "sim/Machine.h"
+
+#include <gtest/gtest.h>
+
+using namespace lbp;
+using namespace lbp::dsl;
+using namespace lbp::sim;
+
+namespace {
+
+Machine compileAndRun(const Module &M, unsigned Cores,
+                      uint64_t MaxCycles = 50000000) {
+  assembler::AsmResult R = assembler::assemble(compileModule(M));
+  EXPECT_TRUE(R.succeeded()) << R.errorText();
+  Machine Mach(SimConfig::lbp(Cores));
+  Mach.load(R.Prog);
+  EXPECT_EQ(Mach.run(MaxCycles), RunStatus::Exited)
+      << Mach.faultMessage();
+  return Mach;
+}
+
+TEST(Stress, FiftyBackToBackTeams) {
+  // 50 teams of 16 launched from a loop in main; each adds into a
+  // per-member accumulator; the harts are recycled every round.
+  Module M;
+  constexpr uint32_t Out = 0x20000000;
+  M.global("acc", Out, 16);
+
+  Function *T = M.function("thread", FnKind::Thread);
+  const Local *I = T->param("t");
+  const Expr *Slot = M.add(M.addrOf("acc"), M.shl(M.v(I), 2));
+  T->append(M.store(Slot, 0, M.add(M.load(Slot), M.c(1))));
+
+  Function *Main = M.function("main", FnKind::Main);
+  const Local *R = Main->local("round");
+  Main->append(M.assign(R, M.c(50)));
+  Main->append(M.doWhile({M.parallelFor("thread", 16),
+                          M.assign(R, M.sub(M.v(R), M.c(1)))},
+                         CmpOp::Ne, M.v(R), M.c(0)));
+
+  Machine Mach = compileAndRun(M, 4);
+  for (unsigned K = 0; K != 16; ++K)
+    EXPECT_EQ(Mach.debugReadWord(Out + 4 * K), 50u) << K;
+  for (unsigned H = 1; H != 16; ++H)
+    EXPECT_EQ(Mach.hartState(H), HartState::Free) << H;
+}
+
+TEST(Stress, AlternatingTeamShapes) {
+  // Teams of different sizes in sequence: each phase marks its size.
+  Module M;
+  constexpr uint32_t Out = 0x20000100;
+  M.global("marks", Out, 13);
+
+  Function *T = M.function("thread", FnKind::Thread);
+  const Local *I = T->param("t");
+  const Local *N = T->local("n"); // a2 = team size per the ABI
+  (void)N;
+  T->append(M.store(M.add(M.addrOf("marks"), M.shl(M.v(I), 2)), 0,
+                    M.add(M.v(I), M.c(100))));
+
+  Function *Main = M.function("main", FnKind::Main);
+  for (unsigned Size : {1u, 5u, 13u, 2u, 8u})
+    Main->append(M.parallelFor("thread", Size));
+
+  Machine Mach = compileAndRun(M, 4);
+  for (unsigned K = 0; K != 13; ++K)
+    EXPECT_EQ(Mach.debugReadWord(Out + 4 * K), 100 + K) << K;
+}
+
+TEST(Stress, WideReductionAcrossSixteenCores) {
+  // 64 members send squares; main folds all 64 partials: sum of t^2
+  // for t = 0..63 = 85344.
+  Module M;
+  constexpr uint32_t Out = 0x20000200;
+  M.global("sum", Out, 1);
+
+  Function *T = M.function("thread", FnKind::Thread);
+  const Local *I = T->param("t");
+  T->append(M.reduceSend(M.mul(M.v(I), M.v(I))));
+
+  Function *Main = M.function("main", FnKind::Main);
+  const Local *Acc = Main->local("acc");
+  Main->append(M.assign(Acc, M.c(0)));
+  Main->append(M.parallelFor("thread", 64));
+  Main->append(M.reduceCollect(Acc, 64));
+  Main->append(M.store(M.addrOf("sum"), 0, M.v(Acc)));
+  Main->append(M.syncm());
+
+  Machine Mach = compileAndRun(M, 16);
+  EXPECT_EQ(Mach.debugReadWord(Out), 85344u);
+}
+
+TEST(Stress, TheWholeThingReplaysExactly) {
+  Module M;
+  M.global("acc", 0x20000300, 8);
+  Function *T = M.function("thread", FnKind::Thread);
+  const Local *I = T->param("t");
+  const Expr *Slot = M.add(M.addrOf("acc"), M.shl(M.v(I), 2));
+  T->append(M.store(Slot, 0, M.add(M.load(Slot), M.mul(M.v(I), M.c(3)))));
+  Function *Main = M.function("main", FnKind::Main);
+  const Local *R = Main->local("round");
+  Main->append(M.assign(R, M.c(20)));
+  Main->append(M.doWhile({M.parallelFor("thread", 8),
+                          M.assign(R, M.sub(M.v(R), M.c(1)))},
+                         CmpOp::Ne, M.v(R), M.c(0)));
+
+  Machine A = compileAndRun(M, 2);
+  Machine B = compileAndRun(M, 2);
+  EXPECT_EQ(A.cycles(), B.cycles());
+  EXPECT_EQ(A.traceHash(), B.traceHash());
+  EXPECT_EQ(A.debugReadWord(0x20000300 + 4 * 7), 20u * 21u);
+}
+
+} // namespace

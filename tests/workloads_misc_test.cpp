@@ -1,0 +1,271 @@
+//===- tests/workloads_misc_test.cpp - Phases, fusion, refmodel ---------------===//
+//
+// Part of the LBP reproduction project.
+//
+//===----------------------------------------------------------------------===//
+//
+// The Fig. 4 phases program (locality + barrier), the Fig. 16 sensor
+// fusion loop (deterministic results under non-deterministic device
+// timing) and the Fig. 21 vector-core reference model.
+//
+//===----------------------------------------------------------------------===//
+
+#include "asm/Assembler.h"
+#include "refmodel/VectorCore.h"
+#include "sim/Machine.h"
+#include "workloads/Dma.h"
+#include "workloads/Phases.h"
+#include "workloads/Pipeline.h"
+#include "workloads/SensorFusion.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+using namespace lbp;
+using namespace lbp::sim;
+using namespace lbp::workloads;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Phases (Fig. 4)
+//===----------------------------------------------------------------------===//
+
+TEST(Phases, BarrierSeparatesPhasesAndResultsAreRight) {
+  PhasesSpec Spec;
+  Spec.NumHarts = 16;
+  assembler::AsmResult R = assembler::assemble(buildPhasesProgram(Spec));
+  ASSERT_TRUE(R.succeeded()) << R.errorText();
+  SimConfig Cfg = SimConfig::lbp(4);
+  Cfg.GlobalBankSizeLog2 = Spec.BankSizeLog2;
+  Machine M(Cfg);
+  M.load(R.Prog);
+  ASSERT_EQ(M.run(2000000), RunStatus::Exited) << M.faultMessage();
+  for (unsigned T = 0; T != 16; ++T)
+    EXPECT_EQ(M.debugReadWord(phasesOutAddress(Spec, T)),
+              T * Spec.WordsPerChunk)
+        << "member " << T;
+}
+
+TEST(Phases, AllVectorAccessesAreLocal) {
+  // The paper's Fig. 4 claim: with the team's stable placement, every
+  // chunk access hits the core's own bank.
+  PhasesSpec Spec;
+  Spec.NumHarts = 16;
+  assembler::AsmResult R = assembler::assemble(buildPhasesProgram(Spec));
+  ASSERT_TRUE(R.succeeded()) << R.errorText();
+  SimConfig Cfg = SimConfig::lbp(4);
+  Cfg.GlobalBankSizeLog2 = Spec.BankSizeLog2;
+  Machine M(Cfg);
+  M.load(R.Prog);
+  ASSERT_EQ(M.run(2000000), RunStatus::Exited) << M.faultMessage();
+  EXPECT_EQ(M.remoteAccesses(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Sensor fusion (Figs. 16/17)
+//===----------------------------------------------------------------------===//
+
+struct FusionRun {
+  std::vector<uint32_t> Values;
+  std::vector<uint64_t> Cycles;
+  uint64_t TotalCycles;
+  uint64_t Hash;
+};
+
+FusionRun runFusion(uint64_t Seed, unsigned Rounds) {
+  SensorFusionSpec Spec;
+  Spec.Rounds = Rounds;
+  assembler::AsmResult R =
+      assembler::assemble(buildSensorFusionProgram(Spec));
+  EXPECT_TRUE(R.succeeded()) << R.errorText();
+  Machine M(SimConfig::lbp(1));
+  M.load(R.Prog);
+  // Four sensors with distinct sample streams and non-deterministic
+  // (seeded) response latencies between 20 and 400 cycles.
+  ActuatorDevice *Act = nullptr;
+  for (unsigned S = 0; S != 4; ++S) {
+    std::vector<uint32_t> Samples;
+    for (unsigned K = 0; K != Rounds; ++K)
+      Samples.push_back(100 * (S + 1) + K);
+    M.addDevice(SensorBase(S), 0x100,
+                std::make_unique<SensorDevice>(Samples, Seed + S, 20,
+                                               400));
+  }
+  auto ActPtr = std::make_unique<ActuatorDevice>();
+  Act = ActPtr.get();
+  M.addDevice(ActuatorBase, 0x100, std::move(ActPtr));
+  EXPECT_EQ(M.run(10000000), RunStatus::Exited) << M.faultMessage();
+
+  FusionRun Out;
+  for (const ActuatorDevice::Record &Rec : Act->records()) {
+    Out.Values.push_back(Rec.Value);
+    Out.Cycles.push_back(Rec.Cycle);
+  }
+  Out.TotalCycles = M.cycles();
+  Out.Hash = M.traceHash();
+  return Out;
+}
+
+TEST(SensorFusion, FusesEveryRoundInOrder) {
+  FusionRun R = runFusion(/*Seed=*/1, /*Rounds=*/6);
+  ASSERT_EQ(R.Values.size(), 6u);
+  for (unsigned K = 0; K != 6; ++K) {
+    // (100+k + 200+k + 300+k + 400+k) / 4 = 250 + k.
+    EXPECT_EQ(R.Values[K], 250 + K) << "round " << K;
+  }
+}
+
+TEST(SensorFusion, ResultsAreSeedIndependent) {
+  // The fused VALUES are fixed by the static code order even though the
+  // sensors answer after different delays per seed (paper Sec. 6).
+  FusionRun A = runFusion(7, 5);
+  FusionRun B = runFusion(1234567, 5);
+  EXPECT_EQ(A.Values, B.Values);
+  EXPECT_NE(A.TotalCycles, B.TotalCycles)
+      << "seeds should actually change the timing";
+}
+
+TEST(SensorFusion, IdenticalSeedsAreCycleIdentical) {
+  FusionRun A = runFusion(42, 5);
+  FusionRun B = runFusion(42, 5);
+  EXPECT_EQ(A.Hash, B.Hash);
+  EXPECT_EQ(A.Cycles, B.Cycles);
+  EXPECT_EQ(A.TotalCycles, B.TotalCycles);
+}
+
+TEST(SensorFusion, ActuationFollowsSlowestSensorQuickly) {
+  // Bounded response: each actuation happens within a small number of
+  // cycles after its round's team joined (no interrupt machinery).
+  FusionRun R = runFusion(3, 4);
+  ASSERT_EQ(R.Cycles.size(), 4u);
+  for (unsigned K = 1; K != 4; ++K)
+    EXPECT_GT(R.Cycles[K], R.Cycles[K - 1]);
+}
+
+//===----------------------------------------------------------------------===//
+// DMA / controller-hart streaming (Fig. 17)
+//===----------------------------------------------------------------------===//
+
+struct DmaRun {
+  std::vector<uint32_t> Output;
+  uint64_t Hash;
+};
+
+DmaRun runDma(const DmaSpec &Spec) {
+  assembler::AsmResult R =
+      assembler::assemble(buildDmaStreamProgram(Spec));
+  EXPECT_TRUE(R.succeeded()) << R.errorText();
+  Machine M(SimConfig::lbp(Spec.cores()));
+  auto In = std::make_unique<StreamInDevice>(dmaInputStream(Spec));
+  auto Out = std::make_unique<StreamOutDevice>();
+  StreamOutDevice *OutPtr = Out.get();
+  M.addDevice(DmaInDeviceBase, 0x100, std::move(In));
+  M.addDevice(DmaOutDeviceBase, 0x100, std::move(Out));
+  M.load(R.Prog);
+  EXPECT_EQ(M.run(20000000), RunStatus::Exited) << M.faultMessage();
+  return {OutPtr->data(), M.traceHash()};
+}
+
+class DmaShapes
+    : public ::testing::TestWithParam<std::pair<unsigned, unsigned>> {};
+
+TEST_P(DmaShapes, StreamsEveryItemThroughTheControllers) {
+  DmaSpec Spec;
+  Spec.Workers = GetParam().first;
+  Spec.ItemsPerWorker = GetParam().second;
+  DmaRun R = runDma(Spec);
+  ASSERT_EQ(R.Output.size(), Spec.Workers);
+  std::vector<uint32_t> Sorted = R.Output;
+  std::sort(Sorted.begin(), Sorted.end());
+  EXPECT_EQ(Sorted, dmaExpectedSums(Spec));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, DmaShapes,
+    ::testing::Values(std::make_pair(1u, 4u), std::make_pair(2u, 8u),
+                      std::make_pair(6u, 16u), std::make_pair(14u, 8u)));
+
+TEST(Dma, IsCycleDeterministic) {
+  DmaSpec Spec;
+  Spec.Workers = 6;
+  Spec.ItemsPerWorker = 8;
+  DmaRun A = runDma(Spec);
+  DmaRun B = runDma(Spec);
+  EXPECT_EQ(A.Hash, B.Hash);
+  EXPECT_EQ(A.Output, B.Output) << "even the arrival order replays";
+}
+
+//===----------------------------------------------------------------------===//
+// Deterministic message-passing pipeline (Sec. 8 perspective)
+//===----------------------------------------------------------------------===//
+
+Machine runPipeline(const PipelineSpec &Spec) {
+  assembler::AsmResult R =
+      assembler::assemble(buildPipelineProgram(Spec));
+  EXPECT_TRUE(R.succeeded()) << R.errorText();
+  SimConfig Cfg = SimConfig::lbp(Spec.cores());
+  Cfg.GlobalBankSizeLog2 = Spec.BankSizeLog2;
+  Machine M(Cfg);
+  M.load(R.Prog);
+  EXPECT_EQ(M.run(20000000), RunStatus::Exited) << M.faultMessage();
+  return M;
+}
+
+class PipelineShapes
+    : public ::testing::TestWithParam<std::pair<unsigned, unsigned>> {};
+
+TEST_P(PipelineShapes, DeliversEveryItemInOrder) {
+  PipelineSpec Spec;
+  Spec.Stages = GetParam().first;
+  Spec.Items = GetParam().second;
+  Machine M = runPipeline(Spec);
+  for (unsigned I = 0; I != Spec.Items; ++I)
+    EXPECT_EQ(M.debugReadWord(pipelineOutAddress(Spec, I)),
+              pipelineExpectedValue(Spec, I))
+        << "item " << I;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, PipelineShapes,
+    ::testing::Values(std::make_pair(2u, 16u), std::make_pair(3u, 32u),
+                      std::make_pair(4u, 64u), std::make_pair(8u, 64u),
+                      std::make_pair(16u, 32u)));
+
+TEST(Pipeline, IsCycleDeterministic) {
+  PipelineSpec Spec;
+  Spec.Stages = 8;
+  Spec.Items = 32;
+  Machine A = runPipeline(Spec);
+  Machine B = runPipeline(Spec);
+  EXPECT_EQ(A.cycles(), B.cycles());
+  EXPECT_EQ(A.traceHash(), B.traceHash());
+}
+
+//===----------------------------------------------------------------------===//
+// Reference model (Fig. 21's Xeon Phi 2 stand-in)
+//===----------------------------------------------------------------------===//
+
+TEST(RefModel, ReproducesThePaperAnchorsAtH256) {
+  refmodel::VectorCoreConfig Cfg;
+  refmodel::VectorCoreResult R = refmodel::evaluateTiledMatMul(Cfg, 256);
+  // Paper: 32M instructions, 391K cycles, 81.86 total IPC (1.28/core).
+  EXPECT_NEAR(static_cast<double>(R.Instructions), 32.0e6, 2.5e6);
+  EXPECT_NEAR(static_cast<double>(R.Cycles), 391.0e3, 40.0e3);
+  EXPECT_NEAR(R.IpcPerCore, 1.28, 0.1);
+}
+
+TEST(RefModel, ScalesWithProblemSize) {
+  refmodel::VectorCoreConfig Cfg;
+  auto Small = refmodel::evaluateTiledMatMul(Cfg, 64);
+  auto Large = refmodel::evaluateTiledMatMul(Cfg, 256);
+  EXPECT_LT(Small.Instructions, Large.Instructions);
+  EXPECT_LT(Small.Cycles, Large.Cycles);
+  // h^3 scaling dominates: 4x h is ~64x instructions.
+  EXPECT_NEAR(static_cast<double>(Large.Instructions) /
+                  static_cast<double>(Small.Instructions),
+              64.0, 16.0);
+}
+
+} // namespace
