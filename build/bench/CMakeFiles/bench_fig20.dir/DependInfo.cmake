@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig20.cpp" "bench/CMakeFiles/bench_fig20.dir/bench_fig20.cpp.o" "gcc" "bench/CMakeFiles/bench_fig20.dir/bench_fig20.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/lbp_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/refmodel/CMakeFiles/lbp_refmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsl/CMakeFiles/lbp_dsl.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lbp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/romp/CMakeFiles/lbp_romp.dir/DependInfo.cmake"
+  "/root/repo/build/src/asm/CMakeFiles/lbp_asm.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/lbp_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/lbp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

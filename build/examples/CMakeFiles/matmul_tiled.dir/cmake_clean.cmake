@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matmul_tiled.dir/matmul_tiled.cpp.o"
+  "CMakeFiles/matmul_tiled.dir/matmul_tiled.cpp.o.d"
+  "matmul_tiled"
+  "matmul_tiled.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matmul_tiled.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omp_translate.dir/omp_translate.cpp.o"
+  "CMakeFiles/omp_translate.dir/omp_translate.cpp.o.d"
+  "omp_translate"
+  "omp_translate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omp_translate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

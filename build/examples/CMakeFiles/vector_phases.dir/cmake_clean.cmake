@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vector_phases.dir/vector_phases.cpp.o"
+  "CMakeFiles/vector_phases.dir/vector_phases.cpp.o.d"
+  "vector_phases"
+  "vector_phases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vector_phases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

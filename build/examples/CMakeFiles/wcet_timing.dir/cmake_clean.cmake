@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wcet_timing.dir/wcet_timing.cpp.o"
+  "CMakeFiles/wcet_timing.dir/wcet_timing.cpp.o.d"
+  "wcet_timing"
+  "wcet_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wcet_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

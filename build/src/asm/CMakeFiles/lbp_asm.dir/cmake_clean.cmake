@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lbp_asm.dir/Assembler.cpp.o"
+  "CMakeFiles/lbp_asm.dir/Assembler.cpp.o.d"
+  "CMakeFiles/lbp_asm.dir/Program.cpp.o"
+  "CMakeFiles/lbp_asm.dir/Program.cpp.o.d"
+  "liblbp_asm.a"
+  "liblbp_asm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lbp_asm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lbp_dsl.dir/Ast.cpp.o"
+  "CMakeFiles/lbp_dsl.dir/Ast.cpp.o.d"
+  "CMakeFiles/lbp_dsl.dir/CodeGen.cpp.o"
+  "CMakeFiles/lbp_dsl.dir/CodeGen.cpp.o.d"
+  "liblbp_dsl.a"
+  "liblbp_dsl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lbp_dsl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

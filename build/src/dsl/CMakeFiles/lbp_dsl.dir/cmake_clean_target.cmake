@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblbp_dsl.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lbp_frontend.dir/Compiler.cpp.o"
+  "CMakeFiles/lbp_frontend.dir/Compiler.cpp.o.d"
+  "CMakeFiles/lbp_frontend.dir/Lexer.cpp.o"
+  "CMakeFiles/lbp_frontend.dir/Lexer.cpp.o.d"
+  "liblbp_frontend.a"
+  "liblbp_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lbp_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

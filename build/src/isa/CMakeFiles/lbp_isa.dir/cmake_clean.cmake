@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lbp_isa.dir/Disasm.cpp.o"
+  "CMakeFiles/lbp_isa.dir/Disasm.cpp.o.d"
+  "CMakeFiles/lbp_isa.dir/Encoding.cpp.o"
+  "CMakeFiles/lbp_isa.dir/Encoding.cpp.o.d"
+  "CMakeFiles/lbp_isa.dir/Instr.cpp.o"
+  "CMakeFiles/lbp_isa.dir/Instr.cpp.o.d"
+  "CMakeFiles/lbp_isa.dir/Reg.cpp.o"
+  "CMakeFiles/lbp_isa.dir/Reg.cpp.o.d"
+  "liblbp_isa.a"
+  "liblbp_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lbp_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lbp_refmodel.dir/VectorCore.cpp.o"
+  "CMakeFiles/lbp_refmodel.dir/VectorCore.cpp.o.d"
+  "liblbp_refmodel.a"
+  "liblbp_refmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lbp_refmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

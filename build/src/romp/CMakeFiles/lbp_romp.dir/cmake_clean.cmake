@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lbp_romp.dir/AsmText.cpp.o"
+  "CMakeFiles/lbp_romp.dir/AsmText.cpp.o.d"
+  "CMakeFiles/lbp_romp.dir/Runtime.cpp.o"
+  "CMakeFiles/lbp_romp.dir/Runtime.cpp.o.d"
+  "liblbp_romp.a"
+  "liblbp_romp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lbp_romp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/Device.cpp" "src/sim/CMakeFiles/lbp_sim.dir/Device.cpp.o" "gcc" "src/sim/CMakeFiles/lbp_sim.dir/Device.cpp.o.d"
+  "/root/repo/src/sim/Exec.cpp" "src/sim/CMakeFiles/lbp_sim.dir/Exec.cpp.o" "gcc" "src/sim/CMakeFiles/lbp_sim.dir/Exec.cpp.o.d"
+  "/root/repo/src/sim/Interp.cpp" "src/sim/CMakeFiles/lbp_sim.dir/Interp.cpp.o" "gcc" "src/sim/CMakeFiles/lbp_sim.dir/Interp.cpp.o.d"
+  "/root/repo/src/sim/Machine.cpp" "src/sim/CMakeFiles/lbp_sim.dir/Machine.cpp.o" "gcc" "src/sim/CMakeFiles/lbp_sim.dir/Machine.cpp.o.d"
+  "/root/repo/src/sim/Memory.cpp" "src/sim/CMakeFiles/lbp_sim.dir/Memory.cpp.o" "gcc" "src/sim/CMakeFiles/lbp_sim.dir/Memory.cpp.o.d"
+  "/root/repo/src/sim/Trace.cpp" "src/sim/CMakeFiles/lbp_sim.dir/Trace.cpp.o" "gcc" "src/sim/CMakeFiles/lbp_sim.dir/Trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/asm/CMakeFiles/lbp_asm.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/lbp_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/lbp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lbp_sim.dir/Device.cpp.o"
+  "CMakeFiles/lbp_sim.dir/Device.cpp.o.d"
+  "CMakeFiles/lbp_sim.dir/Exec.cpp.o"
+  "CMakeFiles/lbp_sim.dir/Exec.cpp.o.d"
+  "CMakeFiles/lbp_sim.dir/Interp.cpp.o"
+  "CMakeFiles/lbp_sim.dir/Interp.cpp.o.d"
+  "CMakeFiles/lbp_sim.dir/Machine.cpp.o"
+  "CMakeFiles/lbp_sim.dir/Machine.cpp.o.d"
+  "CMakeFiles/lbp_sim.dir/Memory.cpp.o"
+  "CMakeFiles/lbp_sim.dir/Memory.cpp.o.d"
+  "CMakeFiles/lbp_sim.dir/Trace.cpp.o"
+  "CMakeFiles/lbp_sim.dir/Trace.cpp.o.d"
+  "liblbp_sim.a"
+  "liblbp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lbp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lbp_support.dir/Error.cpp.o"
+  "CMakeFiles/lbp_support.dir/Error.cpp.o.d"
+  "CMakeFiles/lbp_support.dir/StringUtils.cpp.o"
+  "CMakeFiles/lbp_support.dir/StringUtils.cpp.o.d"
+  "liblbp_support.a"
+  "liblbp_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lbp_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/Dma.cpp" "src/workloads/CMakeFiles/lbp_workloads.dir/Dma.cpp.o" "gcc" "src/workloads/CMakeFiles/lbp_workloads.dir/Dma.cpp.o.d"
+  "/root/repo/src/workloads/MatMul.cpp" "src/workloads/CMakeFiles/lbp_workloads.dir/MatMul.cpp.o" "gcc" "src/workloads/CMakeFiles/lbp_workloads.dir/MatMul.cpp.o.d"
+  "/root/repo/src/workloads/Phases.cpp" "src/workloads/CMakeFiles/lbp_workloads.dir/Phases.cpp.o" "gcc" "src/workloads/CMakeFiles/lbp_workloads.dir/Phases.cpp.o.d"
+  "/root/repo/src/workloads/Pipeline.cpp" "src/workloads/CMakeFiles/lbp_workloads.dir/Pipeline.cpp.o" "gcc" "src/workloads/CMakeFiles/lbp_workloads.dir/Pipeline.cpp.o.d"
+  "/root/repo/src/workloads/SensorFusion.cpp" "src/workloads/CMakeFiles/lbp_workloads.dir/SensorFusion.cpp.o" "gcc" "src/workloads/CMakeFiles/lbp_workloads.dir/SensorFusion.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dsl/CMakeFiles/lbp_dsl.dir/DependInfo.cmake"
+  "/root/repo/build/src/romp/CMakeFiles/lbp_romp.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/lbp_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/lbp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

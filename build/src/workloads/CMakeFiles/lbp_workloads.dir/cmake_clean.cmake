@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lbp_workloads.dir/Dma.cpp.o"
+  "CMakeFiles/lbp_workloads.dir/Dma.cpp.o.d"
+  "CMakeFiles/lbp_workloads.dir/MatMul.cpp.o"
+  "CMakeFiles/lbp_workloads.dir/MatMul.cpp.o.d"
+  "CMakeFiles/lbp_workloads.dir/Phases.cpp.o"
+  "CMakeFiles/lbp_workloads.dir/Phases.cpp.o.d"
+  "CMakeFiles/lbp_workloads.dir/Pipeline.cpp.o"
+  "CMakeFiles/lbp_workloads.dir/Pipeline.cpp.o.d"
+  "CMakeFiles/lbp_workloads.dir/SensorFusion.cpp.o"
+  "CMakeFiles/lbp_workloads.dir/SensorFusion.cpp.o.d"
+  "liblbp_workloads.a"
+  "liblbp_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lbp_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

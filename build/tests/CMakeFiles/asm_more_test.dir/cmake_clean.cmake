@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asm_more_test.dir/asm_more_test.cpp.o"
+  "CMakeFiles/asm_more_test.dir/asm_more_test.cpp.o.d"
+  "asm_more_test"
+  "asm_more_test.pdb"
+  "asm_more_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asm_more_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsl_codegen_test.dir/dsl_codegen_test.cpp.o"
+  "CMakeFiles/dsl_codegen_test.dir/dsl_codegen_test.cpp.o.d"
+  "dsl_codegen_test"
+  "dsl_codegen_test.pdb"
+  "dsl_codegen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsl_codegen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frontend_apps_test.dir/frontend_apps_test.cpp.o"
+  "CMakeFiles/frontend_apps_test.dir/frontend_apps_test.cpp.o.d"
+  "frontend_apps_test"
+  "frontend_apps_test.pdb"
+  "frontend_apps_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frontend_apps_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

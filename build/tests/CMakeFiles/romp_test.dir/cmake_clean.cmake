@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/romp_test.dir/romp_test.cpp.o"
+  "CMakeFiles/romp_test.dir/romp_test.cpp.o.d"
+  "romp_test"
+  "romp_test.pdb"
+  "romp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/romp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_exec_test.dir/sim_exec_test.cpp.o"
+  "CMakeFiles/sim_exec_test.dir/sim_exec_test.cpp.o.d"
+  "sim_exec_test"
+  "sim_exec_test.pdb"
+  "sim_exec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_exec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

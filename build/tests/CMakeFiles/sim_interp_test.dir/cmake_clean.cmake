@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_interp_test.dir/sim_interp_test.cpp.o"
+  "CMakeFiles/sim_interp_test.dir/sim_interp_test.cpp.o.d"
+  "sim_interp_test"
+  "sim_interp_test.pdb"
+  "sim_interp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_interp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

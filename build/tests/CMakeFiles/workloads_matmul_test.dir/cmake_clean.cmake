@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workloads_matmul_test.dir/workloads_matmul_test.cpp.o"
+  "CMakeFiles/workloads_matmul_test.dir/workloads_matmul_test.cpp.o.d"
+  "workloads_matmul_test"
+  "workloads_matmul_test.pdb"
+  "workloads_matmul_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workloads_matmul_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

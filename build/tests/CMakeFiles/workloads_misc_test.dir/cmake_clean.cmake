@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workloads_misc_test.dir/workloads_misc_test.cpp.o"
+  "CMakeFiles/workloads_misc_test.dir/workloads_misc_test.cpp.o.d"
+  "workloads_misc_test"
+  "workloads_misc_test.pdb"
+  "workloads_misc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workloads_misc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

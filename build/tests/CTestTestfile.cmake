@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/support_test[1]_include.cmake")
+include("/root/repo/build/tests/isa_test[1]_include.cmake")
+include("/root/repo/build/tests/asm_test[1]_include.cmake")
+include("/root/repo/build/tests/asm_more_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_exec_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_memory_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_device_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_interp_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_machine_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_machine_edge_test[1]_include.cmake")
+include("/root/repo/build/tests/romp_test[1]_include.cmake")
+include("/root/repo/build/tests/dsl_test[1]_include.cmake")
+include("/root/repo/build/tests/dsl_codegen_test[1]_include.cmake")
+include("/root/repo/build/tests/workloads_matmul_test[1]_include.cmake")
+include("/root/repo/build/tests/workloads_misc_test[1]_include.cmake")
+include("/root/repo/build/tests/frontend_test[1]_include.cmake")
+include("/root/repo/build/tests/frontend_apps_test[1]_include.cmake")
+include("/root/repo/build/tests/frontend_diag_test[1]_include.cmake")
+include("/root/repo/build/tests/differential_test[1]_include.cmake")
+include("/root/repo/build/tests/scaling_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_config_test[1]_include.cmake")
+include("/root/repo/build/tests/stress_test[1]_include.cmake")
