@@ -1,0 +1,82 @@
+//===- bench/bench_faults.cpp - Machine-check overhead ---------------------===//
+//
+// Part of the LBP reproduction project.
+//
+//===----------------------------------------------------------------------===//
+//
+// The robustness layer's cost question: the invariant checkers
+// (docs/ROBUSTNESS.md) run on every delivery plus a periodic sweep, and
+// they are on by default. This bench runs the paper matmul with the
+// checkers on and off and reports simulated-cycles-per-second both
+// ways, so the overhead of "machine checks always armed" is a measured
+// number rather than a guess. The two configurations must also agree on
+// the trace hash — the checkers are observers, not participants.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchUtil.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace lbp;
+using namespace lbp::bench;
+using namespace lbp::workloads;
+
+namespace {
+
+struct CheckedOutcome {
+  uint64_t Cycles = 0;
+  uint64_t TraceHash = 0;
+};
+
+CheckedOutcome runChecked(const MatMulSpec &Spec, bool Checkers) {
+  assembler::AsmResult R = assembler::assemble(buildMatMulProgram(Spec));
+  if (!R.succeeded()) {
+    std::fprintf(stderr, "bench: assembly failed:\n%s",
+                 R.errorText().c_str());
+    std::exit(1);
+  }
+  sim::SimConfig Cfg = sim::SimConfig::lbp(Spec.cores());
+  Cfg.GlobalBankSizeLog2 = Spec.BankSizeLog2;
+  Cfg.EnableCheckers = Checkers;
+  sim::Machine M(Cfg);
+  M.load(R.Prog);
+  if (M.run() != sim::RunStatus::Exited) {
+    std::fprintf(stderr, "bench: run did not exit cleanly: %s\n",
+                 M.faultMessage().c_str());
+    std::exit(1);
+  }
+  return {M.cycles(), M.traceHash()};
+}
+
+void BM_CheckerOverhead(benchmark::State &State) {
+  MatMulSpec Spec = MatMulSpec::paper(
+      static_cast<unsigned>(State.range(0)),
+      static_cast<MatMulVersion>(State.range(1)));
+  bool Checkers = State.range(2) != 0;
+  CheckedOutcome Baseline = runChecked(Spec, false);
+  uint64_t SimCycles = 0;
+  for (auto _ : State) {
+    CheckedOutcome Out = runChecked(Spec, Checkers);
+    if (Out.Cycles != Baseline.Cycles ||
+        Out.TraceHash != Baseline.TraceHash) {
+      State.SkipWithError("CHECKERS PERTURBED A FAULT-FREE RUN");
+      return;
+    }
+    SimCycles += Out.Cycles;
+  }
+  State.counters["sim_cycles"] = static_cast<double>(Baseline.Cycles);
+  State.counters["sim_cycles_per_sec"] = benchmark::Counter(
+      static_cast<double>(SimCycles), benchmark::Counter::kIsRate);
+}
+
+} // namespace
+
+BENCHMARK(BM_CheckerOverhead)
+    ->ArgsProduct({{16, 64},
+                   {static_cast<long>(MatMulVersion::Tiled)},
+                   {0, 1}})
+    ->ArgNames({"harts", "version", "checkers"})
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -110,6 +110,8 @@ int main(int argc, char **argv) {
               static_cast<unsigned long long>(M.retired()), M.ipc());
   if (S == RunStatus::Fault)
     std::printf("fault: %s\n", M.faultMessage().c_str());
+  else if (S == RunStatus::Livelock)
+    std::printf("%s\n", M.faultMessage().c_str());
   std::printf("trace hash: %016llx\n",
               static_cast<unsigned long long>(M.traceHash()));
 

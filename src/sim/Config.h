@@ -33,6 +33,40 @@ constexpr unsigned RobEntries = 8;
 /// Remote-result buffer slots per hart (p_swre/p_lwre targets).
 constexpr unsigned ResultSlots = 8;
 
+/// Deterministic transient-fault injection (docs/ROBUSTNESS.md). Every
+/// fault is drawn from a SplitMix64 stream seeded with \c Seed, so the
+/// same seed on the same configuration reproduces the same fault at the
+/// same cycle — which is what makes injected failures replayable.
+struct FaultPlanConfig {
+  uint64_t Seed = 0;
+
+  // How many events of each class the plan draws.
+  unsigned Drops = 0;      ///< Deliveries that vanish on a link
+                           ///< (token / join / start / rb-fill /
+                           ///< slot-fill).
+  unsigned Delays = 0;     ///< Deliveries that arrive late (only the
+                           ///< classes for which lateness cannot reorder
+                           ///< same-target messages; see
+                           ///< docs/ROBUSTNESS.md).
+  unsigned BitFlips = 0;   ///< Single-bit payload corruptions on a link.
+  unsigned StuckBanks = 0; ///< Global-bank ports that stop serving for a
+                           ///< window of cycles.
+
+  /// Trigger cycles are drawn uniformly from [WindowBegin, WindowEnd).
+  uint64_t WindowBegin = 1;
+  uint64_t WindowEnd = 100000;
+
+  /// Delay faults add 1..MaxDelay cycles to the arrival.
+  unsigned MaxDelay = 64;
+
+  /// Length of a stuck-bank window in cycles.
+  uint64_t StuckDuration = 64;
+
+  bool enabled() const {
+    return Drops + Delays + BitFlips + StuckBanks != 0;
+  }
+};
+
 struct SimConfig {
   /// Number of cores on the line; must be a power of 4 between 1 and 64
   /// for a full router tree (other values are allowed, the tree is then
@@ -81,6 +115,18 @@ struct SimConfig {
   /// Classify why each core issued nothing in a cycle (adds a per-cycle
   /// scan; off by default).
   bool CollectStallStats = false;
+
+  /// Machine-check invariant checkers (docs/ROBUSTNESS.md). They are
+  /// read-only observers of the machine state: a fault-free run produces
+  /// the same trace hash with them on or off.
+  bool EnableCheckers = true;
+
+  /// Cycle stride of the periodic checker sweep (0 disables the sweep
+  /// but keeps the per-delivery checks).
+  uint64_t CheckInterval = 64;
+
+  /// Transient-fault injection plan; inactive by default.
+  FaultPlanConfig Faults;
 
   unsigned numHarts() const { return NumCores * HartsPerCore; }
   uint32_t globalBankSize() const { return 1u << GlobalBankSizeLog2; }

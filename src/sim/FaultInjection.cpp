@@ -1,0 +1,168 @@
+//===- sim/FaultInjection.cpp - Deterministic transient faults --------------===//
+//
+// Part of the LBP reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/FaultInjection.h"
+#include "support/SplitMix64.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+
+using namespace lbp;
+using namespace lbp::sim;
+
+const char *lbp::sim::faultKindName(FaultKind K) {
+  switch (K) {
+  case FaultKind::DropDelivery:
+    return "drop";
+  case FaultKind::DelayDelivery:
+    return "delay";
+  case FaultKind::BitFlip:
+    return "bit-flip";
+  case FaultKind::StuckBank:
+    return "stuck-bank";
+  }
+  return "?";
+}
+
+static const char *className(uint8_t Mask) {
+  switch (Mask) {
+  case FaultClassToken:
+    return "token";
+  case FaultClassJoin:
+    return "join";
+  case FaultClassStart:
+    return "start";
+  case FaultClassRbFill:
+    return "rb-fill";
+  case FaultClassSlotFill:
+    return "slot-fill";
+  }
+  return "?";
+}
+
+std::string FaultEvent::describe() const {
+  std::string S = formatString("%s", faultKindName(Kind));
+  if (Kind == FaultKind::StuckBank)
+    S += formatString(" bank %u for %llu cycles", Param,
+                      static_cast<unsigned long long>(Duration));
+  else
+    S += formatString(" %s-class delivery", className(ClassMask));
+  S += formatString(" armed at cycle %llu",
+                    static_cast<unsigned long long>(TriggerCycle));
+  if (Fired)
+    S += formatString(", fired at cycle %llu",
+                      static_cast<unsigned long long>(FiredCycle));
+  else
+    S += ", never fired";
+  return S;
+}
+
+FaultPlan::FaultPlan(const FaultPlanConfig &Config, unsigned NumCores) {
+  Enabled = Config.enabled();
+  if (!Enabled)
+    return;
+
+  SplitMix64 Rng(Config.Seed);
+  uint64_t Span = Config.WindowEnd > Config.WindowBegin
+                      ? Config.WindowEnd - Config.WindowBegin
+                      : 1;
+  auto Trigger = [&] { return Config.WindowBegin + Rng.nextBelow(Span); };
+
+  // Drops may hit any protocol delivery. Delays are restricted to the
+  // classes with at most one in-flight message per target (a late
+  // slot-fill could overtake a later one to the same slot, turning a
+  // timing fault into an undetectable value reordering — real links
+  // keep FIFO order, so the model does too).
+  static const uint8_t DropClasses[] = {FaultClassToken, FaultClassJoin,
+                                        FaultClassStart, FaultClassRbFill,
+                                        FaultClassSlotFill};
+  static const uint8_t DelayClasses[] = {FaultClassToken, FaultClassJoin,
+                                         FaultClassStart, FaultClassRbFill};
+  // Flips target the payload-carrying classes (the token's payload is
+  // trace-only; corrupting it would be invisible by construction).
+  static const uint8_t FlipClasses[] = {FaultClassJoin, FaultClassStart,
+                                        FaultClassRbFill,
+                                        FaultClassSlotFill};
+
+  for (unsigned I = 0; I != Config.Drops; ++I) {
+    FaultEvent E;
+    E.Kind = FaultKind::DropDelivery;
+    E.TriggerCycle = Trigger();
+    E.ClassMask = DropClasses[Rng.nextBelow(5)];
+    Events.push_back(E);
+  }
+  for (unsigned I = 0; I != Config.Delays; ++I) {
+    FaultEvent E;
+    E.Kind = FaultKind::DelayDelivery;
+    E.TriggerCycle = Trigger();
+    E.ClassMask = DelayClasses[Rng.nextBelow(4)];
+    E.Param = 1 + static_cast<uint32_t>(
+                      Rng.nextBelow(Config.MaxDelay ? Config.MaxDelay : 1));
+    Events.push_back(E);
+  }
+  for (unsigned I = 0; I != Config.BitFlips; ++I) {
+    FaultEvent E;
+    E.Kind = FaultKind::BitFlip;
+    E.TriggerCycle = Trigger();
+    E.ClassMask = FlipClasses[Rng.nextBelow(4)];
+    E.Param = static_cast<uint32_t>(Rng.nextBelow(32));
+    Events.push_back(E);
+  }
+  for (unsigned I = 0; I != Config.StuckBanks; ++I) {
+    FaultEvent E;
+    E.Kind = FaultKind::StuckBank;
+    E.TriggerCycle = Trigger();
+    E.Param = static_cast<uint32_t>(Rng.nextBelow(NumCores));
+    E.Duration = Config.StuckDuration;
+    Events.push_back(E);
+  }
+
+  std::stable_sort(Events.begin(), Events.end(),
+                   [](const FaultEvent &A, const FaultEvent &B) {
+                     return A.TriggerCycle < B.TriggerCycle;
+                   });
+}
+
+FaultEvent *FaultPlan::match(uint64_t Now, uint8_t ClassBit) {
+  for (FaultEvent &E : Events) {
+    if (E.TriggerCycle > Now)
+      break; // sorted: nothing later is armed yet
+    if (E.Fired || E.Kind == FaultKind::StuckBank ||
+        !(E.ClassMask & ClassBit))
+      continue;
+    E.Fired = true;
+    E.FiredCycle = Now;
+    return &E;
+  }
+  return nullptr;
+}
+
+uint64_t FaultPlan::stuckBankStall(unsigned Bank, uint64_t Now,
+                                   bool &NewlyFired) {
+  NewlyFired = false;
+  for (FaultEvent &E : Events) {
+    if (E.TriggerCycle > Now)
+      break;
+    if (E.Kind != FaultKind::StuckBank || E.Param != Bank)
+      continue;
+    if (Now >= E.TriggerCycle + E.Duration)
+      continue;
+    if (!E.Fired) {
+      E.Fired = true;
+      E.FiredCycle = Now;
+      NewlyFired = true;
+    }
+    return E.TriggerCycle + E.Duration - Now;
+  }
+  return 0;
+}
+
+unsigned FaultPlan::firedCount() const {
+  unsigned N = 0;
+  for (const FaultEvent &E : Events)
+    N += E.Fired;
+  return N;
+}

@@ -1,0 +1,103 @@
+//===- sim/FaultInjection.h - Deterministic transient faults ----------------===//
+//
+// Part of the LBP reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A seeded, fully deterministic fault plan for the simulator. The plan
+/// is drawn once at machine construction from a SplitMix64 stream; from
+/// then on it is a pure function of the cycle counter and of the
+/// (deterministic) delivery stream, so the same seed reproduces the same
+/// fault at the same cycle on every run. Four fault classes exist:
+///
+///  * DropDelivery  — a scheduled protocol message vanishes on its link.
+///  * DelayDelivery — a message arrives 1..MaxDelay cycles late. Only
+///    delivery classes with at most one in-flight message per target
+///    (token, join, start, rb-fill) are delayed, so lateness can never
+///    reorder same-target messages and a delayed run stays correct.
+///  * BitFlip       — one payload bit flips after the link parity was
+///    computed, so the delivery-side parity check must catch it.
+///  * StuckBank     — one global bank's router-side port stops serving
+///    for a window of cycles; accesses queue behind the window.
+///
+/// docs/ROBUSTNESS.md describes the model and how the machine-check
+/// layer (sim/Checker.h) turns each class into a detected failure.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LBP_SIM_FAULTINJECTION_H
+#define LBP_SIM_FAULTINJECTION_H
+
+#include "sim/Config.h"
+
+#include <string>
+#include <vector>
+
+namespace lbp {
+namespace sim {
+
+/// The four injectable fault classes.
+enum class FaultKind : uint8_t {
+  DropDelivery,
+  DelayDelivery,
+  BitFlip,
+  StuckBank,
+};
+
+const char *faultKindName(FaultKind K);
+
+/// Delivery-class bits a drop/delay/flip event may target. One bit per
+/// protocol delivery kind (memory bank traffic is perturbed through
+/// StuckBank instead, whose timing effect is modelled at the bank port).
+enum : uint8_t {
+  FaultClassToken = 1 << 0,    ///< Ending-signal token.
+  FaultClassJoin = 1 << 1,     ///< Join message to a team head.
+  FaultClassStart = 1 << 2,    ///< Hart start message.
+  FaultClassRbFill = 1 << 3,   ///< Load/remote result fill.
+  FaultClassSlotFill = 1 << 4, ///< p_swre remote-result slot fill.
+};
+
+/// One planned fault. Armed from TriggerCycle on; drop/delay/flip events
+/// fire on the first matching delivery scheduled at or after that cycle,
+/// stuck-bank events cover [TriggerCycle, TriggerCycle + Duration).
+struct FaultEvent {
+  FaultKind Kind = FaultKind::DropDelivery;
+  uint64_t TriggerCycle = 0;
+  uint8_t ClassMask = 0; ///< Delivery classes the event may hit.
+  uint32_t Param = 0;    ///< Delay cycles / payload bit index / bank id.
+  uint64_t Duration = 0; ///< Stuck-bank window length.
+  bool Fired = false;
+  uint64_t FiredCycle = 0;
+
+  std::string describe() const;
+};
+
+/// The full, pre-drawn fault schedule of one run.
+class FaultPlan {
+  std::vector<FaultEvent> Events;
+  bool Enabled = false;
+
+public:
+  FaultPlan() = default;
+  FaultPlan(const FaultPlanConfig &Config, unsigned NumCores);
+
+  bool enabled() const { return Enabled; }
+
+  /// Returns the first armed drop/delay/flip event whose class mask
+  /// covers \p ClassBit, marking it fired at \p Now, or nullptr.
+  FaultEvent *match(uint64_t Now, uint8_t ClassBit);
+
+  /// Extra stall cycles a global-bank access to \p Bank suffers when its
+  /// service cycle \p Now falls into a stuck window. \p NewlyFired is
+  /// set when this call is the window's first hit.
+  uint64_t stuckBankStall(unsigned Bank, uint64_t Now, bool &NewlyFired);
+
+  const std::vector<FaultEvent> &events() const { return Events; }
+  unsigned firedCount() const;
+};
+
+} // namespace sim
+} // namespace lbp
+
+#endif // LBP_SIM_FAULTINJECTION_H

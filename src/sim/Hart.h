@@ -61,6 +61,9 @@ struct RobEntry {
 /// One hardware thread.
 struct Hart {
   HartState State = HartState::Free;
+  /// Cycle of the last State transition; the machine-check layer uses it
+  /// to spot harts stuck in Reserved (a lost start message).
+  uint64_t StateSince = 0;
 
   // Fetch.
   bool PcValid = false;
@@ -125,6 +128,7 @@ struct Hart {
   /// a statistic of the run, not hart state).
   void clearForFree() {
     State = HartState::Free;
+    StateSince = 0;
     PcValid = false;
     IbFull = false;
     SyncmWait = false;

@@ -25,7 +25,8 @@ using namespace lbp::isa;
 //===----------------------------------------------------------------------===//
 
 Machine::Machine(const SimConfig &Config)
-    : Cfg(Config), Mem(Config), Net(Config), Cores(Config.NumCores),
+    : Cfg(Config), Mem(Config), Net(Config),
+      FPlan(Config.Faults, Config.NumCores), Cores(Config.NumCores),
       Wheel(WheelSize) {
   Tr.setRecording(Cfg.RecordTrace);
 }
@@ -72,6 +73,7 @@ void Machine::load(const assembler::Program &Prog) {
   // convention).
   Hart &H0 = Cores[0].Harts[0];
   H0.State = HartState::Running;
+  H0.StateSince = Cycle;
   H0.Pc = Prog.entry();
   H0.PcValid = true;
   H0.Regs[RegSP] = hartStackTop(0);
@@ -108,8 +110,58 @@ void Machine::fault(const std::string &Msg) {
 // Delivery machinery
 //===----------------------------------------------------------------------===//
 
+/// Fault-plan class bit of a delivery kind (0 = not injectable).
+static uint8_t faultClassOf(Delivery::Kind K) {
+  switch (K) {
+  case Delivery::Kind::Token:
+    return FaultClassToken;
+  case Delivery::Kind::JoinMsg:
+    return FaultClassJoin;
+  case Delivery::Kind::StartHart:
+    return FaultClassStart;
+  case Delivery::Kind::RbFill:
+    return FaultClassRbFill;
+  case Delivery::Kind::SlotFill:
+    return FaultClassSlotFill;
+  default:
+    return 0;
+  }
+}
+
 void Machine::schedule(uint64_t At, Delivery D) {
-  assert(At > Cycle && "deliveries must land in the future");
+  // The parity seals the delivery as it enters the link; anything the
+  // fault plan corrupts below is caught by the checker at arrival.
+  D.Parity = deliveryParity(D);
+
+  if (FPlan.enabled()) {
+    if (uint8_t Class = faultClassOf(D.K)) {
+      if (FaultEvent *E = FPlan.match(Cycle, Class)) {
+        Tr.event(Cycle, EventKind::FaultInject,
+                 static_cast<uint64_t>(E->Kind), D.HartId);
+        switch (E->Kind) {
+        case FaultKind::DropDelivery:
+          return; // the message vanishes on the link
+        case FaultKind::DelayDelivery:
+          At += E->Param;
+          break;
+        case FaultKind::BitFlip:
+          D.Value ^= 1u << (E->Param & 31u);
+          break;
+        case FaultKind::StuckBank:
+          break; // applied at the bank port, not here
+        }
+      }
+    }
+  }
+
+  if (Cfg.EnableCheckers) {
+    Ck.onScheduled(*this, At, D);
+    if (Halted)
+      return;
+  } else {
+    assert(At > Cycle && "deliveries must land in the future");
+  }
+
   if (At - Cycle >= WheelSize) {
     Overflow.emplace(At, D);
     return;
@@ -134,6 +186,11 @@ void Machine::finishRb(Hart &H, uint32_t Value, uint64_t ReadyCycle) {
 }
 
 void Machine::deliver(const Delivery &D) {
+  if (Cfg.EnableCheckers) {
+    Ck.onDelivered(*this, D);
+    if (Halted)
+      return; // a machine check stops the delivery from applying
+  }
   LastProgress = Cycle;
   Hart &H = hart(D.HartId);
 
@@ -238,6 +295,7 @@ void Machine::deliver(const Delivery &D) {
       return;
     }
     H.State = HartState::Running;
+    H.StateSince = Cycle;
     H.Pc = D.Value;
     H.PcValid = true;
     H.NoFetchUntil = Cycle + 1;
@@ -265,6 +323,7 @@ int Machine::allocateHart(unsigned CoreId, unsigned ByHart) {
     C.AllocRR = static_cast<uint8_t>((H + 1) % HartsPerCore);
     Hart &Target = C.Harts[H];
     Target.State = HartState::Reserved;
+    Target.StateSince = Cycle;
     Target.Regs[RegSP] = hartStackTop(H) - ContFrameSize;
     unsigned Id = hartId(CoreId, H);
     Tr.event(Cycle, EventKind::HartReserve, Id, ByHart);
@@ -286,6 +345,7 @@ void Machine::startHart(unsigned HartId, uint32_t StartPc) {
     R = 0;
   H.Regs[RegSP] = Sp;
   H.State = HartState::Running;
+  H.StateSince = Cycle;
   H.Pc = StartPc;
   H.PcValid = true;
   H.NoFetchUntil = Cycle + 1;
@@ -363,6 +423,7 @@ void Machine::commitRet(unsigned CoreId, unsigned HartInCore, Hart &H,
     H.Token = false;
     sendToken(SelfId, Succ);
     H.State = HartState::WaitingJoin;
+    H.StateSince = Cycle;
     H.PcValid = false;
     return;
   }
@@ -774,6 +835,15 @@ bool Machine::issueMemOp(unsigned CoreId, unsigned HartInCore, Hart &H,
     Interconnect::GlobalPath Path = Net.routeGlobal(CoreId, Bank, Cycle);
     AccessCycle = Path.BankCycle;
     RespCycle = Path.ResponseCycle;
+    if (FPlan.enabled()) {
+      bool NewlyFired = false;
+      uint64_t Stall = FPlan.stuckBankStall(Bank, AccessCycle, NewlyFired);
+      if (NewlyFired)
+        Tr.event(Cycle, EventKind::FaultInject,
+                 static_cast<uint64_t>(FaultKind::StuckBank), Bank);
+      AccessCycle += Stall;
+      RespCycle += Stall;
+    }
     if (Bank == CoreId)
       ++LocalAccesses;
     else
@@ -1152,12 +1222,107 @@ RunStatus Machine::run(uint64_t MaxCycles) {
         break;
     }
 
+    if (!Halted && Cfg.EnableCheckers && Cfg.CheckInterval != 0 &&
+        Cycle % Cfg.CheckInterval == 0) {
+      Ck.sweep(*this);
+      if (Halted)
+        break;
+    }
+
     if (!Halted && Cycle - LastProgress > Cfg.ProgressGuard) {
       Status = RunStatus::Livelock;
+      FaultMsg = livelockReport();
       break;
     }
   }
   return Status;
+}
+
+//===----------------------------------------------------------------------===//
+// Livelock diagnosis
+//===----------------------------------------------------------------------===//
+
+unsigned Machine::pendingDeliveriesFor(unsigned HartId) const {
+  unsigned N = 0;
+  for (const std::vector<Delivery> &Slot : Wheel)
+    for (const Delivery &D : Slot)
+      N += D.HartId == HartId;
+  for (const auto &Entry : Overflow)
+    N += Entry.second.HartId == HartId;
+  return N;
+}
+
+static const char *hartStateName(HartState S) {
+  switch (S) {
+  case HartState::Free:
+    return "free";
+  case HartState::Reserved:
+    return "reserved";
+  case HartState::Running:
+    return "running";
+  case HartState::WaitingJoin:
+    return "waiting-join";
+  }
+  return "?";
+}
+
+/// Best single-line explanation of what a stalled hart is waiting for.
+static std::string hartWaitCause(const Hart &H, unsigned Pending) {
+  if (H.State == HartState::Reserved)
+    return Pending ? "start message still in flight"
+                   : "reserved but no start message pending (lost?)";
+  if (H.State == HartState::WaitingJoin)
+    return Pending ? "join message still in flight"
+                   : "waiting for a join that is not in flight";
+  if (H.SyncmWait)
+    return formatString("p_syncm draining %u outstanding accesses",
+                        H.OutstandingMem);
+  if (H.RobCount != 0) {
+    const RobEntry &E = H.Rob[H.RobHead];
+    std::string Head = isa::printInstr(E.I);
+    if (E.I.Op == Opcode::P_LWRE && E.State == RobEntry::St::Waiting)
+      return formatString("`%s` waiting for result slot %d to fill",
+                          Head.c_str(), static_cast<int>(E.I.Imm));
+    bool IsRet = E.I.Op == Opcode::P_JALR && E.I.Rd == 0;
+    if (IsRet && E.State == RobEntry::St::Done && !H.Token)
+      return formatString("`%s` waiting for the ending-signal token",
+                          Head.c_str());
+    if (H.RbBusy && !H.RbReady)
+      return formatString("`%s` awaiting a memory/link response",
+                          Head.c_str());
+    return formatString("`%s` (%s) at the head of the rob", Head.c_str(),
+                        E.State == RobEntry::St::Waiting ? "waiting"
+                        : E.State == RobEntry::St::Issued ? "issued"
+                                                          : "done");
+  }
+  if (!H.PcValid && !H.IbFull)
+    return "no pc and nothing buffered";
+  return "idle front end";
+}
+
+std::string Machine::livelockReport() const {
+  std::string Report = formatString(
+      "livelock: no commit, delivery or hart start since cycle %llu "
+      "(guard %llu cycles). Hart wait report:",
+      static_cast<unsigned long long>(LastProgress),
+      static_cast<unsigned long long>(Cfg.ProgressGuard));
+  unsigned Stuck = 0;
+  for (unsigned HartId = 0; HartId != Cfg.numHarts(); ++HartId) {
+    const Hart &H = hart(HartId);
+    if (H.State == HartState::Free)
+      continue;
+    ++Stuck;
+    unsigned Pending = pendingDeliveriesFor(HartId);
+    Report += formatString(
+        "\n  hart %u (core %u): state=%s pc=0x%x rob=%u outMem=%u "
+        "token=%d pending-deliveries=%u — %s",
+        HartId, HartId / HartsPerCore, hartStateName(H.State), H.Pc,
+        H.RobCount, H.OutstandingMem, static_cast<int>(H.Token), Pending,
+        hartWaitCause(H, Pending).c_str());
+  }
+  if (Stuck == 0)
+    Report += "\n  (no hart is live; every delivery has drained)";
+  return Report;
 }
 
 //===----------------------------------------------------------------------===//
@@ -1178,6 +1343,10 @@ uint32_t Machine::debugReadWord(uint32_t Addr, unsigned Core) const {
     return Mem.readGlobal(Rel >> Cfg.GlobalBankSizeLog2,
                           Rel & (Cfg.globalBankSize() - 1), 4);
   }
+  // Mirrors debugWriteWord: silently answering 0 for an unmapped
+  // address hides test bugs (I/O registers are only reachable through
+  // the simulated timing path).
+  assert(false && "debug reads reach only code and data memory");
   return 0;
 }
 

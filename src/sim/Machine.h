@@ -17,8 +17,10 @@
 #define LBP_SIM_MACHINE_H
 
 #include "asm/Program.h"
+#include "sim/Checker.h"
 #include "sim/Config.h"
 #include "sim/Device.h"
+#include "sim/FaultInjection.h"
 #include "sim/Hart.h"
 #include "sim/Memory.h"
 #include "sim/Trace.h"
@@ -34,9 +36,39 @@ namespace sim {
 enum class RunStatus : uint8_t {
   Exited,    ///< p_ret with ra == 0, t0 == -1 committed.
   MaxCycles, ///< The cycle budget ran out first.
-  Livelock,  ///< No progress for SimConfig::ProgressGuard cycles.
-  Fault,     ///< Invalid instruction or protocol violation; see
-             ///< faultMessage().
+  Livelock,  ///< No progress for SimConfig::ProgressGuard cycles; the
+             ///< per-hart wait report is in faultMessage().
+  Fault,     ///< Invalid instruction, protocol violation or machine
+             ///< check; see faultMessage() and machineChecks().
+};
+
+/// One in-flight message on the machine's links: memory responses,
+/// fork/join protocol messages, the ending-signal token. Every field is
+/// fixed at injection time, which is what makes link parity and fault
+/// injection well-defined (the whole future of a delivery is decided
+/// when it enters a link).
+struct Delivery {
+  enum class Kind : uint8_t {
+    RbFill,     ///< Load/remote value lands in the hart's rb.
+    MemAck,     ///< Store acknowledged; OutstandingMem--.
+    BankAccess, ///< Perform the read/write at the serving bank.
+    IoAccess,   ///< Perform the device register access.
+    StartHart,  ///< p_jal/p_jalr start message reaches the hart.
+    Token,      ///< Ending-hart signal reaches the hart.
+    JoinMsg,    ///< Join address (+ token) resumes the team head.
+    SlotFill,   ///< p_swre value reaches a remote-result slot.
+  } K;
+  uint16_t HartId = 0; ///< Requesting/target hart.
+  uint32_t Value = 0;
+  uint32_t Addr = 0;
+  uint64_t RespCycle = 0; ///< For Bank/IoAccess: response arrival.
+  uint32_t StoreWord = 0; ///< Word address a MemAck retires.
+  uint8_t Width = 4;
+  uint8_t Slot = 0;
+  bool IsWrite = false;
+  bool SignExt = false;
+  bool CountsMem = false; ///< RbFill also decrements OutstandingMem.
+  uint8_t Parity = 0;     ///< Link parity, set by Machine::schedule().
 };
 
 class Machine {
@@ -67,6 +99,15 @@ public:
   uint64_t traceHash() const { return Tr.hash(); }
   const Trace &trace() const { return Tr; }
   const std::string &faultMessage() const { return FaultMsg; }
+
+  /// Every invariant violation the machine-check layer detected (the
+  /// first one also fails the run through RunStatus::Fault).
+  const std::vector<MachineCheck> &machineChecks() const {
+    return Ck.checks();
+  }
+
+  /// The run's fault-injection schedule (empty unless configured).
+  const FaultPlan &faultPlan() const { return FPlan; }
   uint64_t contentionCycles() const { return Net.contentionCycles(); }
   const Interconnect &interconnect() const { return Net; }
 
@@ -99,30 +140,9 @@ public:
   HartState hartState(unsigned HartId) const;
 
 private:
-  // -- Deliveries -----------------------------------------------------
-  struct Delivery {
-    enum class Kind : uint8_t {
-      RbFill,     ///< Load/remote value lands in the hart's rb.
-      MemAck,     ///< Store acknowledged; OutstandingMem--.
-      BankAccess, ///< Perform the read/write at the serving bank.
-      IoAccess,   ///< Perform the device register access.
-      StartHart,  ///< p_jal/p_jalr start message reaches the hart.
-      Token,      ///< Ending-hart signal reaches the hart.
-      JoinMsg,    ///< Join address (+ token) resumes the team head.
-      SlotFill,   ///< p_swre value reaches a remote-result slot.
-    } K;
-    uint16_t HartId = 0; ///< Requesting/target hart.
-    uint32_t Value = 0;
-    uint32_t Addr = 0;
-    uint64_t RespCycle = 0; ///< For Bank/IoAccess: response arrival.
-    uint32_t StoreWord = 0; ///< Word address a MemAck retires.
-    uint8_t Width = 4;
-    uint8_t Slot = 0;
-    bool IsWrite = false;
-    bool SignExt = false;
-    bool CountsMem = false; ///< RbFill also decrements OutstandingMem.
-  };
+  friend class Checker; // read-only sweeps over the machine state
 
+  // -- Deliveries -----------------------------------------------------
   void schedule(uint64_t At, Delivery D);
   void deliver(const Delivery &D);
 
@@ -153,6 +173,10 @@ private:
     return CoreId * HartsPerCore + HartInCore;
   }
   void fault(const std::string &Msg);
+  /// The livelock diagnosis: one wait-state line per non-free hart.
+  std::string livelockReport() const;
+  /// Deliveries on the wheel/overflow map targeting \p HartId.
+  unsigned pendingDeliveriesFor(unsigned HartId) const;
   void startHart(unsigned HartId, uint32_t StartPc);
   void freeHart(unsigned HartId);
   void sendToken(unsigned FromHart, unsigned ToHart);
@@ -166,6 +190,8 @@ private:
   MemorySystem Mem;
   Interconnect Net;
   Trace Tr;
+  FaultPlan FPlan;
+  Checker Ck;
   std::vector<Core> Cores;
 
   uint64_t Cycle = 0;

@@ -34,6 +34,10 @@ static const char *kindName(EventKind K) {
     return "io-write";
   case EventKind::Exit:
     return "exit";
+  case EventKind::FaultInject:
+    return "fault-inject";
+  case EventKind::MachineCheck:
+    return "machine-check";
   }
   return "?";
 }

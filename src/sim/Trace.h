@@ -39,6 +39,10 @@ enum class EventKind : uint8_t {
   IoRead,       ///< Device register read: (addr, value).
   IoWrite,      ///< Device register write: (addr, value).
   Exit,         ///< Process exited: (hart).
+  FaultInject,  ///< Planned fault fired: (kind, target). Only emitted
+                ///< on perturbed runs, so fault-free hashes are
+                ///< unchanged.
+  MachineCheck, ///< Invariant checker tripped: (kind, hart).
 };
 
 /// Event sink: always hashes, optionally records formatted lines.

@@ -95,7 +95,10 @@ TEST(Asm, LiLoadsExactValues) {
       if (P.textSize() == 8) {
         isa::Instr I2 = isa::decode(P.readWord(4));
         ASSERT_EQ(I2.Op, isa::Opcode::ADDI);
-        Result += I2.Imm;
+        // Wraparound add, as the hardware does it: lui 0x80000 plus a
+        // negative addi overflows int32.
+        Result = static_cast<int32_t>(static_cast<uint32_t>(Result) +
+                                      static_cast<uint32_t>(I2.Imm));
       }
     }
     EXPECT_EQ(Result, static_cast<int32_t>(C.Value)) << C.Value;

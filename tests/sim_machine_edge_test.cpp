@@ -377,4 +377,51 @@ TEST(MachineEdge, SlotIndexOutOfRangeFaults) {
   EXPECT_NE(M.faultMessage().find("slot"), std::string::npos);
 }
 
+// run(MaxCycles) pauses a healthy machine without losing state: resuming
+// completes the program with the same answer a single run produces.
+TEST(MachineEdge, MaxCyclesPausesAndResumesLosslessly) {
+  std::string Src = R"(
+main:
+    li a0, 0
+    li a1, 1000
+loop:
+    addi a0, a0, 1
+    bne a0, a1, loop
+    li a5, 0x20000100
+    sw a0, 0(a5)
+    p_syncm
+    li ra, 0
+    li t0, -1
+    p_ret
+)";
+  assembler::AsmResult R = assembler::assemble(Src);
+  ASSERT_TRUE(R.succeeded()) << R.errorText();
+  Machine M(SimConfig::lbp(1));
+  M.load(R.Prog);
+  ASSERT_EQ(M.run(100), RunStatus::MaxCycles);
+  EXPECT_EQ(M.cycles(), 100u);
+  EXPECT_TRUE(M.faultMessage().empty());
+  ASSERT_EQ(M.run(2000000), RunStatus::Exited) << M.faultMessage();
+  EXPECT_EQ(M.debugReadWord(0x20000100), 1000u);
+
+  Machine One = runSrc(Src, 1);
+  EXPECT_EQ(M.cycles(), One.cycles());
+  EXPECT_EQ(M.traceHash(), One.traceHash());
+}
+
+// The progress guard turns an unsatisfiable wait into RunStatus::Livelock
+// rather than spinning until MaxCycles.
+TEST(MachineEdge, LivelockIsDistinguishedFromMaxCycles) {
+  assembler::AsmResult R =
+      assembler::assemble("main:\n  p_lwre a0, 3\nhang:\n  j hang\n");
+  ASSERT_TRUE(R.succeeded());
+  SimConfig Cfg = SimConfig::lbp(1);
+  Cfg.ProgressGuard = 4000;
+  Machine M(Cfg);
+  M.load(R.Prog);
+  EXPECT_EQ(M.run(1000000), RunStatus::Livelock);
+  EXPECT_LT(M.cycles(), 1000000u);
+  EXPECT_FALSE(M.faultMessage().empty());
+}
+
 } // namespace
