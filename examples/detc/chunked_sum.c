@@ -1,0 +1,24 @@
+// Det-C: each member sums a private chunk of the input and sends its
+// partial over the reduction line (paper Fig. 9 shape). The analyzer
+// proves the chunk writes disjoint and the send/collect arity matched.
+// Part of the lbp_lint clean corpus (see docs/ANALYSIS.md).
+
+int data[32] = { 2 };
+
+void partial_sum(int t) {
+  int acc;
+  int n;
+  acc = 0;
+  for (n = t * 8; n < (t + 1) * 8; n++)
+    acc = acc + data[n];
+  __reduce_send(acc);
+}
+
+void main() {
+  int t;
+  int total;
+  total = 0;
+  #pragma omp parallel for reduction(+:total)
+  for (t = 0; t < 4; t++)
+    partial_sum(t);
+}

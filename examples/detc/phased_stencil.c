@@ -1,0 +1,27 @@
+// Det-C: two back-to-back parallel regions. The first fills a vector,
+// the second reads neighbouring elements the *previous* region wrote —
+// fine, because the team barrier between regions orders the phases.
+// The analyzer checks each region in isolation, so the cross-member
+// reads in phase two never pair with a same-region write.
+// Part of the lbp_lint clean corpus (see docs/ANALYSIS.md).
+
+int src[18];
+int dst[16];
+
+void fill(int t) {
+  src[t + 1] = t * t;
+}
+
+void smooth(int t) {
+  dst[t] = src[t] + src[t + 1] + src[t + 2];
+}
+
+void main() {
+  int t;
+  #pragma omp parallel for
+  for (t = 0; t < 16; t++)
+    fill(t);
+  #pragma omp parallel for
+  for (t = 0; t < 16; t++)
+    smooth(t);
+}

@@ -1,0 +1,18 @@
+// Det-C: every team member scales its own element — the canonical
+// disjoint-write pattern the determinism analyzer certifies.
+// Part of the lbp_lint clean corpus (see docs/ANALYSIS.md).
+
+int v[16] = { 3 };
+int out[16];
+
+void scale(int t) {
+  out[t] = v[t] * 5;
+}
+
+void main() {
+  int t;
+  omp_set_num_threads(16);
+  #pragma omp parallel for
+  for (t = 0; t < 16; t++)
+    scale(t);
+}

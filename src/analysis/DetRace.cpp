@@ -1,0 +1,888 @@
+//===- analysis/DetRace.cpp - Det-C determinism analyzer ----------------------===//
+//
+// Part of the LBP reproduction project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Abstract domain: every 32-bit value is approximated by an affine form
+//
+//     Sym + A*t + [Lo, Hi]
+//
+// where t is the team index of the executing member, Sym is an optional
+// global symbol base and [Lo, Hi] a constant interval. The form is
+// closed under the address arithmetic the frontend emits (base + index
+// * stride + constant) and under the widening of recognized
+// constant-step loops, which is exactly what the canonical Det-C access
+// shapes v[t] and v[t*stride+k] need. Anything else falls to "top" and
+// the affected access is skipped (documented unsoundness, see
+// docs/ANALYSIS.md).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/DetRace.h"
+
+#include "romp/Runtime.h"
+#include "sim/Config.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+
+using namespace lbp;
+using namespace lbp::analysis;
+using namespace lbp::dsl;
+
+namespace {
+
+/// Saturation bound for reduction-send counting.
+constexpr uint64_t SendCap = 1ull << 30;
+
+uint64_t satAdd(uint64_t A, uint64_t B) {
+  return std::min(SendCap, A + std::min(B, SendCap));
+}
+uint64_t satMul(uint64_t A, uint64_t B) {
+  if (A == 0 || B == 0)
+    return 0;
+  if (A > SendCap / B)
+    return SendCap;
+  return A * B;
+}
+
+/// The affine abstract value.
+struct AV {
+  bool Valid = false;
+  std::string Sym; ///< Empty = pure numeric value.
+  int64_t A = 0;   ///< Coefficient of the team index t.
+  int64_t Lo = 0, Hi = 0;
+
+  static AV top() { return {}; }
+  static AV cst(int64_t V) { return {true, "", 0, V, V}; }
+  static AV teamIndex() { return {true, "", 1, 0, 0}; }
+
+  bool isSingleton() const { return Valid && Sym.empty() && Lo == Hi; }
+  bool operator==(const AV &O) const {
+    if (Valid != O.Valid)
+      return false;
+    if (!Valid)
+      return true;
+    return Sym == O.Sym && A == O.A && Lo == O.Lo && Hi == O.Hi;
+  }
+};
+
+AV avAdd(const AV &L, const AV &R) {
+  if (!L.Valid || !R.Valid || (!L.Sym.empty() && !R.Sym.empty()))
+    return AV::top();
+  return {true, L.Sym.empty() ? R.Sym : L.Sym, L.A + R.A, L.Lo + R.Lo,
+          L.Hi + R.Hi};
+}
+
+AV avSub(const AV &L, const AV &R) {
+  if (!L.Valid || !R.Valid || !R.Sym.empty())
+    return AV::top();
+  return {true, L.Sym, L.A - R.A, L.Lo - R.Hi, L.Hi - R.Lo};
+}
+
+/// V scaled by the compile-time constant C (addresses don't scale).
+AV avScale(const AV &V, int64_t C) {
+  if (!V.Valid || !V.Sym.empty())
+    return AV::top();
+  int64_t A = V.Lo * C, B = V.Hi * C;
+  return {true, "", V.A * C, std::min(A, B), std::max(A, B)};
+}
+
+AV avMul(const AV &L, const AV &R) {
+  if (L.isSingleton() && L.A == 0)
+    return avScale(R, L.Lo);
+  if (R.isSingleton() && R.A == 0)
+    return avScale(L, R.Lo);
+  return AV::top();
+}
+
+bool cmpHolds(CmpOp Op, int64_t L, int64_t R) {
+  switch (Op) {
+  case CmpOp::Eq:
+    return L == R;
+  case CmpOp::Ne:
+    return L != R;
+  case CmpOp::Lt:
+    return L < R;
+  case CmpOp::Ge:
+    return L >= R;
+  case CmpOp::Gt:
+    return L > R;
+  case CmpOp::Le:
+    return L <= R;
+  case CmpOp::Ltu:
+    return static_cast<uint32_t>(L) < static_cast<uint32_t>(R);
+  case CmpOp::Geu:
+    return static_cast<uint32_t>(L) >= static_cast<uint32_t>(R);
+  }
+  return false;
+}
+
+/// One recorded shared-memory access of a team member.
+struct Access {
+  bool IsWrite = false;
+  bool Abs = false;  ///< Base resolved to an absolute address.
+  std::string Sym;   ///< Original symbol (for messages; may be empty).
+  int64_t Base = 0;  ///< Absolute base when Abs.
+  int64_t A = 0, Lo = 0, Hi = 0;
+  unsigned Width = 4;
+  unsigned Line = 0;
+  std::vector<char> Allow; ///< Team indices that can perform it.
+};
+
+struct GlobalRange {
+  int64_t Addr = 0;
+  int64_t SizeBytes = 0;
+};
+
+/// Per-region analysis of one thread function: walks the body with the
+/// affine environment and collects accesses plus reduction-send counts.
+class RegionAnalyzer {
+public:
+  RegionAnalyzer(AnalysisResult &Res, unsigned N,
+                 const std::map<std::string, const Function *> &Fns,
+                 const std::map<std::string, GlobalRange> &Globals)
+      : SendMin(N, 0), SendMax(N, 0), Res(Res), N(N), Fns(Fns),
+        Globals(Globals), Allow(N, 1) {}
+
+  void run(const Function &ThreadFn, const std::string &DataSymbol) {
+    Env.clear();
+    const auto &Params = ThreadFn.params();
+    if (!Params.empty())
+      Env[Params[0]] = AV::teamIndex();
+    if (Params.size() > 1 && !DataSymbol.empty())
+      Env[Params[1]] = AV{true, DataSymbol, 0, 0, 0};
+    if (Params.size() > 2)
+      Env[Params[2]] = AV::cst(static_cast<int64_t>(N));
+    InlineStack.insert(&ThreadFn);
+    walkStmts(ThreadFn.body());
+    InlineStack.erase(&ThreadFn);
+  }
+
+  std::vector<Access> Accesses;
+  std::vector<uint64_t> SendMin, SendMax; ///< Per team index t.
+  bool SawRawAsm = false;
+  bool SawNestedRegion = false;
+  unsigned NestedRegionLine = 0;
+  bool SawCollect = false;
+  unsigned CollectLine = 0;
+
+private:
+  AnalysisResult &Res;
+  unsigned N;
+  const std::map<std::string, const Function *> &Fns;
+  const std::map<std::string, GlobalRange> &Globals;
+
+  std::map<const Local *, AV> Env;
+  std::vector<char> Allow;
+  uint64_t MulMin = 1, MulMax = 1;
+  bool Record = true;
+  std::set<const Function *> InlineStack;
+
+  AV envOf(const Local *L) const {
+    auto It = Env.find(L);
+    return It == Env.end() ? AV::top() : It->second;
+  }
+
+  void recordAccess(bool IsWrite, const AV &Addr, unsigned Width,
+                    unsigned Line) {
+    if (!Record || !Addr.Valid)
+      return;
+    Access Acc;
+    Acc.IsWrite = IsWrite;
+    Acc.Sym = Addr.Sym;
+    Acc.A = Addr.A;
+    Acc.Lo = Addr.Lo;
+    Acc.Hi = Addr.Hi;
+    Acc.Width = Width;
+    Acc.Line = Line;
+    Acc.Allow = Allow;
+    if (Addr.Sym.empty()) {
+      Acc.Abs = true;
+    } else if (auto It = Globals.find(Addr.Sym); It != Globals.end()) {
+      Acc.Abs = true;
+      Acc.Base = It->second.Addr;
+    }
+    Accesses.push_back(std::move(Acc));
+  }
+
+  /// Evaluates \p E, recording every Load it contains as a read.
+  AV evalExpr(const Expr *E, unsigned Line) {
+    if (!E)
+      return AV::top();
+    switch (E->K) {
+    case Expr::Kind::Const:
+      return AV::cst(E->IVal);
+    case Expr::Kind::LocalRef:
+      return envOf(E->L);
+    case Expr::Kind::AddrOf:
+      return {true, E->Symbol, 0, E->IVal, E->IVal};
+    case Expr::Kind::Load: {
+      AV Base = evalExpr(E->Lhs, Line);
+      recordAccess(false, avAdd(Base, AV::cst(E->IVal)), E->Width, Line);
+      return AV::top();
+    }
+    case Expr::Kind::Bin: {
+      AV L = evalExpr(E->Lhs, Line);
+      AV R = evalExpr(E->Rhs, Line);
+      switch (E->Op) {
+      case BinOp::Add:
+        return avAdd(L, R);
+      case BinOp::Sub:
+        return avSub(L, R);
+      case BinOp::Mul:
+        return avMul(L, R);
+      case BinOp::Shl:
+        if (R.isSingleton() && R.A == 0 && R.Lo >= 0 && R.Lo < 31)
+          return avScale(L, int64_t(1) << R.Lo);
+        return AV::top();
+      default:
+        return AV::top();
+      }
+    }
+    case Expr::Kind::HartId:
+    case Expr::Kind::CycleCount:
+    case Expr::Kind::InstretCount:
+    case Expr::Kind::RecvResult:
+      return AV::top();
+    }
+    return AV::top();
+  }
+
+  /// Intersection join: keep only bindings equal on both paths.
+  void joinEnv(std::map<const Local *, AV> &Into,
+               const std::map<const Local *, AV> &Other) {
+    for (auto It = Into.begin(); It != Into.end();) {
+      auto OIt = Other.find(It->first);
+      if (OIt == Other.end() || !(OIt->second == It->second))
+        It = Into.erase(It);
+      else
+        ++It;
+    }
+  }
+
+  /// Splits the current Allow mask by the comparison when both sides
+  /// are affine singletons of t. Returns false (masks untouched) when
+  /// the condition is not expressible over t.
+  bool maskFromCmp(CmpOp Op, const AV &L, const AV &R,
+                   std::vector<char> &ThenMask,
+                   std::vector<char> &ElseMask) const {
+    if (!L.isSingleton() || !R.isSingleton())
+      return false;
+    if (L.A == 0 && R.A == 0)
+      return false; // constant condition: not worth splitting
+    for (unsigned T = 0; T != N; ++T) {
+      bool Holds = cmpHolds(Op, L.A * int64_t(T) + L.Lo,
+                            R.A * int64_t(T) + R.Lo);
+      ThenMask[T] = Allow[T] && Holds;
+      ElseMask[T] = Allow[T] && !Holds;
+    }
+    return true;
+  }
+
+  void collectAssigned(const std::vector<const Stmt *> &L,
+                       std::set<const Local *> &Out) const {
+    for (const Stmt *S : L) {
+      if (S->K == Stmt::Kind::Assign || S->K == Stmt::Kind::ReduceCollect)
+        Out.insert(S->Dst);
+      if (S->K == Stmt::Kind::Call && S->Dst)
+        Out.insert(S->Dst);
+      collectAssigned(S->Then, Out);
+      collectAssigned(S->Else, Out);
+    }
+  }
+
+  void countAssigns(const std::vector<const Stmt *> &L, const Local *LV,
+                    unsigned &Count) const {
+    for (const Stmt *S : L) {
+      if ((S->K == Stmt::Kind::Assign || S->K == Stmt::Kind::Call ||
+           S->K == Stmt::Kind::ReduceCollect) &&
+          S->Dst == LV)
+        ++Count;
+      countAssigns(S->Then, LV, Count);
+      countAssigns(S->Else, LV, Count);
+    }
+  }
+
+  /// Finds the loop variable's constant step in \p Step (or, for
+  /// while-shaped loops, the tail of \p Body). 0 = not recognized; any
+  /// second assignment to the variable anywhere in the loop defeats it.
+  int64_t findStep(const Local *LV, const std::vector<const Stmt *> &Body,
+                   const std::vector<const Stmt *> &Step) const {
+    const std::vector<const Stmt *> &Src = !Step.empty() ? Step : Body;
+    int64_t Found = 0;
+    for (const Stmt *S : Src) {
+      if (S->K != Stmt::Kind::Assign || S->Dst != LV)
+        continue;
+      const Expr *V = S->Value;
+      Found = 0;
+      if (V && V->K == Expr::Kind::Bin && V->Lhs &&
+          V->Lhs->K == Expr::Kind::LocalRef && V->Lhs->L == LV &&
+          V->Rhs && V->Rhs->K == Expr::Kind::Const) {
+        if (V->Op == BinOp::Add)
+          Found = V->Rhs->IVal;
+        else if (V->Op == BinOp::Sub)
+          Found = -V->Rhs->IVal;
+      }
+    }
+    unsigned Count = 0;
+    countAssigns(Body, LV, Count);
+    countAssigns(Step, LV, Count);
+    return Count == 1 ? Found : 0;
+  }
+
+  /// Range of the loop variable inside the body of a recognized loop.
+  AV widen(const AV &Init, const AV &Bound, CmpOp Op, int64_t Step) const {
+    if (!Init.Valid || !Bound.Valid || Step == 0)
+      return AV::top();
+    if (Init.Sym != Bound.Sym || Init.A != Bound.A)
+      return AV::top();
+    AV R;
+    R.Valid = true;
+    R.Sym = Init.Sym;
+    R.A = Init.A;
+    switch (Op) {
+    case CmpOp::Lt:
+      if (Step <= 0)
+        return AV::top();
+      R.Lo = Init.Lo;
+      R.Hi = std::max(Init.Lo, Bound.Hi - 1);
+      return R;
+    case CmpOp::Ne:
+      if (Step != 1)
+        return AV::top();
+      R.Lo = Init.Lo;
+      R.Hi = std::max(Init.Lo, Bound.Hi - 1);
+      return R;
+    case CmpOp::Le:
+      if (Step <= 0)
+        return AV::top();
+      R.Lo = Init.Lo;
+      R.Hi = std::max(Init.Lo, Bound.Hi);
+      return R;
+    case CmpOp::Gt:
+      if (Step >= 0)
+        return AV::top();
+      R.Lo = std::min(Init.Hi, Bound.Lo + 1);
+      R.Hi = Init.Hi;
+      return R;
+    case CmpOp::Ge:
+      if (Step >= 0)
+        return AV::top();
+      R.Lo = std::min(Init.Hi, Bound.Lo);
+      R.Hi = Init.Hi;
+      return R;
+    default:
+      return AV::top();
+    }
+  }
+
+  /// Iteration-count interval of a recognized loop; false = unknown.
+  bool tripCount(const AV &Init, const AV &Bound, CmpOp Op, int64_t Step,
+                 uint64_t &TMin, uint64_t &TMax) const {
+    if (!Init.Valid || !Bound.Valid || Step == 0 ||
+        Init.Sym != Bound.Sym || Init.A != Bound.A)
+      return false;
+    int64_t DLo = Bound.Lo - Init.Hi, DHi = Bound.Hi - Init.Lo;
+    int64_t S = Step;
+    if (Op == CmpOp::Le)
+      DLo += 1, DHi += 1;
+    if (Op == CmpOp::Gt || Op == CmpOp::Ge) {
+      DLo = Init.Lo - Bound.Hi;
+      DHi = Init.Hi - Bound.Lo;
+      if (Op == CmpOp::Ge)
+        DLo += 1, DHi += 1;
+      S = -Step;
+    } else if (Op != CmpOp::Lt && Op != CmpOp::Le && Op != CmpOp::Ne) {
+      return false;
+    }
+    if (S <= 0)
+      return false;
+    auto Ceil = [S](int64_t D) -> uint64_t {
+      if (D <= 0)
+        return 0;
+      return static_cast<uint64_t>((D + S - 1) / S);
+    };
+    TMin = Ceil(DLo);
+    TMax = Ceil(DHi);
+    return true;
+  }
+
+  void walkLoop(const Stmt *S) {
+    const Local *LV =
+        S->CmpLhs && S->CmpLhs->K == Expr::Kind::LocalRef ? S->CmpLhs->L
+                                                          : nullptr;
+    AV Init = LV ? envOf(LV) : AV::top();
+    Record = false;
+    AV Bound = evalExpr(S->CmpRhs, S->Line);
+    Record = true;
+    int64_t Step = LV ? findStep(LV, S->Then, S->Else) : 0;
+
+    std::set<const Local *> Assigned;
+    collectAssigned(S->Then, Assigned);
+    collectAssigned(S->Else, Assigned);
+    for (const Local *L : Assigned)
+      Env.erase(L);
+
+    AV Widened = Step ? widen(Init, Bound, S->Cmp, Step) : AV::top();
+    if (LV && Widened.Valid)
+      Env[LV] = Widened;
+
+    uint64_t TMin = 0, TMax = SendCap;
+    bool TripKnown =
+        Step && tripCount(Init, Bound, S->Cmp, Step, TMin, TMax);
+    if (S->K == Stmt::Kind::DoWhile) {
+      TMin = std::max<uint64_t>(TMin, 1);
+      TMax = std::max<uint64_t>(TMax, 1);
+    }
+    if (!TripKnown) {
+      TMin = S->K == Stmt::Kind::DoWhile ? 1 : 0;
+      TMax = SendCap;
+    }
+
+    uint64_t SvMin = MulMin, SvMax = MulMax;
+    MulMin = satMul(MulMin, TMin);
+    MulMax = satMul(MulMax, TMax);
+    walkStmts(S->Then);
+    walkStmts(S->Else);
+    MulMin = SvMin;
+    MulMax = SvMax;
+
+    // Record the condition's own loads with the widened environment.
+    evalExpr(S->CmpLhs, S->Line);
+    evalExpr(S->CmpRhs, S->Line);
+
+    // Values carried out of the loop are whatever the last iteration
+    // left; our single-pass walk cannot represent that, so drop them.
+    for (const Local *L : Assigned)
+      Env.erase(L);
+    if (LV)
+      Env.erase(LV);
+  }
+
+  void walkCall(const Stmt *S) {
+    std::vector<AV> ArgVals;
+    for (const Expr *A : S->Args)
+      ArgVals.push_back(evalExpr(A, S->Line));
+    auto It = Fns.find(S->Callee);
+    const Function *Callee = It == Fns.end() ? nullptr : It->second;
+    if (Callee && Callee->kind() == FnKind::Thread) {
+      Res.error(S->Line, "region.thread-called",
+                "thread function '" + S->Callee +
+                    "' called directly; it ends with p_ret and would "
+                    "tear down the calling hart");
+      return;
+    }
+    if (Callee && Callee->kind() == FnKind::Normal &&
+        !InlineStack.count(Callee) && InlineStack.size() < 5) {
+      // One-level-per-frame inlining so helper functions like the FIR
+      // chunk kernels contribute their accesses with argument binding.
+      std::map<const Local *, AV> Saved = std::move(Env);
+      Env.clear();
+      const auto &Params = Callee->params();
+      for (size_t I = 0; I != Params.size() && I != ArgVals.size(); ++I)
+        Env[Params[I]] = ArgVals[I];
+      InlineStack.insert(Callee);
+      walkStmts(Callee->body());
+      InlineStack.erase(Callee);
+      Env = std::move(Saved);
+    }
+    if (S->Dst)
+      Env.erase(S->Dst);
+  }
+
+  void walkStmts(const std::vector<const Stmt *> &List) {
+    for (const Stmt *S : List)
+      walkStmt(S);
+  }
+
+  void walkStmt(const Stmt *S) {
+    switch (S->K) {
+    case Stmt::Kind::Assign:
+      Env[S->Dst] = evalExpr(S->Value, S->Line);
+      return;
+
+    case Stmt::Kind::Store: {
+      AV Base = evalExpr(S->Base, S->Line);
+      evalExpr(S->Value, S->Line);
+      recordAccess(true, avAdd(Base, AV::cst(S->Offset)), S->Width,
+                   S->Line);
+      return;
+    }
+
+    case Stmt::Kind::If: {
+      AV L = evalExpr(S->CmpLhs, S->Line);
+      AV R = evalExpr(S->CmpRhs, S->Line);
+      std::vector<char> ThenMask = Allow, ElseMask = Allow;
+      bool Guarded = maskFromCmp(S->Cmp, L, R, ThenMask, ElseMask);
+
+      std::map<const Local *, AV> Saved = Env;
+      std::vector<char> SvAllow = Allow;
+      uint64_t SvMin = MulMin;
+      Allow = ThenMask;
+      if (!Guarded)
+        MulMin = 0; // data-dependent branch: sends become optional
+      walkStmts(S->Then);
+      std::map<const Local *, AV> ThenEnv = std::move(Env);
+
+      Env = std::move(Saved);
+      Allow = ElseMask;
+      walkStmts(S->Else);
+      joinEnv(Env, ThenEnv);
+      Allow = std::move(SvAllow);
+      MulMin = SvMin;
+      return;
+    }
+
+    case Stmt::Kind::While:
+    case Stmt::Kind::DoWhile:
+      walkLoop(S);
+      return;
+
+    case Stmt::Kind::Call:
+      walkCall(S);
+      return;
+
+    case Stmt::Kind::Return:
+      evalExpr(S->Value, S->Line);
+      return;
+
+    case Stmt::Kind::ParallelFor:
+      SawNestedRegion = true;
+      NestedRegionLine = S->Line;
+      return;
+
+    case Stmt::Kind::ReduceSend:
+      evalExpr(S->Value, S->Line);
+      for (unsigned T = 0; T != N; ++T) {
+        if (!Allow[T])
+          continue;
+        SendMin[T] = satAdd(SendMin[T], MulMin);
+        SendMax[T] = satAdd(SendMax[T], MulMax);
+      }
+      return;
+
+    case Stmt::Kind::ReduceCollect:
+      SawCollect = true;
+      CollectLine = S->Line;
+      if (S->Dst)
+        Env.erase(S->Dst);
+      return;
+
+    case Stmt::Kind::SendResult:
+      evalExpr(S->Base, S->Line);
+      evalExpr(S->Value, S->Line);
+      if (S->Offset < 0 ||
+          S->Offset >= static_cast<int32_t>(sim::ResultSlots))
+        Res.error(S->Line, "xpar.slot-range",
+                  formatString("p_swre result slot %d is outside the "
+                               "hart's %u slots",
+                               S->Offset, sim::ResultSlots));
+      return;
+
+    case Stmt::Kind::RawAsm:
+      SawRawAsm = true;
+      return;
+
+    case Stmt::Kind::Break:
+    case Stmt::Kind::Continue:
+    case Stmt::Kind::Syncm:
+      // p_syncm drains the executing hart's own memory operations; it
+      // is not a cross-member barrier and justifies nothing here.
+      return;
+    }
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Conflict detection
+//===----------------------------------------------------------------------===//
+
+/// True when members t1 != t2 can touch overlapping bytes through
+/// accesses \p X (as t1) and \p Y (as t2).
+bool conflictExists(const Access &X, const Access &Y, unsigned N,
+                    unsigned &T1Out, unsigned &T2Out) {
+  // Comparable only when both resolve into the same address space.
+  if (X.Abs != Y.Abs)
+    return false;
+  if (!X.Abs && X.Sym != Y.Sym)
+    return false;
+  int64_t BX = X.Abs ? X.Base : 0, BY = Y.Abs ? Y.Base : 0;
+  for (unsigned T1 = 0; T1 != N; ++T1) {
+    if (!X.Allow[T1])
+      continue;
+    // Overlap over t2: Lo <= A_y*t2 <= Hi.
+    int64_t Lo = BX + X.A * int64_t(T1) + X.Lo -
+                 (BY + Y.Hi + int64_t(Y.Width) - 1);
+    int64_t Hi = BX + X.A * int64_t(T1) + X.Hi + int64_t(X.Width) - 1 -
+                 (BY + Y.Lo);
+    if (Lo > Hi)
+      continue;
+    // Exact ceil/floor for possibly-negative operands (B > 0).
+    auto CeilDiv = [](int64_t A, int64_t B) {
+      return A >= 0 ? (A + B - 1) / B : -((-A) / B);
+    };
+    auto FloorDiv = [](int64_t A, int64_t B) {
+      return A >= 0 ? A / B : -((-A + B - 1) / B);
+    };
+    int64_t T2Lo = 0, T2Hi = int64_t(N) - 1;
+    if (Y.A > 0) {
+      T2Lo = std::max<int64_t>(0, CeilDiv(Lo, Y.A));
+      T2Hi = std::min<int64_t>(int64_t(N) - 1, FloorDiv(Hi, Y.A));
+    } else if (Y.A < 0) {
+      T2Lo = std::max<int64_t>(0, CeilDiv(-Hi, -Y.A));
+      T2Hi = std::min<int64_t>(int64_t(N) - 1, FloorDiv(-Lo, -Y.A));
+    } else if (Lo > 0 || Hi < 0) {
+      continue; // constant-address access that never overlaps
+    }
+    for (int64_t T2 = T2Lo; T2 <= T2Hi; ++T2) {
+      if (T2 == int64_t(T1) || !Y.Allow[T2])
+        continue;
+      T1Out = T1;
+      T2Out = static_cast<unsigned>(T2);
+      return true;
+    }
+  }
+  return false;
+}
+
+void reportRaces(AnalysisResult &Res, const std::string &RegionFn,
+                 unsigned N, const std::vector<Access> &Accesses) {
+  if (N < 2)
+    return;
+  if (N > 8192) {
+    Res.warning(0, "analysis.team-too-large",
+                "team of " + std::to_string(N) +
+                    " members exceeds the race analysis bound; region '" +
+                    RegionFn + "' not checked");
+    return;
+  }
+  std::set<std::string> Seen;
+  for (size_t I = 0; I != Accesses.size(); ++I) {
+    for (size_t J = I; J != Accesses.size(); ++J) {
+      const Access &X = Accesses[I], &Y = Accesses[J];
+      if (!X.IsWrite && !Y.IsWrite)
+        continue;
+      unsigned T1 = 0, T2 = 0;
+      if (!conflictExists(X, Y, N, T1, T2))
+        continue;
+      std::string Sym = !X.Sym.empty() ? X.Sym : Y.Sym;
+      std::string Key = Sym + ":" + std::to_string(std::min(X.Line, Y.Line)) +
+                        ":" + std::to_string(std::max(X.Line, Y.Line)) +
+                        (X.IsWrite && Y.IsWrite ? "ww" : "rw");
+      if (!Seen.insert(Key).second)
+        continue;
+      const char *Rule = X.IsWrite && Y.IsWrite ? "race.ww" : "race.rw";
+      const Access &W = X.IsWrite ? X : Y;
+      const Access &O = X.IsWrite ? Y : X;
+      Res.error(
+          W.Line, Rule,
+          formatString("parallel region '%s': members %u and %u of the "
+                       "%u-member team can touch overlapping elements of "
+                       "'%s' (%s at line %u, %s at line %u); the paper's "
+                       "determinism contract requires per-member disjoint "
+                       "writes or a reduction",
+                       RegionFn.c_str(), T1, T2, N,
+                       Sym.empty() ? "an absolute address" : Sym.c_str(),
+                       "write", W.Line, O.IsWrite ? "write" : "read",
+                       O.Line));
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Module walk
+//===----------------------------------------------------------------------===//
+
+class ModuleAnalyzer {
+public:
+  ModuleAnalyzer(const Module &M, const DetRaceOptions &Opts,
+                 AnalysisResult &Res)
+      : M(M), Opts(Opts), Res(Res) {
+    for (const auto &F : M.functions())
+      Fns[F->name()] = F.get();
+    for (const Module::GlobalData &G : M.Globals)
+      Globals[G.Name] = {static_cast<int64_t>(G.Addr),
+                         int64_t(4) * G.SizeWords};
+  }
+
+  void run() {
+    for (const auto &F : M.functions())
+      if (F->kind() == FnKind::Main || F->kind() == FnKind::Normal)
+        scanSeq(F->body(), F->kind() == FnKind::Main);
+  }
+
+private:
+  const Module &M;
+  const DetRaceOptions &Opts;
+  AnalysisResult &Res;
+  std::map<std::string, const Function *> Fns;
+  std::map<std::string, GlobalRange> Globals;
+
+  void scanSeq(const std::vector<const Stmt *> &List, bool InMain) {
+    for (size_t I = 0; I != List.size(); ++I) {
+      const Stmt *S = List[I];
+      switch (S->K) {
+      case Stmt::Kind::ParallelFor: {
+        const Stmt *Collect = nullptr;
+        if (I + 1 != List.size() &&
+            List[I + 1]->K == Stmt::Kind::ReduceCollect) {
+          Collect = List[I + 1];
+          ++I;
+        }
+        analyzeRegion(S, Collect);
+        break;
+      }
+      case Stmt::Kind::ReduceCollect:
+        Res.warning(S->Line, "reduce.collect-unpaired",
+                    "__reduce_collect does not directly follow a "
+                    "parallel region; the p_lwre loop blocks until "
+                    "something fills the reduction slot");
+        break;
+      case Stmt::Kind::ReduceSend:
+        Res.error(S->Line, "reduce.send-outside-team",
+                  InMain
+                      ? "__reduce_send in main: only team members have "
+                        "a head to send to"
+                      : "__reduce_send outside a thread function");
+        break;
+      case Stmt::Kind::If:
+      case Stmt::Kind::While:
+      case Stmt::Kind::DoWhile:
+        scanSeq(S->Then, InMain);
+        scanSeq(S->Else, InMain);
+        break;
+      default:
+        break;
+      }
+    }
+  }
+
+  void analyzeRegion(const Stmt *S, const Stmt *Collect) {
+    unsigned N = S->NumHarts;
+    if (N == 0) {
+      Res.error(S->Line, "region.zero-team",
+                "parallel region '" + S->Callee + "' launches zero harts");
+      return;
+    }
+    if (N > romp::MaxTeamHarts) {
+      Res.error(S->Line, "region.team-too-big",
+                formatString("team of %u harts exceeds the architectural "
+                             "line maximum of %u",
+                             N, romp::MaxTeamHarts));
+      return;
+    }
+    if (Opts.MachineHarts && N > Opts.MachineHarts)
+      Res.error(S->Line, "region.team-too-big",
+                formatString("team of %u harts exceeds the target "
+                             "machine's %u harts; the p_fc/p_fn allocator "
+                             "would spin forever",
+                             N, Opts.MachineHarts));
+    if (S->DeclaredHarts && S->DeclaredHarts != N)
+      Res.warning(S->Line, "region.num-threads-mismatch",
+                  formatString("parallel loop bound %u disagrees with "
+                               "omp_set_num_threads(%u); the team size is "
+                               "the loop bound",
+                               N, S->DeclaredHarts));
+
+    auto It = Fns.find(S->Callee);
+    if (It == Fns.end()) {
+      Res.error(S->Line, "region.unknown-callee",
+                "parallel region launches unknown function '" + S->Callee +
+                    "'");
+      return;
+    }
+    const Function *Thread = It->second;
+    if (Thread->kind() != FnKind::Thread) {
+      Res.error(S->Line, "region.callee-not-thread",
+                "parallel region launches '" + S->Callee +
+                    "', which is not compiled as a thread function; it "
+                    "would end with ret instead of p_ret and break the "
+                    "team's in-order commit barrier");
+      return;
+    }
+
+    RegionAnalyzer RA(Res, N, Fns, Globals);
+    RA.run(*Thread, S->DataSymbol);
+
+    if (RA.SawNestedRegion)
+      Res.error(RA.NestedRegionLine ? RA.NestedRegionLine : S->Line,
+                "region.nested",
+                "thread function '" + S->Callee +
+                    "' opens a nested parallel region; the runtime "
+                    "supports one team at a time");
+    if (RA.SawCollect)
+      Res.error(RA.CollectLine ? RA.CollectLine : S->Line,
+                "reduce.collect-in-thread",
+                "'" + S->Callee +
+                    "' collects reduction partials inside the team; only "
+                    "the team head (after the join) may collect");
+    if (RA.SawRawAsm)
+      Res.warning(S->Line, "analysis.rawasm",
+                  "thread function '" + S->Callee +
+                      "' contains raw assembly the analyzer cannot see");
+
+    reportRaces(Res, S->Callee, N, RA.Accesses);
+
+    // Reduction arity: the collect count must equal what the team
+    // provably sends (the frontend convention is one send per member,
+    // collect count == team size).
+    uint64_t TotalMin = 0, TotalMax = 0;
+    for (unsigned T = 0; T != N; ++T) {
+      TotalMin = satAdd(TotalMin, RA.SendMin[T]);
+      TotalMax = satAdd(TotalMax, RA.SendMax[T]);
+    }
+    if (Collect) {
+      uint64_t C = Collect->NumHarts;
+      if (TotalMax == 0) {
+        Res.error(Collect->Line, "reduce.deadlock",
+                  formatString("reduction collects %llu partials but no "
+                               "member of '%s' ever sends one; the p_lwre "
+                               "loop blocks forever",
+                               static_cast<unsigned long long>(C),
+                               S->Callee.c_str()));
+      } else if (TotalMin == TotalMax && C != TotalMin) {
+        Res.error(Collect->Line, "reduce.arity",
+                  formatString("reduction collects %llu partials but the "
+                               "team of %u sends exactly %llu; the "
+                               "mismatch %s",
+                               static_cast<unsigned long long>(C), N,
+                               static_cast<unsigned long long>(TotalMin),
+                               C < TotalMin
+                                   ? "leaves slots full and corrupts the "
+                                     "next reduction"
+                                   : "blocks the head forever"));
+      } else if (TotalMin != TotalMax) {
+        Res.warning(Collect->Line, "reduce.varying",
+                    formatString("members of '%s' send between %llu and "
+                                 "%llu partials depending on data; the "
+                                 "collect count %llu cannot be validated",
+                                 S->Callee.c_str(),
+                                 static_cast<unsigned long long>(TotalMin),
+                                 static_cast<unsigned long long>(TotalMax),
+                                 static_cast<unsigned long long>(
+                                     Collect->NumHarts)));
+      }
+    } else if (TotalMax > 0) {
+      Res.warning(S->Line, "reduce.uncollected",
+                  "members of '" + S->Callee +
+                      "' send reduction partials that are never "
+                      "collected; the values sit in the head's result "
+                      "slot and corrupt the next reduction");
+    }
+  }
+};
+
+} // namespace
+
+AnalysisResult analysis::analyzeModule(const Module &M,
+                                       const DetRaceOptions &Opts) {
+  AnalysisResult Res;
+  ModuleAnalyzer MA(M, Opts, Res);
+  MA.run();
+  return Res;
+}

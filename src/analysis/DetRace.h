@@ -1,0 +1,54 @@
+//===- analysis/DetRace.h - Det-C determinism analyzer ------------------------===//
+//
+// Part of the LBP reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The static determinism analyzer over the kernel-language AST
+/// (docs/ANALYSIS.md). For every parallel region it computes, per team
+/// member t, the read and write sets of shared globals as affine
+/// intervals `symbol + A*t + [lo,hi]` (which captures the canonical
+/// `v[t]` and `v[t*stride+k]` access shapes plus `if (t == k)` section
+/// dispatchers) and reports:
+///
+///   * write-write and read-write conflicts between different members
+///     that are not provably index-disjoint (rules race.ww / race.rw);
+///   * reduction misuse: __reduce_send arity vs. the collect count,
+///     collects outside the team head, collects that would block
+///     forever (rules reduce.*);
+///   * region-shape errors: unknown or non-thread callees, zero or
+///     oversized teams, team sizes that contradict the source's
+///     omp_set_num_threads call (rules region.*).
+///
+/// The analysis is intentionally unsound-but-useful in the LLOV
+/// tradition: accesses whose address falls outside the affine domain
+/// are skipped (documented caveat), so a clean verdict is evidence, not
+/// proof — the dynamic oracle (Oracle.h) exists to keep the verdicts
+/// honest on the test corpus.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LBP_ANALYSIS_DETRACE_H
+#define LBP_ANALYSIS_DETRACE_H
+
+#include "analysis/Diag.h"
+#include "dsl/Ast.h"
+
+namespace lbp {
+namespace analysis {
+
+struct DetRaceOptions {
+  /// Hart count of the machine the program targets; 0 = unknown (the
+  /// architectural MaxTeamHarts bound still applies).
+  unsigned MachineHarts = 0;
+};
+
+/// Runs the determinism analyzer over every parallel region of \p M.
+AnalysisResult analyzeModule(const dsl::Module &M,
+                             const DetRaceOptions &Opts = {});
+
+} // namespace analysis
+} // namespace lbp
+
+#endif // LBP_ANALYSIS_DETRACE_H

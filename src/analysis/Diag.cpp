@@ -1,0 +1,26 @@
+//===- analysis/Diag.cpp - Static-analysis diagnostics -----------------------===//
+//
+// Part of the LBP reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Diag.h"
+
+#include "support/StringUtils.h"
+
+using namespace lbp;
+using namespace lbp::analysis;
+
+std::string AnalysisResult::text() const {
+  std::string Text;
+  for (const Diag &D : Diags) {
+    const char *Sev = D.Sev == Severity::Error ? "error" : "warning";
+    if (D.Line)
+      Text += formatString("line %u: %s: [%s] %s\n", D.Line, Sev,
+                           D.Rule.c_str(), D.Message.c_str());
+    else
+      Text += formatString("%s: [%s] %s\n", Sev, D.Rule.c_str(),
+                           D.Message.c_str());
+  }
+  return Text;
+}

@@ -1,0 +1,71 @@
+//===- analysis/Diag.h - Static-analysis diagnostics -------------------------===//
+//
+// Part of the LBP reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The diagnostic currency of the lbp_lint passes (docs/ANALYSIS.md).
+/// Each finding carries a severity, a rule tag, a source line (Det-C
+/// line for the determinism analyzer, assembly line for the X_PAR
+/// verifier, 0 when unknown) and a message; the shape mirrors
+/// frontend::FrontendError so the frontend can forward findings as
+/// compile warnings unchanged.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LBP_ANALYSIS_DIAG_H
+#define LBP_ANALYSIS_DIAG_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lbp {
+namespace analysis {
+
+enum class Severity : uint8_t {
+  Warning, ///< Suspicious but not a proven contract violation.
+  Error,   ///< Breaks the determinism contract or the X_PAR protocol.
+};
+
+/// One finding.
+struct Diag {
+  Severity Sev = Severity::Error;
+  unsigned Line = 0;     ///< Source line (0 = no location).
+  std::string Rule;      ///< Stable rule tag, e.g. "race.ww".
+  std::string Message;
+};
+
+/// The outcome of one analysis pass.
+struct AnalysisResult {
+  std::vector<Diag> Diags;
+
+  bool hasErrors() const {
+    for (const Diag &D : Diags)
+      if (D.Sev == Severity::Error)
+        return true;
+    return false;
+  }
+  bool clean() const { return Diags.empty(); }
+
+  void error(unsigned Line, const std::string &Rule,
+             const std::string &Message) {
+    Diags.push_back({Severity::Error, Line, Rule, Message});
+  }
+  void warning(unsigned Line, const std::string &Rule,
+               const std::string &Message) {
+    Diags.push_back({Severity::Warning, Line, Rule, Message});
+  }
+  void append(const AnalysisResult &Other) {
+    Diags.insert(Diags.end(), Other.Diags.begin(), Other.Diags.end());
+  }
+
+  /// "line N: error: [rule] message" lines, one per finding.
+  std::string text() const;
+};
+
+} // namespace analysis
+} // namespace lbp
+
+#endif // LBP_ANALYSIS_DIAG_H

@@ -1,0 +1,246 @@
+//===- analysis/LintMain.cpp - lbp_lint driver --------------------------------===//
+//
+// Part of the LBP reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The lbp_lint command-line driver (docs/ANALYSIS.md): runs the Det-C
+/// determinism analyzer and the X_PAR protocol verifier over source
+/// files, assembly files or the built-in workload generators, with an
+/// optional dynamic-oracle cross-check.
+///
+///   lbp_lint [options] file.c ... file.s ... | -
+///     --Werror            treat warnings as errors (exit 1)
+///     --machine-harts N   validate team sizes against an N-hart machine
+///     --cores N           simulator size for --oracle (default 4)
+///     --oracle            run the program and cross-check the verdict
+///     --asm               treat every input (and stdin) as assembly
+///     --workloads         verify the built-in workload generators
+///
+/// Exit status: 0 = clean, 1 = findings, 2 = usage/input error.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/DetRace.h"
+#include "analysis/Oracle.h"
+#include "analysis/XParVerify.h"
+#include "asm/Assembler.h"
+#include "dsl/CodeGen.h"
+#include "frontend/Compiler.h"
+#include "workloads/Dma.h"
+#include "workloads/MatMul.h"
+#include "workloads/Phases.h"
+#include "workloads/Pipeline.h"
+#include "workloads/SensorFusion.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace lbp;
+using namespace lbp::analysis;
+
+namespace {
+
+struct Options {
+  bool Werror = false;
+  bool Oracle = false;
+  bool ForceAsm = false;
+  bool Workloads = false;
+  unsigned MachineHarts = 0;
+  unsigned Cores = 4;
+  std::vector<std::string> Inputs;
+};
+
+void printDiags(const std::string &Name, const AnalysisResult &Res) {
+  for (const Diag &D : Res.Diags) {
+    const char *Sev = D.Sev == Severity::Error ? "error" : "warning";
+    if (D.Line)
+      std::printf("%s:%u: %s: [%s] %s\n", Name.c_str(), D.Line, Sev,
+                  D.Rule.c_str(), D.Message.c_str());
+    else
+      std::printf("%s: %s: [%s] %s\n", Name.c_str(), Sev, D.Rule.c_str(),
+                  D.Message.c_str());
+  }
+}
+
+bool endsWith(const std::string &S, const char *Suffix) {
+  std::string Suf(Suffix);
+  return S.size() >= Suf.size() &&
+         S.compare(S.size() - Suf.size(), Suf.size(), Suf) == 0;
+}
+
+/// 0 = clean, 1 = findings, 2 = hard input error.
+int lintAsm(const std::string &Name, const std::string &Text,
+            const Options &Opts, const dsl::Module *M) {
+  assembler::AsmResult R = assembler::assemble(Text);
+  if (!R.succeeded()) {
+    std::fprintf(stderr, "%s: assembly failed:\n%s", Name.c_str(),
+                 R.errorText().c_str());
+    return 2;
+  }
+  XParVerifyOptions VOpts;
+  VOpts.MachineHarts = Opts.MachineHarts;
+  AnalysisResult Res = verifyProgram(R.Prog, VOpts);
+  printDiags(Name, Res);
+  int Status = Res.hasErrors() || (Opts.Werror && !Res.clean()) ? 1 : 0;
+
+  if (Opts.Oracle) {
+    OracleOptions OOpts;
+    OOpts.Cores = Opts.Cores;
+    OracleResult Dyn = runOracle(R.Prog, M, OOpts);
+    if (!Dyn.Ran) {
+      std::printf("%s: oracle: %s\n", Name.c_str(), Dyn.RunError.c_str());
+      Status = std::max(Status, 1);
+    } else {
+      for (const DynamicConflict &C : Dyn.Conflicts) {
+        std::string Where =
+            C.Symbol.empty() ? std::string() : C.Symbol + " at ";
+        std::printf("%s: oracle: harts %u and %u conflict on %s0x%x in "
+                    "epoch %llu (%s)\n",
+                    Name.c_str(), C.HartA, C.HartB, Where.c_str(), C.Addr,
+                    static_cast<unsigned long long>(C.Epoch),
+                    C.WriteWrite ? "write-write" : "read-write");
+      }
+      if (Dyn.dynamicallyRacy())
+        Status = std::max(Status, 1);
+    }
+  }
+  return Status;
+}
+
+int lintDetC(const std::string &Name, const std::string &Text,
+             const Options &Opts) {
+  frontend::FrontendResult FR = frontend::parseDetC(Text);
+  if (!FR.succeeded()) {
+    std::fprintf(stderr, "%s: parse failed:\n%s", Name.c_str(),
+                 FR.errorText().c_str());
+    return 2;
+  }
+  DetRaceOptions DOpts;
+  DOpts.MachineHarts = Opts.MachineHarts;
+  AnalysisResult Res = analyzeModule(*FR.M, DOpts);
+  printDiags(Name, Res);
+  int Status = Res.hasErrors() || (Opts.Werror && !Res.clean()) ? 1 : 0;
+
+  // Region-shape errors mean codegen would refuse (fatal) or emit a
+  // protocol the machine cannot run; stop at the static verdict.
+  for (const Diag &D : Res.Diags)
+    if (D.Sev == Severity::Error && D.Rule.rfind("region.", 0) == 0)
+      return Status;
+
+  std::string Asm = dsl::compileModule(*FR.M);
+  int AsmStatus = lintAsm(Name, Asm, Opts, FR.M.get());
+  return std::max(Status, AsmStatus);
+}
+
+int lintWorkloads(const Options &Opts) {
+  struct Gen {
+    const char *Name;
+    std::string Text;
+  };
+  std::vector<Gen> Gens;
+  Gens.push_back({"workload:dma", workloads::buildDmaStreamProgram({})});
+  for (workloads::MatMulVersion V :
+       {workloads::MatMulVersion::Base, workloads::MatMulVersion::Copy,
+        workloads::MatMulVersion::Distributed,
+        workloads::MatMulVersion::DistCopy,
+        workloads::MatMulVersion::Tiled})
+    Gens.push_back({"workload:matmul", workloads::buildMatMulProgram(
+                                           workloads::MatMulSpec::paper(
+                                               16, V))});
+  Gens.push_back({"workload:phases", workloads::buildPhasesProgram({})});
+  Gens.push_back(
+      {"workload:pipeline", workloads::buildPipelineProgram({})});
+  Gens.push_back(
+      {"workload:sensor-fusion", workloads::buildSensorFusionProgram({})});
+  int Status = 0;
+  for (const Gen &G : Gens)
+    Status = std::max(Status, lintAsm(G.Name, G.Text, Opts, nullptr));
+  return Status;
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: lbp_lint [--Werror] [--machine-harts N] [--cores N]\n"
+      "                [--oracle] [--asm] [--workloads] [file|-]...\n"
+      "  .c/.detc inputs run the Det-C determinism analyzer, then the\n"
+      "  X_PAR protocol verifier on the compiled assembly; .s/.asm\n"
+      "  inputs run the verifier only. See docs/ANALYSIS.md.\n");
+  return 2;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  Options Opts;
+  for (int I = 1; I < Argc; ++I) {
+    std::string A = Argv[I];
+    if (A == "--Werror") {
+      Opts.Werror = true;
+    } else if (A == "--oracle") {
+      Opts.Oracle = true;
+    } else if (A == "--asm") {
+      Opts.ForceAsm = true;
+    } else if (A == "--workloads") {
+      Opts.Workloads = true;
+    } else if (A == "--machine-harts" || A == "--cores") {
+      if (I + 1 >= Argc)
+        return usage();
+      char *End = nullptr;
+      long V = std::strtol(Argv[++I], &End, 0);
+      if (!End || *End || V <= 0)
+        return usage();
+      (A == "--cores" ? Opts.Cores : Opts.MachineHarts) =
+          static_cast<unsigned>(V);
+    } else if (A == "--help" || A == "-h") {
+      usage();
+      return 0;
+    } else if (A.size() > 1 && A[0] == '-' && A != "-") {
+      std::fprintf(stderr, "lbp_lint: unknown option '%s'\n", A.c_str());
+      return usage();
+    } else {
+      Opts.Inputs.push_back(A);
+    }
+  }
+  if (Opts.Inputs.empty() && !Opts.Workloads)
+    return usage();
+
+  int Status = 0;
+  if (Opts.Workloads)
+    Status = std::max(Status, lintWorkloads(Opts));
+
+  for (const std::string &Input : Opts.Inputs) {
+    std::string Name = Input == "-" ? "<stdin>" : Input;
+    std::string Text;
+    if (Input == "-") {
+      std::ostringstream SS;
+      SS << std::cin.rdbuf();
+      Text = SS.str();
+    } else {
+      std::ifstream In(Input);
+      if (!In) {
+        std::fprintf(stderr, "lbp_lint: cannot open '%s'\n",
+                     Input.c_str());
+        return 2;
+      }
+      std::ostringstream SS;
+      SS << In.rdbuf();
+      Text = SS.str();
+    }
+    bool IsAsm = Opts.ForceAsm || endsWith(Name, ".s") ||
+                 endsWith(Name, ".asm");
+    int One = IsAsm ? lintAsm(Name, Text, Opts, nullptr)
+                    : lintDetC(Name, Text, Opts);
+    if (One == 2)
+      return 2;
+    Status = std::max(Status, One);
+  }
+  return Status;
+}

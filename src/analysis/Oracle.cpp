@@ -1,0 +1,119 @@
+//===- analysis/Oracle.cpp - Dynamic race oracle -----------------------------===//
+//
+// Part of the LBP reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Oracle.h"
+
+#include "sim/Machine.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace lbp;
+using namespace lbp::analysis;
+using namespace lbp::sim;
+
+namespace {
+
+const char *statusName(RunStatus S) {
+  switch (S) {
+  case RunStatus::Exited:
+    return "exited";
+  case RunStatus::MaxCycles:
+    return "cycle budget exhausted";
+  case RunStatus::Livelock:
+    return "livelock";
+  case RunStatus::Fault:
+    return "fault";
+  }
+  return "unknown";
+}
+
+std::string symbolAt(const dsl::Module *M, uint32_t Addr) {
+  if (!M)
+    return {};
+  for (const dsl::Module::GlobalData &G : M->Globals)
+    if (Addr >= G.Addr && Addr < G.Addr + 4 * G.SizeWords)
+      return G.Name;
+  return {};
+}
+
+} // namespace
+
+OracleResult analysis::runOracle(const assembler::Program &Prog,
+                                 const dsl::Module *M,
+                                 const OracleOptions &Opts) {
+  OracleResult R;
+  SimConfig Cfg = SimConfig::lbp(Opts.Cores);
+  Cfg.CollectMemLog = true;
+  Machine Mach(Cfg);
+  Mach.load(Prog);
+  RunStatus St = Mach.run(Opts.MaxCycles);
+  if (St != RunStatus::Exited) {
+    R.RunError = formatString("simulation did not exit cleanly: %s (%s)",
+                              statusName(St), Mach.faultMessage().c_str());
+    return R;
+  }
+  R.Ran = true;
+
+  // Bucket in-team accesses by (word, epoch); a bucket with at least
+  // two harts and one write is a conflict the team's only ordering —
+  // the join barrier — does not resolve.
+  struct Bucket {
+    std::vector<const Machine::MemAccess *> Writes;
+    std::vector<const Machine::MemAccess *> Reads;
+  };
+  std::map<std::pair<uint32_t, uint64_t>, Bucket> Buckets;
+  for (const Machine::MemAccess &A : Mach.memLog()) {
+    if (!A.InTeam)
+      continue;
+    // A wider access spans every word it touches.
+    for (uint32_t W = A.Addr / 4; W <= (A.Addr + A.Width - 1) / 4; ++W) {
+      Bucket &B = Buckets[{W, A.Epoch}];
+      (A.IsWrite ? B.Writes : B.Reads).push_back(&A);
+    }
+  }
+
+  for (const auto &[Key, B] : Buckets) {
+    if (B.Writes.empty())
+      continue;
+    const Machine::MemAccess *W0 = B.Writes.front();
+    const Machine::MemAccess *Other = nullptr;
+    bool WriteWrite = false;
+    for (const Machine::MemAccess *W : B.Writes)
+      if (W->Hart != W0->Hart) {
+        Other = W;
+        WriteWrite = true;
+        break;
+      }
+    if (!Other)
+      for (const Machine::MemAccess *Rd : B.Reads)
+        if (Rd->Hart != W0->Hart) {
+          Other = Rd;
+          break;
+        }
+    if (!Other)
+      continue;
+    DynamicConflict C;
+    C.Addr = Key.first * 4;
+    C.HartA = W0->Hart;
+    C.HartB = Other->Hart;
+    C.Epoch = Key.second;
+    C.WriteWrite = WriteWrite;
+    C.Symbol = symbolAt(M, C.Addr);
+    R.Conflicts.push_back(std::move(C));
+  }
+  return R;
+}
+
+bool analysis::verdictsAgree(const AnalysisResult &Static,
+                             const OracleResult &Dyn) {
+  bool StaticRacy = false;
+  for (const Diag &D : Static.Diags)
+    if (D.Rule.rfind("race.", 0) == 0)
+      StaticRacy = true;
+  return StaticRacy == Dyn.dynamicallyRacy();
+}

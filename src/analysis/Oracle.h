@@ -1,0 +1,71 @@
+//===- analysis/Oracle.h - Dynamic race oracle -------------------------------===//
+//
+// Part of the LBP reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The dynamic cross-check for the static determinism analyzer
+/// (docs/ANALYSIS.md): runs an assembled program on the simulator with
+/// the shared-global memory log enabled and looks for cross-hart
+/// conflicting accesses inside a team (same join epoch, overlapping
+/// bytes, at least one write, different harts). Programs the static
+/// analyzer flags as racy should manifest a dynamic conflict on at
+/// least one machine size; programs it certifies clean must show zero
+/// dynamic conflicts on every size — that agreement is what the
+/// analysis test suite asserts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LBP_ANALYSIS_ORACLE_H
+#define LBP_ANALYSIS_ORACLE_H
+
+#include "analysis/Diag.h"
+#include "asm/Program.h"
+#include "dsl/Ast.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lbp {
+namespace analysis {
+
+struct OracleOptions {
+  unsigned Cores = 4;
+  uint64_t MaxCycles = 50'000'000;
+};
+
+/// One observed cross-hart conflict inside a team epoch.
+struct DynamicConflict {
+  uint32_t Addr = 0;
+  uint16_t HartA = 0;
+  uint16_t HartB = 0;
+  uint64_t Epoch = 0;
+  bool WriteWrite = false;
+  std::string Symbol; ///< Enclosing global, when a module is provided.
+};
+
+struct OracleResult {
+  bool Ran = false;          ///< The program ran to a clean exit.
+  std::string RunError;      ///< Simulator status when it did not.
+  std::vector<DynamicConflict> Conflicts;
+
+  bool dynamicallyRacy() const { return !Conflicts.empty(); }
+};
+
+/// Runs \p Prog with the memory log on and mines the log for in-team
+/// conflicts. \p M, when given, names the globals in the report.
+OracleResult runOracle(const assembler::Program &Prog,
+                       const dsl::Module *M = nullptr,
+                       const OracleOptions &Opts = {});
+
+/// True when the static verdict and the dynamic observation agree:
+/// a race.* diagnostic must come with an observed conflict, a clean
+/// bill with none. (Only meaningful when the oracle actually ran.)
+bool verdictsAgree(const AnalysisResult &Static, const OracleResult &Dyn);
+
+} // namespace analysis
+} // namespace lbp
+
+#endif // LBP_ANALYSIS_ORACLE_H

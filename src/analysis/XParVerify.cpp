@@ -1,0 +1,537 @@
+//===- analysis/XParVerify.cpp - X_PAR protocol verifier ----------------------===//
+//
+// Part of the LBP reproduction project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/XParVerify.h"
+
+#include "isa/AddressMap.h"
+#include "isa/Encoding.h"
+#include "isa/Instr.h"
+#include "isa/Reg.h"
+#include "romp/Runtime.h"
+#include "sim/Config.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <array>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+using namespace lbp;
+using namespace lbp::analysis;
+using namespace lbp::isa;
+
+namespace {
+
+struct Func {
+  std::string Name;
+  uint32_t Begin = 0;
+  uint32_t End = 0;
+};
+
+/// A p_fc/p_fn allocation the scan has not yet seen started.
+struct Pending {
+  uint32_t ForkAddr = 0;      ///< Address of the allocating instruction.
+  size_t CreatedIdx = 0;      ///< Scan index of the allocation.
+  std::set<int32_t> Slots;    ///< Continuation-frame offsets stored.
+  bool NeedSync = false;      ///< Frame stores not yet drained by p_syncm.
+};
+
+class Verifier {
+public:
+  Verifier(const assembler::Program &Prog, const XParVerifyOptions &Opts,
+           AnalysisResult &Res)
+      : Prog(Prog), Opts(Opts), Res(Res) {
+    for (const assembler::Segment &Seg : Prog.segments()) {
+      if (!Seg.IsText)
+        continue;
+      for (uint32_t Off = 0; Off + 4 <= Seg.Bytes.size(); Off += 4) {
+        uint32_t Addr = Seg.Base + Off;
+        uint32_t Word = static_cast<uint32_t>(Seg.Bytes[Off]) |
+                        (static_cast<uint32_t>(Seg.Bytes[Off + 1]) << 8) |
+                        (static_cast<uint32_t>(Seg.Bytes[Off + 2]) << 16) |
+                        (static_cast<uint32_t>(Seg.Bytes[Off + 3]) << 24);
+        Instr I = decode(Word);
+        if (I.isValid())
+          Code[Addr] = I;
+      }
+    }
+
+    // Function layout: every non-local symbol that points into a text
+    // segment opens a function that runs to the next such symbol (or
+    // the end of its segment).
+    std::vector<std::pair<uint32_t, std::string>> Heads;
+    for (const auto &[Name, Value] : Prog.symbols()) {
+      if (!Name.empty() && Name[0] == '.')
+        continue;
+      if (Code.count(Value))
+        Heads.emplace_back(Value, Name);
+    }
+    std::sort(Heads.begin(), Heads.end());
+    for (size_t I = 0; I != Heads.size(); ++I) {
+      Func F;
+      F.Name = Heads[I].second;
+      F.Begin = Heads[I].first;
+      F.End = segmentEnd(F.Begin);
+      if (I + 1 != Heads.size())
+        F.End = std::min(F.End, Heads[I + 1].first);
+      Funcs.push_back(std::move(F));
+    }
+
+    for (const auto &[Addr, I] : Code) {
+      switch (I.Op) {
+      case Opcode::BEQ:
+      case Opcode::BNE:
+      case Opcode::BLT:
+      case Opcode::BGE:
+      case Opcode::BLTU:
+      case Opcode::BGEU:
+      case Opcode::JAL:
+        BranchTargets.insert(Addr + static_cast<uint32_t>(I.Imm));
+        break;
+      default:
+        break;
+      }
+    }
+
+    ParallelStart = Prog.lookup("LBP_parallel_start");
+  }
+
+  void run() {
+    for (const Func &F : Funcs)
+      scanFunction(F);
+  }
+
+private:
+  const assembler::Program &Prog;
+  const XParVerifyOptions &Opts;
+  AnalysisResult &Res;
+  std::map<uint32_t, Instr> Code;
+  std::vector<Func> Funcs;
+  std::set<uint32_t> BranchTargets;
+  std::optional<uint32_t> ParallelStart;
+
+  uint32_t segmentEnd(uint32_t Addr) const {
+    for (const assembler::Segment &Seg : Prog.segments())
+      if (Seg.IsText && Addr >= Seg.Base && Addr < Seg.end())
+        return Seg.end();
+    return Addr;
+  }
+
+  const Func *funcContaining(uint32_t Addr) const {
+    for (const Func &F : Funcs)
+      if (Addr >= F.Begin && Addr < F.End)
+        return &F;
+    return nullptr;
+  }
+
+  void diag(Severity Sev, uint32_t Addr, const Func &F,
+            const std::string &Rule, const std::string &Msg) {
+    std::string Full = formatString("%s (at 0x%x in '%s')", Msg.c_str(),
+                                    Addr, F.Name.c_str());
+    if (Sev == Severity::Error)
+      Res.error(Prog.lineOf(Addr), Rule, Full);
+    else
+      Res.warning(Prog.lineOf(Addr), Rule, Full);
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Call-site checks for LBP_parallel_start
+  //===--------------------------------------------------------------------===//
+
+  /// Counts p_swre instructions targeting the reduction slot inside
+  /// \p F; returns false when any of them sits inside a loop (a
+  /// backward branch spans it), which makes the static count useless.
+  bool countReductionSends(const Func &F, unsigned &K) const {
+    K = 0;
+    std::vector<uint32_t> SendAddrs;
+    for (uint32_t A = F.Begin; A < F.End; A += 4) {
+      auto It = Code.find(A);
+      if (It == Code.end())
+        continue;
+      if (It->second.Op == Opcode::P_SWRE &&
+          It->second.Imm == static_cast<int32_t>(romp::ReductionSlot)) {
+        ++K;
+        SendAddrs.push_back(A);
+      }
+    }
+    for (uint32_t A = F.Begin; A < F.End; A += 4) {
+      auto It = Code.find(A);
+      if (It == Code.end())
+        continue;
+      const Instr &I = It->second;
+      bool IsBranch = I.Op == Opcode::BEQ || I.Op == Opcode::BNE ||
+                      I.Op == Opcode::BLT || I.Op == Opcode::BGE ||
+                      I.Op == Opcode::BLTU || I.Op == Opcode::BGEU ||
+                      I.Op == Opcode::JAL;
+      if (!IsBranch)
+        continue;
+      uint32_t Target = A + static_cast<uint32_t>(I.Imm);
+      if (Target > A)
+        continue; // forward branch
+      for (uint32_t S : SendAddrs)
+        if (S >= Target && S <= A)
+          return false; // send inside a loop body
+    }
+    return true;
+  }
+
+  void checkTeamLaunch(uint32_t CallAddr, const Func &Caller,
+                       const std::array<std::optional<int64_t>, 32> &Consts) {
+    std::optional<int64_t> N = Consts[RegA2];
+    std::optional<int64_t> ThreadAddr = Consts[RegA3];
+
+    if (N) {
+      if (*N <= 0)
+        diag(Severity::Error, CallAddr, Caller, "xpar.team-zero",
+             "LBP_parallel_start called with a team of " +
+                 std::to_string(*N) + " harts");
+      else if (*N > static_cast<int64_t>(romp::MaxTeamHarts))
+        diag(Severity::Error, CallAddr, Caller, "xpar.team-too-big",
+             formatString("team of %lld harts exceeds the architectural "
+                          "line maximum of %u",
+                          static_cast<long long>(*N), romp::MaxTeamHarts));
+      else if (Opts.MachineHarts &&
+               *N > static_cast<int64_t>(Opts.MachineHarts))
+        diag(Severity::Error, CallAddr, Caller, "xpar.team-too-big",
+             formatString("team of %lld harts exceeds the target "
+                          "machine's %u harts; the p_fc/p_fn allocator "
+                          "would spin forever",
+                          static_cast<long long>(*N), Opts.MachineHarts));
+    }
+
+    const Func *Thread =
+        ThreadAddr ? funcContaining(static_cast<uint32_t>(*ThreadAddr))
+                   : nullptr;
+    unsigned K = 0;
+    bool KExact = false;
+    if (Thread) {
+      if (Thread->Begin != static_cast<uint32_t>(*ThreadAddr))
+        Thread = nullptr; // a3 points into the middle of a function
+    }
+    if (Thread) {
+      bool HasPret = false, HasPlainRet = false;
+      uint32_t PlainRetAddr = 0;
+      for (uint32_t A = Thread->Begin; A < Thread->End; A += 4) {
+        auto It = Code.find(A);
+        if (It == Code.end())
+          continue;
+        const Instr &I = It->second;
+        if (I.Op == Opcode::P_JALR && I.Rd == 0)
+          HasPret = true;
+        if (I.Op == Opcode::JALR && I.Rd == 0 && I.Rs1 == RegRA) {
+          HasPlainRet = true;
+          PlainRetAddr = A;
+        }
+      }
+      if (!HasPret)
+        diag(Severity::Error, CallAddr, Caller, "xpar.thread-missing-pret",
+             "thread function '" + Thread->Name +
+                 "' never executes p_ret; the team's in-order commit "
+                 "barrier would wait forever");
+      if (HasPlainRet)
+        diag(Severity::Error, PlainRetAddr, *Thread, "xpar.thread-plain-ret",
+             "thread function '" + Thread->Name +
+                 "' returns with a plain ret; team members must end "
+                 "with p_ret so the join propagates");
+      KExact = countReductionSends(*Thread, K);
+    }
+
+    // Reduction pairing: the collect loop the generators emit is
+    //   li tX, C ; loop: p_lwre tY, slot ; ... ; bnez
+    // within a few instructions of the call.
+    std::optional<int64_t> CollectCount;
+    uint32_t CollectAddr = 0;
+    std::array<std::optional<int64_t>, 32> Window{};
+    Window[0] = 0;
+    for (uint32_t A = CallAddr + 4; A < CallAddr + 4 + 16 * 4; A += 4) {
+      auto It = Code.find(A);
+      if (It == Code.end())
+        break;
+      const Instr &I = It->second;
+      if (I.Op == Opcode::P_LWRE &&
+          I.Imm == static_cast<int32_t>(romp::ReductionSlot)) {
+        CollectAddr = A;
+        break;
+      }
+      if (I.Op == Opcode::ADDI && I.Rs1 == 0 && I.Rd != 0)
+        Window[I.Rd] = I.Imm;
+      else if (I.Op == Opcode::JAL || I.Op == Opcode::JALR ||
+               I.Op == Opcode::P_JALR)
+        break; // a call/return ends the collect window
+    }
+    if (CollectAddr) {
+      // The loop counter is the last small constant loaded before the
+      // receive (the emitters use li t3, C).
+      for (unsigned R = 1; R != NumRegs; ++R)
+        if (Window[R] && (!CollectCount || R == RegT3))
+          CollectCount = Window[R];
+    }
+
+    if (Thread && KExact && K == 0 && CollectAddr)
+      diag(Severity::Error, CollectAddr, Caller, "xpar.reduce-deadlock",
+           "reduction collect after the team join, but no member of '" +
+               Thread->Name +
+               "' ever sends to the reduction slot; the p_lwre blocks "
+               "forever");
+    if (Thread && KExact && K > 0 && !CollectAddr)
+      diag(Severity::Warning, CallAddr, Caller, "xpar.reduce-uncollected",
+           "members of '" + Thread->Name +
+               "' send reduction partials that the caller never "
+               "collects");
+    if (Thread && KExact && K > 0 && CollectAddr && CollectCount && N) {
+      int64_t C = *CollectCount;
+      // Both collect conventions appear in the tree: every member sends
+      // (collect N*k) or the head keeps its own partial (collect
+      // (N-1)*k).
+      if (C != *N * K && C != (*N - 1) * K)
+        diag(Severity::Error, CollectAddr, Caller, "xpar.reduce-arity",
+             formatString("reduction collects %lld partials but the team "
+                          "of %lld sends %u per member (expected %lld or "
+                          "%lld)",
+                          static_cast<long long>(C),
+                          static_cast<long long>(*N), K,
+                          static_cast<long long>(*N * K),
+                          static_cast<long long>((*N - 1) * K)));
+    }
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Per-function linear scan
+  //===--------------------------------------------------------------------===//
+
+  void scanFunction(const Func &F) {
+    std::array<std::optional<int64_t>, 32> Consts{};
+    Consts[0] = 0;
+    std::map<uint8_t, Pending> Forks;
+    // Index of the last control-flow join; -1 until the first one so an
+    // allocation at the very first instruction still counts as
+    // straight-line.
+    ptrdiff_t LastBarrier = -1;
+    size_t Idx = 0;
+    // Slots stored for the fork most recently started: the p_lwcv run
+    // right after a fork-call reads the frame the forker just filled.
+    std::optional<std::set<int32_t>> StartedSlots;
+
+    auto ClearConsts = [&] {
+      Consts.fill(std::nullopt);
+      Consts[0] = 0;
+    };
+    auto KillConst = [&](uint8_t Rd) {
+      if (Rd != 0)
+        Consts[Rd] = std::nullopt;
+    };
+    auto NoteLeakIfStraightLine = [&](uint8_t Rd, uint32_t Addr) {
+      auto It = Forks.find(Rd);
+      if (It == Forks.end())
+        return;
+      if (static_cast<ptrdiff_t>(It->second.CreatedIdx) > LastBarrier)
+        diag(Severity::Error, Addr, F, "xpar.fork-leak",
+             formatString("hart allocated by p_fc/p_fn at 0x%x is "
+                          "overwritten before being started; the "
+                          "allocated hart is pinned forever",
+                          It->second.ForkAddr));
+      Forks.erase(It);
+    };
+
+    for (uint32_t Addr = F.Begin; Addr < F.End; Addr += 4, ++Idx) {
+      if (BranchTargets.count(Addr)) {
+        ClearConsts();
+        LastBarrier = static_cast<ptrdiff_t>(Idx);
+        StartedSlots.reset();
+      }
+      auto It = Code.find(Addr);
+      if (It == Code.end())
+        continue;
+      const Instr &I = It->second;
+
+      if (StartedSlots && I.Op != Opcode::P_LWCV)
+        StartedSlots.reset();
+
+      switch (I.Op) {
+      case Opcode::ADDI:
+        if (I.Rd != 0)
+          Consts[I.Rd] = Consts[I.Rs1]
+                             ? std::optional<int64_t>(*Consts[I.Rs1] + I.Imm)
+                             : std::nullopt;
+        continue;
+      case Opcode::LUI:
+        if (I.Rd != 0)
+          Consts[I.Rd] = static_cast<int64_t>(
+              static_cast<int32_t>(static_cast<uint32_t>(I.Imm) << 12));
+        continue;
+
+      case Opcode::P_FC:
+      case Opcode::P_FN: {
+        NoteLeakIfStraightLine(I.Rd, Addr);
+        Pending P;
+        P.ForkAddr = Addr;
+        P.CreatedIdx = Idx;
+        Forks[I.Rd] = std::move(P);
+        KillConst(I.Rd);
+        continue;
+      }
+
+      case Opcode::P_SET:
+        NoteLeakIfStraightLine(I.Rd, Addr);
+        KillConst(I.Rd);
+        continue;
+
+      case Opcode::P_MERGE: {
+        auto From = Forks.find(I.Rs2);
+        if (From != Forks.end()) {
+          Pending P = std::move(From->second);
+          Forks.erase(From);
+          if (I.Rd != I.Rs2)
+            NoteLeakIfStraightLine(I.Rd, Addr);
+          Forks[I.Rd] = std::move(P);
+        }
+        KillConst(I.Rd);
+        continue;
+      }
+
+      case Opcode::P_SYNCM:
+        for (auto &[Reg, P] : Forks)
+          P.NeedSync = false;
+        continue;
+
+      case Opcode::P_SWCV: {
+        if (I.Imm < 0 || I.Imm % 4 != 0 ||
+            I.Imm >= static_cast<int32_t>(ContFrameSize)) {
+          diag(Severity::Error, Addr, F, "xpar.cv-slot-range",
+               formatString("p_swcv offset %d is outside the %u-byte "
+                            "4-aligned continuation frame",
+                            I.Imm, ContFrameSize));
+          continue;
+        }
+        auto PIt = Forks.find(I.Rs1);
+        if (PIt == Forks.end()) {
+          diag(Severity::Warning, Addr, F, "xpar.swcv-no-alloc",
+               "p_swcv targets a hart reference with no p_fc/p_fn "
+               "allocation in sight; the verifier cannot match the "
+               "store to a fork");
+        } else {
+          PIt->second.Slots.insert(I.Imm);
+          PIt->second.NeedSync = true;
+        }
+        continue;
+      }
+
+      case Opcode::P_LWCV:
+        if (I.Imm < 0 || I.Imm % 4 != 0 ||
+            I.Imm >= static_cast<int32_t>(ContFrameSize))
+          diag(Severity::Error, Addr, F, "xpar.cv-slot-range",
+               formatString("p_lwcv offset %d is outside the %u-byte "
+                            "4-aligned continuation frame",
+                            I.Imm, ContFrameSize));
+        else if (StartedSlots && !StartedSlots->count(I.Imm))
+          diag(Severity::Error, Addr, F, "xpar.lwcv-not-stored",
+               formatString("p_lwcv reads frame offset %d, which the "
+                            "forking hart never stored (p_swcv wrote "
+                            "%zu slot(s))",
+                            I.Imm, StartedSlots->size()));
+        KillConst(I.Rd);
+        continue;
+
+      case Opcode::P_SWRE:
+        if (I.Imm < 0 || I.Imm >= static_cast<int32_t>(sim::ResultSlots))
+          diag(Severity::Error, Addr, F, "xpar.re-slot-range",
+               formatString("p_swre result slot %d is outside the "
+                            "hart's %u slots",
+                            I.Imm, sim::ResultSlots));
+        continue;
+
+      case Opcode::P_LWRE:
+        if (I.Imm < 0 || I.Imm >= static_cast<int32_t>(sim::ResultSlots))
+          diag(Severity::Error, Addr, F, "xpar.re-slot-range",
+               formatString("p_lwre result slot %d is outside the "
+                            "hart's %u slots",
+                            I.Imm, sim::ResultSlots));
+        KillConst(I.Rd);
+        continue;
+
+      case Opcode::P_JALR:
+        if (I.Rd == 0) {
+          // p_ret: parallel return. The hart ends here.
+          LastBarrier = static_cast<ptrdiff_t>(Idx);
+          ClearConsts();
+        } else {
+          // Fork-call: starts the allocated hart named by rs1.
+          auto PIt = Forks.find(I.Rs1);
+          if (PIt != Forks.end()) {
+            if (PIt->second.NeedSync)
+              diag(Severity::Error, Addr, F, "xpar.fork-before-syncm",
+                   formatString("fork-call hands the continuation frame "
+                                "to the new hart, but the p_swcv stores "
+                                "since 0x%x were not drained by p_syncm; "
+                                "the hart can start before its frame is "
+                                "complete",
+                                PIt->second.ForkAddr));
+            StartedSlots = std::move(PIt->second.Slots);
+            Forks.erase(PIt);
+          }
+          ClearConsts();
+        }
+        continue;
+
+      case Opcode::P_JAL: {
+        auto PIt = Forks.find(I.Rs1);
+        if (PIt != Forks.end()) {
+          if (PIt->second.NeedSync)
+            diag(Severity::Error, Addr, F, "xpar.fork-before-syncm",
+                 "p_jal starts the allocated hart before p_syncm "
+                 "drained its continuation frame");
+          StartedSlots = std::move(PIt->second.Slots);
+          Forks.erase(PIt);
+        }
+        continue;
+      }
+
+      case Opcode::JAL:
+        if (ParallelStart &&
+            Addr + static_cast<uint32_t>(I.Imm) == *ParallelStart &&
+            I.Rd == RegRA)
+          checkTeamLaunch(Addr, F, Consts);
+        if (I.Rd == 0) {
+          LastBarrier = static_cast<ptrdiff_t>(Idx);
+          StartedSlots.reset();
+        }
+        ClearConsts();
+        continue;
+
+      case Opcode::JALR:
+        if (I.Rd == 0) {
+          LastBarrier = static_cast<ptrdiff_t>(Idx);
+          StartedSlots.reset();
+        }
+        ClearConsts();
+        continue;
+
+      default:
+        if (I.writesReg())
+          KillConst(I.Rd);
+        continue;
+      }
+    }
+
+    for (const auto &[Reg, P] : Forks)
+      diag(Severity::Error, P.ForkAddr, F, "xpar.fork-leak",
+           "hart allocated by p_fc/p_fn is never started by a "
+           "fork-call before the function ends; the allocation is "
+           "lost and the hart pinned forever");
+  }
+};
+
+} // namespace
+
+AnalysisResult analysis::verifyProgram(const assembler::Program &Prog,
+                                       const XParVerifyOptions &Opts) {
+  AnalysisResult Res;
+  Verifier V(Prog, Opts, Res);
+  V.run();
+  return Res;
+}

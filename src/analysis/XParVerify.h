@@ -1,0 +1,53 @@
+//===- analysis/XParVerify.h - X_PAR protocol verifier ------------------------===//
+//
+// Part of the LBP reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Static verifier for the X_PAR fork/join protocol over assembled
+/// programs (docs/ANALYSIS.md). It abstract-interprets each function's
+/// instruction stream and checks the obligations the hardware imposes
+/// but never diagnoses:
+///
+///   * every p_fc/p_fn allocation is started by exactly one fork-call
+///     (p_jalr/p_jal) — a leaked allocation pins a hart forever;
+///   * continuation-frame stores (p_swcv) land on 4-aligned slots
+///     inside the 64-byte frame, and a p_syncm drains them before the
+///     fork-call hands the frame to the new hart;
+///   * the forked hart's p_lwcv run only reads slots the forker stored;
+///   * p_swre/p_lwre name result slots inside the hart's buffer;
+///   * LBP_parallel_start call sites pass a sane team size and a thread
+///     function that ends with p_ret (not a plain ret), and the
+///     reduction collect count matches the team's send count.
+///
+/// The walk is linear per function with constant propagation reset at
+/// branch targets; it verifies the protocol shapes our code generators
+/// emit rather than arbitrary control flow (docs/ANALYSIS.md lists the
+/// caveats).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LBP_ANALYSIS_XPARVERIFY_H
+#define LBP_ANALYSIS_XPARVERIFY_H
+
+#include "analysis/Diag.h"
+#include "asm/Program.h"
+
+namespace lbp {
+namespace analysis {
+
+struct XParVerifyOptions {
+  /// Hart count of the machine the program targets; 0 = unknown (the
+  /// architectural MaxTeamHarts bound still applies).
+  unsigned MachineHarts = 0;
+};
+
+/// Runs the X_PAR protocol verifier over every function of \p Prog.
+AnalysisResult verifyProgram(const assembler::Program &Prog,
+                             const XParVerifyOptions &Opts = {});
+
+} // namespace analysis
+} // namespace lbp
+
+#endif // LBP_ANALYSIS_XPARVERIFY_H

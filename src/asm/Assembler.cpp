@@ -81,6 +81,7 @@ private:
   unsigned CurLine = 0; ///< For diagnostics.
   uint32_t NextTextLoc = isa::CodeBase;
   uint32_t NextDataLoc = isa::GlobalBase;
+  std::map<uint32_t, unsigned> LineMap; ///< instr addr -> source line
 
   void error(const std::string &Msg) { Errors.push_back({CurLine, Msg}); }
 
@@ -520,7 +521,8 @@ void AsmContext::emitBytes(uint32_t Addr, const uint8_t *Data, uint32_t N) {
 }
 
 void AsmContext::emitWord(const Stmt &S, uint32_t Addr, uint32_t Word) {
-  (void)S;
+  if (S.Line)
+    LineMap.emplace(Addr, S.Line);
   uint8_t Bytes[4];
   for (unsigned B = 0; B != 4; ++B)
     Bytes[B] = static_cast<uint8_t>(Word >> (8 * B));
@@ -967,6 +969,8 @@ AsmResult AsmContext::run(std::string_view Source) {
   }
   for (const auto &[Name, Value] : Symbols)
     Result.Prog.defineSymbol(Name, Value);
+  for (const auto &[Addr, Line] : LineMap)
+    Result.Prog.noteLine(Addr, Line);
 
   if (std::optional<uint32_t> E = Result.Prog.lookup("_start"))
     Result.Prog.setEntry(*E);

@@ -37,6 +37,7 @@ struct Segment {
 class Program {
   std::vector<Segment> Segments;
   std::map<std::string, uint32_t> Symbols;
+  std::map<uint32_t, unsigned> Lines;
   uint32_t Entry = 0;
 
 public:
@@ -53,6 +54,15 @@ public:
     return It->second;
   }
   const std::map<std::string, uint32_t> &symbols() const { return Symbols; }
+
+  /// Source-line provenance for an emitted instruction address (filled
+  /// by the assembler; the X_PAR verifier uses it for line-accurate
+  /// diagnostics). lineOf() returns 0 for addresses with no record.
+  void noteLine(uint32_t Addr, unsigned Line) { Lines[Addr] = Line; }
+  unsigned lineOf(uint32_t Addr) const {
+    auto It = Lines.find(Addr);
+    return It == Lines.end() ? 0 : It->second;
+  }
 
   void setEntry(uint32_t E) { Entry = E; }
   uint32_t entry() const { return Entry; }

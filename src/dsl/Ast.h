@@ -131,6 +131,16 @@ struct Stmt {
 
   // RawAsm.
   std::string Text;
+
+  /// Source line the statement came from (0 = synthesized / unknown).
+  /// Frontends that build the AST from text set it so analyses can emit
+  /// line-accurate diagnostics; the builder API leaves it at 0.
+  unsigned Line = 0;
+
+  /// ParallelFor only: team size the source declared through
+  /// omp_set_num_threads (0 = never declared). The determinism analyzer
+  /// compares it against NumHarts.
+  unsigned DeclaredHarts = 0;
 };
 
 /// How a function terminates / is invoked.

@@ -614,13 +614,9 @@ void FnCodeGen::genStmt(const Stmt *S) {
   case Stmt::Kind::ParallelFor: {
     Out.comment("omp parallel for: %u harts of %s", S->NumHarts,
                 S->Callee.c_str());
-    if (S->DataSymbol.empty())
-      Out.line("li a1, 0");
-    else
-      Out.line("la a1, %s", S->DataSymbol.c_str());
-    Out.line("li a2, %u", S->NumHarts);
-    Out.line("la a3, %s", S->Callee.c_str());
-    Out.line("jal LBP_parallel_start");
+    romp::emitParallelCall(
+        Out, S->Callee, S->NumHarts,
+        S->DataSymbol.empty() ? std::string("0") : S->DataSymbol);
     return;
   }
 

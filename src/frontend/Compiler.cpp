@@ -5,6 +5,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "frontend/Compiler.h"
+#include "analysis/DetRace.h"
 #include "dsl/CodeGen.h"
 #include "frontend/Lexer.h"
 #include "isa/AddressMap.h"
@@ -52,6 +53,9 @@ private:
   std::set<std::string> KnownFns;
   uint32_t NextGlobalAddr = isa::GlobalBase;
   bool Dead = false; ///< Set after an unrecoverable parse error.
+  /// Last omp_set_num_threads(N) constant seen; parallel regions record
+  /// it (Stmt::DeclaredHarts) so the analyzer can flag a mismatch.
+  unsigned PendingNumThreads = 0;
 
   // -- Token helpers -----------------------------------------------------
   const Token &peek(unsigned Ahead = 0) const {
@@ -76,6 +80,9 @@ private:
       Out.Errors.push_back({peek().Line, Msg});
     Dead = true;
   }
+  void warn(unsigned Line, const std::string &Msg) {
+    Out.Warnings.push_back({Line, Msg});
+  }
   bool expect(Tok K, const char *What) {
     if (match(K))
       return true;
@@ -98,6 +105,7 @@ private:
   void parseFunction(bool ReturnsInt, const std::string &Name);
   std::vector<const Stmt *> parseBlock();
   void parseStmtInto(std::vector<const Stmt *> &Into);
+  void parseStmtIntoImpl(std::vector<const Stmt *> &Into);
   void parseSimpleInto(std::vector<const Stmt *> &Into);
   void parsePragmaInto(std::vector<const Stmt *> &Into,
                        const std::string &Text);
@@ -281,6 +289,21 @@ std::vector<const Stmt *> Parser::parseBlock() {
 }
 
 void Parser::parseStmtInto(std::vector<const Stmt *> &Into) {
+  // Tag everything the statement produced with its source line (nested
+  // statements were tagged by their own recursive calls and keep their
+  // lines). The arena hands out const pointers; the parser, as the
+  // arena's creator, is the one place that may write the tags back.
+  unsigned Line = peek().Line;
+  size_t Before = Into.size();
+  parseStmtIntoImpl(Into);
+  for (size_t I = Before; I != Into.size(); ++I) {
+    Stmt *S = const_cast<Stmt *>(Into[I]);
+    if (S->Line == 0)
+      S->Line = Line;
+  }
+}
+
+void Parser::parseStmtIntoImpl(std::vector<const Stmt *> &Into) {
   // Local declarations.
   if (match(Tok::KwInt)) {
     do {
@@ -413,8 +436,11 @@ void Parser::parseSimpleInto(std::vector<const Stmt *> &Into) {
       return error("__reduce_collect must be assigned: use the "
                    "reduction(+:var) pragma clause instead");
     } else if (Name == "omp_set_num_threads") {
-      // Team sizes come from the pragma's loop bound; the call is
-      // accepted for source compatibility.
+      // Team sizes come from the pragma's loop bound; the declared
+      // count is kept so the analyzer can flag a disagreement.
+      if (Args.size() == 1 && Args[0]->K == Expr::Kind::Const &&
+          Args[0]->IVal > 0)
+        PendingNumThreads = static_cast<unsigned>(Args[0]->IVal);
     } else {
       Into.push_back(M->call(Name, std::move(Args)));
     }
@@ -562,8 +588,9 @@ void Parser::parsePragmaInto(std::vector<const Stmt *> &Into,
   expect(Tok::RParen, "')'");
   expect(Tok::Semi, "';'");
 
-  Into.push_back(
-      M->parallelFor(Callee, static_cast<unsigned>(Bound)));
+  const Stmt *Region = M->parallelFor(Callee, static_cast<unsigned>(Bound));
+  const_cast<Stmt *>(Region)->DeclaredHarts = PendingNumThreads;
+  Into.push_back(Region);
 
   if (!ReduceVar.empty()) {
     const Local *Acc = lookupLocal(ReduceVar);
@@ -641,6 +668,24 @@ Parser::Cond Parser::parseCond() {
   return {CmpOp::Ne, E, M->c(0)};
 }
 
+/// True when \p E contains a builtin call (`__hart_id()`, `__cycles()`,
+/// `__instret()` or a blocking receive) — the expressions whose
+/// evaluation is observable and which C's short-circuit rules would
+/// sometimes skip.
+static bool containsBuiltinCall(const Expr *E) {
+  if (!E)
+    return false;
+  switch (E->K) {
+  case Expr::Kind::HartId:
+  case Expr::Kind::CycleCount:
+  case Expr::Kind::InstretCount:
+  case Expr::Kind::RecvResult:
+    return true;
+  default:
+    return containsBuiltinCall(E->Lhs) || containsBuiltinCall(E->Rhs);
+  }
+}
+
 const Expr *Parser::parseBinary(int MinPrec) {
   const Expr *L = parseUnary();
   while (true) {
@@ -690,6 +735,7 @@ const Expr *Parser::parseBinary(int MinPrec) {
     }
     if (Prec < MinPrec)
       return L;
+    unsigned OpLine = peek().Line;
     advance();
     const Expr *R = parseBinary(Prec + 1);
 
@@ -727,10 +773,20 @@ const Expr *Parser::parseBinary(int MinPrec) {
       L = M->bin(BinOp::Sra, L, R);
       break;
     case Tok::AmpAmp:
-      L = M->bin(BinOp::And, boolify(L), boolify(R));
-      break;
     case Tok::PipePipe:
-      L = M->bin(BinOp::Or, boolify(L), boolify(R));
+      // Documented deviation: Det-C evaluates both sides (no
+      // short-circuit). A builtin call on the right would be skipped by
+      // C but always runs here — warn so the deviation cannot silently
+      // change program behaviour.
+      if (containsBuiltinCall(R))
+        warn(OpLine,
+             std::string("right operand of '") +
+                 (K == Tok::AmpAmp ? "&&" : "||") +
+                 "' contains a builtin call; Det-C evaluates both sides "
+                 "(no short-circuit), so it runs even when C would skip "
+                 "it");
+      L = M->bin(K == Tok::AmpAmp ? BinOp::And : BinOp::Or, boolify(L),
+                 boolify(R));
       break;
     case Tok::Lt:
     case Tok::Gt:
@@ -929,6 +985,14 @@ std::string FrontendResult::errorText() const {
   return Text;
 }
 
+std::string FrontendResult::warningText() const {
+  std::string Text;
+  for (const FrontendError &E : Warnings)
+    Text += formatString("line %u: warning: %s\n", E.Line,
+                         E.Message.c_str());
+  return Text;
+}
+
 FrontendResult frontend::parseDetC(std::string_view Source) {
   FrontendResult Result;
   LexResult Lexed = tokenize(Source);
@@ -938,8 +1002,16 @@ FrontendResult frontend::parseDetC(std::string_view Source) {
     return Result;
   Parser P(std::move(Lexed.Tokens), Result);
   P.run();
-  if (!Result.Errors.empty())
+  if (!Result.Errors.empty()) {
     Result.M.reset();
+    return Result;
+  }
+  // The determinism analyzer runs on every successful parse; its
+  // findings are warnings here (compilation still succeeds) so existing
+  // flows keep working — lbp_lint is the strict gate.
+  analysis::AnalysisResult AR = analysis::analyzeModule(*Result.M);
+  for (const analysis::Diag &D : AR.Diags)
+    Result.Warnings.push_back({D.Line, "[" + D.Rule + "] " + D.Message});
   return Result;
 }
 

@@ -62,10 +62,19 @@ struct FrontendResult {
   std::unique_ptr<dsl::Module> M;
   std::vector<FrontendError> Errors;
 
+  /// Non-fatal findings: parser warnings (e.g. the `&&`/`||`
+  /// both-sides-evaluate deviation biting a side-effecting operand) and
+  /// everything the determinism analyzer (analysis/DetRace.h) reports.
+  /// On by default; compilation never fails because of them.
+  std::vector<FrontendError> Warnings;
+
   bool succeeded() const { return Errors.empty() && M != nullptr; }
 
   /// All diagnostics as "line N: message" lines.
   std::string errorText() const;
+
+  /// All warnings as "line N: warning: message" lines.
+  std::string warningText() const;
 };
 
 /// Parses and lowers \p Source to a kernel-language module.

@@ -6,6 +6,8 @@
 
 #include "romp/Runtime.h"
 
+#include "support/Error.h"
+
 using namespace lbp;
 using namespace lbp::romp;
 
@@ -77,7 +79,25 @@ void romp::emitParallelStart(AsmText &Out) {
 }
 
 void romp::emitParallelCall(AsmText &Out, const std::string &ThreadFn,
-                            unsigned NumHarts, const std::string &DataArg) {
+                            unsigned NumHarts, const std::string &DataArg,
+                            unsigned MachineHarts) {
+  // An oversized team never finds a free hart to fork onto: p_fc/p_fn
+  // retry forever and the simulator reports a livelock thousands of
+  // cycles later with no hint of the cause. Refuse at codegen time.
+  if (NumHarts == 0)
+    reportFatalError("parallel team for '" + ThreadFn +
+                     "' has zero harts; a team needs at least one member");
+  if (NumHarts > MaxTeamHarts)
+    reportFatalError("parallel team for '" + ThreadFn + "' requests " +
+                     std::to_string(NumHarts) +
+                     " harts, beyond the architectural line maximum of " +
+                     std::to_string(MaxTeamHarts));
+  if (MachineHarts != 0 && NumHarts > MachineHarts)
+    reportFatalError(
+        "parallel team for '" + ThreadFn + "' requests " +
+        std::to_string(NumHarts) + " harts but the machine has only " +
+        std::to_string(MachineHarts) +
+        "; the hart allocator would spin forever waiting for a free hart");
   Out.comment("parallel region: %u harts of %s", NumHarts,
               ThreadFn.c_str());
   if (DataArg == "0")

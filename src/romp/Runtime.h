@@ -39,6 +39,14 @@ namespace romp {
 /// Result slot reserved for team reductions.
 constexpr unsigned ReductionSlot = 7;
 
+/// Largest team any LBP line can carry: the hart reference word names the
+/// join hart in a 15-bit field (bits 30..16), so no line configuration
+/// can address more harts than this. Teams beyond a machine's actual
+/// hart count make the p_fc/p_fn allocator spin forever; this bound is
+/// the codegen-time backstop for callers that do not know the machine
+/// size (see emitParallelCall's MachineHarts parameter).
+constexpr unsigned MaxTeamHarts = 1u << 15;
+
 /// Frame-offset layout of the continuation values the fork protocol
 /// transmits (p_swcv/p_lwcv offsets).
 enum ContFrameSlot : unsigned {
@@ -57,8 +65,15 @@ void emitParallelStart(AsmText &Out);
 /// \p ThreadFn with a1 = \p DataArg (an expression the assembler can
 /// evaluate, typically a symbol; pass "0" for none). The caller resumes
 /// after the team barrier.
+///
+/// A team larger than the machine it runs on livelocks the hart
+/// allocator, so the emitter refuses (reportFatalError) NumHarts == 0,
+/// NumHarts > MaxTeamHarts, and — when the caller knows the target
+/// machine size — NumHarts > \p MachineHarts. Pass MachineHarts = 0
+/// when the target machine is unknown at codegen time.
 void emitParallelCall(AsmText &Out, const std::string &ThreadFn,
-                      unsigned NumHarts, const std::string &DataArg);
+                      unsigned NumHarts, const std::string &DataArg,
+                      unsigned MachineHarts = 0);
 
 /// Emits the entry/exit wrapper for `main`: saves ra/t0 (the boot values
 /// 0/-1), runs the body via the callback, restores and p_rets (= exit).

@@ -116,6 +116,13 @@ struct SimConfig {
   /// scan; off by default).
   bool CollectStallStats = false;
 
+  /// Record every shared-global bank access (hart, address, width,
+  /// read/write, barrier epoch) in Machine::memLog(). Off by default:
+  /// the log grows with every access and exists for the static
+  /// analyzer's dynamic race oracle (docs/ANALYSIS.md), not for normal
+  /// simulation.
+  bool CollectMemLog = false;
+
   /// Machine-check invariant checkers (docs/ROBUSTNESS.md). They are
   /// read-only observers of the machine state: a fault-free run produces
   /// the same trace hash with them on or off.

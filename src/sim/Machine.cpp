@@ -232,6 +232,9 @@ void Machine::deliver(const Delivery &D) {
       }
     } else {
       assert(isGlobalAddr(Addr) && "bank access outside banked memory");
+      if (Cfg.CollectMemLog)
+        MemLog.push_back({Cycle, JoinEpoch, D.HartId, Addr, D.Width,
+                          D.IsWrite, D.HartId != 0 || Hart0InTeam});
       uint32_t Rel = Addr - GlobalBase;
       unsigned Bank = Rel >> Cfg.GlobalBankSizeLog2;
       uint32_t Off = Rel & (Cfg.globalBankSize() - 1);
@@ -301,6 +304,11 @@ void Machine::deliver(const Delivery &D) {
     H.NoFetchUntil = Cycle + 1;
     H.Token = true;
     Tr.event(Cycle, EventKind::Join, D.HartId, D.Value);
+    // A join completes a team barrier: accesses on opposite sides can
+    // never race, which is what the mem-log epoch encodes.
+    ++JoinEpoch;
+    if (D.HartId == 0)
+      Hart0InTeam = false;
     return;
 
   case Delivery::Kind::SlotFill:
@@ -327,6 +335,10 @@ int Machine::allocateHart(unsigned CoreId, unsigned ByHart) {
     Target.Regs[RegSP] = hartStackTop(H) - ContFrameSize;
     unsigned Id = hartId(CoreId, H);
     Tr.event(Cycle, EventKind::HartReserve, Id, ByHart);
+    // Hart 0 forking means it entered a parallel region (it will run as
+    // the team's last member until the join returns to it).
+    if (ByHart == 0)
+      Hart0InTeam = true;
     return static_cast<int>(Id);
   }
   return -1;

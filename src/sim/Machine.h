@@ -139,6 +139,23 @@ public:
   uint32_t debugReadReg(unsigned HartId, unsigned Reg) const;
   HartState hartState(unsigned HartId) const;
 
+  /// One logged shared-global access (SimConfig::CollectMemLog). Epoch
+  /// counts the join deliveries (team barriers) seen so far, so two
+  /// accesses with different epochs are ordered by a barrier and can
+  /// never race. InTeam is true when the access ran on a team member:
+  /// any hart other than 0, or hart 0 between forking its team (it
+  /// becomes the last member) and receiving the join back.
+  struct MemAccess {
+    uint64_t Cycle = 0;
+    uint64_t Epoch = 0;
+    uint16_t Hart = 0;
+    uint32_t Addr = 0;
+    uint8_t Width = 4;
+    bool IsWrite = false;
+    bool InTeam = false;
+  };
+  const std::vector<MemAccess> &memLog() const { return MemLog; }
+
 private:
   friend class Checker; // read-only sweeps over the machine state
 
@@ -201,6 +218,10 @@ private:
   std::string FaultMsg;
 
   uint64_t TotalRetired = 0;
+  // Dynamic-oracle memory log (CollectMemLog; see memLog()).
+  std::vector<MemAccess> MemLog;
+  uint64_t JoinEpoch = 0;
+  bool Hart0InTeam = false;
   uint64_t RemoteAccesses = 0;
   uint64_t LocalAccesses = 0;
   uint64_t StallCounts[static_cast<unsigned>(StallCause::NumCauses)] = {};

@@ -1,0 +1,510 @@
+//===- tests/analysis_test.cpp - Static determinism analysis tests ------------===//
+//
+// Part of the LBP reproduction project.
+//
+//===----------------------------------------------------------------------===//
+//
+// The lbp_lint subsystem (docs/ANALYSIS.md): the Det-C determinism
+// analyzer must flag every racy program in the table below and keep
+// quiet on every clean one; the X_PAR verifier must catch hand-made
+// protocol violations; and the dynamic oracle must agree with the
+// static verdict on both sides.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/DetRace.h"
+#include "analysis/Oracle.h"
+#include "analysis/XParVerify.h"
+#include "asm/Assembler.h"
+#include "dsl/Ast.h"
+#include "dsl/CodeGen.h"
+#include "frontend/Compiler.h"
+#include "romp/Runtime.h"
+
+#include <gtest/gtest.h>
+
+using namespace lbp;
+using namespace lbp::analysis;
+
+namespace {
+
+AnalysisResult analyzeSource(const std::string &Src) {
+  frontend::FrontendResult R = frontend::parseDetC(Src);
+  EXPECT_TRUE(R.succeeded()) << R.errorText();
+  if (!R.M)
+    return {};
+  return analyzeModule(*R.M);
+}
+
+bool hasRule(const AnalysisResult &Res, const std::string &Rule) {
+  for (const Diag &D : Res.Diags)
+    if (D.Rule == Rule)
+      return true;
+  return false;
+}
+
+/// Wraps a thread body in the canonical parallel-for scaffold.
+std::string regionProgram(const std::string &Globals,
+                          const std::string &ThreadBody, unsigned Team) {
+  std::string Src = Globals + "\n";
+  Src += "void worker(int t) {\n" + ThreadBody + "\n}\n";
+  Src += "void main() {\n  int t;\n";
+  Src += "  #pragma omp parallel for\n";
+  Src += "  for (t = 0; t < " + std::to_string(Team) + "; t++)\n";
+  Src += "    worker(t);\n}\n";
+  return Src;
+}
+
+//===----------------------------------------------------------------------===//
+// Det-C determinism analyzer: racy programs
+//===----------------------------------------------------------------------===//
+
+struct RacyCase {
+  const char *Name;
+  std::string Src;
+  const char *Rule; ///< A diagnostic with this rule tag must appear.
+};
+
+std::vector<RacyCase> racyCases() {
+  std::vector<RacyCase> C;
+  C.push_back({"AllMembersWriteElementZero",
+               regionProgram("int v[16];", "  v[0] = t;", 4), "race.ww"});
+  C.push_back({"BroadcastReadOfAWrittenElement",
+               regionProgram("int v[16];", "  v[t] = v[0] + 1;", 4),
+               "race.rw"});
+  C.push_back({"NeighbourIndexOverlap",
+               regionProgram("int v[16];", "  v[t] = 1;\n  v[t + 1] = 2;", 4),
+               "race.ww"});
+  C.push_back({"SharedScalarWrite",
+               regionProgram("int x;", "  x = t;", 4), "race.ww"});
+  C.push_back({"EveryMemberSweepsTheSamePrefix",
+               regionProgram("int v[16];",
+                             "  int n;\n  for (n = 0; n < 4; n++)\n"
+                             "    v[n] = t;",
+                             4),
+               "race.ww"});
+  C.push_back({"ChunksOverlapByOneElement",
+               regionProgram("int v[32];",
+                             "  int n;\n"
+                             "  for (n = t * 4; n < t * 4 + 5; n++)\n"
+                             "    v[n] = n;",
+                             4),
+               "race.ww"});
+  C.push_back({"GuardStillAdmitsTwoWriters",
+               regionProgram("int v[16];", "  if (t < 2)\n    v[0] = t;", 4),
+               "race.ww"});
+  C.push_back({"DifferentStridesCollide",
+               regionProgram("int v[32];",
+                             "  v[2 * t] = 1;\n  v[t + 2] = 2;", 4),
+               "race.ww"});
+  C.push_back({"RaceHiddenInACallee",
+               "int v[16];\n"
+               "void helper(int t) {\n  v[0] = t;\n}\n"
+               "void worker(int t) {\n  helper(t);\n}\n"
+               "void main() {\n  int t;\n"
+               "  #pragma omp parallel for\n"
+               "  for (t = 0; t < 4; t++)\n    worker(t);\n}\n",
+               "race.ww"});
+  C.push_back({"DoWhileSweepCollides",
+               regionProgram("int v[16];",
+                             "  int n;\n  n = 0;\n  do {\n"
+                             "    v[n] = t;\n    n = n + 1;\n"
+                             "  } while (n < 4);",
+                             4),
+               "race.ww"});
+  C.push_back({"ReductionWithNoSender",
+               "void worker(int t) {\n}\n"
+               "void main() {\n  int t;\n  int sum;\n  sum = 0;\n"
+               "  #pragma omp parallel for reduction(+:sum)\n"
+               "  for (t = 0; t < 4; t++)\n    worker(t);\n}\n",
+               "reduce.deadlock"});
+  C.push_back({"ReductionSendsTwicePerMember",
+               "void worker(int t) {\n"
+               "  __reduce_send(t);\n  __reduce_send(t);\n}\n"
+               "void main() {\n  int t;\n  int sum;\n  sum = 0;\n"
+               "  #pragma omp parallel for reduction(+:sum)\n"
+               "  for (t = 0; t < 4; t++)\n    worker(t);\n}\n",
+               "reduce.arity"});
+  C.push_back({"SendOutsideAnyTeam",
+               "void main() {\n  __reduce_send(3);\n}\n",
+               "reduce.send-outside-team"});
+  C.push_back({"SectionsWriteTheSameGlobal",
+               "int a;\n"
+               "void main() {\n"
+               "  #pragma omp parallel sections\n"
+               "  {\n"
+               "    #pragma omp section\n    { a = 1; }\n"
+               "    #pragma omp section\n    { a = 2; }\n"
+               "  }\n}\n",
+               "race.ww"});
+  return C;
+}
+
+TEST(DetRace, FlagsEveryRacyProgram) {
+  for (const RacyCase &C : racyCases()) {
+    SCOPED_TRACE(C.Name);
+    AnalysisResult Res = analyzeSource(C.Src);
+    EXPECT_TRUE(Res.hasErrors()) << "expected errors for:\n" << C.Src;
+    EXPECT_TRUE(hasRule(Res, C.Rule))
+        << "expected rule " << C.Rule << ", got:\n" << Res.text();
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Det-C determinism analyzer: clean programs
+//===----------------------------------------------------------------------===//
+
+struct CleanCase {
+  const char *Name;
+  std::string Src;
+};
+
+std::vector<CleanCase> cleanCases() {
+  std::vector<CleanCase> C;
+  C.push_back({"OwnElementPerMember",
+               regionProgram("int v[16];", "  v[t] = t;", 4)});
+  C.push_back({"ReadModifyWriteOwnElement",
+               regionProgram("int v[16];", "  v[t] = v[t] + 1;", 4)});
+  C.push_back({"DisjointChunkSweep",
+               regionProgram("int v[32];",
+                             "  int n;\n"
+                             "  for (n = t * 4; n < (t + 1) * 4; n++)\n"
+                             "    v[n] = n;",
+                             4)});
+  C.push_back({"InterleavedEvenOddPair",
+               regionProgram("int v[32];",
+                             "  v[2 * t] = 1;\n  v[2 * t + 1] = 2;", 4)});
+  C.push_back({"ProperReduction",
+               "void worker(int t) {\n  __reduce_send(t * t);\n}\n"
+               "void main() {\n  int t;\n  int sum;\n  sum = 0;\n"
+               "  #pragma omp parallel for reduction(+:sum)\n"
+               "  for (t = 0; t < 4; t++)\n    worker(t);\n}\n"});
+  C.push_back({"GuardedWritesStayDisjoint",
+               regionProgram("int x;\nint v[16];",
+                             "  if (t == 0)\n    x = 1;\n"
+                             "  else\n    v[t] = t;",
+                             4)});
+  C.push_back({"SharedReadsNeverConflict",
+               regionProgram("int v[16];\nint c[4] = { 7 };",
+                             "  v[t] = c[0] + t;", 4)});
+  C.push_back({"PhasedRegionsAreIndependent",
+               "int v[16];\nint w[16];\n"
+               "void produce(int t) {\n  v[t] = t;\n}\n"
+               "void consume(int t) {\n  w[t] = v[t];\n}\n"
+               "void main() {\n  int t;\n"
+               "  #pragma omp parallel for\n"
+               "  for (t = 0; t < 4; t++)\n    produce(t);\n"
+               "  #pragma omp parallel for\n"
+               "  for (t = 0; t < 4; t++)\n    consume(t);\n}\n"});
+  C.push_back({"SingleMemberTeamCannotRace",
+               regionProgram("int v[16];", "  v[0] = 5;", 1)});
+  C.push_back({"ReversedBijection",
+               regionProgram("int v[8];", "  v[7 - t] = t;", 8)});
+  C.push_back({"LocalLoopThenOwnElement",
+               regionProgram("int v[16];",
+                             "  int acc;\n  int n;\n  acc = 0;\n  n = 0;\n"
+                             "  while (n < 8) {\n"
+                             "    acc = acc + n;\n    n = n + 1;\n  }\n"
+                             "  v[t] = acc;",
+                             4)});
+  C.push_back({"SectionsWriteDifferentGlobals",
+               "int a;\nint b;\n"
+               "void main() {\n"
+               "  #pragma omp parallel sections\n"
+               "  {\n"
+               "    #pragma omp section\n    { a = 1; }\n"
+               "    #pragma omp section\n    { b = 2; }\n"
+               "  }\n}\n"});
+  return C;
+}
+
+TEST(DetRace, AcceptsEveryCleanProgram) {
+  for (const CleanCase &C : cleanCases()) {
+    SCOPED_TRACE(C.Name);
+    AnalysisResult Res = analyzeSource(C.Src);
+    EXPECT_TRUE(Res.clean())
+        << "expected no findings for:\n" << C.Src << "\ngot:\n"
+        << Res.text();
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Region-shape checks on hand-built modules
+//===----------------------------------------------------------------------===//
+
+TEST(DetRace, ZeroTeamIsAnError) {
+  dsl::Module M;
+  dsl::Function *Th = M.function("worker", dsl::FnKind::Thread);
+  Th->param("t");
+  dsl::Function *Main = M.function("main", dsl::FnKind::Main);
+  Main->append(M.parallelFor("worker", 0));
+  EXPECT_TRUE(hasRule(analyzeModule(M), "region.zero-team"));
+}
+
+TEST(DetRace, UnknownCalleeIsAnError) {
+  dsl::Module M;
+  dsl::Function *Main = M.function("main", dsl::FnKind::Main);
+  Main->append(M.parallelFor("nosuch", 4));
+  EXPECT_TRUE(hasRule(analyzeModule(M), "region.unknown-callee"));
+}
+
+TEST(DetRace, TeamBeyondTheLineMaximumIsAnError) {
+  dsl::Module M;
+  dsl::Function *Th = M.function("worker", dsl::FnKind::Thread);
+  Th->param("t");
+  dsl::Function *Main = M.function("main", dsl::FnKind::Main);
+  Main->append(M.parallelFor("worker", romp::MaxTeamHarts + 1));
+  EXPECT_TRUE(hasRule(analyzeModule(M), "region.team-too-big"));
+}
+
+TEST(DetRace, TeamBeyondTheMachineIsAnError) {
+  dsl::Module M;
+  dsl::Function *Th = M.function("worker", dsl::FnKind::Thread);
+  Th->param("t");
+  dsl::Function *Main = M.function("main", dsl::FnKind::Main);
+  Main->append(M.parallelFor("worker", 64));
+  DetRaceOptions Opts;
+  Opts.MachineHarts = 16;
+  EXPECT_TRUE(hasRule(analyzeModule(M, Opts), "region.team-too-big"));
+  EXPECT_FALSE(hasRule(analyzeModule(M), "region.team-too-big"));
+}
+
+TEST(DetRace, NumThreadsMismatchWarns) {
+  std::string Src =
+      "int v[16];\n"
+      "void worker(int t) {\n  v[t] = t;\n}\n"
+      "void main() {\n  int t;\n"
+      "  omp_set_num_threads(8);\n"
+      "  #pragma omp parallel for\n"
+      "  for (t = 0; t < 4; t++)\n    worker(t);\n}\n";
+  EXPECT_TRUE(hasRule(analyzeSource(Src), "region.num-threads-mismatch"));
+}
+
+//===----------------------------------------------------------------------===//
+// X_PAR protocol verifier
+//===----------------------------------------------------------------------===//
+
+AnalysisResult verifyAsm(const std::string &Text,
+                         const XParVerifyOptions &Opts = {}) {
+  assembler::AsmResult R = assembler::assemble(Text);
+  EXPECT_TRUE(R.succeeded()) << R.errorText() << "\n" << Text;
+  return verifyProgram(R.Prog, Opts);
+}
+
+/// A custom `main` body in front of the real LBP_parallel_start
+/// launcher and a thread function.
+std::string launchProgram(const std::string &MainBody,
+                          const std::string &Thread) {
+  std::string Src = "main:\n" + MainBody + "    p_ret\n";
+  Src += Thread;
+  romp::AsmText T;
+  romp::emitParallelStart(T);
+  Src += T.str();
+  return Src;
+}
+
+const char *GoodThread = "thread:\n"
+                         "    addi a4, a0, 1\n"
+                         "    p_ret\n";
+
+TEST(XParVerify, ContinuationSlotOutOfRange) {
+  AnalysisResult Res = verifyAsm("f:\n"
+                                 "    p_fc t6\n"
+                                 "    p_swcv ra, t6, 68\n"
+                                 "    p_syncm\n"
+                                 "    p_jalr ra, t6, a3\n"
+                                 "    p_ret\n");
+  EXPECT_TRUE(hasRule(Res, "xpar.cv-slot-range")) << Res.text();
+}
+
+TEST(XParVerify, ResultSlotOutOfRange) {
+  AnalysisResult Res = verifyAsm("f:\n"
+                                 "    p_swre a0, tp, 9\n"
+                                 "    p_lwre t2, 8\n"
+                                 "    p_ret\n");
+  EXPECT_TRUE(hasRule(Res, "xpar.re-slot-range")) << Res.text();
+  EXPECT_EQ(Res.Diags.size(), 2u) << Res.text();
+}
+
+TEST(XParVerify, StraightLineForkOverwriteLeaks) {
+  AnalysisResult Res = verifyAsm("f:\n"
+                                 "    p_fc t6\n"
+                                 "    p_fn t6\n"
+                                 "    p_jalr ra, t6, a3\n"
+                                 "    p_ret\n");
+  EXPECT_TRUE(hasRule(Res, "xpar.fork-leak")) << Res.text();
+}
+
+TEST(XParVerify, ForkNeverStartedLeaks) {
+  AnalysisResult Res = verifyAsm("f:\n"
+                                 "    p_fc t6\n"
+                                 "    p_ret\n");
+  EXPECT_TRUE(hasRule(Res, "xpar.fork-leak")) << Res.text();
+}
+
+TEST(XParVerify, ForkCallWithoutSyncmAfterStores) {
+  AnalysisResult Res = verifyAsm("f:\n"
+                                 "    p_fc t6\n"
+                                 "    p_swcv a1, t6, 8\n"
+                                 "    p_jalr ra, t6, a3\n"
+                                 "    p_ret\n");
+  EXPECT_TRUE(hasRule(Res, "xpar.fork-before-syncm")) << Res.text();
+}
+
+TEST(XParVerify, ContinuationReadOfAnUnwrittenSlot) {
+  AnalysisResult Res = verifyAsm("f:\n"
+                                 "    p_fc t6\n"
+                                 "    p_swcv a1, t6, 8\n"
+                                 "    p_syncm\n"
+                                 "    p_jalr ra, t6, a3\n"
+                                 "    p_lwcv a1, 12\n"
+                                 "    p_ret\n");
+  EXPECT_TRUE(hasRule(Res, "xpar.lwcv-not-stored")) << Res.text();
+}
+
+TEST(XParVerify, TeamOfZeroAtTheLaunchSite) {
+  AnalysisResult Res = verifyAsm(launchProgram("    li a1, 0\n"
+                                               "    li a2, 0\n"
+                                               "    la a3, thread\n"
+                                               "    jal LBP_parallel_start\n",
+                                               GoodThread));
+  EXPECT_TRUE(hasRule(Res, "xpar.team-zero")) << Res.text();
+}
+
+TEST(XParVerify, TeamBeyondTheMachineAtTheLaunchSite) {
+  std::string Src = launchProgram("    li a1, 0\n"
+                                  "    li a2, 64\n"
+                                  "    la a3, thread\n"
+                                  "    jal LBP_parallel_start\n",
+                                  GoodThread);
+  XParVerifyOptions Opts;
+  Opts.MachineHarts = 16;
+  EXPECT_TRUE(hasRule(verifyAsm(Src, Opts), "xpar.team-too-big"));
+  EXPECT_FALSE(hasRule(verifyAsm(Src), "xpar.team-too-big"));
+}
+
+TEST(XParVerify, ThreadEndingInPlainRet) {
+  AnalysisResult Res = verifyAsm(launchProgram(
+      "    li a1, 0\n"
+      "    li a2, 4\n"
+      "    la a3, thread\n"
+      "    jal LBP_parallel_start\n",
+      "thread:\n"
+      "    addi a4, a0, 1\n"
+      "    ret\n"));
+  EXPECT_TRUE(hasRule(Res, "xpar.thread-plain-ret")) << Res.text();
+  EXPECT_TRUE(hasRule(Res, "xpar.thread-missing-pret")) << Res.text();
+}
+
+TEST(XParVerify, CollectWithNoSenderDeadlocks) {
+  AnalysisResult Res = verifyAsm(launchProgram(
+      "    li a1, 0\n"
+      "    li a2, 4\n"
+      "    la a3, thread\n"
+      "    jal LBP_parallel_start\n"
+      "    li t3, 4\n"
+      ".Lcollect:\n"
+      "    p_lwre t2, 7\n"
+      "    add a4, a4, t2\n"
+      "    addi t3, t3, -1\n"
+      "    bnez t3, .Lcollect\n",
+      GoodThread));
+  EXPECT_TRUE(hasRule(Res, "xpar.reduce-deadlock")) << Res.text();
+}
+
+TEST(XParVerify, CollectCountDisagreesWithTheSenders) {
+  AnalysisResult Res = verifyAsm(launchProgram(
+      "    li a1, 0\n"
+      "    li a2, 4\n"
+      "    la a3, thread\n"
+      "    jal LBP_parallel_start\n"
+      "    li t3, 9\n"
+      ".Lcollect:\n"
+      "    p_lwre t2, 7\n"
+      "    add a4, a4, t2\n"
+      "    addi t3, t3, -1\n"
+      "    bnez t3, .Lcollect\n",
+      "thread:\n"
+      "    addi a4, a0, 1\n"
+      "    p_swre a4, tp, 7\n"
+      "    p_ret\n"));
+  EXPECT_TRUE(hasRule(Res, "xpar.reduce-arity")) << Res.text();
+}
+
+TEST(XParVerify, TheRealLauncherIsClean) {
+  romp::AsmText T;
+  T.label("main");
+  romp::emitParallelCall(T, "thread", 8, "0");
+  T.line("p_ret");
+  std::string Src = T.str();
+  Src += GoodThread;
+  romp::AsmText T2;
+  romp::emitParallelStart(T2);
+  Src += T2.str();
+  AnalysisResult Res = verifyAsm(Src);
+  EXPECT_TRUE(Res.clean()) << Res.text();
+}
+
+TEST(XParVerify, CompiledDetCIsClean) {
+  frontend::FrontendResult R = frontend::parseDetC(
+      regionProgram("int v[16];", "  v[t] = t;", 4));
+  ASSERT_TRUE(R.succeeded()) << R.errorText();
+  AnalysisResult Res = verifyAsm(dsl::compileModule(*R.M));
+  EXPECT_TRUE(Res.clean()) << Res.text();
+}
+
+//===----------------------------------------------------------------------===//
+// Dynamic oracle agreement
+//===----------------------------------------------------------------------===//
+
+OracleResult oracleOn(const dsl::Module &M) {
+  assembler::AsmResult R = assembler::assemble(dsl::compileModule(M));
+  EXPECT_TRUE(R.succeeded()) << R.errorText();
+  return runOracle(R.Prog, &M);
+}
+
+TEST(Oracle, ConfirmsTheStaticRaceVerdict) {
+  frontend::FrontendResult R = frontend::parseDetC(
+      regionProgram("int v[16];", "  v[0] = t;", 4));
+  ASSERT_TRUE(R.succeeded()) << R.errorText();
+  AnalysisResult Static = analyzeModule(*R.M);
+  EXPECT_TRUE(hasRule(Static, "race.ww"));
+  OracleResult Dyn = oracleOn(*R.M);
+  ASSERT_TRUE(Dyn.Ran) << Dyn.RunError;
+  EXPECT_TRUE(Dyn.dynamicallyRacy());
+  EXPECT_TRUE(verdictsAgree(Static, Dyn));
+  // The report names the global the harts fought over.
+  ASSERT_FALSE(Dyn.Conflicts.empty());
+  EXPECT_EQ(Dyn.Conflicts[0].Symbol, "v");
+}
+
+TEST(Oracle, ConfirmsTheStaticCleanVerdict) {
+  frontend::FrontendResult R = frontend::parseDetC(
+      regionProgram("int v[16];", "  v[t] = t * 3;", 4));
+  ASSERT_TRUE(R.succeeded()) << R.errorText();
+  AnalysisResult Static = analyzeModule(*R.M);
+  EXPECT_TRUE(Static.clean()) << Static.text();
+  OracleResult Dyn = oracleOn(*R.M);
+  ASSERT_TRUE(Dyn.Ran) << Dyn.RunError;
+  EXPECT_FALSE(Dyn.dynamicallyRacy());
+  EXPECT_TRUE(verdictsAgree(Static, Dyn));
+}
+
+TEST(Oracle, DisagreementIsVisible) {
+  OracleResult RacyRun;
+  RacyRun.Ran = true;
+  RacyRun.Conflicts.push_back({0x20000000, 0, 1, 0, true, "v"});
+  OracleResult CleanRun;
+  CleanRun.Ran = true;
+
+  AnalysisResult CleanVerdict;
+  AnalysisResult RacyVerdict;
+  RacyVerdict.error(1, "race.ww", "synthetic");
+
+  EXPECT_FALSE(verdictsAgree(CleanVerdict, RacyRun));
+  EXPECT_FALSE(verdictsAgree(RacyVerdict, CleanRun));
+  EXPECT_TRUE(verdictsAgree(RacyVerdict, RacyRun));
+  EXPECT_TRUE(verdictsAgree(CleanVerdict, CleanRun));
+}
+
+} // namespace

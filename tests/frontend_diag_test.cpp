@@ -129,6 +129,49 @@ void main() {
             std::string::npos);
 }
 
+std::string warningOf(const std::string &Src) {
+  FrontendResult R = parseDetC(Src);
+  EXPECT_TRUE(R.succeeded()) << R.errorText();
+  return R.warningText();
+}
+
+TEST(FrontendDiag, ShortCircuitRhsBuiltinCallWarns) {
+  std::string W = warningOf(R"(
+int flag;
+void main() {
+  int x;
+  x = 0;
+  if (flag && __hart_id())
+    x = 1;
+}
+)");
+  EXPECT_NE(W.find("both sides"), std::string::npos) << W;
+  EXPECT_NE(W.find("line 6"), std::string::npos) << W;
+}
+
+TEST(FrontendDiag, ShortCircuitRhsBuiltinCallWarnsForOr) {
+  std::string W = warningOf(R"(
+int flag;
+void main() {
+  int x;
+  x = flag || __cycles();
+}
+)");
+  EXPECT_NE(W.find("'||'"), std::string::npos) << W;
+}
+
+TEST(FrontendDiag, ShortCircuitPureRhsIsSilent) {
+  std::string W = warningOf(R"(
+int a;
+int b;
+void main() {
+  int x;
+  x = a && b + 1;
+}
+)");
+  EXPECT_EQ(W.find("both sides"), std::string::npos) << W;
+}
+
 TEST(FrontendDiag, ErrorsCarryLineNumbers) {
   FrontendResult R = parseDetC("int a;\nint b;\nvoid main() { c = 1; }");
   ASSERT_FALSE(R.succeeded());

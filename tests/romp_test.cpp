@@ -204,4 +204,41 @@ TEST(Romp, AllHartsAreFreeAfterTheTeamJoins) {
     EXPECT_EQ(M.hartState(H), HartState::Free) << "hart " << H;
 }
 
+// An oversized (or empty) team would spin the hart allocator forever at
+// run time; emitParallelCall must refuse at codegen time with a message
+// that names the cause instead of letting the simulator livelock.
+TEST(RompDeath, ZeroHartTeamIsRefused) {
+  EXPECT_EXIT(
+      {
+        romp::AsmText T;
+        romp::emitParallelCall(T, "thread", 0, "0");
+      },
+      ::testing::ExitedWithCode(1), "zero harts");
+}
+
+TEST(RompDeath, TeamBeyondTheLineMaximumIsRefused) {
+  EXPECT_EXIT(
+      {
+        romp::AsmText T;
+        romp::emitParallelCall(T, "thread", romp::MaxTeamHarts + 1, "0");
+      },
+      ::testing::ExitedWithCode(1), "architectural line maximum");
+}
+
+TEST(RompDeath, TeamBeyondTheMachineIsRefused) {
+  EXPECT_EXIT(
+      {
+        romp::AsmText T;
+        romp::emitParallelCall(T, "thread", 32, "0",
+                               /*MachineHarts=*/16);
+      },
+      ::testing::ExitedWithCode(1), "spin forever");
+}
+
+TEST(Romp, TeamWithinTheMachineIsAccepted) {
+  romp::AsmText T;
+  romp::emitParallelCall(T, "thread", 16, "0", /*MachineHarts=*/16);
+  EXPECT_NE(T.str().find("jal LBP_parallel_start"), std::string::npos);
+}
+
 } // namespace
