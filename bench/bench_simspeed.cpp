@@ -1,0 +1,311 @@
+//===- bench/bench_simspeed.cpp - Host simulation-speed benchmark -------------===//
+//
+// Part of the LBP reproduction project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Measures how fast the simulator itself runs (simulated cycles per host
+// second and host MIPS), with the FastPath engine off (reference loop)
+// and on, across the paper workloads at 4/16/64 cores. Every pair of
+// runs is also a differential check: the two modes must agree bit for
+// bit on traceHash(), cycles(), retired() and RunStatus, or the bench
+// aborts — a speedup that changes the event stream is a bug, not a
+// result. Results are written as JSON (default BENCH_simspeed.json) so
+// CI can record the perf trajectory per PR.
+//
+// Usage: bench_simspeed [--quick] [--out FILE]
+//   --quick  small configs only (CI smoke)
+//   --out    JSON output path (default BENCH_simspeed.json)
+//
+//===----------------------------------------------------------------------===//
+
+#include "asm/Assembler.h"
+#include "romp/AsmText.h"
+#include "romp/Runtime.h"
+#include "sim/Machine.h"
+#include "workloads/MatMul.h"
+#include "workloads/Phases.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
+
+using namespace lbp;
+
+namespace {
+
+constexpr uint32_t OutBase = 0x20000200;
+
+/// A barrier-heavy program: `Rounds` back-to-back parallel regions whose
+/// workers do almost nothing, so the fork protocol, the in-order p_ret
+/// barrier chain and the quiescent waits between team members dominate.
+/// This is the workload shape the quiescence fast-forward targets: at
+/// any moment most of the line is drained, waiting on a handful of
+/// in-flight protocol messages.
+std::string barrierProgram(unsigned NumHarts, unsigned Rounds) {
+  romp::AsmText Head;
+  romp::emitMainPrologue(Head);
+  // s1 survives the runtime (it only clobbers a*/t*/ra/tp).
+  Head.line("li s1, %u", Rounds);
+  Head.label("round");
+  romp::emitParallelCall(Head, "worker", NumHarts, "0");
+  Head.line("addi s1, s1, -1");
+  Head.line("bnez s1, round");
+  romp::AsmText Tail;
+  romp::emitMainEpilogue(Tail);
+  romp::emitParallelStart(Tail);
+  return Head.str() + Tail.str() + R"(
+    .equ OUT, 0x20000200
+worker:
+    slli a4, a0, 2
+    la a5, OUT
+    add a4, a4, a5
+    sw a0, 0(a4)
+    p_syncm
+    p_ret
+)";
+}
+
+struct Fingerprint {
+  sim::RunStatus Status = sim::RunStatus::MaxCycles;
+  uint64_t Cycles = 0;
+  uint64_t Retired = 0;
+  uint64_t Hash = 0;
+
+  bool operator==(const Fingerprint &O) const {
+    return Status == O.Status && Cycles == O.Cycles &&
+           Retired == O.Retired && Hash == O.Hash;
+  }
+};
+
+struct ModeResult {
+  Fingerprint Fp;
+  double HostSeconds = 0.0;
+  double CyclesPerSec = 0.0;
+  double Mips = 0.0;
+};
+
+struct WorkloadResult {
+  std::string Name;
+  unsigned Cores = 0;
+  ModeResult Reference;
+  ModeResult Fast;
+  double Speedup = 0.0;
+};
+
+/// One timed run. Only Machine::run is on the clock; assembly and image
+/// load are setup. Verification is the caller's job (via the hook) —
+/// a bench must never report numbers from a broken run.
+ModeResult timedRun(const assembler::Program &Prog, sim::SimConfig Cfg,
+                    bool FastPath,
+                    const std::function<void(sim::Machine &)> &Verify) {
+  Cfg.FastPath = FastPath;
+  sim::Machine M(Cfg);
+  M.load(Prog);
+  auto T0 = std::chrono::steady_clock::now();
+  sim::RunStatus S = M.run();
+  auto T1 = std::chrono::steady_clock::now();
+  if (S != sim::RunStatus::Exited) {
+    std::fprintf(stderr, "bench_simspeed: run did not exit cleanly: %s\n",
+                 M.faultMessage().c_str());
+    std::exit(1);
+  }
+  Verify(M);
+  ModeResult R;
+  R.Fp = {S, M.cycles(), M.retired(), M.traceHash()};
+  R.HostSeconds = std::chrono::duration<double>(T1 - T0).count();
+  if (R.HostSeconds > 0.0) {
+    R.CyclesPerSec = static_cast<double>(R.Fp.Cycles) / R.HostSeconds;
+    R.Mips = static_cast<double>(R.Fp.Retired) / R.HostSeconds / 1e6;
+  }
+  return R;
+}
+
+WorkloadResult
+runWorkload(const std::string &Name, const std::string &Source,
+            sim::SimConfig Cfg,
+            const std::function<void(sim::Machine &)> &Verify) {
+  assembler::AsmResult R = assembler::assemble(Source);
+  if (!R.succeeded()) {
+    std::fprintf(stderr, "bench_simspeed: assembly of %s failed:\n%s",
+                 Name.c_str(), R.errorText().c_str());
+    std::exit(1);
+  }
+  WorkloadResult W;
+  W.Name = Name;
+  W.Cores = Cfg.NumCores;
+  W.Reference = timedRun(R.Prog, Cfg, /*FastPath=*/false, Verify);
+  W.Fast = timedRun(R.Prog, Cfg, /*FastPath=*/true, Verify);
+  if (!(W.Reference.Fp == W.Fast.Fp)) {
+    std::fprintf(
+        stderr,
+        "bench_simspeed: FASTPATH DIVERGENCE on %s:\n"
+        "  reference: cycles=%llu retired=%llu hash=%016llx\n"
+        "  fastpath:  cycles=%llu retired=%llu hash=%016llx\n",
+        Name.c_str(),
+        static_cast<unsigned long long>(W.Reference.Fp.Cycles),
+        static_cast<unsigned long long>(W.Reference.Fp.Retired),
+        static_cast<unsigned long long>(W.Reference.Fp.Hash),
+        static_cast<unsigned long long>(W.Fast.Fp.Cycles),
+        static_cast<unsigned long long>(W.Fast.Fp.Retired),
+        static_cast<unsigned long long>(W.Fast.Fp.Hash));
+    std::exit(1);
+  }
+  if (W.Fast.HostSeconds > 0.0)
+    W.Speedup = W.Reference.HostSeconds / W.Fast.HostSeconds;
+  std::printf("%-24s %3u cores  %10llu cycles  ref %8.1f kc/s  "
+              "fast %8.1f kc/s  speedup %5.2fx\n",
+              Name.c_str(), W.Cores,
+              static_cast<unsigned long long>(W.Fast.Fp.Cycles),
+              W.Reference.CyclesPerSec / 1e3, W.Fast.CyclesPerSec / 1e3,
+              W.Speedup);
+  std::fflush(stdout);
+  return W;
+}
+
+WorkloadResult benchBarrier(unsigned Cores, unsigned Rounds) {
+  unsigned Harts = 4 * Cores;
+  auto Verify = [Harts](sim::Machine &M) {
+    for (unsigned T = 0; T != Harts; ++T) {
+      if (M.debugReadWord(OutBase + 4 * T) != T) {
+        std::fprintf(stderr, "bench_simspeed: barrier OUT[%u] wrong\n", T);
+        std::exit(1);
+      }
+    }
+  };
+  return runWorkload("barrier-x" + std::to_string(Rounds),
+                     barrierProgram(Harts, Rounds),
+                     sim::SimConfig::lbp(Cores), Verify);
+}
+
+WorkloadResult benchPhases(unsigned Harts) {
+  workloads::PhasesSpec Spec;
+  Spec.NumHarts = Harts;
+  auto Verify = [Spec](sim::Machine &M) {
+    for (unsigned T = 0; T != Spec.NumHarts; ++T) {
+      uint32_t Got = M.debugReadWord(workloads::phasesOutAddress(Spec, T));
+      if (Got != T * Spec.WordsPerChunk) {
+        std::fprintf(stderr, "bench_simspeed: phases out[%u] wrong\n", T);
+        std::exit(1);
+      }
+    }
+  };
+  sim::SimConfig Cfg = sim::SimConfig::lbp(Spec.cores());
+  Cfg.GlobalBankSizeLog2 = Spec.BankSizeLog2;
+  return runWorkload("phases", workloads::buildPhasesProgram(Spec), Cfg,
+                     Verify);
+}
+
+WorkloadResult benchMatMul(unsigned Harts, workloads::MatMulVersion V) {
+  workloads::MatMulSpec Spec = workloads::MatMulSpec::paper(Harts, V);
+  auto Verify = [Spec](sim::Machine &M) {
+    unsigned H = Spec.h();
+    for (unsigned I = 0; I < H; I += H / 8) {
+      for (unsigned J = 0; J < H; J += H / 8) {
+        if (M.debugReadWord(workloads::zElementAddress(Spec, I, J)) !=
+            H / 2) {
+          std::fprintf(stderr, "bench_simspeed: matmul Z wrong\n");
+          std::exit(1);
+        }
+      }
+    }
+  };
+  sim::SimConfig Cfg = sim::SimConfig::lbp(Spec.cores());
+  Cfg.GlobalBankSizeLog2 = Spec.BankSizeLog2;
+  return runWorkload(std::string("matmul-") +
+                         workloads::matMulVersionName(Spec.Version),
+                     workloads::buildMatMulProgram(Spec), Cfg, Verify);
+}
+
+void writeJson(const std::string &Path, bool Quick,
+               const std::vector<WorkloadResult> &Results) {
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F) {
+    std::fprintf(stderr, "bench_simspeed: cannot open %s\n", Path.c_str());
+    std::exit(1);
+  }
+  auto Mode = [&](const char *Key, const ModeResult &M, const char *Tail) {
+    std::fprintf(F,
+                 "      \"%s\": {\"host_seconds\": %.6f, "
+                 "\"cycles_per_sec\": %.1f, \"mips\": %.3f}%s\n",
+                 Key, M.HostSeconds, M.CyclesPerSec, M.Mips, Tail);
+  };
+  std::fprintf(F, "{\n  \"bench\": \"simspeed\",\n  \"quick\": %s,\n"
+                  "  \"workloads\": [\n",
+               Quick ? "true" : "false");
+  for (size_t I = 0; I != Results.size(); ++I) {
+    const WorkloadResult &W = Results[I];
+    std::fprintf(F, "    {\n      \"name\": \"%s\",\n"
+                    "      \"cores\": %u,\n      \"harts\": %u,\n",
+                 W.Name.c_str(), W.Cores, 4 * W.Cores);
+    std::fprintf(F,
+                 "      \"sim_cycles\": %llu,\n      \"retired\": %llu,\n"
+                 "      \"trace_hash\": \"%016llx\",\n",
+                 static_cast<unsigned long long>(W.Fast.Fp.Cycles),
+                 static_cast<unsigned long long>(W.Fast.Fp.Retired),
+                 static_cast<unsigned long long>(W.Fast.Fp.Hash));
+    Mode("reference", W.Reference, ",");
+    Mode("fastpath", W.Fast, ",");
+    std::fprintf(F, "      \"speedup\": %.3f,\n      \"identical\": true\n"
+                    "    }%s\n",
+                 W.Speedup, I + 1 == Results.size() ? "" : ",");
+  }
+  std::fprintf(F, "  ]\n}\n");
+  std::fclose(F);
+  std::printf("wrote %s\n", Path.c_str());
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  bool Quick = false;
+  std::string OutPath = "BENCH_simspeed.json";
+  for (int I = 1; I < argc; ++I) {
+    if (std::strcmp(argv[I], "--quick") == 0) {
+      Quick = true;
+    } else if (std::strcmp(argv[I], "--out") == 0 && I + 1 < argc) {
+      OutPath = argv[++I];
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick] [--out FILE]\n", argv[0]);
+      return 1;
+    }
+  }
+
+  std::vector<WorkloadResult> Results;
+  if (Quick) {
+    Results.push_back(benchBarrier(4, 8));
+    Results.push_back(benchPhases(16));
+  } else {
+    Results.push_back(benchBarrier(4, 32));
+    Results.push_back(benchBarrier(16, 16));
+    Results.push_back(benchBarrier(64, 8));
+    Results.push_back(benchPhases(16));
+    Results.push_back(benchPhases(64));
+    Results.push_back(benchMatMul(16, workloads::MatMulVersion::Base));
+    Results.push_back(benchMatMul(64, workloads::MatMulVersion::Tiled));
+  }
+  writeJson(OutPath, Quick, Results);
+
+  if (!Quick) {
+    // The acceptance gate: the 64-core barrier workload must speed up
+    // at least 3x under FastPath.
+    for (const WorkloadResult &W : Results) {
+      if (W.Cores == 64 && W.Name.rfind("barrier", 0) == 0) {
+        if (W.Speedup < 3.0) {
+          std::fprintf(stderr,
+                       "bench_simspeed: 64-core barrier speedup %.2fx is "
+                       "below the 3x target\n",
+                       W.Speedup);
+          return 1;
+        }
+        return 0;
+      }
+    }
+    std::fprintf(stderr, "bench_simspeed: no 64-core barrier workload\n");
+    return 1;
+  }
+  return 0;
+}

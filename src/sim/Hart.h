@@ -168,6 +168,12 @@ struct Core {
   /// allocated last, so teams fill a core's harts in order even when an
   /// earlier member has already ended (stable placement, paper Fig. 3).
   uint8_t AllocRR = 0;
+  /// Fast-path sleep state (SimConfig::FastPath): the earliest cycle at
+  /// which a stage on this core could act again. The scheduling loop
+  /// skips the core's stages while Cycle < WakeAt; deliveries and hart
+  /// frees pull it forward. Spurious wakes are harmless (the stages
+  /// no-op and the core re-sleeps); the reference path ignores it.
+  uint64_t WakeAt = 0;
 };
 
 } // namespace sim

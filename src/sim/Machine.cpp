@@ -29,6 +29,15 @@ Machine::Machine(const SimConfig &Config)
       FPlan(Config.Faults, Config.NumCores), Cores(Config.NumCores),
       Wheel(WheelSize) {
   Tr.setRecording(Cfg.RecordTrace);
+  // Stall-cause classification observes every core-cycle (including the
+  // idle ones), so it forces the reference scheduling loop.
+  FastRun = Cfg.FastPath && !Cfg.CollectStallStats;
+  // Pre-size the delivery plumbing so the steady state never allocates:
+  // a few entries per wheel slot covers the common fan-in, and slots
+  // that burst beyond it keep their grown capacity across laps.
+  for (std::vector<Delivery> &Slot : Wheel)
+    Slot.reserve(4);
+  DueBuf.reserve(64);
 }
 
 void Machine::load(const assembler::Program &Prog) {
@@ -65,6 +74,26 @@ void Machine::load(const assembler::Program &Prog) {
                            Addr));
         return;
       }
+    }
+  }
+
+  // Decode the text segment once (FastPath): the code banks are
+  // read-only after load — stores into the code region fault and
+  // debugWriteWord asserts — so the per-fetch decode in stageDecode can
+  // become a table lookup keyed by word address. Built from the same
+  // fetchWord the fetch stage uses, so table and fallback agree bit for
+  // bit (including the trailing partial word and data words in text,
+  // which decode as invalid and fault exactly as on the slow path).
+  if (FastRun) {
+    uint32_t Words = (Mem.codeSize() + 3) / 4;
+    DecodedText.resize(Words);
+    for (uint32_t W = 0; W != Words; ++W) {
+      isa::Instr I = decode(Mem.fetchWord(W * 4));
+      // Bake in stageDecode's p_lwcv operand fixup (sp-relative
+      // continuation-frame access).
+      if (I.Op == Opcode::P_LWCV)
+        I.Rs1 = RegSP;
+      DecodedText[W] = I;
     }
   }
 
@@ -167,6 +196,7 @@ void Machine::schedule(uint64_t At, Delivery D) {
     return;
   }
   Wheel[At % WheelSize].push_back(D);
+  ++WheelCount;
 }
 
 void Machine::fillSlot(Hart &H, unsigned Slot, uint32_t Value) {
@@ -186,6 +216,9 @@ void Machine::finishRb(Hart &H, uint32_t Value, uint64_t ReadyCycle) {
 }
 
 void Machine::deliver(const Delivery &D) {
+  // Whatever this delivery enables, the target core can act on it this
+  // very cycle (deliveries precede the stages), so wake it now.
+  wakeCore(D.HartId / HartsPerCore, Cycle);
   if (Cfg.EnableCheckers) {
     Ck.onDelivered(*this, D);
     if (Halted)
@@ -369,6 +402,15 @@ void Machine::freeHart(unsigned HartId) {
   Hart &H = hart(HartId);
   Tr.event(Cycle, EventKind::HartEnd, HartId);
   H.clearForFree();
+  // A freed hart un-blocks p_fc retries on this core and p_fn retries
+  // on the previous one. This core's own issue stage runs later this
+  // same cycle (commit precedes issue), but the previous core's issue
+  // already ran, so its retry lands next cycle — exactly when the
+  // reference path would succeed.
+  unsigned CoreId = HartId / HartsPerCore;
+  wakeCore(CoreId, Cycle + 1);
+  if (CoreId != 0)
+    wakeCore(CoreId - 1, Cycle + 1);
 }
 
 void Machine::sendToken(unsigned FromHart, unsigned ToHart) {
@@ -472,7 +514,7 @@ void Machine::commitRet(unsigned CoreId, unsigned HartInCore, Hart &H,
   freeHart(SelfId);
 }
 
-void Machine::stageCommit(unsigned CoreId) {
+bool Machine::stageCommit(unsigned CoreId) {
   Core &C = Cores[CoreId];
   for (unsigned K = 0; K != HartsPerCore; ++K) {
     unsigned HIdx = (C.CommitRR + K) % HartsPerCore;
@@ -503,15 +545,16 @@ void Machine::stageCommit(unsigned CoreId) {
 
     if (IsRet)
       commitRet(CoreId, HIdx, H, Entry);
-    return;
+    return true;
   }
+  return false;
 }
 
 //===----------------------------------------------------------------------===//
 // Writeback stage
 //===----------------------------------------------------------------------===//
 
-void Machine::stageWriteback(unsigned CoreId) {
+bool Machine::stageWriteback(unsigned CoreId) {
   Core &C = Cores[CoreId];
   for (unsigned K = 0; K != HartsPerCore; ++K) {
     unsigned HIdx = (C.WbRR + K) % HartsPerCore;
@@ -553,8 +596,9 @@ void Machine::stageWriteback(unsigned CoreId) {
     H.RbBusy = false;
     H.RbReady = false;
     H.RbEntry = -1;
-    return;
+    return true;
   }
+  return false;
 }
 
 //===----------------------------------------------------------------------===//
@@ -596,7 +640,7 @@ static bool extraIssueConditions(const Machine &, const Hart &H,
   return true;
 }
 
-void Machine::stageIssue(unsigned CoreId) {
+bool Machine::stageIssue(unsigned CoreId) {
   Core &C = Cores[CoreId];
   for (unsigned K = 0; K != HartsPerCore; ++K) {
     unsigned HIdx = (C.IssueRR + K) % HartsPerCore;
@@ -615,14 +659,15 @@ void Machine::stageIssue(unsigned CoreId) {
         C.IssueRR = (HIdx + 1) % HartsPerCore;
         if (Cfg.CollectStallStats)
           ++IssuedCoreCycles;
-        return;
+        return true;
       }
       if (Halted)
-        return;
+        return false;
     }
   }
   if (Cfg.CollectStallStats)
     classifyIssueStall(CoreId);
+  return false;
 }
 
 void Machine::classifyIssueStall(unsigned CoreId) {
@@ -1079,7 +1124,7 @@ bool Machine::issueXPar(unsigned CoreId, unsigned HartInCore, Hart &H,
 // Decode/rename stage
 //===----------------------------------------------------------------------===//
 
-void Machine::stageDecode(unsigned CoreId) {
+bool Machine::stageDecode(unsigned CoreId) {
   Core &C = Cores[CoreId];
   for (unsigned K = 0; K != HartsPerCore; ++K) {
     unsigned HIdx = (C.DecodeRR + K) % HartsPerCore;
@@ -1088,17 +1133,25 @@ void Machine::stageDecode(unsigned CoreId) {
       continue;
 
     C.DecodeRR = (HIdx + 1) % HartsPerCore;
-    isa::Instr I = decode(H.IbWord);
+    // Fast path: the text segment was decoded once at load (with the
+    // p_lwcv fixup baked in); fall back to live decode for unaligned
+    // pcs (p_jalr only clears bit 0) and fetches beyond the table.
+    isa::Instr I;
+    uint32_t WordIdx = H.IbPc >> 2;
+    if (FastRun && (H.IbPc & 3u) == 0 && WordIdx < DecodedText.size()) {
+      I = DecodedText[WordIdx];
+    } else {
+      I = decode(H.IbWord);
+      // p_lwcv addresses the hart's own continuation frame through sp.
+      if (I.Op == Opcode::P_LWCV)
+        I.Rs1 = RegSP;
+    }
     if (!I.isValid()) {
       fault(formatString("invalid instruction 0x%08x at pc 0x%x (hart "
                          "%u)",
                          H.IbWord, H.IbPc, hartId(CoreId, HIdx)));
-      return;
+      return true;
     }
-
-    // p_lwcv addresses the hart's own continuation frame through sp.
-    if (I.Op == Opcode::P_LWCV)
-      I.Rs1 = RegSP;
 
     unsigned Idx = H.robIndex(H.RobCount);
     RobEntry &E = H.Rob[Idx];
@@ -1146,18 +1199,22 @@ void Machine::stageDecode(unsigned CoreId) {
 
     if (I.Op == Opcode::P_SYNCM)
       H.SyncmWait = true;
-    return;
+    return true;
   }
+  return false;
 }
 
 //===----------------------------------------------------------------------===//
 // Fetch stage
 //===----------------------------------------------------------------------===//
 
-void Machine::stageFetch(unsigned CoreId) {
+bool Machine::stageFetch(unsigned CoreId) {
   Core &C = Cores[CoreId];
 
-  // Clear satisfied p_syncm fetch blocks first.
+  // Clear satisfied p_syncm fetch blocks first. Not an "action" for the
+  // fast path: the enabling edge (OutstandingMem hitting zero) is a
+  // delivery, which woke this core for the same cycle, and the clear
+  // runs before the eligibility scan below re-evaluates the hart.
   for (Hart &H : C.Harts)
     if (H.SyncmWait && H.OutstandingMem == 0)
       H.SyncmWait = false;
@@ -1172,7 +1229,7 @@ void Machine::stageFetch(unsigned CoreId) {
       fault(formatString("fetch outside the code bank at 0x%08x (hart "
                          "%u)",
                          H.Pc, hartId(CoreId, HIdx)));
-      return;
+      return true;
     }
 
     C.FetchRR = (HIdx + 1) % HartsPerCore;
@@ -1182,13 +1239,56 @@ void Machine::stageFetch(unsigned CoreId) {
     // The hart is suspended after every fetch until decode (or the
     // execute of a control transfer) publishes the next pc.
     H.PcValid = false;
-    return;
+    return true;
   }
+  return false;
 }
 
 //===----------------------------------------------------------------------===//
 // Cycle loop
 //===----------------------------------------------------------------------===//
+
+uint64_t Machine::coreWakeCycle(const Core &C) const {
+  // The only stage conditions that depend on the cycle number are the
+  // three timers below; everything else a stage tests is machine state
+  // that can only change through a stage action or a delivery. So with
+  // no action this cycle, the earliest of these timers is the earliest
+  // cycle at which the core could possibly act again on its own.
+  uint64_t Wake = UINT64_MAX;
+  for (const Hart &H : C.Harts) {
+    if (H.State == HartState::Free)
+      continue;
+    if (H.State == HartState::Running && H.NoFetchUntil > Cycle &&
+        H.NoFetchUntil < Wake)
+      Wake = H.NoFetchUntil; // fetch unblocks
+    if (H.RbBusy && H.RbReady && H.RbReadyCycle > Cycle &&
+        H.RbReadyCycle < Wake)
+      Wake = H.RbReadyCycle; // writeback becomes possible
+    for (unsigned P = 0; P != H.RobCount; ++P) {
+      const RobEntry &E = H.Rob[H.robIndex(P)];
+      if (E.State == RobEntry::St::Done && E.DoneCycle > Cycle &&
+          E.DoneCycle < Wake)
+        Wake = E.DoneCycle; // commit becomes possible
+    }
+  }
+  return Wake;
+}
+
+uint64_t Machine::nextDeliveryCycle() const {
+  uint64_t Next = Overflow.empty() ? UINT64_MAX : Overflow.begin()->first;
+  if (WheelCount != 0) {
+    // Every wheel entry lands within WheelSize cycles of now, so the
+    // first populated slot on the walk forward is the earliest one.
+    for (uint64_t K = 1; K <= WheelSize; ++K) {
+      if (!Wheel[(Cycle + K) % WheelSize].empty()) {
+        if (Cycle + K < Next)
+          Next = Cycle + K;
+        break;
+      }
+    }
+  }
+  return Next;
+}
 
 RunStatus Machine::run(uint64_t MaxCycles) {
   if (Status == RunStatus::Fault)
@@ -1196,55 +1296,118 @@ RunStatus Machine::run(uint64_t MaxCycles) {
   Status = RunStatus::MaxCycles;
   Halted = false;
   uint64_t Budget = MaxCycles;
+  const bool Sweeps = Cfg.EnableCheckers && Cfg.CheckInterval != 0;
 
   while (!Halted && Budget-- != 0) {
     ++Cycle;
 
-    // Move due far-future deliveries into the current slot.
+    // Deliveries first: responses, starts and tokens scheduled for this
+    // cycle are visible to the stages below. The due wheel slot is
+    // swapped into a reused staging buffer (no per-cycle allocation,
+    // and the slot keeps its grown capacity for the next lap); due
+    // far-future deliveries append behind it, preserving the
+    // wheel-before-overflow arrival order of the reference loop.
+    DueBuf.clear();
+    std::vector<Delivery> &Slot = Wheel[Cycle % WheelSize];
+    if (!Slot.empty()) {
+      WheelCount -= Slot.size();
+      std::swap(DueBuf, Slot);
+    }
     while (!Overflow.empty() && Overflow.begin()->first == Cycle) {
-      Wheel[Cycle % WheelSize].push_back(Overflow.begin()->second);
+      DueBuf.push_back(Overflow.begin()->second);
       Overflow.erase(Overflow.begin());
     }
-
-    // Deliveries first: responses, starts and tokens scheduled for this
-    // cycle are visible to the stages below.
-    std::vector<Delivery> &Due = Wheel[Cycle % WheelSize];
-    for (const Delivery &D : Due) {
+    for (const Delivery &D : DueBuf) {
       deliver(D);
       if (Halted)
         break;
     }
-    Due.clear();
     if (Halted)
       break;
 
+    bool Acted = false;
     for (unsigned CoreId = 0; CoreId != Cfg.NumCores; ++CoreId) {
-      stageCommit(CoreId);
+      Core &C = Cores[CoreId];
+      // Active-set scheduling: a sleeping core provably cannot act
+      // before its WakeAt (deliveries and hart frees pull it forward),
+      // and the round-robin pointers only advance on actions, so
+      // skipping its stages is invisible to the event stream.
+      if (FastRun && Cycle < C.WakeAt)
+        continue;
+      bool CoreActed = stageCommit(CoreId);
       if (Halted)
         break;
-      stageWriteback(CoreId);
-      stageIssue(CoreId);
+      CoreActed |= stageWriteback(CoreId);
+      CoreActed |= stageIssue(CoreId);
       if (Halted)
         break;
-      stageDecode(CoreId);
+      CoreActed |= stageDecode(CoreId);
       if (Halted)
         break;
-      stageFetch(CoreId);
+      CoreActed |= stageFetch(CoreId);
       if (Halted)
         break;
+      if (FastRun) {
+        if (CoreActed) {
+          C.WakeAt = Cycle; // stay hot: more work may be ready next cycle
+          Acted = true;
+        } else {
+          // Later same-cycle wakeCore calls still pull this forward.
+          C.WakeAt = coreWakeCycle(C);
+        }
+      }
     }
+    if (Halted)
+      break;
 
-    if (!Halted && Cfg.EnableCheckers && Cfg.CheckInterval != 0 &&
-        Cycle % Cfg.CheckInterval == 0) {
+    if (Sweeps && Cycle % Cfg.CheckInterval == 0) {
       Ck.sweep(*this);
       if (Halted)
         break;
     }
 
-    if (!Halted && Cycle - LastProgress > Cfg.ProgressGuard) {
+    if (Cycle - LastProgress > Cfg.ProgressGuard) {
       Status = RunStatus::Livelock;
       FaultMsg = livelockReport();
       break;
+    }
+
+    // Quiescence fast-forward: with every core asleep the machine is
+    // frozen until the earliest of (a) a core's own timer, (b) the next
+    // pending delivery, (c) the cycle the livelock guard would fire,
+    // (d) the first checker sweep that could report on the frozen
+    // state. Jump to just before that cycle; the skipped cycles are
+    // exactly the ones on which the reference loop does nothing
+    // observable, so the event stream is bit-identical.
+    if (FastRun && !Acted) {
+      uint64_t Target = nextDeliveryCycle();
+      for (const Core &C : Cores)
+        if (C.WakeAt < Target)
+          Target = C.WakeAt;
+      uint64_t LivelockAt = Cfg.ProgressGuard >= UINT64_MAX - LastProgress
+                                ? UINT64_MAX
+                                : LastProgress + Cfg.ProgressGuard + 1;
+      if (LivelockAt < Target)
+        Target = LivelockAt;
+      if (Sweeps) {
+        uint64_t Concern = Ck.nextSweepConcern(*this);
+        if (Concern < Target)
+          Target = Concern;
+      }
+      if (Target > Cycle + 1) {
+        // Land on Target itself next iteration; each skipped cycle
+        // consumes budget so a MaxCycles exit reports the same cycles()
+        // as the reference loop.
+        uint64_t Span = Target - Cycle - 1;
+        if (Span > Budget)
+          Span = Budget;
+        if (Span != 0) {
+          if (Sweeps)
+            Ck.onSkip(Cycle, Cycle + Span, Cfg.CheckInterval);
+          Cycle += Span;
+          Budget -= Span;
+        }
+      }
     }
   }
   return Status;

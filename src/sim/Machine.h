@@ -164,11 +164,13 @@ private:
   void deliver(const Delivery &D);
 
   // -- Pipeline stages (per core, one hart each per cycle) -------------
-  void stageCommit(unsigned CoreId);
-  void stageWriteback(unsigned CoreId);
-  void stageIssue(unsigned CoreId);
-  void stageDecode(unsigned CoreId);
-  void stageFetch(unsigned CoreId);
+  // Each returns true when the stage acted (selected a hart and changed
+  // state); the fast path uses this to decide whether a core may sleep.
+  bool stageCommit(unsigned CoreId);
+  bool stageWriteback(unsigned CoreId);
+  bool stageIssue(unsigned CoreId);
+  bool stageDecode(unsigned CoreId);
+  bool stageFetch(unsigned CoreId);
 
   // -- Issue helpers ---------------------------------------------------
   bool tryIssue(unsigned CoreId, unsigned HartInCore, unsigned RobIdx);
@@ -192,6 +194,23 @@ private:
   void fault(const std::string &Msg);
   /// The livelock diagnosis: one wait-state line per non-free hart.
   std::string livelockReport() const;
+
+  // -- Fast path (SimConfig::FastPath; docs/PERFORMANCE.md) -------------
+  /// Earliest future cycle at which any stage of \p C could act again,
+  /// assuming no further deliveries: the minimum over the core's
+  /// non-free harts of their pending timer expiries (NoFetchUntil,
+  /// result-buffer ready, ROB-entry done). UINT64_MAX when the core is
+  /// fully event-driven (only a delivery can make it act).
+  uint64_t coreWakeCycle(const Core &C) const;
+  /// Pulls \p CoreId's WakeAt forward to \p At (never pushes it back).
+  void wakeCore(unsigned CoreId, uint64_t At) {
+    Core &C = Cores[CoreId];
+    if (At < C.WakeAt)
+      C.WakeAt = At;
+  }
+  /// Cycle of the earliest pending delivery strictly after Cycle, or
+  /// UINT64_MAX when none is in flight.
+  uint64_t nextDeliveryCycle() const;
   /// Deliveries on the wheel/overflow map targeting \p HartId.
   unsigned pendingDeliveriesFor(unsigned HartId) const;
   void startHart(unsigned HartId, uint32_t StartPc);
@@ -232,6 +251,21 @@ private:
   static constexpr uint64_t WheelSize = 1 << 14;
   std::vector<std::vector<Delivery>> Wheel;
   std::multimap<uint64_t, Delivery> Overflow;
+  /// Entries currently on the wheel (excluding Overflow); lets the fast
+  /// path and the checker audit skip full wheel scans when it is empty.
+  size_t WheelCount = 0;
+  /// Per-cycle delivery staging buffer: run() swaps the due wheel slot
+  /// into it instead of draining in place, so slot capacity is reused
+  /// across laps instead of reallocated.
+  std::vector<Delivery> DueBuf;
+
+  /// Effective fast-path switch for this run: SimConfig::FastPath minus
+  /// the modes that need every core-cycle observed (stall-cause stats).
+  bool FastRun = false;
+  /// Text segment decoded once at load() (FastPath): the instruction at
+  /// word address W is DecodedText[W]. Valid because LBP code banks are
+  /// read-only after load — stores into the code region fault.
+  std::vector<isa::Instr> DecodedText;
 
   struct DeviceMapping {
     uint32_t Base;

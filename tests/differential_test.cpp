@@ -14,6 +14,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "asm/Assembler.h"
+#include "frontend/Compiler.h"
 #include "isa/AddressMap.h"
 #include "isa/Encoding.h"
 #include "isa/HartRef.h"
@@ -22,10 +23,15 @@
 #include "sim/Machine.h"
 #include "support/SplitMix64.h"
 #include "support/StringUtils.h"
+#include "workloads/MatMul.h"
+#include "workloads/Phases.h"
+#include "workloads/Pipeline.h"
 
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <map>
+#include <sstream>
 
 using namespace lbp;
 using namespace lbp::isa;
@@ -155,5 +161,125 @@ TEST_P(Differential, MachineMatchesReferenceIss) {
 INSTANTIATE_TEST_SUITE_P(Seeds, Differential,
                          ::testing::Values(1ull, 7ull, 42ull, 1234ull,
                                            0xC0FFEEull));
+
+//===----------------------------------------------------------------------===//
+// FastPath differential: the fast engine (SimConfig::FastPath — cycle
+// skipping, active-set scheduling, pre-decoded text) must be an exact
+// no-op on the observable run: same RunStatus, same final cycle count,
+// same retired count, same cycle-by-cycle trace hash as the reference
+// every-core-every-cycle loop. docs/PERFORMANCE.md states the contract;
+// these tests enforce it over every paper workload plus the Det-C
+// corpus and the random-program generator above.
+//===----------------------------------------------------------------------===//
+
+/// The observable fingerprint of a run; any divergence between the two
+/// engines is a fast-path bug by definition.
+struct RunFingerprint {
+  RunStatus Status;
+  uint64_t Cycles;
+  uint64_t Retired;
+  uint64_t Hash;
+  std::string Message;
+};
+
+RunFingerprint runWith(const assembler::Program &Prog, SimConfig Cfg,
+                       bool FastPath, uint64_t MaxCycles) {
+  Cfg.FastPath = FastPath;
+  Machine M(Cfg);
+  M.load(Prog);
+  RunStatus S = M.run(MaxCycles);
+  return {S, M.cycles(), M.retired(), M.traceHash(), M.faultMessage()};
+}
+
+/// Assembles \p Src and runs it twice, FastPath off then on, expecting
+/// identical fingerprints. Programs that fault or hit MaxCycles are
+/// compared too — truncated and failed runs must also be bit-identical.
+void expectFastPathIdentical(const std::string &Src, SimConfig Cfg,
+                             const std::string &What,
+                             uint64_t MaxCycles = 2000000) {
+  assembler::AsmResult R = assembler::assemble(Src);
+  ASSERT_TRUE(R.succeeded()) << What << ":\n" << R.errorText();
+  RunFingerprint Ref = runWith(R.Prog, Cfg, /*FastPath=*/false, MaxCycles);
+  RunFingerprint Fast = runWith(R.Prog, Cfg, /*FastPath=*/true, MaxCycles);
+  EXPECT_EQ(static_cast<int>(Ref.Status), static_cast<int>(Fast.Status))
+      << What;
+  EXPECT_EQ(Ref.Cycles, Fast.Cycles) << What;
+  EXPECT_EQ(Ref.Retired, Fast.Retired) << What;
+  EXPECT_EQ(Ref.Hash, Fast.Hash) << What;
+  EXPECT_EQ(Ref.Message, Fast.Message) << What;
+}
+
+TEST(FastPathDifferential, RandomPrograms) {
+  for (uint64_t Seed : {11ull, 23ull, 99ull, 4242ull, 0xBEEFull})
+    expectFastPathIdentical(generateProgram(Seed), SimConfig::lbp(1),
+                            formatString("random program seed %llu",
+                                         static_cast<unsigned long long>(
+                                             Seed)));
+}
+
+TEST(FastPathDifferential, MatMulAllVersions) {
+  using workloads::MatMulSpec;
+  using workloads::MatMulVersion;
+  for (MatMulVersion V :
+       {MatMulVersion::Base, MatMulVersion::Copy, MatMulVersion::Distributed,
+        MatMulVersion::DistCopy, MatMulVersion::Tiled}) {
+    MatMulSpec Spec = MatMulSpec::paper(16, V);
+    SimConfig Cfg = SimConfig::lbp(Spec.cores());
+    Cfg.GlobalBankSizeLog2 = Spec.BankSizeLog2;
+    expectFastPathIdentical(workloads::buildMatMulProgram(Spec), Cfg,
+                            std::string("matmul-") +
+                                workloads::matMulVersionName(V));
+  }
+}
+
+TEST(FastPathDifferential, PhasesAndPipeline) {
+  workloads::PhasesSpec PSpec;
+  PSpec.NumHarts = 16;
+  SimConfig PCfg = SimConfig::lbp(PSpec.cores());
+  PCfg.GlobalBankSizeLog2 = PSpec.BankSizeLog2;
+  expectFastPathIdentical(workloads::buildPhasesProgram(PSpec), PCfg,
+                          "phases");
+
+  workloads::PipelineSpec LSpec;
+  SimConfig LCfg = SimConfig::lbp(LSpec.cores());
+  LCfg.GlobalBankSizeLog2 = LSpec.BankSizeLog2;
+  expectFastPathIdentical(workloads::buildPipelineProgram(LSpec), LCfg,
+                          "pipeline");
+}
+
+TEST(FastPathDifferential, DetCCorpus) {
+  for (const char *Name :
+       {"vector_scale", "chunked_sum", "phased_stencil"}) {
+    std::string Path =
+        std::string(LBP_SOURCE_DIR "/examples/detc/") + Name + ".c";
+    std::ifstream In(Path);
+    ASSERT_TRUE(In.good()) << "cannot open " << Path;
+    std::ostringstream Buf;
+    Buf << In.rdbuf();
+    std::string Errors;
+    std::string Asm = frontend::compileDetCToAsm(Buf.str(), Errors);
+    ASSERT_FALSE(Asm.empty()) << Name << ":\n" << Errors;
+    expectFastPathIdentical(Asm, SimConfig::lbp(4),
+                            std::string("detc ") + Name);
+  }
+}
+
+TEST(FastPathDifferential, MaxCyclesTruncation) {
+  // A run cut off mid-flight must stop at the same cycle with the same
+  // trace whether or not the engine was skipping quiescent spans: the
+  // fast path charges every skipped cycle against the budget.
+  workloads::PhasesSpec Spec;
+  Spec.NumHarts = 16;
+  SimConfig Cfg = SimConfig::lbp(Spec.cores());
+  Cfg.GlobalBankSizeLog2 = Spec.BankSizeLog2;
+  std::string Src = workloads::buildPhasesProgram(Spec);
+  for (uint64_t MaxCycles : {100ull, 777ull, 2048ull, 5000ull}) {
+    expectFastPathIdentical(
+        Src, Cfg,
+        formatString("phases truncated at %llu",
+                     static_cast<unsigned long long>(MaxCycles)),
+        MaxCycles);
+  }
+}
 
 } // namespace

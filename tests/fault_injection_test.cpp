@@ -294,6 +294,97 @@ TEST(FaultInjection, LivelockReportNamesTheStuckHart) {
   EXPECT_NE(Msg.find("slot 3"), std::string::npos) << Msg;
 }
 
+//===----------------------------------------------------------------------===//
+// FastPath interaction: the fast engine (SimConfig::FastPath) skips
+// quiescent cycles and sleeping cores, but faults, machine checks, the
+// livelock guard and the MaxCycles budget must all fire at exactly the
+// same cycle numbers with exactly the same diagnostics as the reference
+// loop. Fault delivery is cycle-triggered (the plan perturbs scheduled
+// deliveries, which the fast path never skips over), so any divergence
+// here means a wake rule or clamp is missing. See docs/PERFORMANCE.md.
+//===----------------------------------------------------------------------===//
+
+void expectFastPathAgrees(SimConfig Cfg, unsigned Threads,
+                          uint64_t MaxCycles, const std::string &What) {
+  SimConfig Ref = Cfg, Fast = Cfg;
+  Ref.FastPath = false;
+  Fast.FastPath = true;
+  Outcome A = runTeam(Ref, Threads, MaxCycles);
+  Outcome B = runTeam(Fast, Threads, MaxCycles);
+  expectIdentical(A, B, What);
+  EXPECT_EQ(A.ChecksSeen, B.ChecksSeen) << What;
+  EXPECT_EQ(A.OutputCorrect, B.OutputCorrect) << What;
+}
+
+// Every fault class, over a spread of seeds: perturbed runs — clean
+// exits, parity faults, diagnosed livelocks alike — are bit-identical
+// between the two engines.
+TEST(FastPathFaultInteraction, AllFaultClassesIdenticalOnAndOff) {
+  for (uint64_t Seed = 1; Seed <= 6; ++Seed) {
+    SimConfig Drops = faultConfig(4, Seed);
+    Drops.Faults.Drops = 1;
+    expectFastPathAgrees(Drops, 16, 200000,
+                         "drop seed " + std::to_string(Seed));
+
+    SimConfig Flips = faultConfig(4, Seed);
+    Flips.Faults.BitFlips = 1;
+    expectFastPathAgrees(Flips, 16, 200000,
+                         "flip seed " + std::to_string(Seed));
+  }
+  for (uint64_t Seed = 1; Seed <= 4; ++Seed) {
+    SimConfig Delays = faultConfig(4, Seed);
+    Delays.Faults.Delays = 3;
+    expectFastPathAgrees(Delays, 16, 200000,
+                         "delay seed " + std::to_string(Seed));
+
+    SimConfig Stuck = faultConfig(4, Seed);
+    Stuck.Faults.StuckBanks = 2;
+    Stuck.Faults.StuckDuration = 300;
+    expectFastPathAgrees(Stuck, 16, 200000,
+                         "stuck seed " + std::to_string(Seed));
+  }
+}
+
+// The hardest case for cycle skipping: an undetected token loss leaves
+// the machine completely frozen — no pending deliveries, no timers —
+// so the fast path would skip forever if the livelock guard were not a
+// skip clamp. It must fire at LastProgress + ProgressGuard + 1 with the
+// same per-hart wait report as the reference loop.
+TEST(FastPathFaultInteraction, LivelockFiresAtSameCycleWhileSkipping) {
+  for (uint64_t Seed = 1; Seed <= 64; ++Seed) {
+    SimConfig Cfg = faultConfig(4, Seed);
+    Cfg.Faults.Drops = 1;
+    Cfg.EnableCheckers = false; // leave the loss for the guard to find
+    {
+      Machine Probe(Cfg);
+      if (Probe.faultPlan().events()[0].ClassMask != FaultClassToken)
+        continue;
+    }
+    SimConfig Ref = Cfg, Fast = Cfg;
+    Ref.FastPath = false;
+    Fast.FastPath = true;
+    Outcome A = runTeam(Ref, 16, 200000);
+    if (A.FaultsFired == 0)
+      continue; // armed after the last token passed
+    Outcome B = runTeam(Fast, 16, 200000);
+    ASSERT_EQ(A.Status, RunStatus::Livelock) << A.Message;
+    expectIdentical(A, B, "token-loss seed " + std::to_string(Seed));
+    EXPECT_NE(A.Message.find("livelock"), std::string::npos) << A.Message;
+    return;
+  }
+  FAIL() << "no seed dropped a token inside the run";
+}
+
+// A budget that expires mid-skip: the fast path charges every skipped
+// cycle against MaxCycles, so truncation lands on the same cycle.
+TEST(FastPathFaultInteraction, MaxCyclesTruncationIdenticalOnAndOff) {
+  for (uint64_t MaxCycles : {50ull, 333ull, 650ull}) {
+    SimConfig Cfg = SimConfig::lbp(4);
+    expectFastPathAgrees(Cfg, 16, MaxCycles,
+                         "truncation at " + std::to_string(MaxCycles));
+  }
+}
+
 // The livelock report is itself deterministic (it is part of the
 // failure's identity for replay debugging).
 TEST(FaultInjection, LivelockReportIsDeterministic) {
