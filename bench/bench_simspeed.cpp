@@ -5,17 +5,23 @@
 //===----------------------------------------------------------------------===//
 //
 // Measures how fast the simulator itself runs (simulated cycles per host
-// second and host MIPS), with the FastPath engine off (reference loop)
-// and on, across the paper workloads at 4/16/64 cores. Every pair of
-// runs is also a differential check: the two modes must agree bit for
-// bit on traceHash(), cycles(), retired() and RunStatus, or the bench
-// aborts — a speedup that changes the event stream is a bug, not a
-// result. Results are written as JSON (default BENCH_simspeed.json) so
+// second and host MIPS) across the three engines: the reference loop
+// (FastPath off), the fast path, and the sharded parallel engine at a
+// sweep of host thread counts. Every run is also a differential check:
+// all engines and thread counts must agree bit for bit on traceHash(),
+// cycles(), retired() and RunStatus, or the bench exits non-zero — in
+// --quick mode too. A speedup that changes the event stream is a bug,
+// not a result.
+//
+// The bench also asserts the serial engines' zero-steady-state
+// allocation property: after a warm-up prefix of the periodic barrier
+// workload, the rest of the run must perform no heap allocation at all
+// (counted by this TU's global operator new). Results are written as
+// JSON (default BENCH_simspeed.json; schema in docs/PERFORMANCE.md) so
 // CI can record the perf trajectory per PR.
 //
-// Usage: bench_simspeed [--quick] [--out FILE]
-//   --quick  small configs only (CI smoke)
-//   --out    JSON output path (default BENCH_simspeed.json)
+// Usage: bench_simspeed [--quick] [--out FILE] [--threads LIST]
+//                       [--engines LIST]
 //
 //===----------------------------------------------------------------------===//
 
@@ -26,14 +32,52 @@
 #include "workloads/MatMul.h"
 #include "workloads/Phases.h"
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <functional>
+#include <new>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include <sys/resource.h>
+
 using namespace lbp;
+
+//===----------------------------------------------------------------------===//
+// Counting allocator: every heap allocation in the process bumps one
+// relaxed atomic. The steady-state assertion below snapshots it around
+// the post-warm-up half of a run.
+//===----------------------------------------------------------------------===//
+
+namespace {
+std::atomic<uint64_t> GAllocCount{0};
+
+void *countedAlloc(std::size_t Sz) {
+  GAllocCount.fetch_add(1, std::memory_order_relaxed);
+  if (void *P = std::malloc(Sz ? Sz : 1))
+    return P;
+  throw std::bad_alloc();
+}
+} // namespace
+
+void *operator new(std::size_t Sz) { return countedAlloc(Sz); }
+void *operator new[](std::size_t Sz) { return countedAlloc(Sz); }
+void *operator new(std::size_t Sz, std::align_val_t) {
+  return countedAlloc(Sz);
+}
+void *operator new[](std::size_t Sz, std::align_val_t) {
+  return countedAlloc(Sz);
+}
+void operator delete(void *P) noexcept { std::free(P); }
+void operator delete[](void *P) noexcept { std::free(P); }
+void operator delete(void *P, std::size_t) noexcept { std::free(P); }
+void operator delete[](void *P, std::size_t) noexcept { std::free(P); }
+void operator delete(void *P, std::align_val_t) noexcept { std::free(P); }
+void operator delete[](void *P, std::align_val_t) noexcept { std::free(P); }
 
 namespace {
 
@@ -42,9 +86,6 @@ constexpr uint32_t OutBase = 0x20000200;
 /// A barrier-heavy program: `Rounds` back-to-back parallel regions whose
 /// workers do almost nothing, so the fork protocol, the in-order p_ret
 /// barrier chain and the quiescent waits between team members dominate.
-/// This is the workload shape the quiescence fast-forward targets: at
-/// any moment most of the line is drained, waiting on a handful of
-/// in-flight protocol messages.
 std::string barrierProgram(unsigned NumHarts, unsigned Rounds) {
   romp::AsmText Head;
   romp::emitMainPrologue(Head);
@@ -81,52 +122,76 @@ struct Fingerprint {
   }
 };
 
-struct ModeResult {
+/// One (engine, thread-count) cell of the comparison matrix.
+struct EngineResult {
+  std::string Engine; ///< "reference", "fastpath" or "parallel-tN".
+  unsigned HostThreads = 1;
   Fingerprint Fp;
   double HostSeconds = 0.0;
   double CyclesPerSec = 0.0;
   double Mips = 0.0;
+  long PeakRssKb = 0;
+  bool Identical = true; ///< Fingerprint matches the reference engine.
 };
 
 struct WorkloadResult {
   std::string Name;
   unsigned Cores = 0;
-  ModeResult Reference;
-  ModeResult Fast;
-  double Speedup = 0.0;
+  std::vector<EngineResult> Engines;
+  double FastSpeedup = 0.0;     ///< reference time / fastpath time.
+  double ParallelSpeedup = 0.0; ///< fastpath time / best parallel time.
 };
+
+long peakRssKb() {
+  struct rusage Ru;
+  if (getrusage(RUSAGE_SELF, &Ru) != 0)
+    return 0;
+  return Ru.ru_maxrss; // KiB on Linux
+}
 
 /// One timed run. Only Machine::run is on the clock; assembly and image
 /// load are setup. Verification is the caller's job (via the hook) —
 /// a bench must never report numbers from a broken run.
-ModeResult timedRun(const assembler::Program &Prog, sim::SimConfig Cfg,
-                    bool FastPath,
-                    const std::function<void(sim::Machine &)> &Verify) {
+EngineResult timedRun(const assembler::Program &Prog, sim::SimConfig Cfg,
+                      const std::string &Engine, bool FastPath,
+                      unsigned HostThreads,
+                      const std::function<void(sim::Machine &)> &Verify) {
   Cfg.FastPath = FastPath;
+  Cfg.HostThreads = HostThreads;
   sim::Machine M(Cfg);
   M.load(Prog);
   auto T0 = std::chrono::steady_clock::now();
   sim::RunStatus S = M.run();
   auto T1 = std::chrono::steady_clock::now();
   if (S != sim::RunStatus::Exited) {
-    std::fprintf(stderr, "bench_simspeed: run did not exit cleanly: %s\n",
-                 M.faultMessage().c_str());
+    std::fprintf(stderr, "bench_simspeed: %s run did not exit cleanly: %s\n",
+                 Engine.c_str(), M.faultMessage().c_str());
     std::exit(1);
   }
   Verify(M);
-  ModeResult R;
+  EngineResult R;
+  R.Engine = Engine;
+  R.HostThreads = HostThreads;
   R.Fp = {S, M.cycles(), M.retired(), M.traceHash()};
   R.HostSeconds = std::chrono::duration<double>(T1 - T0).count();
   if (R.HostSeconds > 0.0) {
     R.CyclesPerSec = static_cast<double>(R.Fp.Cycles) / R.HostSeconds;
     R.Mips = static_cast<double>(R.Fp.Retired) / R.HostSeconds / 1e6;
   }
+  R.PeakRssKb = peakRssKb();
   return R;
 }
 
+struct Options {
+  bool Quick = false;
+  std::string OutPath = "BENCH_simspeed.json";
+  std::vector<unsigned> Threads = {1, 2, 4, 8};
+  bool RunReference = true, RunFastPath = true, RunParallel = true;
+};
+
 WorkloadResult
-runWorkload(const std::string &Name, const std::string &Source,
-            sim::SimConfig Cfg,
+runWorkload(const Options &Opt, const std::string &Name,
+            const std::string &Source, sim::SimConfig Cfg,
             const std::function<void(sim::Machine &)> &Verify) {
   assembler::AsmResult R = assembler::assemble(Source);
   if (!R.succeeded()) {
@@ -137,51 +202,89 @@ runWorkload(const std::string &Name, const std::string &Source,
   WorkloadResult W;
   W.Name = Name;
   W.Cores = Cfg.NumCores;
-  W.Reference = timedRun(R.Prog, Cfg, /*FastPath=*/false, Verify);
-  W.Fast = timedRun(R.Prog, Cfg, /*FastPath=*/true, Verify);
-  if (!(W.Reference.Fp == W.Fast.Fp)) {
-    std::fprintf(
-        stderr,
-        "bench_simspeed: FASTPATH DIVERGENCE on %s:\n"
-        "  reference: cycles=%llu retired=%llu hash=%016llx\n"
-        "  fastpath:  cycles=%llu retired=%llu hash=%016llx\n",
-        Name.c_str(),
-        static_cast<unsigned long long>(W.Reference.Fp.Cycles),
-        static_cast<unsigned long long>(W.Reference.Fp.Retired),
-        static_cast<unsigned long long>(W.Reference.Fp.Hash),
-        static_cast<unsigned long long>(W.Fast.Fp.Cycles),
-        static_cast<unsigned long long>(W.Fast.Fp.Retired),
-        static_cast<unsigned long long>(W.Fast.Fp.Hash));
-    std::exit(1);
+
+  // The reference fingerprint every other cell is compared against.
+  // When --engines excludes "reference", the fastpath run seeds it
+  // (the thread sweep is still checked against something serial).
+  if (Opt.RunReference)
+    W.Engines.push_back(
+        timedRun(R.Prog, Cfg, "reference", /*FastPath=*/false, 1, Verify));
+  if (Opt.RunFastPath)
+    W.Engines.push_back(
+        timedRun(R.Prog, Cfg, "fastpath", /*FastPath=*/true, 1, Verify));
+  if (Opt.RunParallel)
+    for (unsigned T : Opt.Threads)
+      W.Engines.push_back(timedRun(R.Prog, Cfg,
+                                   "parallel-t" + std::to_string(T),
+                                   /*FastPath=*/true, T, Verify));
+  if (W.Engines.empty())
+    return W;
+
+  const Fingerprint &Ref = W.Engines.front().Fp;
+  bool Diverged = false;
+  for (EngineResult &E : W.Engines) {
+    E.Identical = E.Fp == Ref;
+    if (!E.Identical) {
+      Diverged = true;
+      std::fprintf(
+          stderr,
+          "bench_simspeed: ENGINE DIVERGENCE on %s (%s):\n"
+          "  %-10s cycles=%llu retired=%llu hash=%016llx\n"
+          "  %-10s cycles=%llu retired=%llu hash=%016llx\n",
+          Name.c_str(), E.Engine.c_str(), W.Engines.front().Engine.c_str(),
+          static_cast<unsigned long long>(Ref.Cycles),
+          static_cast<unsigned long long>(Ref.Retired),
+          static_cast<unsigned long long>(Ref.Hash), E.Engine.c_str(),
+          static_cast<unsigned long long>(E.Fp.Cycles),
+          static_cast<unsigned long long>(E.Fp.Retired),
+          static_cast<unsigned long long>(E.Fp.Hash));
+    }
   }
-  if (W.Fast.HostSeconds > 0.0)
-    W.Speedup = W.Reference.HostSeconds / W.Fast.HostSeconds;
-  std::printf("%-24s %3u cores  %10llu cycles  ref %8.1f kc/s  "
-              "fast %8.1f kc/s  speedup %5.2fx\n",
-              Name.c_str(), W.Cores,
-              static_cast<unsigned long long>(W.Fast.Fp.Cycles),
-              W.Reference.CyclesPerSec / 1e3, W.Fast.CyclesPerSec / 1e3,
-              W.Speedup);
+  if (Diverged)
+    std::exit(1); // hard failure in every mode, --quick included
+
+  const EngineResult *RefE = nullptr, *FastE = nullptr, *BestPar = nullptr;
+  for (const EngineResult &E : W.Engines) {
+    if (E.Engine == "reference")
+      RefE = &E;
+    else if (E.Engine == "fastpath")
+      FastE = &E;
+    else if (!BestPar || E.HostSeconds < BestPar->HostSeconds)
+      BestPar = &E;
+  }
+  if (RefE && FastE && FastE->HostSeconds > 0.0)
+    W.FastSpeedup = RefE->HostSeconds / FastE->HostSeconds;
+  if (FastE && BestPar && BestPar->HostSeconds > 0.0)
+    W.ParallelSpeedup = FastE->HostSeconds / BestPar->HostSeconds;
+
+  std::printf("%-24s %3u cores  %10llu cycles", Name.c_str(), W.Cores,
+              static_cast<unsigned long long>(Ref.Cycles));
+  for (const EngineResult &E : W.Engines)
+    std::printf("  %s %.1f kc/s", E.Engine.c_str(), E.CyclesPerSec / 1e3);
+  std::printf("\n");
   std::fflush(stdout);
   return W;
 }
 
-WorkloadResult benchBarrier(unsigned Cores, unsigned Rounds) {
-  unsigned Harts = 4 * Cores;
-  auto Verify = [Harts](sim::Machine &M) {
-    for (unsigned T = 0; T != Harts; ++T) {
-      if (M.debugReadWord(OutBase + 4 * T) != T) {
-        std::fprintf(stderr, "bench_simspeed: barrier OUT[%u] wrong\n", T);
-        std::exit(1);
-      }
+void verifyBarrier(sim::Machine &M, unsigned Harts) {
+  for (unsigned T = 0; T != Harts; ++T) {
+    if (M.debugReadWord(OutBase + 4 * T) != T) {
+      std::fprintf(stderr, "bench_simspeed: barrier OUT[%u] wrong\n", T);
+      std::exit(1);
     }
-  };
-  return runWorkload("barrier-x" + std::to_string(Rounds),
-                     barrierProgram(Harts, Rounds),
-                     sim::SimConfig::lbp(Cores), Verify);
+  }
 }
 
-WorkloadResult benchPhases(unsigned Harts) {
+WorkloadResult benchBarrier(const Options &Opt, unsigned Cores,
+                            unsigned Rounds) {
+  unsigned Harts = 4 * Cores;
+  return runWorkload(
+      Opt, "barrier-x" + std::to_string(Rounds),
+      barrierProgram(Harts, Rounds), sim::SimConfig::lbp(Cores),
+      [Harts](sim::Machine &M) { verifyBarrier(M, Harts); });
+}
+
+WorkloadResult benchPhases(const Options &Opt, unsigned Harts) {
   workloads::PhasesSpec Spec;
   Spec.NumHarts = Harts;
   auto Verify = [Spec](sim::Machine &M) {
@@ -195,11 +298,12 @@ WorkloadResult benchPhases(unsigned Harts) {
   };
   sim::SimConfig Cfg = sim::SimConfig::lbp(Spec.cores());
   Cfg.GlobalBankSizeLog2 = Spec.BankSizeLog2;
-  return runWorkload("phases", workloads::buildPhasesProgram(Spec), Cfg,
-                     Verify);
+  return runWorkload(Opt, "phases", workloads::buildPhasesProgram(Spec),
+                     Cfg, Verify);
 }
 
-WorkloadResult benchMatMul(unsigned Harts, workloads::MatMulVersion V) {
+WorkloadResult benchMatMul(const Options &Opt, unsigned Harts,
+                           workloads::MatMulVersion V) {
   workloads::MatMulSpec Spec = workloads::MatMulSpec::paper(Harts, V);
   auto Verify = [Spec](sim::Machine &M) {
     unsigned H = Spec.h();
@@ -215,97 +319,262 @@ WorkloadResult benchMatMul(unsigned Harts, workloads::MatMulVersion V) {
   };
   sim::SimConfig Cfg = sim::SimConfig::lbp(Spec.cores());
   Cfg.GlobalBankSizeLog2 = Spec.BankSizeLog2;
-  return runWorkload(std::string("matmul-") +
-                         workloads::matMulVersionName(Spec.Version),
+  return runWorkload(Opt,
+                     std::string("matmul-") +
+                         workloads::matMulVersionName(Spec.Version) + "-c" +
+                         std::to_string(Spec.cores()),
                      workloads::buildMatMulProgram(Spec), Cfg, Verify);
 }
 
-void writeJson(const std::string &Path, bool Quick,
-               const std::vector<WorkloadResult> &Results) {
-  std::FILE *F = std::fopen(Path.c_str(), "w");
-  if (!F) {
-    std::fprintf(stderr, "bench_simspeed: cannot open %s\n", Path.c_str());
+/// Steady-state allocation check: run the periodic barrier workload to
+/// its midpoint (every vector in the machine reaches its plateau
+/// capacity during the first rounds), then count heap allocations over
+/// the rest of the run. The serial engines promise zero — the delivery
+/// wheel, DueBuf, overflow heap and trace are all capacity-reusing flat
+/// structures. Returns the post-warm-up allocation count.
+uint64_t steadyStateAllocs(bool FastPath) {
+  std::string Src = barrierProgram(/*NumHarts=*/16, /*Rounds=*/12);
+  assembler::AsmResult R = assembler::assemble(Src);
+  if (!R.succeeded()) {
+    std::fprintf(stderr, "bench_simspeed: barrier assembly failed\n");
     std::exit(1);
   }
-  auto Mode = [&](const char *Key, const ModeResult &M, const char *Tail) {
-    std::fprintf(F,
-                 "      \"%s\": {\"host_seconds\": %.6f, "
-                 "\"cycles_per_sec\": %.1f, \"mips\": %.3f}%s\n",
-                 Key, M.HostSeconds, M.CyclesPerSec, M.Mips, Tail);
-  };
-  std::fprintf(F, "{\n  \"bench\": \"simspeed\",\n  \"quick\": %s,\n"
-                  "  \"workloads\": [\n",
-               Quick ? "true" : "false");
+  sim::SimConfig Cfg = sim::SimConfig::lbp(4);
+  Cfg.FastPath = FastPath;
+
+  // Full run once to learn the total cycle count.
+  sim::Machine Probe(Cfg);
+  Probe.load(R.Prog);
+  if (Probe.run() != sim::RunStatus::Exited) {
+    std::fprintf(stderr, "bench_simspeed: alloc-probe run failed\n");
+    std::exit(1);
+  }
+  uint64_t Total = Probe.cycles();
+
+  // Warm-up to the midpoint, then measure the remainder.
+  sim::Machine M(Cfg);
+  M.load(R.Prog);
+  if (M.run(Total / 2) != sim::RunStatus::MaxCycles) {
+    std::fprintf(stderr, "bench_simspeed: alloc warm-up ended early\n");
+    std::exit(1);
+  }
+  uint64_t Before = GAllocCount.load(std::memory_order_relaxed);
+  if (M.run() != sim::RunStatus::Exited) {
+    std::fprintf(stderr, "bench_simspeed: alloc measured run failed\n");
+    std::exit(1);
+  }
+  uint64_t After = GAllocCount.load(std::memory_order_relaxed);
+  verifyBarrier(M, 16);
+  return After - Before;
+}
+
+void writeJson(const Options &Opt, const std::vector<WorkloadResult> &Results,
+               uint64_t RefAllocs, uint64_t FastAllocs) {
+  std::FILE *F = std::fopen(Opt.OutPath.c_str(), "w");
+  if (!F) {
+    std::fprintf(stderr, "bench_simspeed: cannot open %s\n",
+                 Opt.OutPath.c_str());
+    std::exit(1);
+  }
+  std::fprintf(F, "{\n  \"bench\": \"simspeed\",\n  \"quick\": %s,\n",
+               Opt.Quick ? "true" : "false");
+  std::fprintf(F, "  \"host_threads\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(F, "  \"thread_list\": [");
+  for (size_t I = 0; I != Opt.Threads.size(); ++I)
+    std::fprintf(F, "%s%u", I ? ", " : "", Opt.Threads[I]);
+  std::fprintf(F, "],\n");
+  std::fprintf(F,
+               "  \"steady_state_allocs\": {\"reference\": %llu, "
+               "\"fastpath\": %llu},\n",
+               static_cast<unsigned long long>(RefAllocs),
+               static_cast<unsigned long long>(FastAllocs));
+  std::fprintf(F, "  \"workloads\": [\n");
   for (size_t I = 0; I != Results.size(); ++I) {
     const WorkloadResult &W = Results[I];
+    const Fingerprint &Fp = W.Engines.front().Fp;
     std::fprintf(F, "    {\n      \"name\": \"%s\",\n"
                     "      \"cores\": %u,\n      \"harts\": %u,\n",
                  W.Name.c_str(), W.Cores, 4 * W.Cores);
     std::fprintf(F,
                  "      \"sim_cycles\": %llu,\n      \"retired\": %llu,\n"
                  "      \"trace_hash\": \"%016llx\",\n",
-                 static_cast<unsigned long long>(W.Fast.Fp.Cycles),
-                 static_cast<unsigned long long>(W.Fast.Fp.Retired),
-                 static_cast<unsigned long long>(W.Fast.Fp.Hash));
-    Mode("reference", W.Reference, ",");
-    Mode("fastpath", W.Fast, ",");
-    std::fprintf(F, "      \"speedup\": %.3f,\n      \"identical\": true\n"
-                    "    }%s\n",
-                 W.Speedup, I + 1 == Results.size() ? "" : ",");
+                 static_cast<unsigned long long>(Fp.Cycles),
+                 static_cast<unsigned long long>(Fp.Retired),
+                 static_cast<unsigned long long>(Fp.Hash));
+    std::fprintf(F, "      \"engines\": [\n");
+    for (size_t J = 0; J != W.Engines.size(); ++J) {
+      const EngineResult &E = W.Engines[J];
+      std::fprintf(F,
+                   "        {\"engine\": \"%s\", \"host_threads\": %u, "
+                   "\"host_seconds\": %.6f, \"cycles_per_sec\": %.1f, "
+                   "\"mips\": %.3f, \"peak_rss_kb\": %ld, "
+                   "\"identical\": %s}%s\n",
+                   E.Engine.c_str(), E.HostThreads, E.HostSeconds,
+                   E.CyclesPerSec, E.Mips, E.PeakRssKb,
+                   E.Identical ? "true" : "false",
+                   J + 1 == W.Engines.size() ? "" : ",");
+    }
+    std::fprintf(F, "      ],\n");
+    std::fprintf(F,
+                 "      \"fastpath_speedup\": %.3f,\n"
+                 "      \"parallel_speedup\": %.3f\n    }%s\n",
+                 W.FastSpeedup, W.ParallelSpeedup,
+                 I + 1 == Results.size() ? "" : ",");
   }
   std::fprintf(F, "  ]\n}\n");
   std::fclose(F);
-  std::printf("wrote %s\n", Path.c_str());
+  std::printf("wrote %s\n", Opt.OutPath.c_str());
+}
+
+void printUsage(const char *Argv0) {
+  std::printf(
+      "usage: %s [options]\n"
+      "\n"
+      "Host simulation-speed benchmark and three-way engine differential\n"
+      "(reference loop / fast path / sharded parallel engine).\n"
+      "\n"
+      "  --help           this text\n"
+      "  --quick          small configs only (CI smoke)\n"
+      "  --out FILE       JSON output path (default BENCH_simspeed.json)\n"
+      "  --threads LIST   comma-separated HostThreads sweep for the\n"
+      "                   parallel engine (default 1,2,4,8)\n"
+      "  --engines LIST   comma-separated subset of\n"
+      "                   reference,fastpath,parallel (default all)\n"
+      "\n"
+      "Exit status: 0 ok; 1 divergence, gate failure or bad run;\n"
+      "2 bad command line (e.g. unknown engine name).\n",
+      Argv0);
+}
+
+bool parseThreadList(const char *Arg, std::vector<unsigned> &Out) {
+  Out.clear();
+  const char *P = Arg;
+  while (*P) {
+    char *End = nullptr;
+    unsigned long V = std::strtoul(P, &End, 10);
+    if (End == P || V == 0 || V > 256)
+      return false;
+    Out.push_back(static_cast<unsigned>(V));
+    P = End;
+    if (*P == ',')
+      ++P;
+    else if (*P)
+      return false;
+  }
+  return !Out.empty();
 }
 
 } // namespace
 
 int main(int argc, char **argv) {
-  bool Quick = false;
-  std::string OutPath = "BENCH_simspeed.json";
+  Options Opt;
+  bool EnginesGiven = false;
   for (int I = 1; I < argc; ++I) {
-    if (std::strcmp(argv[I], "--quick") == 0) {
-      Quick = true;
-    } else if (std::strcmp(argv[I], "--out") == 0 && I + 1 < argc) {
-      OutPath = argv[++I];
-    } else {
-      std::fprintf(stderr, "usage: %s [--quick] [--out FILE]\n", argv[0]);
-      return 1;
+    if (std::strcmp(argv[I], "--help") == 0) {
+      printUsage(argv[0]);
+      return 0;
     }
+    if (std::strcmp(argv[I], "--quick") == 0) {
+      Opt.Quick = true;
+    } else if (std::strcmp(argv[I], "--out") == 0 && I + 1 < argc) {
+      Opt.OutPath = argv[++I];
+    } else if (std::strcmp(argv[I], "--threads") == 0 && I + 1 < argc) {
+      if (!parseThreadList(argv[++I], Opt.Threads)) {
+        std::fprintf(stderr, "bench_simspeed: bad --threads list '%s'\n",
+                     argv[I]);
+        return 2;
+      }
+    } else if (std::strcmp(argv[I], "--engines") == 0 && I + 1 < argc) {
+      EnginesGiven = true;
+      Opt.RunReference = Opt.RunFastPath = Opt.RunParallel = false;
+      std::string List = argv[++I];
+      size_t Pos = 0;
+      while (Pos <= List.size()) {
+        size_t Comma = List.find(',', Pos);
+        std::string Name = List.substr(
+            Pos, Comma == std::string::npos ? Comma : Comma - Pos);
+        if (Name == "reference")
+          Opt.RunReference = true;
+        else if (Name == "fastpath")
+          Opt.RunFastPath = true;
+        else if (Name == "parallel")
+          Opt.RunParallel = true;
+        else {
+          std::fprintf(stderr,
+                       "bench_simspeed: unknown engine '%s' (expected "
+                       "reference, fastpath or parallel)\n",
+                       Name.c_str());
+          return 2;
+        }
+        if (Comma == std::string::npos)
+          break;
+        Pos = Comma + 1;
+      }
+    } else {
+      std::fprintf(stderr, "bench_simspeed: unknown option '%s'\n",
+                   argv[I]);
+      printUsage(argv[0]);
+      return 2;
+    }
+  }
+  (void)EnginesGiven;
+
+  // The allocation assertion runs first (it is also a correctness run):
+  // the serial engines must not allocate in steady state.
+  uint64_t RefAllocs = steadyStateAllocs(/*FastPath=*/false);
+  uint64_t FastAllocs = steadyStateAllocs(/*FastPath=*/true);
+  std::printf("steady-state allocations: reference %llu, fastpath %llu\n",
+              static_cast<unsigned long long>(RefAllocs),
+              static_cast<unsigned long long>(FastAllocs));
+  if (RefAllocs != 0 || FastAllocs != 0) {
+    std::fprintf(stderr, "bench_simspeed: serial engines allocated in "
+                         "steady state (expected zero)\n");
+    return 1;
   }
 
   std::vector<WorkloadResult> Results;
-  if (Quick) {
-    Results.push_back(benchBarrier(4, 8));
-    Results.push_back(benchPhases(16));
+  if (Opt.Quick) {
+    Results.push_back(benchBarrier(Opt, 4, 8));
+    Results.push_back(benchPhases(Opt, 16));
   } else {
-    Results.push_back(benchBarrier(4, 32));
-    Results.push_back(benchBarrier(16, 16));
-    Results.push_back(benchBarrier(64, 8));
-    Results.push_back(benchPhases(16));
-    Results.push_back(benchPhases(64));
-    Results.push_back(benchMatMul(16, workloads::MatMulVersion::Base));
-    Results.push_back(benchMatMul(64, workloads::MatMulVersion::Tiled));
+    Results.push_back(benchBarrier(Opt, 4, 32));
+    Results.push_back(benchBarrier(Opt, 16, 16));
+    Results.push_back(benchBarrier(Opt, 64, 8));
+    Results.push_back(benchPhases(Opt, 16));
+    Results.push_back(benchPhases(Opt, 64));
+    Results.push_back(benchMatMul(Opt, 16, workloads::MatMulVersion::Base));
+    Results.push_back(benchMatMul(Opt, 64, workloads::MatMulVersion::Tiled));
+    Results.push_back(
+        benchMatMul(Opt, 256, workloads::MatMulVersion::Tiled));
   }
-  writeJson(OutPath, Quick, Results);
+  writeJson(Opt, Results, RefAllocs, FastAllocs);
 
-  if (!Quick) {
-    // The acceptance gate: the 64-core barrier workload must speed up
-    // at least 3x under FastPath.
+  if (!Opt.Quick) {
+    // Acceptance gates. The FastPath one is unconditional; the parallel
+    // scaling one only makes sense with enough host cpus (single-cpu CI
+    // runners cannot speed anything up by threading, but they still ran
+    // the full bit-identity matrix above).
     for (const WorkloadResult &W : Results) {
-      if (W.Cores == 64 && W.Name.rfind("barrier", 0) == 0) {
-        if (W.Speedup < 3.0) {
-          std::fprintf(stderr,
-                       "bench_simspeed: 64-core barrier speedup %.2fx is "
-                       "below the 3x target\n",
-                       W.Speedup);
-          return 1;
-        }
-        return 0;
+      if (W.Cores == 64 && W.Name.rfind("barrier", 0) == 0 &&
+          Opt.RunReference && Opt.RunFastPath && W.FastSpeedup < 3.0) {
+        std::fprintf(stderr,
+                     "bench_simspeed: 64-core barrier FastPath speedup "
+                     "%.2fx is below the 3x target\n",
+                     W.FastSpeedup);
+        return 1;
+      }
+      if (W.Cores == 64 && W.Name.rfind("matmul-tiled", 0) == 0 &&
+          Opt.RunFastPath && Opt.RunParallel &&
+          std::thread::hardware_concurrency() >= 8 &&
+          W.ParallelSpeedup < 3.0) {
+        std::fprintf(stderr,
+                     "bench_simspeed: 64-core matmul-tiled parallel "
+                     "speedup %.2fx is below the 3x target\n",
+                     W.ParallelSpeedup);
+        return 1;
       }
     }
-    std::fprintf(stderr, "bench_simspeed: no 64-core barrier workload\n");
-    return 1;
   }
   return 0;
 }

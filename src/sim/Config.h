@@ -143,6 +143,27 @@ struct SimConfig {
   /// but keeps the per-delivery checks).
   uint64_t CheckInterval = 64;
 
+  /// Host worker threads for the sharded parallel engine
+  /// (docs/PERFORMANCE.md "Parallel engine"). 1 selects the serial
+  /// engines (reference or fast path, per FastPath); >= 2 shards the
+  /// core line across this many host threads and merges per-shard
+  /// staging buffers at deterministic barriers. The observable run —
+  /// traceHash(), cycles(), retired(), RunStatus, machine checks,
+  /// fault-injection behavior — is bit-identical for every value.
+  /// Stall-cause statistics and the mem-log need the single-threaded
+  /// reference ordering, so CollectStallStats / CollectMemLog force the
+  /// serial engines regardless of this setting.
+  unsigned HostThreads = 1;
+
+  /// Epoch (merge-cadence) override for the parallel engine, in cycles.
+  /// 0 means "use the derived lookahead L" (Interconnect's minimum
+  /// cross-core delivery latency; see minCrossCoreLatency()). Values
+  /// above L are clamped to L — merging less often than the lookahead
+  /// allows would be unsound; merging more often is always correct.
+  /// With the calibrated latency table every cross-core link takes one
+  /// cycle, so L = 1 and the engine synchronizes every cycle.
+  uint64_t EpochOverride = 0;
+
   /// Transient-fault injection plan; inactive by default.
   FaultPlanConfig Faults;
 

@@ -108,6 +108,14 @@ struct Hart {
   // Ending-signal token (paper: "ending hart signal").
   bool Token = false;
 
+  /// Decoded-but-not-yet-issued ops with same-cycle cross-core effects
+  /// (p_fc/p_fn allocation, p_swcv's remote sp read, fork-call's remote
+  /// state read). The parallel engine sums these into its serial gate:
+  /// while any such op is in flight the next cycle runs on one thread
+  /// in exact reference order. Not architectural state — the serial
+  /// engines maintain it but never read it.
+  uint8_t PendingGateOps = 0;
+
   // Remote-result buffers (p_swre targets) plus overflow queue.
   bool SlotFull[ResultSlots] = {false};
   uint32_t SlotVal[ResultSlots] = {0};
@@ -145,6 +153,7 @@ struct Hart {
     RbBusy = RbReady = false;
     RbEntry = -1;
     Token = false;
+    PendingGateOps = 0;
     // A hart only reaches Free through a p_ret commit, which requires
     // OutstandingMem == 0, so no store acknowledgement can be in flight.
     OutstandingMem = 0;

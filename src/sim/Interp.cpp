@@ -11,6 +11,8 @@
 #include "isa/Reg.h"
 #include "sim/Exec.h"
 
+#include <algorithm>
+
 using namespace lbp;
 using namespace lbp::isa;
 using namespace lbp::sim;
@@ -21,15 +23,39 @@ Interp::Interp(const assembler::Program &Prog) : Prog(Prog) {
   Regs[RegT0] = HartRefExit;
 }
 
+const Interp::Page *Interp::findPage(uint32_t Base) const {
+  auto It = std::lower_bound(
+      Pages.begin(), Pages.end(), Base,
+      [](const std::unique_ptr<Page> &P, uint32_t B) { return P->Base < B; });
+  return It != Pages.end() && (*It)->Base == Base ? It->get() : nullptr;
+}
+
+Interp::Page &Interp::pageFor(uint32_t Base) {
+  auto It = std::lower_bound(
+      Pages.begin(), Pages.end(), Base,
+      [](const std::unique_ptr<Page> &P, uint32_t B) { return P->Base < B; });
+  if (It != Pages.end() && (*It)->Base == Base)
+    return **It;
+  It = Pages.insert(It, std::make_unique<Page>());
+  (*It)->Base = Base;
+  return **It;
+}
+
 uint32_t Interp::readWord(uint32_t Addr) const {
-  auto It = Ram.find(Addr & ~3u);
-  if (It != Ram.end())
-    return It->second;
-  return Prog.readWord(Addr & ~3u);
+  uint32_t A = Addr & ~3u;
+  uint32_t Idx = (A % (PageWords * 4)) / 4;
+  if (const Page *P = findPage(A - Idx * 4))
+    if (P->Written[Idx / 64] >> (Idx % 64) & 1)
+      return P->Words[Idx];
+  return Prog.readWord(A);
 }
 
 void Interp::writeWord(uint32_t Addr, uint32_t Value) {
-  Ram[Addr & ~3u] = Value;
+  uint32_t A = Addr & ~3u;
+  uint32_t Idx = (A % (PageWords * 4)) / 4;
+  Page &P = pageFor(A - Idx * 4);
+  P.Words[Idx] = Value;
+  P.Written[Idx / 64] |= 1ull << (Idx % 64);
 }
 
 uint32_t Interp::readMem(uint32_t Addr, unsigned Width,

@@ -39,7 +39,8 @@
 #include "asm/Program.h"
 
 #include <cstdint>
-#include <map>
+#include <memory>
+#include <vector>
 
 namespace lbp {
 namespace sim {
@@ -79,8 +80,24 @@ private:
   const assembler::Program &Prog;
   uint32_t Pc;
   uint32_t Regs[32] = {0};
-  std::map<uint32_t, uint32_t> Ram; // word address -> value
+
+  // Written memory, overlaying the program image. Used to be a
+  // std::map<uint32_t, uint32_t> (one tree node per word); the flat
+  // paged store makes the per-access cost a binary search over a
+  // handful of pages plus an array index, and stops allocating once
+  // the working set's pages exist. Unwritten words fall through to the
+  // image, so each page tracks written words in a bitmap.
+  static constexpr uint32_t PageWords = 1024; // 4 KiB pages
+  struct Page {
+    uint32_t Base; ///< First byte address covered (page-aligned).
+    uint32_t Words[PageWords];
+    uint64_t Written[PageWords / 64] = {};
+  };
+  std::vector<std::unique_ptr<Page>> Pages; ///< Sorted by Base.
   uint64_t Steps = 0;
+
+  const Page *findPage(uint32_t Base) const;
+  Page &pageFor(uint32_t Base);
 
   // Sequential result mailbox for p_swre/p_lwre.
   static constexpr unsigned MailboxSlots = 8;

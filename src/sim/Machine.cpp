@@ -11,6 +11,7 @@
 #include "isa/HartRef.h"
 #include "isa/Reg.h"
 #include "sim/Exec.h"
+#include "sim/ParallelEngine.h"
 #include "support/Compiler.h"
 #include "support/StringUtils.h"
 
@@ -19,6 +20,109 @@
 using namespace lbp;
 using namespace lbp::sim;
 using namespace lbp::isa;
+
+thread_local ShardBuf *lbp::sim::TlStage = nullptr;
+
+//===----------------------------------------------------------------------===//
+// Side-effect hooks
+//
+// Every mutation whose global order is observable funnels through one of
+// these. On the serial engines TlStage is null and each hook is a direct
+// call, so reference and fast-path behavior are untouched by
+// construction. Under a shard worker the effect is appended to the
+// shard's staging buffer and replayed at the epoch merge in the serial
+// loop's canonical order.
+//===----------------------------------------------------------------------===//
+
+void Machine::emit(EventKind K, uint64_t A, uint64_t B) {
+  if (ShardBuf *S = TlStage) {
+    StagedOp &Op = S->push();
+    Op.Kind = StagedOp::K::Event;
+    Op.Ev = {Cycle, A, B, K};
+    return;
+  }
+  Tr.event(Cycle, K, A, B);
+}
+
+void Machine::stageOrSchedule(uint64_t At, const Delivery &D) {
+  if (ShardBuf *S = TlStage) {
+    StagedOp &Op = S->push();
+    Op.Kind = StagedOp::K::Schedule;
+    Op.At = At;
+    Op.D = D;
+    return;
+  }
+  schedule(At, D);
+}
+
+void Machine::routeForwardAndSchedule(unsigned FromCore, unsigned ToCore,
+                                      const Delivery &D) {
+  if (ShardBuf *S = TlStage) {
+    StagedOp &Op = S->push();
+    Op.Kind = StagedOp::K::Forward;
+    Op.A = FromCore;
+    Op.B = ToCore;
+    Op.D = D;
+    return;
+  }
+  schedule(Net.routeForward(FromCore, ToCore, Cycle), D);
+}
+
+void Machine::routeBackwardAndSchedule(unsigned FromCore, unsigned ToCore,
+                                       const Delivery &D) {
+  if (ShardBuf *S = TlStage) {
+    StagedOp &Op = S->push();
+    Op.Kind = StagedOp::K::Backward;
+    Op.A = FromCore;
+    Op.B = ToCore;
+    Op.D = D;
+    return;
+  }
+  schedule(Net.routeBackward(FromCore, ToCore, Cycle), D);
+}
+
+void Machine::noteProgress() {
+  if (ShardBuf *S = TlStage) {
+    S->Progress = true;
+    return;
+  }
+  LastProgress = Cycle;
+}
+
+void Machine::noteGate(int Delta) {
+  if (ShardBuf *S = TlStage) {
+    S->GateDelta += Delta;
+    return;
+  }
+  GateCount = static_cast<uint64_t>(static_cast<int64_t>(GateCount) + Delta);
+}
+
+void Machine::noteAccess(bool Local) {
+  if (ShardBuf *S = TlStage) {
+    ++(Local ? S->LocalAcc : S->RemoteAcc);
+    return;
+  }
+  ++(Local ? LocalAccesses : RemoteAccesses);
+}
+
+bool Machine::runHalted() const {
+  if (const ShardBuf *S = TlStage)
+    if (S->Halted)
+      return true;
+  return Halted;
+}
+
+void Machine::wake(unsigned CoreId, uint64_t At) {
+  ShardBuf *S = TlStage;
+  if (S && (CoreId < S->CoreBegin || CoreId >= S->CoreEnd)) {
+    StagedOp &Op = S->push();
+    Op.Kind = StagedOp::K::Wake;
+    Op.A = CoreId;
+    Op.At = At;
+    return;
+  }
+  wakeCore(CoreId, At);
+}
 
 //===----------------------------------------------------------------------===//
 // Construction and loading
@@ -127,12 +231,21 @@ IoDevice *Machine::findDevice(uint32_t Addr, uint32_t &Offset) {
   return nullptr;
 }
 
-void Machine::fault(const std::string &Msg) {
+void Machine::fault(std::string Msg) {
+  if (ShardBuf *S = TlStage) {
+    // A worker-observed fault: stage it (the merge decides whether it is
+    // reached in canonical order) and stop this shard's work.
+    StagedOp &Op = S->push();
+    Op.Kind = StagedOp::K::Fault;
+    Op.Msg = std::move(Msg);
+    S->Halted = true;
+    return;
+  }
   if (Status == RunStatus::Fault)
     return; // keep the first message
   Status = RunStatus::Fault;
   Halted = true;
-  FaultMsg = Msg;
+  FaultMsg = std::move(Msg);
 }
 
 //===----------------------------------------------------------------------===//
@@ -192,11 +305,34 @@ void Machine::schedule(uint64_t At, Delivery D) {
   }
 
   if (At - Cycle >= WheelSize) {
-    Overflow.emplace(At, D);
+    // Far future: flat min-heap ordered by (At, Seq). The insertion
+    // sequence number makes the pop order of equal-cycle entries match
+    // their insertion order, which is what the old ordered-multimap
+    // backing guaranteed.
+    Overflow.push_back({At, OverflowSeq++, D});
+    std::push_heap(Overflow.begin(), Overflow.end(), overflowLater);
     return;
   }
   Wheel[At % WheelSize].push_back(D);
   ++WheelCount;
+}
+
+void Machine::collectDue() {
+  // The due wheel slot is swapped into a reused staging buffer (no
+  // per-cycle allocation, and the slot keeps its grown capacity for the
+  // next lap); due far-future deliveries append behind it, preserving
+  // the wheel-before-overflow arrival order of the reference loop.
+  DueBuf.clear();
+  std::vector<Delivery> &Slot = Wheel[Cycle % WheelSize];
+  if (!Slot.empty()) {
+    WheelCount -= Slot.size();
+    std::swap(DueBuf, Slot);
+  }
+  while (!Overflow.empty() && Overflow.front().At == Cycle) {
+    DueBuf.push_back(Overflow.front().D);
+    std::pop_heap(Overflow.begin(), Overflow.end(), overflowLater);
+    Overflow.pop_back();
+  }
 }
 
 void Machine::fillSlot(Hart &H, unsigned Slot, uint32_t Value) {
@@ -218,13 +354,34 @@ void Machine::finishRb(Hart &H, uint32_t Value, uint64_t ReadyCycle) {
 void Machine::deliver(const Delivery &D) {
   // Whatever this delivery enables, the target core can act on it this
   // very cycle (deliveries precede the stages), so wake it now.
-  wakeCore(D.HartId / HartsPerCore, Cycle);
+  wake(D.HartId / HartsPerCore, Cycle);
   if (Cfg.EnableCheckers) {
-    Ck.onDelivered(*this, D);
-    if (Halted)
-      return; // a machine check stops the delivery from applying
+    if (ShardBuf *S = TlStage) {
+      // Split checker: the global accounting is staged (its counters
+      // are shared), the per-delivery validation reads only the target
+      // hart — owned by this shard — and its verdict rides on the same
+      // op, so the merge replays accounting + report as one unit,
+      // exactly like the serial onDelivered.
+      StagedOp &Op = S->push();
+      Op.Kind = StagedOp::K::Account;
+      Op.Check = true; // serial checks Halted right after onDelivered
+      Op.D = D;
+      Checker::Violation V;
+      if (Ck.validateDelivered(*this, D, V)) {
+        Op.B = 1; // violation attached
+        Op.CheckK = V.Kind;
+        Op.A = V.Hart;
+        Op.Msg = std::move(V.Message);
+        S->Halted = true;
+        return; // a machine check stops the delivery from applying
+      }
+    } else {
+      Ck.onDelivered(*this, D);
+      if (Halted)
+        return; // a machine check stops the delivery from applying
+    }
   }
-  LastProgress = Cycle;
+  noteProgress();
   Hart &H = hart(D.HartId);
 
   switch (D.K) {
@@ -256,12 +413,13 @@ void Machine::deliver(const Delivery &D) {
       unsigned Core = D.Value; // carries the owning core for local ops
       if (D.IsWrite) {
         Mem.writeLocal(Core, Rel, D.StoreWord, D.Width);
-        Tr.event(Cycle, EventKind::BankWrite, Addr, D.StoreWord);
-        schedule(D.RespCycle, {Delivery::Kind::MemAck, D.HartId, 0, 0, 0,
-                               Addr & ~3u, 4, 0, false, false, false});
+        emit(EventKind::BankWrite, Addr, D.StoreWord);
+        stageOrSchedule(D.RespCycle,
+                        {Delivery::Kind::MemAck, D.HartId, 0, 0, 0,
+                         Addr & ~3u, 4, 0, false, false, false});
       } else {
         Value = Mem.readLocal(Core, Rel, D.Width);
-        Tr.event(Cycle, EventKind::BankRead, Addr, Value);
+        emit(EventKind::BankRead, Addr, Value);
       }
     } else {
       assert(isGlobalAddr(Addr) && "bank access outside banked memory");
@@ -273,12 +431,13 @@ void Machine::deliver(const Delivery &D) {
       uint32_t Off = Rel & (Cfg.globalBankSize() - 1);
       if (D.IsWrite) {
         Mem.writeGlobal(Bank, Off, D.StoreWord, D.Width);
-        Tr.event(Cycle, EventKind::BankWrite, Addr, D.StoreWord);
-        schedule(D.RespCycle, {Delivery::Kind::MemAck, D.HartId, 0, 0, 0,
-                               Addr & ~3u, 4, 0, false, false, false});
+        emit(EventKind::BankWrite, Addr, D.StoreWord);
+        stageOrSchedule(D.RespCycle,
+                        {Delivery::Kind::MemAck, D.HartId, 0, 0, 0,
+                         Addr & ~3u, 4, 0, false, false, false});
       } else {
         Value = Mem.readGlobal(Bank, Off, D.Width);
-        Tr.event(Cycle, EventKind::BankRead, Addr, Value);
+        emit(EventKind::BankRead, Addr, Value);
       }
     }
     if (!D.IsWrite) {
@@ -287,8 +446,9 @@ void Machine::deliver(const Delivery &D) {
         Value = static_cast<uint32_t>(
             static_cast<int32_t>(Value << Shift) >> Shift);
       }
-      schedule(D.RespCycle, {Delivery::Kind::RbFill, D.HartId, Value, 0, 0,
-                             0, 4, 0, false, false, true});
+      stageOrSchedule(D.RespCycle,
+                      {Delivery::Kind::RbFill, D.HartId, Value, 0, 0, 0, 4,
+                       0, false, false, true});
     }
     return;
   }
@@ -320,7 +480,7 @@ void Machine::deliver(const Delivery &D) {
 
   case Delivery::Kind::Token:
     H.Token = true;
-    Tr.event(Cycle, EventKind::TokenPass, D.Value, D.HartId);
+    emit(EventKind::TokenPass, D.Value, D.HartId);
     return;
 
   case Delivery::Kind::JoinMsg:
@@ -336,10 +496,13 @@ void Machine::deliver(const Delivery &D) {
     H.PcValid = true;
     H.NoFetchUntil = Cycle + 1;
     H.Token = true;
-    Tr.event(Cycle, EventKind::Join, D.HartId, D.Value);
+    emit(EventKind::Join, D.HartId, D.Value);
     // A join completes a team barrier: accesses on opposite sides can
     // never race, which is what the mem-log epoch encodes.
-    ++JoinEpoch;
+    if (ShardBuf *S = TlStage)
+      ++S->JoinEpochDelta;
+    else
+      ++JoinEpoch;
     if (D.HartId == 0)
       Hart0InTeam = false;
     return;
@@ -356,6 +519,9 @@ void Machine::deliver(const Delivery &D) {
 //===----------------------------------------------------------------------===//
 
 int Machine::allocateHart(unsigned CoreId, unsigned ByHart) {
+  // Only the gate ops (p_fc/p_fn/fork-calls) allocate, so this always
+  // runs in reference order — never under a shard worker.
+  assert(!TlStage && "hart allocation under a shard worker");
   Core &C = Cores[CoreId];
   for (unsigned K = 0; K != HartsPerCore; ++K) {
     unsigned H = (C.AllocRR + K) % HartsPerCore;
@@ -394,13 +560,17 @@ void Machine::startHart(unsigned HartId, uint32_t StartPc) {
   H.Pc = StartPc;
   H.PcValid = true;
   H.NoFetchUntil = Cycle + 1;
-  LastProgress = Cycle;
-  Tr.event(Cycle, EventKind::HartStart, HartId, StartPc);
+  noteProgress();
+  emit(EventKind::HartStart, HartId, StartPc);
 }
 
 void Machine::freeHart(unsigned HartId) {
   Hart &H = hart(HartId);
-  Tr.event(Cycle, EventKind::HartEnd, HartId);
+  emit(EventKind::HartEnd, HartId);
+  // Gate ops decoded but never issued die with the hart; settle their
+  // contribution to the serial gate before the reset wipes the count.
+  if (H.PendingGateOps != 0)
+    noteGate(-static_cast<int>(H.PendingGateOps));
   H.clearForFree();
   // A freed hart un-blocks p_fc retries on this core and p_fn retries
   // on the previous one. This core's own issue stage runs later this
@@ -408,9 +578,9 @@ void Machine::freeHart(unsigned HartId) {
   // already ran, so its retry lands next cycle — exactly when the
   // reference path would succeed.
   unsigned CoreId = HartId / HartsPerCore;
-  wakeCore(CoreId, Cycle + 1);
+  wake(CoreId, Cycle + 1);
   if (CoreId != 0)
-    wakeCore(CoreId - 1, Cycle + 1);
+    wake(CoreId - 1, Cycle + 1);
 }
 
 void Machine::sendToken(unsigned FromHart, unsigned ToHart) {
@@ -427,9 +597,10 @@ void Machine::sendToken(unsigned FromHart, unsigned ToHart) {
                        FromHart, ToHart));
     return;
   }
-  uint64_t Arrive = Net.routeForward(FromCore, ToCore, Cycle);
-  schedule(Arrive, {Delivery::Kind::Token, static_cast<uint16_t>(ToHart),
-                    FromHart, 0, 0, 0, 4, 0, false, false, false});
+  routeForwardAndSchedule(FromCore, ToCore,
+                          {Delivery::Kind::Token,
+                           static_cast<uint16_t>(ToHart), FromHart, 0, 0, 0,
+                           4, 0, false, false, false});
 }
 
 //===----------------------------------------------------------------------===//
@@ -456,6 +627,15 @@ void Machine::commitRet(unsigned CoreId, unsigned HartInCore, Hart &H,
 
   // Type 1: exit the process.
   if (Ra == 0 && T0 == HartRefExit) {
+    if (ShardBuf *S = TlStage) {
+      // Status flip + Exit event replay as one op, so the merge's
+      // stop-on-halt never separates them.
+      StagedOp &Op = S->push();
+      Op.Kind = StagedOp::K::Exit;
+      Op.A = SelfId;
+      S->Halted = true;
+      return;
+    }
     Halted = true;
     Status = RunStatus::Exited;
     Tr.event(Cycle, EventKind::Exit, SelfId);
@@ -507,9 +687,10 @@ void Machine::commitRet(unsigned CoreId, unsigned HartInCore, Hart &H,
                        SelfId, Join));
     return;
   }
-  uint64_t Arrive = Net.routeBackward(CoreId, JoinCore, Cycle);
-  schedule(Arrive, {Delivery::Kind::JoinMsg, static_cast<uint16_t>(Join),
-                    Ra, 0, 0, 0, 4, 0, false, false, false});
+  routeBackwardAndSchedule(CoreId, JoinCore,
+                           {Delivery::Kind::JoinMsg,
+                            static_cast<uint16_t>(Join), Ra, 0, 0, 0, 4, 0,
+                            false, false, false});
   H.Token = false;
   freeHart(SelfId);
 }
@@ -532,10 +713,18 @@ bool Machine::stageCommit(unsigned CoreId) {
       continue;
 
     C.CommitRR = (HIdx + 1) % HartsPerCore;
-    LastProgress = Cycle;
+    noteProgress();
     ++H.Retired;
-    ++TotalRetired;
-    Tr.event(Cycle, EventKind::Commit, hartId(CoreId, HIdx), E.Pc);
+    if (ShardBuf *S = TlStage) {
+      // TotalRetired is a fingerprint observable: staged next to its
+      // Commit event so retirements canonically after a fault/exit are
+      // discarded with it, exactly like the serial loop.
+      StagedOp &Op = S->push();
+      Op.Kind = StagedOp::K::Retire;
+    } else {
+      ++TotalRetired;
+    }
+    emit(EventKind::Commit, hartId(CoreId, HIdx), E.Pc);
 
     // Pop before the ret actions: freeing or parking the hart resets or
     // abandons the ROB.
@@ -655,13 +844,19 @@ bool Machine::stageIssue(unsigned CoreId) {
         continue;
       if (!extraIssueConditions(*this, H, E))
         continue;
+      bool WasGate = isGateOp(E.I);
       if (tryIssue(CoreId, HIdx, Idx)) {
+        if (WasGate) {
+          assert(H.PendingGateOps != 0 && "gate count underflow");
+          --H.PendingGateOps;
+          noteGate(-1);
+        }
         C.IssueRR = (HIdx + 1) % HartsPerCore;
         if (Cfg.CollectStallStats)
           ++IssuedCoreCycles;
         return true;
       }
-      if (Halted)
+      if (runHalted())
         return false;
     }
   }
@@ -869,46 +1064,40 @@ bool Machine::issueMemOp(unsigned CoreId, unsigned HartInCore, Hart &H,
     return false;
   }
 
-  // Classify the destination and reserve the path.
-  uint64_t AccessCycle, RespCycle;
+  // Classify the destination. Local accesses have a closed-form timing;
+  // global and I/O accesses need a path reservation, which is deferred
+  // behind a MemIntent: the hart-visible transition below never depends
+  // on the route outcome (routing decides only when the delivery
+  // fires), so a shard worker can apply the hart effects now and leave
+  // the reservation to the canonical-order merge.
+  uint64_t AccessCycle = 0, RespCycle = 0;
   bool IsIo = false;
+  bool IsLocal = false;
+  unsigned Bank = 0;
   if (isLocalAddr(Addr)) {
+    // p_swcv to the next core rides the forward link; it is a gate op,
+    // so this reservation always runs in reference order.
+    assert((I.Op != Opcode::P_SWCV || !TlStage) &&
+           "p_swcv issued under a shard worker");
     uint64_t Extra =
         I.Op == Opcode::P_SWCV && LocalCore != CoreId
             ? Net.routeForward(CoreId, LocalCore, Cycle) - Cycle
             : 0;
     AccessCycle = Cycle + Extra + 1;
     RespCycle = Cycle + Extra + Cfg.LocalMemLatency;
-    ++LocalAccesses;
+    IsLocal = true;
+    noteAccess(true);
   } else if (isGlobalAddr(Addr)) {
     uint32_t Rel = Addr - GlobalBase;
-    unsigned Bank = Rel >> Cfg.GlobalBankSizeLog2;
+    Bank = Rel >> Cfg.GlobalBankSizeLog2;
     if (Bank >= Cfg.NumCores) {
       fault(formatString("access at 0x%08x is beyond the last global bank "
                          "(hart %u, pc 0x%x)",
                          Addr, SelfId, E.Pc));
       return false;
     }
-    Interconnect::GlobalPath Path = Net.routeGlobal(CoreId, Bank, Cycle);
-    AccessCycle = Path.BankCycle;
-    RespCycle = Path.ResponseCycle;
-    if (FPlan.enabled()) {
-      bool NewlyFired = false;
-      uint64_t Stall = FPlan.stuckBankStall(Bank, AccessCycle, NewlyFired);
-      if (NewlyFired)
-        Tr.event(Cycle, EventKind::FaultInject,
-                 static_cast<uint64_t>(FaultKind::StuckBank), Bank);
-      AccessCycle += Stall;
-      RespCycle += Stall;
-    }
-    if (Bank == CoreId)
-      ++LocalAccesses;
-    else
-      ++RemoteAccesses;
+    noteAccess(Bank == CoreId);
   } else if (isIoAddr(Addr)) {
-    Interconnect::GlobalPath Path = Net.routeIo(Cycle);
-    AccessCycle = Path.BankCycle;
-    RespCycle = Path.ResponseCycle;
     IsIo = true;
   } else if (isCodeAddr(Addr) && !IsWrite) {
     // Constant data in the code bank: served locally, read immediately
@@ -937,19 +1126,8 @@ bool Machine::issueMemOp(unsigned CoreId, unsigned HartInCore, Hart &H,
     return false;
   }
 
-  RespCycle = std::max(RespCycle, AccessCycle + 1);
-
-  Delivery D;
-  D.K = IsIo ? Delivery::Kind::IoAccess : Delivery::Kind::BankAccess;
-  D.HartId = static_cast<uint16_t>(SelfId);
-  D.Addr = Addr;
-  D.Width = static_cast<uint8_t>(Width);
-  D.SignExt = SignExt;
-  D.IsWrite = IsWrite;
-  D.RespCycle = RespCycle;
-  D.Value = LocalCore; // owning core for local-bank accesses
+  // Hart-side effects (identical for every destination class).
   if (IsWrite) {
-    D.StoreWord = Data;
     ++H.OutstandingMem;
     H.PendingStoreWords.push_back(Addr & ~3u);
     E.State = RobEntry::St::Done;
@@ -961,8 +1139,80 @@ bool Machine::issueMemOp(unsigned CoreId, unsigned HartInCore, Hart &H,
     ++H.OutstandingMem;
     E.State = RobEntry::St::Issued;
   }
-  schedule(AccessCycle, D);
+
+  if (IsLocal) {
+    RespCycle = std::max(RespCycle, AccessCycle + 1);
+    Delivery D;
+    D.K = Delivery::Kind::BankAccess;
+    D.HartId = static_cast<uint16_t>(SelfId);
+    D.Addr = Addr;
+    D.Width = static_cast<uint8_t>(Width);
+    D.SignExt = SignExt;
+    D.IsWrite = IsWrite;
+    D.RespCycle = RespCycle;
+    D.Value = LocalCore; // owning core for local-bank accesses
+    if (IsWrite)
+      D.StoreWord = Data;
+    stageOrSchedule(AccessCycle, D);
+    return true;
+  }
+
+  MemIntent In;
+  In.Addr = Addr;
+  In.Data = Data;
+  In.SelfId = static_cast<uint16_t>(SelfId);
+  In.CoreId = static_cast<uint16_t>(CoreId);
+  In.Bank = static_cast<uint16_t>(Bank);
+  In.Width = static_cast<uint8_t>(Width);
+  In.SignExt = SignExt;
+  In.IsWrite = IsWrite;
+  In.IsIo = IsIo;
+  if (ShardBuf *S = TlStage) {
+    StagedOp &Op = S->push();
+    Op.Kind = StagedOp::K::Mem;
+    Op.MI = In;
+  } else {
+    routeAndScheduleMem(In);
+  }
   return true;
+}
+
+void Machine::routeAndScheduleMem(const MemIntent &In) {
+  uint64_t AccessCycle, RespCycle;
+  if (In.IsIo) {
+    Interconnect::GlobalPath Path = Net.routeIo(Cycle);
+    AccessCycle = Path.BankCycle;
+    RespCycle = Path.ResponseCycle;
+  } else {
+    Interconnect::GlobalPath Path =
+        Net.routeGlobal(In.CoreId, In.Bank, Cycle);
+    AccessCycle = Path.BankCycle;
+    RespCycle = Path.ResponseCycle;
+    if (FPlan.enabled()) {
+      bool NewlyFired = false;
+      uint64_t Stall =
+          FPlan.stuckBankStall(In.Bank, AccessCycle, NewlyFired);
+      if (NewlyFired)
+        Tr.event(Cycle, EventKind::FaultInject,
+                 static_cast<uint64_t>(FaultKind::StuckBank), In.Bank);
+      AccessCycle += Stall;
+      RespCycle += Stall;
+    }
+  }
+  RespCycle = std::max(RespCycle, AccessCycle + 1);
+
+  Delivery D;
+  D.K = In.IsIo ? Delivery::Kind::IoAccess : Delivery::Kind::BankAccess;
+  D.HartId = In.SelfId;
+  D.Addr = In.Addr;
+  D.Width = In.Width;
+  D.SignExt = In.SignExt;
+  D.IsWrite = In.IsWrite;
+  D.RespCycle = RespCycle;
+  D.Value = In.CoreId; // == the owning core only for local accesses
+  if (In.IsWrite)
+    D.StoreWord = In.Data;
+  schedule(AccessCycle, D);
 }
 
 bool Machine::issueXPar(unsigned CoreId, unsigned HartInCore, Hart &H,
@@ -1030,6 +1280,9 @@ bool Machine::issueXPar(unsigned CoreId, unsigned HartInCore, Hart &H,
       E.DoneCycle = Cycle + Cfg.AluLatency;
       return true;
     }
+    // Fork-calls read the target hart's state (possibly on the next
+    // core); they are gate ops, so this always runs in reference order.
+    assert(!TlStage && "fork-call issued under a shard worker");
     uint32_t Target = hartRefSuccessor(A);
     if (Target >= Cfg.numHarts()) {
       fault(formatString("fork-call on hart %u targets nonexistent hart "
@@ -1080,13 +1333,12 @@ bool Machine::issueXPar(unsigned CoreId, unsigned HartInCore, Hart &H,
                          SelfId, Target));
       return false;
     }
-    uint64_t Arrive = Net.routeBackward(CoreId, TargetCore, Cycle);
     Delivery D;
     D.K = Delivery::Kind::SlotFill;
     D.HartId = static_cast<uint16_t>(Target);
     D.Value = B;
     D.Slot = static_cast<uint8_t>(Slot);
-    schedule(Arrive, D);
+    routeBackwardAndSchedule(CoreId, TargetCore, D);
     E.State = RobEntry::St::Done;
     E.DoneCycle = Cycle + Cfg.AluLatency;
     return true;
@@ -1188,6 +1440,14 @@ bool Machine::stageDecode(unsigned CoreId) {
     ++H.RobCount;
     H.IbFull = false;
 
+    // Decoding a cross-core-sensitive op arms the serial gate for the
+    // next cycle: issue precedes decode in the stage order, so this op
+    // cannot issue before the gate is merged at the coming barrier.
+    if (isGateOp(I)) {
+      ++H.PendingGateOps;
+      noteGate(+1);
+    }
+
     // Resolve the next pc when it is known at decode.
     if (I.Op == Opcode::JAL || I.Op == Opcode::P_JAL) {
       H.Pc = E.Pc + static_cast<uint32_t>(I.Imm);
@@ -1275,7 +1535,7 @@ uint64_t Machine::coreWakeCycle(const Core &C) const {
 }
 
 uint64_t Machine::nextDeliveryCycle() const {
-  uint64_t Next = Overflow.empty() ? UINT64_MAX : Overflow.begin()->first;
+  uint64_t Next = Overflow.empty() ? UINT64_MAX : Overflow.front().At;
   if (WheelCount != 0) {
     // Every wheel entry lands within WheelSize cycles of now, so the
     // first populated slot on the walk forward is the earliest one.
@@ -1290,9 +1550,47 @@ uint64_t Machine::nextDeliveryCycle() const {
   return Next;
 }
 
+bool Machine::cycleStagesSerial() {
+  bool Acted = false;
+  for (unsigned CoreId = 0; CoreId != Cfg.NumCores; ++CoreId) {
+    Core &C = Cores[CoreId];
+    // Active-set scheduling: a sleeping core provably cannot act
+    // before its WakeAt (deliveries and hart frees pull it forward),
+    // and the round-robin pointers only advance on actions, so
+    // skipping its stages is invisible to the event stream.
+    if (FastRun && Cycle < C.WakeAt)
+      continue;
+    bool CoreActed = stageCommit(CoreId);
+    if (Halted)
+      break;
+    CoreActed |= stageWriteback(CoreId);
+    CoreActed |= stageIssue(CoreId);
+    if (Halted)
+      break;
+    CoreActed |= stageDecode(CoreId);
+    if (Halted)
+      break;
+    CoreActed |= stageFetch(CoreId);
+    if (Halted)
+      break;
+    if (FastRun) {
+      if (CoreActed) {
+        C.WakeAt = Cycle; // stay hot: more work may be ready next cycle
+        Acted = true;
+      } else {
+        // Later same-cycle wakeCore calls still pull this forward.
+        C.WakeAt = coreWakeCycle(C);
+      }
+    }
+  }
+  return Acted;
+}
+
 RunStatus Machine::run(uint64_t MaxCycles) {
   if (Status == RunStatus::Fault)
     return Status;
+  if (parallelEligible())
+    return runParallel(MaxCycles);
   Status = RunStatus::MaxCycles;
   Halted = false;
   uint64_t Budget = MaxCycles;
@@ -1302,21 +1600,8 @@ RunStatus Machine::run(uint64_t MaxCycles) {
     ++Cycle;
 
     // Deliveries first: responses, starts and tokens scheduled for this
-    // cycle are visible to the stages below. The due wheel slot is
-    // swapped into a reused staging buffer (no per-cycle allocation,
-    // and the slot keeps its grown capacity for the next lap); due
-    // far-future deliveries append behind it, preserving the
-    // wheel-before-overflow arrival order of the reference loop.
-    DueBuf.clear();
-    std::vector<Delivery> &Slot = Wheel[Cycle % WheelSize];
-    if (!Slot.empty()) {
-      WheelCount -= Slot.size();
-      std::swap(DueBuf, Slot);
-    }
-    while (!Overflow.empty() && Overflow.begin()->first == Cycle) {
-      DueBuf.push_back(Overflow.begin()->second);
-      Overflow.erase(Overflow.begin());
-    }
+    // cycle are visible to the stages below.
+    collectDue();
     for (const Delivery &D : DueBuf) {
       deliver(D);
       if (Halted)
@@ -1325,38 +1610,7 @@ RunStatus Machine::run(uint64_t MaxCycles) {
     if (Halted)
       break;
 
-    bool Acted = false;
-    for (unsigned CoreId = 0; CoreId != Cfg.NumCores; ++CoreId) {
-      Core &C = Cores[CoreId];
-      // Active-set scheduling: a sleeping core provably cannot act
-      // before its WakeAt (deliveries and hart frees pull it forward),
-      // and the round-robin pointers only advance on actions, so
-      // skipping its stages is invisible to the event stream.
-      if (FastRun && Cycle < C.WakeAt)
-        continue;
-      bool CoreActed = stageCommit(CoreId);
-      if (Halted)
-        break;
-      CoreActed |= stageWriteback(CoreId);
-      CoreActed |= stageIssue(CoreId);
-      if (Halted)
-        break;
-      CoreActed |= stageDecode(CoreId);
-      if (Halted)
-        break;
-      CoreActed |= stageFetch(CoreId);
-      if (Halted)
-        break;
-      if (FastRun) {
-        if (CoreActed) {
-          C.WakeAt = Cycle; // stay hot: more work may be ready next cycle
-          Acted = true;
-        } else {
-          // Later same-cycle wakeCore calls still pull this forward.
-          C.WakeAt = coreWakeCycle(C);
-        }
-      }
-    }
+    bool Acted = cycleStagesSerial();
     if (Halted)
       break;
 
@@ -1422,8 +1676,8 @@ unsigned Machine::pendingDeliveriesFor(unsigned HartId) const {
   for (const std::vector<Delivery> &Slot : Wheel)
     for (const Delivery &D : Slot)
       N += D.HartId == HartId;
-  for (const auto &Entry : Overflow)
-    N += Entry.second.HartId == HartId;
+  for (const OverflowEntry &Entry : Overflow)
+    N += Entry.D.HartId == HartId;
   return N;
 }
 

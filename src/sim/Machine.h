@@ -25,7 +25,6 @@
 #include "sim/Memory.h"
 #include "sim/Trace.h"
 
-#include <map>
 #include <memory>
 #include <string>
 
@@ -71,6 +70,28 @@ struct Delivery {
   uint8_t Parity = 0;     ///< Link parity, set by Machine::schedule().
 };
 
+/// A shared-memory access whose interconnect routing the parallel
+/// engine's shard workers defer to the epoch merge: the hart-visible
+/// state transition of a memory op never depends on the route outcome
+/// (routing decides only *when* the Bank/IoAccess delivery fires), so a
+/// worker applies the hart effects immediately and stages this intent.
+/// The merge replays intents in the canonical core order, reproducing
+/// the serial loop's link-reservation and fault-injection order exactly.
+struct MemIntent {
+  uint32_t Addr = 0;
+  uint32_t Data = 0;       ///< Store payload.
+  uint16_t SelfId = 0;     ///< Requesting hart.
+  uint16_t CoreId = 0;     ///< Requesting core (route source).
+  uint16_t Bank = 0;       ///< Global bank (unused for I/O).
+  uint8_t Width = 4;
+  bool SignExt = false;
+  bool IsWrite = false;
+  bool IsIo = false;
+};
+
+struct ShardBuf; // per-shard staging buffer (ParallelEngine.h)
+struct ParEngine;
+
 class Machine {
 public:
   explicit Machine(const SimConfig &Config);
@@ -110,6 +131,18 @@ public:
   const FaultPlan &faultPlan() const { return FPlan; }
   uint64_t contentionCycles() const { return Net.contentionCycles(); }
   const Interconnect &interconnect() const { return Net; }
+
+  /// The parallel engine's epoch length in cycles: the cross-shard
+  /// lookahead derived from the latency table (minCrossCoreLatency),
+  /// optionally tightened by SimConfig::EpochOverride. Reported by the
+  /// benchmarks; with the shipped latencies this is 1, so the engine's
+  /// per-cycle merge is exactly one epoch.
+  uint64_t epochLength() const {
+    uint64_t L = minCrossCoreLatency(Cfg);
+    if (Cfg.EpochOverride != 0 && Cfg.EpochOverride < L)
+      L = Cfg.EpochOverride;
+    return L;
+  }
 
   /// Why issue slots went unused (filled when CollectStallStats is on).
   /// One count per core-cycle that issued nothing, by dominant cause.
@@ -157,11 +190,15 @@ public:
   const std::vector<MemAccess> &memLog() const { return MemLog; }
 
 private:
-  friend class Checker; // read-only sweeps over the machine state
+  friend class Checker;   // read-only sweeps over the machine state
+  friend struct ParEngine; // the epoch orchestrator (ParallelEngine.cpp)
 
   // -- Deliveries -----------------------------------------------------
   void schedule(uint64_t At, Delivery D);
   void deliver(const Delivery &D);
+  /// Moves every delivery due this cycle from the wheel/overflow heap
+  /// into DueBuf, preserving wheel-before-overflow arrival order.
+  void collectDue();
 
   // -- Pipeline stages (per core, one hart each per cycle) -------------
   // Each returns true when the stage acted (selected a hart and changed
@@ -191,9 +228,73 @@ private:
   unsigned hartId(unsigned CoreId, unsigned HartInCore) const {
     return CoreId * HartsPerCore + HartInCore;
   }
-  void fault(const std::string &Msg);
+  void fault(std::string Msg);
   /// The livelock diagnosis: one wait-state line per non-free hart.
   std::string livelockReport() const;
+
+  // -- Parallel engine (ParallelEngine.cpp; docs/PERFORMANCE.md) --------
+  // The sharded engine runs the delivery phase and the stage phase of a
+  // cycle on worker threads, one whole shard (contiguous core range)
+  // per claim. Side effects with cross-shard or global order — trace
+  // events, schedule() calls, interconnect reservations, checker
+  // counters — are captured in per-shard staging buffers through the
+  // hooks below (no-ops on the serial engines, where TlStage is null)
+  // and replayed serially at the barrier in the reference loop's
+  // canonical order, making every observable bit-identical.
+  RunStatus runParallel(uint64_t MaxCycles);
+  /// Modes whose bookkeeping needs the single-thread reference order.
+  bool parallelEligible() const {
+    return Cfg.HostThreads > 1 && !Cfg.CollectStallStats &&
+           !Cfg.CollectMemLog;
+  }
+  /// One reference-order pass over every core's stages for the current
+  /// cycle (shared by run() and the parallel engine's gated cycles).
+  /// Returns true when any core acted; false also on halt.
+  bool cycleStagesSerial();
+  /// Trace event, staged when a shard worker is running.
+  void emit(EventKind K, uint64_t A, uint64_t B = 0);
+  /// schedule() with a precomputed arrival, staged under a worker.
+  void stageOrSchedule(uint64_t At, const Delivery &D);
+  /// Link reservation + schedule, staged under a worker (the merge
+  /// replays them in canonical order, so reservation order — and with
+  /// it every arrival cycle — matches the serial loop's).
+  void routeForwardAndSchedule(unsigned FromCore, unsigned ToCore,
+                               const Delivery &D);
+  void routeBackwardAndSchedule(unsigned FromCore, unsigned ToCore,
+                                const Delivery &D);
+  /// Serial tail of a routed global/I-O access: reserve the path, apply
+  /// a stuck-bank stall, schedule the Bank/IoAccess delivery.
+  void routeAndScheduleMem(const MemIntent &In);
+  /// LastProgress update (per-shard flag under a worker).
+  void noteProgress();
+  /// Serial-gate bookkeeping (see isGateOp / GateCount).
+  void noteGate(int Delta);
+  /// Local/remote access statistics (per-shard deltas under a worker).
+  void noteAccess(bool Local);
+  /// Halted, including the current worker's staged halt.
+  bool runHalted() const;
+  /// wakeCore() that stages cross-shard wakes under a worker.
+  void wake(unsigned CoreId, uint64_t At);
+  /// Ops with same-cycle cross-core effects or reads (p_fc/p_fn hart
+  /// allocation, p_swcv's remote sp read, fork-call's remote state
+  /// read). While any is decoded but not yet issued, the next cycle
+  /// runs gated (exact serial order) — sound because issue precedes
+  /// decode in the stage order, so a gate op decoded in cycle T cannot
+  /// issue before T+1, by which time the barrier has merged the gate
+  /// counter.
+  static bool isGateOp(const isa::Instr &I) {
+    switch (I.Op) {
+    case isa::Opcode::P_FC:
+    case isa::Opcode::P_FN:
+    case isa::Opcode::P_SWCV:
+    case isa::Opcode::P_JAL:
+      return true;
+    case isa::Opcode::P_JALR:
+      return I.Rd != 0; // rd == x0 is the ending protocol (hart-local)
+    default:
+      return false;
+    }
+  }
 
   // -- Fast path (SimConfig::FastPath; docs/PERFORMANCE.md) -------------
   /// Earliest future cycle at which any stage of \p C could act again,
@@ -237,6 +338,9 @@ private:
   std::string FaultMsg;
 
   uint64_t TotalRetired = 0;
+  /// In-flight cross-core-sensitive ops (sum of Hart::PendingGateOps);
+  /// the parallel engine runs gated (serial) cycles while nonzero.
+  uint64_t GateCount = 0;
   // Dynamic-oracle memory log (CollectMemLog; see memLog()).
   std::vector<MemAccess> MemLog;
   uint64_t JoinEpoch = 0;
@@ -247,10 +351,26 @@ private:
   uint64_t IssuedCoreCycles = 0;
   void classifyIssueStall(unsigned CoreId);
 
-  // Delivery wheel with a far-future overflow map.
+  // Delivery wheel with a far-future overflow heap. The overflow used
+  // to be a std::multimap; the flat min-heap keeps the hot path free of
+  // node allocations and pointer chasing. Seq preserves the multimap's
+  // insertion order among equal arrival cycles, which the event stream
+  // depends on.
   static constexpr uint64_t WheelSize = 1 << 14;
   std::vector<std::vector<Delivery>> Wheel;
-  std::multimap<uint64_t, Delivery> Overflow;
+  struct OverflowEntry {
+    uint64_t At;
+    uint64_t Seq;
+    Delivery D;
+  };
+  /// Heap comparator ("later than" on (At, Seq)): std::push_heap with
+  /// this predicate builds a min-heap on arrival order.
+  static bool overflowLater(const OverflowEntry &L, const OverflowEntry &R) {
+    return L.At != R.At ? L.At > R.At : L.Seq > R.Seq;
+  }
+  /// Min-heap on (At, Seq) via std::push_heap/pop_heap.
+  std::vector<OverflowEntry> Overflow;
+  uint64_t OverflowSeq = 0;
   /// Entries currently on the wheel (excluding Overflow); lets the fast
   /// path and the checker audit skip full wheel scans when it is empty.
   size_t WheelCount = 0;

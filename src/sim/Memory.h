@@ -33,6 +33,16 @@
 namespace lbp {
 namespace sim {
 
+/// Conservative lookahead of the interconnect (docs/PERFORMANCE.md
+/// "Parallel engine"): the minimum number of cycles between a core
+/// injecting any message and that message mutating state owned by a
+/// *different* core. Every cross-core path goes over a latency-bearing
+/// link — the forward core-to-core link, a backward-line hop, or at
+/// least one router-tree hop plus the bank service port — so the result
+/// is >= 1 for every legal configuration, which is what lets the
+/// parallel engine advance each shard a full epoch between merges.
+unsigned minCrossCoreLatency(const SimConfig &Cfg);
+
 /// Raw storage behind the address map.
 class MemorySystem {
   std::vector<uint8_t> Code;

@@ -1,0 +1,470 @@
+//===- sim/ParallelEngine.cpp - Sharded host-parallel engine ----------------===//
+//
+// Part of the LBP reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The third engine (after the reference loop and the fast path): the
+/// core line is split into contiguous shards simulated by host worker
+/// threads. Each cycle has two parallel phases — deliveries, then
+/// pipeline stages — separated by barriers; the interval between merges
+/// is the epoch, and with the machine's derived cross-shard lookahead
+/// of one cycle (minCrossCoreLatency() == 1 for every shipped latency
+/// table) the per-cycle merge *is* the epoch merge. All globally
+/// ordered side effects are staged per shard and replayed at the merge
+/// in the serial loop's canonical order (cycle, delivery index / core,
+/// program order), so the trace hash, cycle count, retired count,
+/// RunStatus, machine checks and fault-injection behavior are
+/// bit-identical for every thread count. See docs/PERFORMANCE.md
+/// ("Parallel engine") for the correctness argument.
+///
+//===----------------------------------------------------------------------===//
+
+#include "sim/ParallelEngine.h"
+#include "isa/AddressMap.h"
+#include "sim/Machine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <thread>
+
+using namespace lbp;
+using namespace lbp::sim;
+
+namespace {
+/// Spin briefly, then yield: the barriers are sub-microsecond when the
+/// workers are on their own cpus, but oversubscribed hosts (CI, laptops)
+/// need the scheduler's help to make progress.
+inline void spinWait(unsigned &Backoff) {
+  if (++Backoff > 64) {
+    std::this_thread::yield();
+    Backoff = 0;
+  }
+}
+} // namespace
+
+namespace lbp {
+namespace sim {
+
+struct ParEngine {
+  Machine &M;
+  unsigned NumShards = 1;
+  unsigned NumWorkers = 0; // spawned threads; the main thread also claims
+
+  std::vector<ShardBuf> Bufs;
+  std::vector<uint16_t> CoreShard; // core id -> owning shard
+  std::vector<std::vector<uint32_t>> ShardDue; // shard -> due indices
+  std::vector<int32_t> DueOwner; // due index -> shard (-1: serial/devices)
+  std::vector<uint32_t> Cursor;  // per-shard merge cursor
+
+  // Generation barrier. Publishing a new Phase value releases the
+  // merged machine state to the workers; their Arrived increments
+  // release the shard results back. All cross-thread data rides on
+  // these two acquire/release edges, so the engine is race-free by
+  // construction (the TSan job in CI holds it to that).
+  std::atomic<uint32_t> Phase{0};
+  std::atomic<uint32_t> Arrived{0};
+  std::atomic<uint32_t> Claim{0};
+  std::atomic<bool> Quit{false};
+  uint8_t PhaseKind = 0; // 0: deliveries, 1: stages
+  std::vector<std::thread> Threads;
+
+  explicit ParEngine(Machine &Mach);
+  ~ParEngine();
+
+  void workerLoop();
+  void claimShards();
+  void runPhase(uint8_t Kind);
+  void shardDeliveries(unsigned S);
+  void shardStages(unsigned S);
+  void classifyDue();
+  void applyOp(StagedOp &Op);
+  void replayRange(ShardBuf &B, ShardBuf::Range R);
+  void mergeDeliveries();
+  void mergeStages();
+  bool foldDeltas();
+};
+
+} // namespace sim
+} // namespace lbp
+
+ParEngine::ParEngine(Machine &Mach) : M(Mach) {
+  const unsigned T = M.Cfg.HostThreads;
+  const unsigned N = M.Cfg.NumCores;
+  // More shards than threads so idle workers can steal whole un-started
+  // shards; the staging is keyed by shard, never by worker, so the
+  // claim order cannot affect any result.
+  NumShards = std::min(N, 4 * T);
+  if (NumShards == 0)
+    NumShards = 1;
+  Bufs.resize(NumShards);
+  CoreShard.resize(N);
+  unsigned Base = N / NumShards, Rem = N % NumShards, C0 = 0;
+  for (unsigned S = 0; S != NumShards; ++S) {
+    unsigned Len = Base + (S < Rem ? 1 : 0);
+    Bufs[S].CoreBegin = C0;
+    Bufs[S].CoreEnd = C0 + Len;
+    for (unsigned C = C0; C != C0 + Len; ++C)
+      CoreShard[C] = static_cast<uint16_t>(S);
+    C0 += Len;
+    Bufs[S].Ops.reserve(64);
+    Bufs[S].DueRanges.reserve(32);
+    Bufs[S].CoreRanges.reserve(Len);
+  }
+  ShardDue.resize(NumShards);
+  for (std::vector<uint32_t> &V : ShardDue)
+    V.reserve(32);
+  DueOwner.reserve(64);
+  Cursor.assign(NumShards, 0);
+  NumWorkers = T - 1;
+  Threads.reserve(NumWorkers);
+  for (unsigned I = 0; I != NumWorkers; ++I)
+    Threads.emplace_back([this] { workerLoop(); });
+}
+
+ParEngine::~ParEngine() {
+  Quit.store(true, std::memory_order_relaxed);
+  Phase.fetch_add(1, std::memory_order_release);
+  for (std::thread &T : Threads)
+    T.join();
+}
+
+void ParEngine::workerLoop() {
+  uint32_t Seen = 0;
+  for (;;) {
+    uint32_t P;
+    unsigned Backoff = 0;
+    while ((P = Phase.load(std::memory_order_acquire)) == Seen)
+      spinWait(Backoff);
+    Seen = P;
+    if (Quit.load(std::memory_order_relaxed))
+      return;
+    claimShards();
+    Arrived.fetch_add(1, std::memory_order_release);
+  }
+}
+
+void ParEngine::claimShards() {
+  for (;;) {
+    uint32_t S = Claim.fetch_add(1, std::memory_order_relaxed);
+    if (S >= NumShards)
+      return;
+    if (PhaseKind == 0)
+      shardDeliveries(S);
+    else
+      shardStages(S);
+  }
+}
+
+void ParEngine::runPhase(uint8_t Kind) {
+  for (ShardBuf &B : Bufs)
+    B.clearPhase();
+  PhaseKind = Kind;
+  Claim.store(0, std::memory_order_relaxed);
+  Arrived.store(0, std::memory_order_relaxed);
+  Phase.fetch_add(1, std::memory_order_release);
+  claimShards(); // the main thread works too
+  unsigned Backoff = 0;
+  while (Arrived.load(std::memory_order_acquire) != NumWorkers)
+    spinWait(Backoff);
+}
+
+void ParEngine::classifyDue() {
+  const std::vector<Delivery> &Due = M.DueBuf;
+  for (std::vector<uint32_t> &V : ShardDue)
+    V.clear();
+  DueOwner.clear();
+  DueOwner.resize(Due.size());
+  for (uint32_t I = 0; I != Due.size(); ++I) {
+    const Delivery &D = Due[I];
+    int32_t Owner;
+    if (D.K == Delivery::Kind::IoAccess) {
+      // Devices are global objects; their accesses run at the merge.
+      Owner = -1;
+    } else if (D.K == Delivery::Kind::BankAccess) {
+      // Applied at the serving bank: owned by the core whose local
+      // scratchpad (D.Value) or global bank it touches, not by the
+      // requesting hart (whose state a BankAccess never mutates).
+      unsigned Core =
+          isa::isLocalAddr(D.Addr)
+              ? D.Value
+              : (D.Addr - isa::GlobalBase) >> M.Cfg.GlobalBankSizeLog2;
+      Owner = CoreShard[Core];
+    } else {
+      Owner = CoreShard[D.HartId / HartsPerCore];
+    }
+    DueOwner[I] = Owner;
+    if (Owner >= 0)
+      ShardDue[Owner].push_back(I);
+  }
+}
+
+void ParEngine::shardDeliveries(unsigned S) {
+  ShardBuf &B = Bufs[S];
+  TlStage = &B;
+  for (uint32_t Idx : ShardDue[S]) {
+    B.beginUnit();
+    M.deliver(M.DueBuf[Idx]);
+    // The serial loop checks Halted after every delivery.
+    if (B.Ops.size() > B.UnitBegin)
+      B.Ops.back().Check = true;
+    B.endDueUnit();
+    if (B.Halted)
+      break;
+  }
+  TlStage = nullptr;
+}
+
+void ParEngine::shardStages(unsigned S) {
+  ShardBuf &B = Bufs[S];
+  // Serial halt checkpoints sit after the commit, issue, decode and
+  // fetch stages; mark the last op staged by the finishing stage so the
+  // replay stops exactly where the reference loop would.
+  auto FlagCheck = [&B] {
+    if (B.Ops.size() > B.UnitBegin)
+      B.Ops.back().Check = true;
+  };
+  TlStage = &B;
+  for (unsigned CoreId = B.CoreBegin; CoreId != B.CoreEnd; ++CoreId) {
+    Core &C = M.Cores[CoreId];
+    B.beginUnit();
+    if (M.FastRun && M.Cycle < C.WakeAt) {
+      B.endCoreUnit(); // empty unit keeps the merge cursors aligned
+      continue;
+    }
+    bool CoreActed = M.stageCommit(CoreId);
+    FlagCheck();
+    if (B.Halted) {
+      B.endCoreUnit();
+      break;
+    }
+    CoreActed |= M.stageWriteback(CoreId);
+    CoreActed |= M.stageIssue(CoreId);
+    FlagCheck();
+    if (B.Halted) {
+      B.endCoreUnit();
+      break;
+    }
+    CoreActed |= M.stageDecode(CoreId);
+    FlagCheck();
+    if (B.Halted) {
+      B.endCoreUnit();
+      break;
+    }
+    CoreActed |= M.stageFetch(CoreId);
+    FlagCheck();
+    if (B.Halted) {
+      B.endCoreUnit();
+      break;
+    }
+    if (M.FastRun) {
+      if (CoreActed) {
+        C.WakeAt = M.Cycle;
+        B.Acted = true;
+      } else {
+        C.WakeAt = M.coreWakeCycle(C);
+      }
+    }
+    B.endCoreUnit();
+  }
+  TlStage = nullptr;
+}
+
+void ParEngine::applyOp(StagedOp &Op) {
+  switch (Op.Kind) {
+  case StagedOp::K::Event:
+    M.Tr.replay(Op.Ev);
+    return;
+  case StagedOp::K::Schedule:
+    M.schedule(Op.At, Op.D);
+    return;
+  case StagedOp::K::Mem:
+    M.routeAndScheduleMem(Op.MI);
+    return;
+  case StagedOp::K::Forward:
+    M.schedule(M.Net.routeForward(Op.A, Op.B, M.Cycle), Op.D);
+    return;
+  case StagedOp::K::Backward:
+    M.schedule(M.Net.routeBackward(Op.A, Op.B, M.Cycle), Op.D);
+    return;
+  case StagedOp::K::Account:
+    M.Ck.accountDelivered(M, Op.D);
+    if (Op.B != 0)
+      M.Ck.reportStaged(M, Op.CheckK, Op.A, std::move(Op.Msg));
+    return;
+  case StagedOp::K::Fault:
+    M.fault(std::move(Op.Msg));
+    return;
+  case StagedOp::K::Exit:
+    M.Halted = true;
+    M.Status = RunStatus::Exited;
+    M.Tr.event(M.Cycle, EventKind::Exit, Op.A);
+    return;
+  case StagedOp::K::Wake:
+    M.wakeCore(Op.A, Op.At);
+    return;
+  case StagedOp::K::Retire:
+    ++M.TotalRetired;
+    return;
+  }
+}
+
+void ParEngine::replayRange(ShardBuf &B, ShardBuf::Range R) {
+  for (uint32_t I = R.Begin; I != R.End; ++I) {
+    StagedOp &Op = B.Ops[I];
+    applyOp(Op);
+    if (Op.Check && M.Halted)
+      return; // a serial halt checkpoint fired
+  }
+}
+
+void ParEngine::mergeDeliveries() {
+  std::fill(Cursor.begin(), Cursor.end(), 0);
+  const size_t N = M.DueBuf.size();
+  for (size_t I = 0; I != N && !M.Halted; ++I) {
+    int32_t S = DueOwner[I];
+    if (S < 0) {
+      M.deliver(M.DueBuf[I]); // TlStage is null: full serial delivery
+      continue;
+    }
+    ShardBuf &B = Bufs[S];
+    if (Cursor[S] >= B.DueRanges.size())
+      break; // shard stopped early (its halt already replayed)
+    replayRange(B, B.DueRanges[Cursor[S]++]);
+  }
+}
+
+void ParEngine::mergeStages() {
+  std::fill(Cursor.begin(), Cursor.end(), 0);
+  for (unsigned C = 0; C != M.Cfg.NumCores && !M.Halted; ++C) {
+    unsigned S = CoreShard[C];
+    ShardBuf &B = Bufs[S];
+    if (Cursor[S] >= B.CoreRanges.size())
+      break; // shard stopped early (its halt already replayed)
+    replayRange(B, B.CoreRanges[Cursor[S]++]);
+  }
+}
+
+bool ParEngine::foldDeltas() {
+  bool Acted = false;
+  for (ShardBuf &B : Bufs) {
+    M.GateCount = static_cast<uint64_t>(
+        static_cast<int64_t>(M.GateCount) + B.GateDelta);
+    M.JoinEpoch += B.JoinEpochDelta;
+    M.LocalAccesses += B.LocalAcc;
+    M.RemoteAccesses += B.RemoteAcc;
+    if (B.Progress)
+      M.LastProgress = M.Cycle;
+    Acted |= B.Acted;
+  }
+  return Acted;
+}
+
+RunStatus Machine::runParallel(uint64_t MaxCycles) {
+  assert(parallelEligible() && "parallel engine on an ineligible config");
+  Status = RunStatus::MaxCycles;
+  Halted = false;
+  uint64_t Budget = MaxCycles;
+  const bool Sweeps = Cfg.EnableCheckers && Cfg.CheckInterval != 0;
+
+  // Below these sizes the barrier round trip costs more than the work;
+  // either path produces identical observables (the thresholds are
+  // deterministic functions of machine state), so this is purely a
+  // scheduling decision.
+  constexpr size_t MinParallelDue = 4;
+  constexpr unsigned MinParallelCores = 2;
+
+  ParEngine E(*this);
+
+  while (!Halted && Budget-- != 0) {
+    ++Cycle;
+
+    collectDue();
+    if (!DueBuf.empty()) {
+      if (DueBuf.size() < MinParallelDue) {
+        for (const Delivery &D : DueBuf) {
+          deliver(D);
+          if (Halted)
+            break;
+        }
+      } else {
+        E.classifyDue();
+        E.runPhase(0);
+        E.mergeDeliveries();
+        E.foldDeltas();
+      }
+      if (Halted)
+        break;
+    }
+
+    unsigned Awake = Cfg.NumCores;
+    if (FastRun) {
+      Awake = 0;
+      for (const Core &C : Cores)
+        Awake += C.WakeAt <= Cycle ? 1 : 0;
+    }
+    bool Acted = false;
+    if (Awake != 0) {
+      // The serial gate: while any cross-core-sensitive op (fork,
+      // p_swcv, fork-call) is decoded but not yet issued, the whole
+      // stage phase runs in exact reference order. Sound because issue
+      // precedes decode, so an op decoded in cycle T issues at T+1 at
+      // the earliest — after this gate has been merged.
+      if (GateCount != 0 || Awake < MinParallelCores) {
+        Acted = cycleStagesSerial();
+      } else {
+        E.runPhase(1);
+        E.mergeStages();
+        Acted = E.foldDeltas();
+      }
+    }
+    if (Halted)
+      break;
+
+    if (Sweeps && Cycle % Cfg.CheckInterval == 0) {
+      Ck.sweep(*this);
+      if (Halted)
+        break;
+    }
+
+    if (Cycle - LastProgress > Cfg.ProgressGuard) {
+      Status = RunStatus::Livelock;
+      FaultMsg = livelockReport();
+      break;
+    }
+
+    // Quiescence fast-forward, identical to run(): with every core
+    // asleep the machine is frozen until the earliest timer, delivery,
+    // livelock-guard or sweep concern.
+    if (FastRun && !Acted) {
+      uint64_t Target = nextDeliveryCycle();
+      for (const Core &C : Cores)
+        if (C.WakeAt < Target)
+          Target = C.WakeAt;
+      uint64_t LivelockAt = Cfg.ProgressGuard >= UINT64_MAX - LastProgress
+                                ? UINT64_MAX
+                                : LastProgress + Cfg.ProgressGuard + 1;
+      if (LivelockAt < Target)
+        Target = LivelockAt;
+      if (Sweeps) {
+        uint64_t Concern = Ck.nextSweepConcern(*this);
+        if (Concern < Target)
+          Target = Concern;
+      }
+      if (Target > Cycle + 1) {
+        uint64_t Span = Target - Cycle - 1;
+        if (Span > Budget)
+          Span = Budget;
+        if (Span != 0) {
+          if (Sweeps)
+            Ck.onSkip(Cycle, Cycle + Span, Cfg.CheckInterval);
+          Cycle += Span;
+          Budget -= Span;
+        }
+      }
+    }
+  }
+  return Status;
+}

@@ -1,0 +1,131 @@
+//===- sim/ParallelEngine.h - Sharded engine staging buffers ----------------===//
+//
+// Part of the LBP reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Per-shard staging for the parallel engine (docs/PERFORMANCE.md,
+/// "Parallel engine"). A shard worker simulates a contiguous range of
+/// cores; every side effect whose *order* is globally observable — trace
+/// events, schedule() calls, interconnect reservations, checker counter
+/// updates, faults — is appended to the shard's StagedOp stream instead
+/// of being applied, and the epoch merge replays the streams in the
+/// serial loop's canonical order (delivery index for the delivery
+/// phase, core id for the stage phase; program order within a unit).
+/// Hart/bank state owned by the shard is mutated directly, which is
+/// race-free because ownership is disjoint and the phases are separated
+/// by barriers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LBP_SIM_PARALLELENGINE_H
+#define LBP_SIM_PARALLELENGINE_H
+
+#include "sim/Checker.h"
+#include "sim/Machine.h"
+#include "sim/Trace.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lbp {
+namespace sim {
+
+/// One deferred side effect, replayed at the epoch merge.
+struct StagedOp {
+  enum class K : uint8_t {
+    Event,    ///< Tr.replay(Ev).
+    Schedule, ///< schedule(At, D) — arrival precomputed (no routing).
+    Mem,      ///< routeAndScheduleMem(MI): reserve path, schedule.
+    Forward,  ///< routeForward(A, B) then schedule(arrival, D).
+    Backward, ///< routeBackward(A, B) then schedule(arrival, D).
+    Account,  ///< Checker::accountDelivered(D); when B != 0 a validation
+              ///< violation (CheckK, hart A, Msg) is reported right
+              ///< after, mirroring the serial onDelivered.
+    Fault,    ///< Machine::fault(Msg).
+    Exit,     ///< p_ret exit: Status, Halted, Exit event for hart A.
+    Wake,     ///< wakeCore(A, At) — cross-shard wake.
+    Retire,   ///< ++TotalRetired (paired with the Commit event).
+  };
+  K Kind = K::Event;
+  /// Replay stops (if Machine::Halted) only after ops carrying this
+  /// flag. It marks exactly the serial loop's halt checkpoints — after
+  /// onDelivered, after each delivery, after each pipeline stage —
+  /// because serial code *continues* past a fault everywhere else
+  /// (e.g. commitRet still frees the hart after a faulting sendToken),
+  /// and the merge must reproduce that.
+  bool Check = false;
+  CheckKind CheckK = CheckKind::LinkParity;
+  uint32_t A = 0;
+  uint32_t B = 0;
+  uint64_t At = 0;
+  StagedEvent Ev;
+  Delivery D;
+  MemIntent MI;
+  std::string Msg;
+};
+
+/// One shard's per-phase staging state. Reused across cycles (the op
+/// and range vectors keep their capacity), so the steady state stages
+/// without allocating.
+struct ShardBuf {
+  unsigned CoreBegin = 0; ///< Owned core range [CoreBegin, CoreEnd).
+  unsigned CoreEnd = 0;
+
+  std::vector<StagedOp> Ops;
+  /// Half-open index range into Ops for one replay unit (one delivery
+  /// in the delivery phase, one core in the stage phase).
+  struct Range {
+    uint32_t Begin = 0;
+    uint32_t End = 0;
+  };
+  std::vector<Range> DueRanges;  ///< Delivery phase, in due-index order.
+  std::vector<Range> CoreRanges; ///< Stage phase, in core order.
+
+  // Deltas folded commutatively at the barrier (their exact in-cycle
+  // order is unobservable).
+  int64_t GateDelta = 0;
+  uint64_t JoinEpochDelta = 0;
+  uint64_t LocalAcc = 0;
+  uint64_t RemoteAcc = 0;
+  bool Progress = false; ///< Something advanced LastProgress this cycle.
+  bool Acted = false;    ///< A core of this shard acted (fast path).
+  bool Halted = false;   ///< A staged fault/exit: stop this shard's work.
+
+  uint32_t UnitBegin = 0;
+  void beginUnit() { UnitBegin = static_cast<uint32_t>(Ops.size()); }
+  void endDueUnit() {
+    DueRanges.push_back({UnitBegin, static_cast<uint32_t>(Ops.size())});
+  }
+  void endCoreUnit() {
+    CoreRanges.push_back({UnitBegin, static_cast<uint32_t>(Ops.size())});
+  }
+  StagedOp &push() {
+    Ops.emplace_back();
+    return Ops.back();
+  }
+  void clearPhase() {
+    Ops.clear();
+    DueRanges.clear();
+    CoreRanges.clear();
+    GateDelta = 0;
+    JoinEpochDelta = 0;
+    LocalAcc = 0;
+    RemoteAcc = 0;
+    Progress = false;
+    Acted = false;
+    Halted = false;
+  }
+};
+
+/// The staging sink of the worker currently running on this thread;
+/// null on the serial engines and during merges, which is what turns
+/// the Machine's side-effect hooks into direct calls.
+extern thread_local ShardBuf *TlStage;
+
+} // namespace sim
+} // namespace lbp
+
+#endif // LBP_SIM_PARALLELENGINE_H

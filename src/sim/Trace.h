@@ -45,6 +45,18 @@ enum class EventKind : uint8_t {
   MachineCheck, ///< Invariant checker tripped: (kind, hart).
 };
 
+/// One event captured in a per-shard staging buffer by the parallel
+/// engine's workers. The hash is order-sensitive, so workers never fold
+/// directly; the epoch merge replays staged events in the canonical
+/// (cycle, delivery-index / core, program-order) order the serial loop
+/// produces, via Trace::replay().
+struct StagedEvent {
+  uint64_t Cycle = 0;
+  uint64_t A = 0;
+  uint64_t B = 0;
+  EventKind Kind = EventKind::Commit;
+};
+
 /// Event sink: always hashes, optionally records formatted lines.
 class Trace {
   EventHash Hash;
@@ -55,6 +67,10 @@ public:
   void setRecording(bool R) { Recording = R; }
 
   void event(uint64_t Cycle, EventKind Kind, uint64_t A, uint64_t B = 0);
+
+  /// Folds a worker-staged event at its canonical merge position;
+  /// byte-identical to the event() call the serial loop would have made.
+  void replay(const StagedEvent &E) { event(E.Cycle, E.Kind, E.A, E.B); }
 
   /// Order-sensitive fingerprint of everything seen so far.
   uint64_t hash() const { return Hash.value(); }

@@ -1,0 +1,268 @@
+//===- tests/thread_sweep_test.cpp - Parallel-engine invariance -------------===//
+//
+// Part of the LBP reproduction project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Thread-count invariance of the sharded parallel engine
+// (sim/ParallelEngine.cpp): for every workload, every fault-injection
+// class and mid-epoch MaxCycles truncation, a run with HostThreads in
+// {1, 2, 4, 8} must produce the very same observable fingerprint —
+// RunStatus, final cycle count, retired count, trace hash, fault
+// message, and the full machine-check list — as the serial reference
+// engine. This is the contract docs/PERFORMANCE.md ("Parallel engine")
+// states; any divergence here is a parallel-engine bug by definition.
+//
+// The CI ThreadSanitizer job runs this binary under TSan, which turns
+// the same sweep into a data-race check on the barrier protocol.
+//
+//===----------------------------------------------------------------------===//
+
+#include "asm/Assembler.h"
+#include "frontend/Compiler.h"
+#include "romp/AsmText.h"
+#include "romp/Runtime.h"
+#include "sim/Machine.h"
+#include "support/SplitMix64.h"
+#include "support/StringUtils.h"
+#include "workloads/MatMul.h"
+#include "workloads/Phases.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+using namespace lbp;
+using namespace lbp::sim;
+
+namespace {
+
+/// Everything a run can tell the outside world. Two engine/thread
+/// configurations agree iff their fingerprints compare equal.
+struct Fingerprint {
+  RunStatus Status;
+  uint64_t Cycles;
+  uint64_t Retired;
+  uint64_t Hash;
+  std::string Message;
+  std::vector<MachineCheck> Checks;
+};
+
+Fingerprint runWith(const assembler::Program &Prog, SimConfig Cfg,
+                    unsigned Threads, uint64_t MaxCycles) {
+  Cfg.HostThreads = Threads;
+  Machine M(Cfg);
+  M.load(Prog);
+  RunStatus S = M.run(MaxCycles);
+  return {S,          M.cycles(),        M.retired(),
+          M.traceHash(), M.faultMessage(), M.machineChecks()};
+}
+
+void expectSame(const Fingerprint &Ref, const Fingerprint &Got,
+                const std::string &What) {
+  EXPECT_EQ(static_cast<int>(Ref.Status), static_cast<int>(Got.Status))
+      << What;
+  EXPECT_EQ(Ref.Cycles, Got.Cycles) << What;
+  EXPECT_EQ(Ref.Retired, Got.Retired) << What;
+  EXPECT_EQ(Ref.Hash, Got.Hash) << What;
+  EXPECT_EQ(Ref.Message, Got.Message) << What;
+  ASSERT_EQ(Ref.Checks.size(), Got.Checks.size()) << What;
+  for (size_t I = 0; I != Ref.Checks.size(); ++I) {
+    EXPECT_EQ(Ref.Checks[I].Cycle, Got.Checks[I].Cycle) << What;
+    EXPECT_EQ(static_cast<int>(Ref.Checks[I].Kind),
+              static_cast<int>(Got.Checks[I].Kind))
+        << What;
+    EXPECT_EQ(Ref.Checks[I].Hart, Got.Checks[I].Hart) << What;
+    EXPECT_EQ(Ref.Checks[I].Message, Got.Checks[I].Message) << What;
+  }
+}
+
+/// Assembles \p Src and compares HostThreads 1/2/4/8 against the serial
+/// engine (HostThreads == 1 routes through run()'s serial loop, so the
+/// sweep also proves --threads 1 changes nothing).
+void expectThreadInvariant(const std::string &Src, SimConfig Cfg,
+                           const std::string &What,
+                           uint64_t MaxCycles = 2000000) {
+  assembler::AsmResult R = assembler::assemble(Src);
+  ASSERT_TRUE(R.succeeded()) << What << ":\n" << R.errorText();
+  Fingerprint Ref = runWith(R.Prog, Cfg, /*Threads=*/1, MaxCycles);
+  for (unsigned T : {2u, 4u, 8u}) {
+    Fingerprint Par = runWith(R.Prog, Cfg, T, MaxCycles);
+    expectSame(Ref, Par, What + formatString(" [threads=%u]", T));
+  }
+}
+
+/// The fault matrix every workload below is swept through: clean, one
+/// plan per fault class, and a mixed plan. Window/seed values chosen so
+/// each class actually fires on these workloads.
+struct FaultCase {
+  const char *Name;
+  unsigned Drops, Delays, BitFlips, StuckBanks;
+};
+constexpr FaultCase FaultCases[] = {
+    {"clean", 0, 0, 0, 0},       {"drops", 2, 0, 0, 0},
+    {"delays", 0, 2, 0, 0},      {"bitflips", 0, 0, 2, 0},
+    {"stuckbanks", 0, 0, 0, 2},  {"mixed", 1, 1, 1, 1},
+};
+
+SimConfig withFaults(SimConfig Cfg, const FaultCase &F, uint64_t Seed) {
+  Cfg.Faults.Seed = Seed;
+  Cfg.Faults.Drops = F.Drops;
+  Cfg.Faults.Delays = F.Delays;
+  Cfg.Faults.BitFlips = F.BitFlips;
+  Cfg.Faults.StuckBanks = F.StuckBanks;
+  Cfg.Faults.WindowBegin = 50;
+  Cfg.Faults.WindowEnd = 4000;
+  return Cfg;
+}
+
+void sweepFaults(const std::string &Src, SimConfig Cfg,
+                 const std::string &What) {
+  for (const FaultCase &F : FaultCases)
+    expectThreadInvariant(Src, withFaults(Cfg, F, 0xF00Dull), What + "/" +
+                                                                  F.Name);
+}
+
+/// The barrier-heavy shape from bench_simspeed: back-to-back parallel
+/// regions whose workers do almost nothing, so the fork/join protocol
+/// and the ending-token chain dominate — the traffic with the most
+/// cross-shard deliveries per simulated cycle.
+std::string barrierProgram(unsigned NumHarts, unsigned Rounds) {
+  romp::AsmText Head;
+  romp::emitMainPrologue(Head);
+  Head.line("li s1, %u", Rounds);
+  Head.label("round");
+  romp::emitParallelCall(Head, "worker", NumHarts, "0");
+  Head.line("addi s1, s1, -1");
+  Head.line("bnez s1, round");
+  romp::AsmText Tail;
+  romp::emitMainEpilogue(Tail);
+  romp::emitParallelStart(Tail);
+  return Head.str() + Tail.str() + R"(
+    .equ OUT, 0x20000200
+worker:
+    slli a4, a0, 2
+    la a5, OUT
+    add a4, a4, a5
+    sw a0, 0(a4)
+    p_syncm
+    p_ret
+)";
+}
+
+TEST(ThreadSweep, BarrierWorkload) {
+  sweepFaults(barrierProgram(/*NumHarts=*/16, /*Rounds=*/6),
+              SimConfig::lbp(4), "barrier");
+}
+
+TEST(ThreadSweep, PhasesWorkload) {
+  workloads::PhasesSpec Spec;
+  Spec.NumHarts = 16;
+  SimConfig Cfg = SimConfig::lbp(Spec.cores());
+  Cfg.GlobalBankSizeLog2 = Spec.BankSizeLog2;
+  sweepFaults(workloads::buildPhasesProgram(Spec), Cfg, "phases");
+}
+
+TEST(ThreadSweep, MatMulTiled) {
+  workloads::MatMulSpec Spec =
+      workloads::MatMulSpec::paper(16, workloads::MatMulVersion::Tiled);
+  SimConfig Cfg = SimConfig::lbp(Spec.cores());
+  Cfg.GlobalBankSizeLog2 = Spec.BankSizeLog2;
+  sweepFaults(workloads::buildMatMulProgram(Spec), Cfg, "matmul-tiled");
+}
+
+TEST(ThreadSweep, DetCCorpus) {
+  for (const char *Name :
+       {"vector_scale", "chunked_sum", "phased_stencil"}) {
+    std::string Path =
+        std::string(LBP_SOURCE_DIR "/examples/detc/") + Name + ".c";
+    std::ifstream In(Path);
+    ASSERT_TRUE(In.good()) << "cannot open " << Path;
+    std::ostringstream Buf;
+    Buf << In.rdbuf();
+    std::string Errors;
+    std::string Asm = frontend::compileDetCToAsm(Buf.str(), Errors);
+    ASSERT_FALSE(Asm.empty()) << Name << ":\n" << Errors;
+    sweepFaults(Asm, SimConfig::lbp(4), std::string("detc-") + Name);
+  }
+}
+
+/// Random well-formed single-hart programs (same generator family as
+/// tests/differential_test.cpp, inlined in reduced form): ALU soup plus
+/// global store/load traffic, exercising the memory-intent staging.
+std::string randomProgram(uint64_t Seed) {
+  SplitMix64 Rng(Seed);
+  std::string S = "main:\n";
+  const char *Work[] = {"a0", "a1", "a2", "a3", "s0", "s1", "s2", "s3"};
+  auto R = [&] { return Work[Rng.nextBelow(8)]; };
+  for (unsigned K = 0; K != 8; ++K)
+    S += formatString("  li %s, %d\n", Work[K],
+                      static_cast<int32_t>(Rng.next()));
+  for (unsigned Step = 0; Step != 60; ++Step) {
+    switch (Rng.nextBelow(4)) {
+    case 0: {
+      static const char *Ops[] = {"add", "sub", "xor", "or", "and", "mul"};
+      S += formatString("  %s %s, %s, %s\n", Ops[Rng.nextBelow(6)], R(),
+                        R(), R());
+      break;
+    }
+    case 1:
+      S += formatString("  addi %s, %s, %d\n", R(), R(),
+                        static_cast<int>(Rng.nextBelow(4096)) - 2048);
+      break;
+    case 2: {
+      unsigned Slot = static_cast<unsigned>(Rng.nextBelow(16));
+      S += formatString("  li t1, 0x20000%03x\n", Slot * 4);
+      S += formatString("  sw %s, 0(t1)\n", R());
+      S += "  p_syncm\n";
+      S += formatString("  lw %s, 0(t1)\n", R());
+      S += "  p_syncm\n";
+      break;
+    }
+    default: {
+      std::string Label = formatString("skip_%u", Step);
+      S += formatString("  bne %s, %s, %s\n", R(), R(), Label.c_str());
+      S += formatString("  add %s, %s, %s\n", R(), R(), R());
+      S += Label + ":\n";
+      break;
+    }
+    }
+  }
+  S += "  li ra, 0\n  li t0, -1\n  p_ret\n";
+  return S;
+}
+
+TEST(ThreadSweep, RandomPrograms) {
+  for (uint64_t Seed : {3ull, 77ull, 0xABCDull})
+    expectThreadInvariant(randomProgram(Seed), SimConfig::lbp(4),
+                          formatString("random seed %llu",
+                                       static_cast<unsigned long long>(
+                                           Seed)));
+}
+
+TEST(ThreadSweep, MaxCyclesTruncationMidEpoch) {
+  // Cutting the budget mid-run must stop every thread count at the same
+  // cycle with the same trace — including budgets that land inside a
+  // parallel cycle's two-phase sequence.
+  workloads::PhasesSpec Spec;
+  Spec.NumHarts = 16;
+  SimConfig Cfg = SimConfig::lbp(Spec.cores());
+  Cfg.GlobalBankSizeLog2 = Spec.BankSizeLog2;
+  std::string Src = workloads::buildPhasesProgram(Spec);
+  for (uint64_t MaxCycles : {100ull, 777ull, 2048ull})
+    expectThreadInvariant(Src, Cfg,
+                          formatString("phases truncated at %llu",
+                                       static_cast<unsigned long long>(
+                                           MaxCycles)),
+                          MaxCycles);
+}
+
+TEST(ThreadSweep, TruncationUnderFaults) {
+  std::string Src = barrierProgram(/*NumHarts=*/16, /*Rounds=*/6);
+  for (const FaultCase &F : FaultCases)
+    expectThreadInvariant(Src, withFaults(SimConfig::lbp(4), F, 0xD1CEull),
+                          std::string("barrier truncated/") + F.Name, 777);
+}
+
+} // namespace
