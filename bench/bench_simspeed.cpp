@@ -20,8 +20,17 @@
 // JSON (default BENCH_simspeed.json; schema in docs/PERFORMANCE.md) so
 // CI can record the perf trajectory per PR.
 //
+// With --counters the bench additionally measures the observability
+// layer's cost (docs/OBSERVABILITY.md): the barrier workload runs with
+// SimConfig::CollectCounters off and on, the trace hashes must match
+// (counters are hash-neutral by construction), the steady-state
+// allocation property must hold with the counters armed, and the
+// enabled-vs-disabled overhead is printed and recorded in the JSON
+// (expected within a few percent; the sink is one virtual call per
+// event).
+//
 // Usage: bench_simspeed [--quick] [--out FILE] [--threads LIST]
-//                       [--engines LIST]
+//                       [--engines LIST] [--counters]
 //
 //===----------------------------------------------------------------------===//
 
@@ -38,6 +47,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <functional>
+#include <memory>
 #include <new>
 #include <string>
 #include <thread>
@@ -184,6 +194,7 @@ EngineResult timedRun(const assembler::Program &Prog, sim::SimConfig Cfg,
 
 struct Options {
   bool Quick = false;
+  bool Counters = false;
   std::string OutPath = "BENCH_simspeed.json";
   std::vector<unsigned> Threads = {1, 2, 4, 8};
   bool RunReference = true, RunFastPath = true, RunParallel = true;
@@ -368,8 +379,121 @@ uint64_t steadyStateAllocs(bool FastPath) {
   return After - Before;
 }
 
+/// The --counters measurement: the barrier workload with the counter
+/// sink disabled vs enabled on the fast path. Dies on a hash divergence
+/// (counters must be hash-neutral) or on steady-state allocation with
+/// the counters armed; timing noise only ever changes the reported
+/// overhead, never the exit status.
+struct CounterCost {
+  double DisabledSeconds = 0.0;
+  double EnabledSeconds = 0.0;
+  double OverheadPct = 0.0;
+  uint64_t SteadyAllocs = 0;
+};
+
+CounterCost benchCounters(const Options &Opt) {
+  unsigned Cores = Opt.Quick ? 4 : 16;
+  unsigned Rounds = Opt.Quick ? 8 : 16;
+  unsigned Harts = 4 * Cores;
+  assembler::AsmResult R = assembler::assemble(barrierProgram(Harts, Rounds));
+  if (!R.succeeded()) {
+    std::fprintf(stderr, "bench_simspeed: counter-bench assembly failed\n");
+    std::exit(1);
+  }
+  sim::SimConfig Cfg = sim::SimConfig::lbp(Cores);
+
+  std::unique_ptr<sim::Machine> Counted; // last enabled run, for the summary
+  auto Timed = [&](bool Collect, uint64_t &HashOut) -> double {
+    double Best = 0.0;
+    for (int Rep = 0; Rep != 3; ++Rep) { // best-of-3 damps host noise
+      sim::SimConfig C = Cfg;
+      C.CollectCounters = Collect;
+      auto M = std::make_unique<sim::Machine>(C);
+      M->load(R.Prog);
+      auto T0 = std::chrono::steady_clock::now();
+      if (M->run() != sim::RunStatus::Exited) {
+        std::fprintf(stderr, "bench_simspeed: counter-bench run failed\n");
+        std::exit(1);
+      }
+      auto T1 = std::chrono::steady_clock::now();
+      verifyBarrier(*M, Harts);
+      HashOut = M->traceHash();
+      double Sec = std::chrono::duration<double>(T1 - T0).count();
+      if (Rep == 0 || Sec < Best)
+        Best = Sec;
+      if (Collect)
+        Counted = std::move(M);
+    }
+    return Best;
+  };
+
+  CounterCost Cost;
+  uint64_t HashOff = 0, HashOn = 0;
+  Cost.DisabledSeconds = Timed(false, HashOff);
+  Cost.EnabledSeconds = Timed(true, HashOn);
+  if (HashOff != HashOn) {
+    std::fprintf(stderr,
+                 "bench_simspeed: counters perturbed the trace hash "
+                 "(%016llx vs %016llx)\n",
+                 static_cast<unsigned long long>(HashOff),
+                 static_cast<unsigned long long>(HashOn));
+    std::exit(1);
+  }
+  if (Cost.DisabledSeconds > 0.0)
+    Cost.OverheadPct = (Cost.EnabledSeconds - Cost.DisabledSeconds) /
+                       Cost.DisabledSeconds * 100.0;
+
+  const obs::PerfCounters &PC = Counted->counters();
+  uint64_t Commits = 0;
+  for (uint64_t C : PC.CommitsPerCore)
+    Commits += C;
+  std::printf("counters: overhead %.1f%% (off %.3fs, on %.3fs)  "
+              "commits %llu, forks %llu, token-passes %llu, joins %llu, "
+              "token-latency mean %.1f cycles\n",
+              Cost.OverheadPct, Cost.DisabledSeconds, Cost.EnabledSeconds,
+              static_cast<unsigned long long>(Commits),
+              static_cast<unsigned long long>(PC.Forks),
+              static_cast<unsigned long long>(PC.TokenPasses),
+              static_cast<unsigned long long>(PC.Joins),
+              PC.TokenLatency.mean());
+
+  // Steady-state allocations with the counters armed: the sink's state
+  // is preallocated by init(), so the zero-alloc property must survive.
+  {
+    sim::SimConfig C = Cfg;
+    C.CollectCounters = true;
+    sim::Machine Probe(C);
+    Probe.load(R.Prog);
+    if (Probe.run() != sim::RunStatus::Exited) {
+      std::fprintf(stderr, "bench_simspeed: counter alloc probe failed\n");
+      std::exit(1);
+    }
+    sim::Machine M(C);
+    M.load(R.Prog);
+    if (M.run(Probe.cycles() / 2) != sim::RunStatus::MaxCycles) {
+      std::fprintf(stderr, "bench_simspeed: counter warm-up ended early\n");
+      std::exit(1);
+    }
+    uint64_t Before = GAllocCount.load(std::memory_order_relaxed);
+    if (M.run() != sim::RunStatus::Exited) {
+      std::fprintf(stderr, "bench_simspeed: counter measured run failed\n");
+      std::exit(1);
+    }
+    Cost.SteadyAllocs = GAllocCount.load(std::memory_order_relaxed) - Before;
+    if (Cost.SteadyAllocs != 0) {
+      std::fprintf(stderr,
+                   "bench_simspeed: %llu steady-state allocations with "
+                   "counters on (expected zero)\n",
+                   static_cast<unsigned long long>(Cost.SteadyAllocs));
+      std::exit(1);
+    }
+  }
+  return Cost;
+}
+
 void writeJson(const Options &Opt, const std::vector<WorkloadResult> &Results,
-               uint64_t RefAllocs, uint64_t FastAllocs) {
+               uint64_t RefAllocs, uint64_t FastAllocs,
+               const CounterCost *Counters) {
   std::FILE *F = std::fopen(Opt.OutPath.c_str(), "w");
   if (!F) {
     std::fprintf(stderr, "bench_simspeed: cannot open %s\n",
@@ -389,6 +513,15 @@ void writeJson(const Options &Opt, const std::vector<WorkloadResult> &Results,
                "\"fastpath\": %llu},\n",
                static_cast<unsigned long long>(RefAllocs),
                static_cast<unsigned long long>(FastAllocs));
+  if (Counters)
+    std::fprintf(F,
+                 "  \"counters\": {\"disabled_seconds\": %.6f, "
+                 "\"enabled_seconds\": %.6f, \"overhead_pct\": %.2f, "
+                 "\"steady_state_allocs\": %llu, "
+                 "\"hash_identical\": true},\n",
+                 Counters->DisabledSeconds, Counters->EnabledSeconds,
+                 Counters->OverheadPct,
+                 static_cast<unsigned long long>(Counters->SteadyAllocs));
   std::fprintf(F, "  \"workloads\": [\n");
   for (size_t I = 0; I != Results.size(); ++I) {
     const WorkloadResult &W = Results[I];
@@ -441,6 +574,9 @@ void printUsage(const char *Argv0) {
       "                   parallel engine (default 1,2,4,8)\n"
       "  --engines LIST   comma-separated subset of\n"
       "                   reference,fastpath,parallel (default all)\n"
+      "  --counters       also measure the deterministic counter set's\n"
+      "                   overhead (hash-neutrality and steady-state\n"
+      "                   allocation asserted; docs/OBSERVABILITY.md)\n"
       "\n"
       "Exit status: 0 ok; 1 divergence, gate failure or bad run;\n"
       "2 bad command line (e.g. unknown engine name).\n",
@@ -477,6 +613,8 @@ int main(int argc, char **argv) {
     }
     if (std::strcmp(argv[I], "--quick") == 0) {
       Opt.Quick = true;
+    } else if (std::strcmp(argv[I], "--counters") == 0) {
+      Opt.Counters = true;
     } else if (std::strcmp(argv[I], "--out") == 0 && I + 1 < argc) {
       Opt.OutPath = argv[++I];
     } else if (std::strcmp(argv[I], "--threads") == 0 && I + 1 < argc) {
@@ -548,7 +686,12 @@ int main(int argc, char **argv) {
     Results.push_back(
         benchMatMul(Opt, 256, workloads::MatMulVersion::Tiled));
   }
-  writeJson(Opt, Results, RefAllocs, FastAllocs);
+
+  CounterCost Counters;
+  if (Opt.Counters)
+    Counters = benchCounters(Opt);
+  writeJson(Opt, Results, RefAllocs, FastAllocs,
+            Opt.Counters ? &Counters : nullptr);
 
   if (!Opt.Quick) {
     // Acceptance gates. The FastPath one is unconditional; the parallel

@@ -1,0 +1,306 @@
+//===- obs/ProfMain.cpp - lbp_prof driver -------------------------------------===//
+//
+// Part of the LBP reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The lbp_prof command-line profiler (docs/OBSERVABILITY.md): loads a
+/// program (Det-C source, LBP assembly, or a built-in workload), runs it
+/// under a chosen engine and configuration with the deterministic
+/// counters on, and reports.
+///
+///   lbp_prof [options] file.c | file.s | -
+///     --workload NAME      phases | matmul | pipeline | dma |
+///                          sensor-fusion (instead of a file)
+///     --cores N            machine size (default 4)
+///     --threads N          host threads (>= 2 selects the sharded
+///                          parallel engine)
+///     --engine E           reference | fast (serial engine choice;
+///                          default fast)
+///     --max-cycles N       cycle budget (default 100000000)
+///     --seed N             fault-plan seed; --drops/--delays/
+///     --drops N            --flips add that many injected faults
+///     --delays N
+///     --flips N
+///     --no-stalls          skip the stall-cause classification
+///     --top N              rows in the "hottest" tables (default 8)
+///     --perfetto OUT.json  write a Chrome/Perfetto timeline
+///     --jsonl OUT.jsonl    write the raw event stream as JSON lines
+///     --counters OUT.json  write the canonical counter snapshot
+///
+/// Exit status: 0 = run exited cleanly, 1 = run failed (fault, livelock,
+/// cycle budget), 2 = usage/input error.
+///
+//===----------------------------------------------------------------------===//
+
+#include "asm/Assembler.h"
+#include "frontend/Compiler.h"
+#include "obs/Perfetto.h"
+#include "obs/Report.h"
+#include "sim/Machine.h"
+#include "workloads/Dma.h"
+#include "workloads/MatMul.h"
+#include "workloads/Phases.h"
+#include "workloads/Pipeline.h"
+#include "workloads/SensorFusion.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+using namespace lbp;
+
+namespace {
+
+struct Options {
+  std::string Input;
+  std::string Workload;
+  std::string PerfettoOut;
+  std::string JsonlOut;
+  std::string CountersOut;
+  unsigned Cores = 4;
+  unsigned Threads = 1;
+  bool FastPath = true;
+  bool Stalls = true;
+  unsigned TopN = 8;
+  uint64_t MaxCycles = 100000000;
+  uint64_t Seed = 0;
+  unsigned Drops = 0, Delays = 0, Flips = 0;
+};
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: lbp_prof [options] file.c|file.s|-\n"
+      "       lbp_prof [options] --workload "
+      "phases|matmul|pipeline|dma|sensor-fusion\n"
+      "  --cores N  --threads N  --engine reference|fast\n"
+      "  --max-cycles N  --seed N  --drops N  --delays N  --flips N\n"
+      "  --no-stalls  --top N\n"
+      "  --perfetto OUT.json  --jsonl OUT.jsonl  --counters OUT.json\n"
+      "See docs/OBSERVABILITY.md.\n");
+  return 2;
+}
+
+bool endsWith(const std::string &S, const char *Suffix) {
+  size_t N = std::strlen(Suffix);
+  return S.size() >= N && S.compare(S.size() - N, N, Suffix) == 0;
+}
+
+/// Program text for the chosen input; empty + message on failure.
+std::string loadAsmText(const Options &Opts, std::string &Err) {
+  if (!Opts.Workload.empty()) {
+    if (Opts.Workload == "phases") {
+      workloads::PhasesSpec S;
+      S.NumHarts = Opts.Cores * sim::HartsPerCore;
+      return workloads::buildPhasesProgram(S);
+    }
+    if (Opts.Workload == "matmul")
+      return workloads::buildMatMulProgram(workloads::MatMulSpec::paper(
+          Opts.Cores * sim::HartsPerCore,
+          workloads::MatMulVersion::Distributed));
+    if (Opts.Workload == "pipeline")
+      return workloads::buildPipelineProgram({});
+    if (Opts.Workload == "dma")
+      return workloads::buildDmaStreamProgram({});
+    if (Opts.Workload == "sensor-fusion")
+      return workloads::buildSensorFusionProgram({});
+    Err = "unknown workload '" + Opts.Workload + "'";
+    return std::string();
+  }
+
+  std::string Text;
+  if (Opts.Input == "-") {
+    std::ostringstream SS;
+    SS << std::cin.rdbuf();
+    Text = SS.str();
+  } else {
+    std::ifstream In(Opts.Input);
+    if (!In) {
+      Err = "cannot open '" + Opts.Input + "'";
+      return std::string();
+    }
+    std::ostringstream SS;
+    SS << In.rdbuf();
+    Text = SS.str();
+  }
+  if (endsWith(Opts.Input, ".s") || endsWith(Opts.Input, ".asm"))
+    return Text;
+  // Det-C goes through the frontend.
+  std::string FrontErr;
+  std::string Asm = frontend::compileDetCToAsm(Text, FrontErr);
+  if (Asm.empty())
+    Err = FrontErr.empty() ? "compilation produced no code" : FrontErr;
+  return Asm;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  Options Opts;
+  for (int I = 1; I < Argc; ++I) {
+    std::string A = Argv[I];
+    auto NextU64 = [&](uint64_t &Out) {
+      if (I + 1 >= Argc)
+        return false;
+      char *End = nullptr;
+      unsigned long long V = std::strtoull(Argv[++I], &End, 0);
+      if (!End || *End)
+        return false;
+      Out = V;
+      return true;
+    };
+    auto NextUnsigned = [&](unsigned &Out) {
+      uint64_t V;
+      if (!NextU64(V) || V > 1u << 20)
+        return false;
+      Out = static_cast<unsigned>(V);
+      return true;
+    };
+    auto NextString = [&](std::string &Out) {
+      if (I + 1 >= Argc)
+        return false;
+      Out = Argv[++I];
+      return true;
+    };
+    if (A == "--workload") {
+      if (!NextString(Opts.Workload))
+        return usage();
+    } else if (A == "--cores") {
+      if (!NextUnsigned(Opts.Cores) || Opts.Cores == 0)
+        return usage();
+    } else if (A == "--threads") {
+      if (!NextUnsigned(Opts.Threads) || Opts.Threads == 0)
+        return usage();
+    } else if (A == "--engine") {
+      std::string E;
+      if (!NextString(E))
+        return usage();
+      if (E == "reference")
+        Opts.FastPath = false;
+      else if (E == "fast")
+        Opts.FastPath = true;
+      else
+        return usage();
+    } else if (A == "--max-cycles") {
+      if (!NextU64(Opts.MaxCycles))
+        return usage();
+    } else if (A == "--seed") {
+      if (!NextU64(Opts.Seed))
+        return usage();
+    } else if (A == "--drops") {
+      if (!NextUnsigned(Opts.Drops))
+        return usage();
+    } else if (A == "--delays") {
+      if (!NextUnsigned(Opts.Delays))
+        return usage();
+    } else if (A == "--flips") {
+      if (!NextUnsigned(Opts.Flips))
+        return usage();
+    } else if (A == "--no-stalls") {
+      Opts.Stalls = false;
+    } else if (A == "--top") {
+      if (!NextUnsigned(Opts.TopN))
+        return usage();
+    } else if (A == "--perfetto") {
+      if (!NextString(Opts.PerfettoOut))
+        return usage();
+    } else if (A == "--jsonl") {
+      if (!NextString(Opts.JsonlOut))
+        return usage();
+    } else if (A == "--counters") {
+      if (!NextString(Opts.CountersOut))
+        return usage();
+    } else if (A == "--help" || A == "-h") {
+      usage();
+      return 0;
+    } else if (A.size() > 1 && A[0] == '-' && A != "-") {
+      std::fprintf(stderr, "lbp_prof: unknown option '%s'\n", A.c_str());
+      return usage();
+    } else if (Opts.Input.empty()) {
+      Opts.Input = A;
+    } else {
+      return usage();
+    }
+  }
+  if (Opts.Input.empty() == Opts.Workload.empty())
+    return usage(); // exactly one program source
+
+  std::string Err;
+  std::string Asm = loadAsmText(Opts, Err);
+  if (Asm.empty()) {
+    std::fprintf(stderr, "lbp_prof: %s\n", Err.c_str());
+    return 2;
+  }
+  assembler::AsmResult AR = assembler::assemble(Asm);
+  if (!AR.succeeded()) {
+    std::fprintf(stderr, "lbp_prof: assembly failed:\n%s",
+                 AR.errorText().c_str());
+    return 2;
+  }
+
+  sim::SimConfig Cfg = sim::SimConfig::lbp(Opts.Cores);
+  Cfg.FastPath = Opts.FastPath;
+  Cfg.HostThreads = Opts.Threads;
+  Cfg.CollectCounters = true;
+  Cfg.CollectStallStats = Opts.Stalls;
+  Cfg.Faults.Seed = Opts.Seed;
+  Cfg.Faults.Drops = Opts.Drops;
+  Cfg.Faults.Delays = Opts.Delays;
+  Cfg.Faults.BitFlips = Opts.Flips;
+
+  sim::Machine M(Cfg);
+
+  // Sinks must attach before load(): the boot HartStart is an event.
+  std::ofstream PerfettoFile, JsonlFile;
+  std::unique_ptr<obs::PerfettoSink> Perfetto;
+  std::unique_ptr<obs::JsonlSink> Jsonl;
+  obs::PhaseProfiler Phases;
+  M.addTraceSink(&Phases);
+  if (!Opts.PerfettoOut.empty()) {
+    PerfettoFile.open(Opts.PerfettoOut);
+    if (!PerfettoFile) {
+      std::fprintf(stderr, "lbp_prof: cannot open '%s'\n",
+                   Opts.PerfettoOut.c_str());
+      return 2;
+    }
+    Perfetto = std::make_unique<obs::PerfettoSink>(PerfettoFile, Cfg);
+    M.addTraceSink(Perfetto.get());
+  }
+  if (!Opts.JsonlOut.empty()) {
+    JsonlFile.open(Opts.JsonlOut);
+    if (!JsonlFile) {
+      std::fprintf(stderr, "lbp_prof: cannot open '%s'\n",
+                   Opts.JsonlOut.c_str());
+      return 2;
+    }
+    Jsonl = std::make_unique<obs::JsonlSink>(JsonlFile);
+    M.addTraceSink(Jsonl.get());
+  }
+
+  M.load(AR.Prog);
+  sim::RunStatus St = M.run(Opts.MaxCycles);
+  if (Perfetto)
+    Perfetto->finish(M.cycles());
+
+  obs::ReportOptions ROpts;
+  ROpts.TopN = Opts.TopN;
+  std::fputs(obs::buildReport(M, &Phases, ROpts).c_str(), stdout);
+
+  if (!Opts.CountersOut.empty()) {
+    std::ofstream Out(Opts.CountersOut);
+    if (!Out) {
+      std::fprintf(stderr, "lbp_prof: cannot open '%s'\n",
+                   Opts.CountersOut.c_str());
+      return 2;
+    }
+    Out << obs::countersToJson(M) << '\n';
+  }
+  return St == sim::RunStatus::Exited ? 0 : 1;
+}

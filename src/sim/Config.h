@@ -18,6 +18,7 @@
 #define LBP_SIM_CONFIG_H
 
 #include <cstdint>
+#include <string>
 
 namespace lbp {
 namespace sim {
@@ -123,9 +124,30 @@ struct SimConfig {
   /// Record formatted trace events (hashing is always on).
   bool RecordTrace = false;
 
+  /// Cap on the formatted trace lines kept in memory when RecordTrace
+  /// is on (docs/PERFORMANCE.md "Trace memory"). 0 means unlimited;
+  /// lines past the cap are dropped and counted in
+  /// Trace::droppedLines(). Hashing is unaffected — the cap bounds
+  /// memory, never the fingerprint.
+  uint64_t TraceLineCap = 1u << 20;
+
+  /// When non-empty (and RecordTrace is on), formatted lines stream to
+  /// this file instead of accumulating in Machine::trace().lines().
+  std::string TraceLineFile;
+
   /// Classify why each core issued nothing in a cycle (adds a per-cycle
-  /// scan; off by default).
+  /// scan; off by default). Shard-safe: the per-core tallies are staged
+  /// by the parallel engine's workers and merged in canonical order, so
+  /// they are bit-identical at every HostThreads value.
   bool CollectStallStats = false;
+
+  /// Deterministic performance counters (docs/OBSERVABILITY.md):
+  /// attaches the obs::PerfCounters sink to the trace and arms the
+  /// staged ROB/result-slot high-water hooks. Bit-identical across
+  /// engines and thread counts, and provably hash-neutral (sinks run
+  /// after hashing). Off by default; the disabled guard is one inlined
+  /// branch per hook site, so disabled runs pay nothing.
+  bool CollectCounters = false;
 
   /// Record every shared-global bank access (hart, address, width,
   /// read/write, barrier epoch) in Machine::memLog(). Off by default:
@@ -149,10 +171,10 @@ struct SimConfig {
   /// core line across this many host threads and merges per-shard
   /// staging buffers at deterministic barriers. The observable run —
   /// traceHash(), cycles(), retired(), RunStatus, machine checks,
-  /// fault-injection behavior — is bit-identical for every value.
-  /// Stall-cause statistics and the mem-log need the single-threaded
-  /// reference ordering, so CollectStallStats / CollectMemLog force the
-  /// serial engines regardless of this setting.
+  /// fault-injection behavior, counters — is bit-identical for every
+  /// value. Only the mem-log still needs the single-threaded reference
+  /// access order: CollectMemLog forces the serial engines regardless
+  /// of this setting, and run() records why in Machine::engineNote().
   unsigned HostThreads = 1;
 
   /// Epoch (merge-cadence) override for the parallel engine, in cycles.

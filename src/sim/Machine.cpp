@@ -105,6 +105,43 @@ void Machine::noteAccess(bool Local) {
   ++(Local ? LocalAccesses : RemoteAccesses);
 }
 
+void Machine::noteStall(unsigned CoreId, unsigned Slot) {
+  if (ShardBuf *S = TlStage) {
+    StagedOp &Op = S->push();
+    Op.Kind = StagedOp::K::Stall;
+    Op.A = CoreId;
+    Op.B = Slot;
+    return;
+  }
+  ++StallByCore[CoreId * NumStallSlots + Slot];
+}
+
+void Machine::noteRobHigh(unsigned HartId, unsigned Depth) {
+  if (Depth <= Obs->robHighWater(HartId))
+    return; // the merged high-water already covers this depth
+  if (ShardBuf *S = TlStage) {
+    StagedOp &Op = S->push();
+    Op.Kind = StagedOp::K::RobHigh;
+    Op.A = HartId;
+    Op.B = Depth;
+    return;
+  }
+  Obs->raiseRobHighWater(HartId, Depth);
+}
+
+void Machine::noteSlotHigh(unsigned HartId, unsigned Depth) {
+  if (Depth <= Obs->slotHighWater(HartId))
+    return;
+  if (ShardBuf *S = TlStage) {
+    StagedOp &Op = S->push();
+    Op.Kind = StagedOp::K::SlotHigh;
+    Op.A = HartId;
+    Op.B = Depth;
+    return;
+  }
+  Obs->raiseSlotHighWater(HartId, Depth);
+}
+
 bool Machine::runHalted() const {
   if (const ShardBuf *S = TlStage)
     if (S->Halted)
@@ -133,6 +170,16 @@ Machine::Machine(const SimConfig &Config)
       FPlan(Config.Faults, Config.NumCores), Cores(Config.NumCores),
       Wheel(WheelSize) {
   Tr.setRecording(Cfg.RecordTrace);
+  Tr.setLineCap(Cfg.TraceLineCap);
+  if (!Cfg.TraceLineFile.empty() && !Tr.setLineFile(Cfg.TraceLineFile))
+    fault(formatString("cannot open trace line file '%s'",
+                       Cfg.TraceLineFile.c_str()));
+  StallByCore.assign(Cfg.NumCores * NumStallSlots, 0);
+  if (Cfg.CollectCounters) {
+    Obs = std::make_unique<obs::PerfCounters>();
+    Obs->init(Cfg);
+    Tr.addSink(Obs.get());
+  }
   // Stall-cause classification observes every core-cycle (including the
   // idle ones), so it forces the reference scheduling loop.
   FastRun = Cfg.FastPath && !Cfg.CollectStallStats;
@@ -275,6 +322,13 @@ void Machine::schedule(uint64_t At, Delivery D) {
   // fault plan corrupts below is caught by the checker at arrival.
   D.Parity = deliveryParity(D);
 
+  // Token-latency measurement opens here, at the canonical send cycle
+  // (schedule() only runs serially or at a merge). Delay faults below
+  // lengthen the measured latency; drops leave the entry open until the
+  // retried token closes it — deterministic either way.
+  if (D.K == Delivery::Kind::Token && Obs)
+    Obs->noteTokenSend(D.HartId, Cycle);
+
   if (FPlan.enabled()) {
     if (uint8_t Class = faultClassOf(D.K)) {
       if (FaultEvent *E = FPlan.match(Cycle, Class)) {
@@ -342,6 +396,15 @@ void Machine::fillSlot(Hart &H, unsigned Slot, uint32_t Value) {
     return;
   }
   H.SlotBacklog.emplace_back(static_cast<uint8_t>(Slot), Value);
+}
+
+/// Result-slot values held by \p H right now: occupied slots plus the
+/// backlog queued behind them.
+static unsigned slotOccupancy(const Hart &H) {
+  unsigned N = static_cast<unsigned>(H.SlotBacklog.size());
+  for (bool Full : H.SlotFull)
+    N += Full;
+  return N;
 }
 
 void Machine::finishRb(Hart &H, uint32_t Value, uint64_t ReadyCycle) {
@@ -509,6 +572,8 @@ void Machine::deliver(const Delivery &D) {
 
   case Delivery::Kind::SlotFill:
     fillSlot(H, D.Slot, D.Value);
+    if (Obs)
+      noteSlotHigh(D.HartId, slotOccupancy(H));
     return;
   }
   LBP_UNREACHABLE("unknown delivery kind");
@@ -853,7 +918,7 @@ bool Machine::stageIssue(unsigned CoreId) {
         }
         C.IssueRR = (HIdx + 1) % HartsPerCore;
         if (Cfg.CollectStallStats)
-          ++IssuedCoreCycles;
+          noteStall(CoreId, IssuedSlot);
         return true;
       }
       if (runHalted())
@@ -897,7 +962,7 @@ void Machine::classifyIssueStall(unsigned CoreId) {
     Cause = StallCause::OperandsNotReady;
   else if (SawInFlight)
     Cause = StallCause::WaitingResponse;
-  ++StallCounts[static_cast<unsigned>(Cause)];
+  noteStall(CoreId, static_cast<unsigned>(Cause));
 }
 
 bool Machine::tryIssue(unsigned CoreId, unsigned HartInCore,
@@ -1438,6 +1503,8 @@ bool Machine::stageDecode(unsigned CoreId) {
     }
 
     ++H.RobCount;
+    if (Obs)
+      noteRobHigh(hartId(CoreId, HIdx), H.RobCount);
     H.IbFull = false;
 
     // Decoding a cross-core-sensitive op arms the serial gate for the
@@ -1589,8 +1656,14 @@ bool Machine::cycleStagesSerial() {
 RunStatus Machine::run(uint64_t MaxCycles) {
   if (Status == RunStatus::Fault)
     return Status;
-  if (parallelEligible())
+  if (parallelEligible()) {
+    Engine = EngineKind::Parallel;
     return runParallel(MaxCycles);
+  }
+  Engine = FastRun ? EngineKind::FastPath : EngineKind::Reference;
+  if (Cfg.HostThreads > 1 && EngineNote.empty())
+    EngineNote = "HostThreads > 1 ignored: CollectMemLog needs the "
+                 "single-threaded reference access order";
   Status = RunStatus::MaxCycles;
   Halted = false;
   uint64_t Budget = MaxCycles;
@@ -1760,6 +1833,50 @@ std::string Machine::livelockReport() const {
 
 uint64_t Machine::retiredOnHart(unsigned HartId) const {
   return hart(HartId).Retired;
+}
+
+uint64_t Machine::stallCycles(StallCause C) const {
+  uint64_t N = 0;
+  for (unsigned Core = 0; Core != Cfg.NumCores; ++Core)
+    N += stallCycles(C, Core);
+  return N;
+}
+
+uint64_t Machine::issuedCoreCycles() const {
+  uint64_t N = 0;
+  for (unsigned Core = 0; Core != Cfg.NumCores; ++Core)
+    N += issuedCoreCycles(Core);
+  return N;
+}
+
+const char *Machine::engineName() const {
+  switch (Engine) {
+  case EngineKind::Reference:
+    return "reference";
+  case EngineKind::FastPath:
+    return "fastpath";
+  case EngineKind::Parallel:
+    return "parallel";
+  }
+  return "?";
+}
+
+const char *lbp::sim::stallCauseName(Machine::StallCause C) {
+  switch (C) {
+  case Machine::StallCause::NoActiveWork:
+    return "no-active-work";
+  case Machine::StallCause::WaitingResponse:
+    return "waiting-response";
+  case Machine::StallCause::RbBusy:
+    return "rb-busy";
+  case Machine::StallCause::SlotEmpty:
+    return "slot-empty";
+  case Machine::StallCause::OperandsNotReady:
+    return "operands-not-ready";
+  case Machine::StallCause::NumCauses:
+    break;
+  }
+  return "?";
 }
 
 uint32_t Machine::debugReadWord(uint32_t Addr, unsigned Core) const {

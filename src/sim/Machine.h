@@ -17,6 +17,7 @@
 #define LBP_SIM_MACHINE_H
 
 #include "asm/Program.h"
+#include "obs/PerfCounters.h"
 #include "sim/Checker.h"
 #include "sim/Config.h"
 #include "sim/Device.h"
@@ -109,6 +110,8 @@ public:
   RunStatus run(uint64_t MaxCycles = UINT64_MAX);
 
   // Observation.
+  /// Outcome of the last run() (MaxCycles before the first run).
+  RunStatus status() const { return Status; }
   uint64_t cycles() const { return Cycle; }
   uint64_t retired() const { return TotalRetired; }
   double ipc() const {
@@ -146,6 +149,8 @@ public:
 
   /// Why issue slots went unused (filled when CollectStallStats is on).
   /// One count per core-cycle that issued nothing, by dominant cause.
+  /// The tallies are kept per core and staged through the parallel
+  /// engine's merge, so they are bit-identical at every thread count.
   enum class StallCause : uint8_t {
     NoActiveWork,    ///< No in-flight instructions on the core at all.
     WaitingResponse, ///< Everything issued, awaiting memory/results.
@@ -154,14 +159,43 @@ public:
     OperandsNotReady,///< Entries waiting on in-flight producers.
     NumCauses
   };
-  uint64_t stallCycles(StallCause C) const {
-    return StallCounts[static_cast<unsigned>(C)];
+  /// Machine-wide stall cycles with cause \p C (sum over cores).
+  uint64_t stallCycles(StallCause C) const;
+  /// Stall cycles with cause \p C attributed to \p Core.
+  uint64_t stallCycles(StallCause C, unsigned Core) const {
+    return StallByCore[Core * NumStallSlots + static_cast<unsigned>(C)];
   }
-  /// Core-cycles in which an instruction issued.
-  uint64_t issuedCoreCycles() const { return IssuedCoreCycles; }
+  /// Core-cycles in which an instruction issued (sum over cores).
+  uint64_t issuedCoreCycles() const;
+  uint64_t issuedCoreCycles(unsigned Core) const {
+    return StallByCore[Core * NumStallSlots + IssuedSlot];
+  }
   uint64_t remoteAccesses() const { return RemoteAccesses; }
   uint64_t localAccesses() const { return LocalAccesses; }
   const SimConfig &config() const { return Cfg; }
+
+  /// Which cycle loop run() selected (set at the start of every run).
+  enum class EngineKind : uint8_t { Reference, FastPath, Parallel };
+  EngineKind engineUsed() const { return Engine; }
+  /// Stable display name of engineUsed().
+  const char *engineName() const;
+  /// Non-empty when a configuration combination silently changed the
+  /// engine choice (e.g. CollectMemLog forcing the serial engines while
+  /// HostThreads > 1) — the explicit diagnostic for what used to be a
+  /// silent downgrade.
+  const std::string &engineNote() const { return EngineNote; }
+
+  /// The deterministic counter set (SimConfig::CollectCounters;
+  /// docs/OBSERVABILITY.md). Disabled and empty unless configured.
+  const obs::PerfCounters &counters() const {
+    static const obs::PerfCounters Disabled;
+    return Obs ? *Obs : Disabled;
+  }
+
+  /// Registers an observer of the canonical trace-event stream (timeline
+  /// exporters, phase profilers). Must be called before load() to see
+  /// the boot events; the sink must outlive the machine's last run.
+  void addTraceSink(TraceSink *S) { Tr.addSink(S); }
 
   /// Host-side memory access for test setup and result checking (not
   /// part of the simulated timing). Local addresses refer to \p Core.
@@ -243,9 +277,10 @@ private:
   // canonical order, making every observable bit-identical.
   RunStatus runParallel(uint64_t MaxCycles);
   /// Modes whose bookkeeping needs the single-thread reference order.
+  /// Only the mem-log remains: it is one globally ordered vector of
+  /// every access. Stall stats and counters are shard-safe (staged).
   bool parallelEligible() const {
-    return Cfg.HostThreads > 1 && !Cfg.CollectStallStats &&
-           !Cfg.CollectMemLog;
+    return Cfg.HostThreads > 1 && !Cfg.CollectMemLog;
   }
   /// One reference-order pass over every core's stages for the current
   /// cycle (shared by run() and the parallel engine's gated cycles).
@@ -271,6 +306,16 @@ private:
   void noteGate(int Delta);
   /// Local/remote access statistics (per-shard deltas under a worker).
   void noteAccess(bool Local);
+  /// Stall/issue tally for \p CoreId: \p Slot is a StallCause index or
+  /// IssuedSlot. Staged under a worker (the merge's stop-on-halt then
+  /// truncates exactly like the serial loop's mid-cycle break).
+  void noteStall(unsigned CoreId, unsigned Slot);
+  /// Staged max-updates of the counters' high-water marks. Only pushed
+  /// when the worker-visible depth exceeds the merged high-water (reads
+  /// of the merge-written arrays are barrier-ordered), so the op volume
+  /// stays bounded; replay applies max(), making stale reads harmless.
+  void noteRobHigh(unsigned HartId, unsigned Depth);
+  void noteSlotHigh(unsigned HartId, unsigned Depth);
   /// Halted, including the current worker's staged halt.
   bool runHalted() const;
   /// wakeCore() that stages cross-shard wakes under a worker.
@@ -347,9 +392,22 @@ private:
   bool Hart0InTeam = false;
   uint64_t RemoteAccesses = 0;
   uint64_t LocalAccesses = 0;
-  uint64_t StallCounts[static_cast<unsigned>(StallCause::NumCauses)] = {};
-  uint64_t IssuedCoreCycles = 0;
+  /// Per-core stall/issue tallies, laid out [core * NumStallSlots +
+  /// slot] with one slot per StallCause plus IssuedSlot at the end.
+  static constexpr unsigned NumStallSlots =
+      static_cast<unsigned>(StallCause::NumCauses) + 1;
+  static constexpr unsigned IssuedSlot =
+      static_cast<unsigned>(StallCause::NumCauses);
+  std::vector<uint64_t> StallByCore;
   void classifyIssueStall(unsigned CoreId);
+
+  /// Deterministic counters (SimConfig::CollectCounters): allocated and
+  /// attached as a trace sink by the constructor when enabled. On the
+  /// heap so the registered sink pointer survives Machine moves; null
+  /// doubles as the disabled fast-path guard at the hook sites.
+  std::unique_ptr<obs::PerfCounters> Obs;
+  EngineKind Engine = EngineKind::Reference;
+  std::string EngineNote;
 
   // Delivery wheel with a far-future overflow heap. The overflow used
   // to be a std::multimap; the flat min-heap keeps the hot path free of
@@ -394,6 +452,10 @@ private:
   };
   std::vector<DeviceMapping> Devices;
 };
+
+/// Stable kebab-case name of a stall cause ("no-active-work", ...),
+/// shared by the examples, the profiler report and the counter JSON.
+const char *stallCauseName(Machine::StallCause C);
 
 } // namespace sim
 } // namespace lbp

@@ -119,6 +119,10 @@ Interconnect::Interconnect(const SimConfig &Config)
   R2DownResp.assign(NumR2, 0);
   Forward.assign(NumCores, 0);
   Backward.assign(NumCores, 0);
+  FwdCount.assign(NumCores, 0);
+  BwdCount.assign(NumCores, 0);
+  BankReqs.assign(NumCores, 0);
+  BankWait.assign(NumCores, 0);
 }
 
 uint64_t Interconnect::hop(std::vector<uint64_t> &Links, unsigned Slot,
@@ -180,7 +184,9 @@ Interconnect::GlobalPath Interconnect::routeGlobal(unsigned Core,
   T = hop(BankIn, Bank, T, HopLat, LinkClass::BankIn);
 
   // Bank service through the router-side port (one request per cycle).
+  ++BankReqs[Bank];
   uint64_t Served = serialHop(BankPort, Bank, T, Cfg.BankServiceLatency, LinkClass::BankPort);
+  BankWait[Bank] += Served - Cfg.BankServiceLatency - T;
 
   // Response path back to the core (result channels).
   T = hop(BankOut, Bank, Served, HopLat, LinkClass::BankOut);
@@ -201,6 +207,7 @@ uint64_t Interconnect::routeForward(unsigned FromCore, unsigned ToCore,
   if (FromCore == ToCore)
     return Now + 1;
   assert(ToCore == FromCore + 1 && "forward link only reaches the next core");
+  ++FwdCount[FromCore];
   return serialHop(Forward, FromCore, Now, Cfg.ForwardLinkLatency, LinkClass::Forward);
 }
 
@@ -210,8 +217,10 @@ uint64_t Interconnect::routeBackward(unsigned FromCore, unsigned ToCore,
   if (FromCore == ToCore)
     return Now + 1;
   uint64_t T = Now;
-  for (unsigned C = FromCore; C != ToCore; --C)
+  for (unsigned C = FromCore; C != ToCore; --C) {
+    ++BwdCount[C];
     T = serialHop(Backward, C, T, Cfg.BackwardHopLatency, LinkClass::Backward);
+  }
   return T;
 }
 

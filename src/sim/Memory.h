@@ -129,6 +129,30 @@ public:
     return ContByClass[static_cast<unsigned>(C)];
   }
 
+  // Per-resource traffic counters (docs/OBSERVABILITY.md). Routing only
+  // happens on the serial engines or inside the parallel engine's
+  // merges, so plain increments are already deterministic; they are
+  // always on because the routing work dwarfs one add.
+
+  /// Packets injected on the forward link out of \p FromCore (cross-core
+  /// forks, p_swcv, tokens; the same-core shortcut is not link traffic).
+  uint64_t forwardPackets(unsigned FromCore) const {
+    return FwdCount[FromCore];
+  }
+
+  /// Backward-line hops departing \p Core (a multi-hop join counts once
+  /// per segment it occupies).
+  uint64_t backwardPackets(unsigned Core) const { return BwdCount[Core]; }
+
+  /// Requests served by \p Bank's router-side port (own-core accesses
+  /// use the private local port and are not counted here).
+  uint64_t bankPortRequests(unsigned Bank) const { return BankReqs[Bank]; }
+
+  /// Cycles requests spent queued at \p Bank's router-side port.
+  uint64_t bankPortWaitCycles(unsigned Bank) const {
+    return BankWait[Bank];
+  }
+
 private:
   const SimConfig Cfg;
   unsigned NumCores;
@@ -156,6 +180,12 @@ private:
   std::vector<uint64_t> Backward;   // core c -> core c-1
   uint64_t IoPort = 0;
   uint64_t Contention = 0;
+
+  // Traffic counters behind the accessors above.
+  std::vector<uint64_t> FwdCount;  // per from-core
+  std::vector<uint64_t> BwdCount;  // per departing core
+  std::vector<uint64_t> BankReqs;  // per bank, router-side port
+  std::vector<uint64_t> BankWait;  // per bank, queued cycles
 
   /// One hop over the tree link at \p Slot (RouterLinkCapacity
   /// transactions per cycle): returns the arrival cycle of a packet

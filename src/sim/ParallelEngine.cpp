@@ -308,6 +308,15 @@ void ParEngine::applyOp(StagedOp &Op) {
   case StagedOp::K::Retire:
     ++M.TotalRetired;
     return;
+  case StagedOp::K::Stall:
+    ++M.StallByCore[Op.A * Machine::NumStallSlots + Op.B];
+    return;
+  case StagedOp::K::RobHigh:
+    M.Obs->raiseRobHighWater(Op.A, Op.B);
+    return;
+  case StagedOp::K::SlotHigh:
+    M.Obs->raiseSlotHighWater(Op.A, Op.B);
+    return;
   }
 }
 

@@ -48,6 +48,12 @@ struct StagedOp {
     Exit,     ///< p_ret exit: Status, Halted, Exit event for hart A.
     Wake,     ///< wakeCore(A, At) — cross-shard wake.
     Retire,   ///< ++TotalRetired (paired with the Commit event).
+    Stall,    ///< ++StallByCore[A * NumStallSlots + B] (stall/issued
+              ///< tallies; docs/OBSERVABILITY.md).
+    RobHigh,  ///< Obs.raiseRobHighWater(hart A, depth B) — max-update,
+              ///< so replay order and stale worker reads are harmless.
+    SlotHigh, ///< Obs.raiseSlotHighWater(hart A, depth B); same
+              ///< max-update semantics as RobHigh.
   };
   K Kind = K::Event;
   /// Replay stops (if Machine::Halted) only after ops carrying this

@@ -10,7 +10,7 @@
 using namespace lbp;
 using namespace lbp::sim;
 
-static const char *kindName(EventKind K) {
+const char *lbp::sim::eventKindName(EventKind K) {
   switch (K) {
   case EventKind::Commit:
     return "commit";
@@ -42,12 +42,45 @@ static const char *kindName(EventKind K) {
   return "?";
 }
 
+Trace::Trace(Trace &&O) noexcept
+    : Hash(O.Hash), Recording(O.Recording), LineCap(O.LineCap),
+      DroppedLines(O.DroppedLines), Lines(std::move(O.Lines)),
+      LineFile(O.LineFile), Sinks(std::move(O.Sinks)) {
+  O.LineFile = nullptr;
+}
+
+Trace::~Trace() {
+  if (LineFile)
+    std::fclose(LineFile);
+}
+
+bool Trace::setLineFile(const std::string &Path) {
+  if (LineFile)
+    std::fclose(LineFile);
+  LineFile = std::fopen(Path.c_str(), "w");
+  return LineFile != nullptr;
+}
+
 void Trace::event(uint64_t Cycle, EventKind Kind, uint64_t A, uint64_t B) {
   Hash.addEvent(Cycle, static_cast<uint64_t>(Kind), A, B);
-  if (Recording)
-    Lines.push_back(formatString("cycle %llu: %s %llu %llu",
-                                 static_cast<unsigned long long>(Cycle),
-                                 kindName(Kind),
-                                 static_cast<unsigned long long>(A),
-                                 static_cast<unsigned long long>(B)));
+  // Sinks observe the exact hashed sequence and never feed back into it.
+  for (TraceSink *S : Sinks)
+    S->onEvent(Cycle, Kind, A, B);
+  if (!Recording)
+    return;
+  std::string Line = formatString("cycle %llu: %s %llu %llu",
+                                  static_cast<unsigned long long>(Cycle),
+                                  eventKindName(Kind),
+                                  static_cast<unsigned long long>(A),
+                                  static_cast<unsigned long long>(B));
+  if (LineFile) {
+    std::fputs(Line.c_str(), LineFile);
+    std::fputc('\n', LineFile);
+    return;
+  }
+  if (LineCap != 0 && Lines.size() >= LineCap) {
+    ++DroppedLines;
+    return;
+  }
+  Lines.push_back(std::move(Line));
 }

@@ -20,6 +20,7 @@
 #include "support/EventHash.h"
 
 #include <cstdint>
+#include <cstdio>
 #include <string>
 #include <vector>
 
@@ -29,8 +30,8 @@ namespace sim {
 /// Everything the trace distinguishes.
 enum class EventKind : uint8_t {
   Commit,       ///< Instruction retired: (hart, pc).
-  BankRead,     ///< Shared-bank read served: (bank, addr).
-  BankWrite,    ///< Shared-bank write served: (bank, addr).
+  BankRead,     ///< Data-bank read served: (addr, value).
+  BankWrite,    ///< Data-bank write served: (addr, storedValue).
   HartStart,    ///< Hart began fetching: (hart, pc).
   HartEnd,      ///< Hart was freed: (hart).
   HartReserve,  ///< Hart allocated by p_fc/p_fn: (hart, byHart).
@@ -57,14 +58,54 @@ struct StagedEvent {
   EventKind Kind = EventKind::Commit;
 };
 
-/// Event sink: always hashes, optionally records formatted lines.
+/// Observer of the canonical event stream (docs/OBSERVABILITY.md).
+/// Sinks see exactly the sequence the hash sees — every engine funnels
+/// its events (staged or direct) through Trace::event() in canonical
+/// order — and they run *after* hashing, so a sink can never perturb
+/// the fingerprint. Implementations: obs::PerfCounters, the Perfetto /
+/// JSONL timeline exporters, obs::PhaseProfiler.
+class TraceSink {
+public:
+  virtual ~TraceSink() = default;
+  virtual void onEvent(uint64_t Cycle, EventKind Kind, uint64_t A,
+                       uint64_t B) = 0;
+};
+
+/// Event sink: always hashes, fans out to registered TraceSinks,
+/// optionally records formatted lines (bounded; see setLineCap).
 class Trace {
   EventHash Hash;
   bool Recording = false;
+  uint64_t LineCap = 0; ///< 0 = unlimited.
+  uint64_t DroppedLines = 0;
   std::vector<std::string> Lines;
+  std::FILE *LineFile = nullptr; ///< Owned; see setLineFile.
+  std::vector<TraceSink *> Sinks;
 
 public:
+  Trace() = default;
+  // Copying would duplicate the owned file handle and fork the sink
+  // fan-out; moving transfers both (sinks outlive the Trace by
+  // contract, so the registered pointers stay valid).
+  Trace(const Trace &) = delete;
+  Trace &operator=(const Trace &) = delete;
+  Trace(Trace &&O) noexcept;
+  ~Trace();
+
   void setRecording(bool R) { Recording = R; }
+
+  /// Caps the number of formatted lines kept in memory; lines past the
+  /// cap are dropped and counted (droppedLines()). Hashing and sinks
+  /// are unaffected — the cap bounds memory, never the fingerprint.
+  void setLineCap(uint64_t Cap) { LineCap = Cap; }
+
+  /// Streams formatted lines to \p Path instead of accumulating them in
+  /// lines(); returns false when the file cannot be opened.
+  bool setLineFile(const std::string &Path);
+
+  /// Registers \p S as an observer of every subsequent event. The sink
+  /// must outlive the Trace; ownership stays with the caller.
+  void addSink(TraceSink *S) { Sinks.push_back(S); }
 
   void event(uint64_t Cycle, EventKind Kind, uint64_t A, uint64_t B = 0);
 
@@ -76,7 +117,14 @@ public:
   uint64_t hash() const { return Hash.value(); }
 
   const std::vector<std::string> &lines() const { return Lines; }
+
+  /// Formatted lines discarded after the cap was hit.
+  uint64_t droppedLines() const { return DroppedLines; }
 };
+
+/// Stable lower-case name of an event kind ("commit", "bank-read", ...),
+/// shared by the recorded lines and the timeline exporters.
+const char *eventKindName(EventKind K);
 
 } // namespace sim
 } // namespace lbp

@@ -20,6 +20,8 @@
 
 #include "asm/Assembler.h"
 #include "frontend/Compiler.h"
+#include "obs/Perfetto.h"
+#include "obs/Report.h"
 #include "romp/AsmText.h"
 #include "romp/Runtime.h"
 #include "sim/Machine.h"
@@ -39,7 +41,9 @@ using namespace lbp::sim;
 namespace {
 
 /// Everything a run can tell the outside world. Two engine/thread
-/// configurations agree iff their fingerprints compare equal.
+/// configurations agree iff their fingerprints compare equal. Counters
+/// is the full canonical snapshot (obs::countersToJson), so every cell
+/// of the sweep also proves counter bit-identity.
 struct Fingerprint {
   RunStatus Status;
   uint64_t Cycles;
@@ -47,16 +51,23 @@ struct Fingerprint {
   uint64_t Hash;
   std::string Message;
   std::vector<MachineCheck> Checks;
+  std::string Counters;
 };
 
 Fingerprint runWith(const assembler::Program &Prog, SimConfig Cfg,
                     unsigned Threads, uint64_t MaxCycles) {
   Cfg.HostThreads = Threads;
+  Cfg.CollectCounters = true;
   Machine M(Cfg);
   M.load(Prog);
   RunStatus S = M.run(MaxCycles);
-  return {S,          M.cycles(),        M.retired(),
-          M.traceHash(), M.faultMessage(), M.machineChecks()};
+  return {S,
+          M.cycles(),
+          M.retired(),
+          M.traceHash(),
+          M.faultMessage(),
+          M.machineChecks(),
+          obs::countersToJson(M)};
 }
 
 void expectSame(const Fingerprint &Ref, const Fingerprint &Got,
@@ -67,6 +78,7 @@ void expectSame(const Fingerprint &Ref, const Fingerprint &Got,
   EXPECT_EQ(Ref.Retired, Got.Retired) << What;
   EXPECT_EQ(Ref.Hash, Got.Hash) << What;
   EXPECT_EQ(Ref.Message, Got.Message) << What;
+  EXPECT_EQ(Ref.Counters, Got.Counters) << What;
   ASSERT_EQ(Ref.Checks.size(), Got.Checks.size()) << What;
   for (size_t I = 0; I != Ref.Checks.size(); ++I) {
     EXPECT_EQ(Ref.Checks[I].Cycle, Got.Checks[I].Cycle) << What;
@@ -78,19 +90,35 @@ void expectSame(const Fingerprint &Ref, const Fingerprint &Got,
   }
 }
 
-/// Assembles \p Src and compares HostThreads 1/2/4/8 against the serial
-/// engine (HostThreads == 1 routes through run()'s serial loop, so the
-/// sweep also proves --threads 1 changes nothing).
+/// Assembles \p Src and compares every engine/thread cell against the
+/// serial reference, counter snapshots included. Two sub-sweeps because
+/// the engines split on CollectStallStats: with it on the fast path
+/// yields to the reference loop (it must observe every core-cycle), so
+/// covering all three engines needs a stalls-on sweep (reference vs
+/// sharded) and a stalls-off sweep (reference vs fast path vs sharded).
 void expectThreadInvariant(const std::string &Src, SimConfig Cfg,
                            const std::string &What,
                            uint64_t MaxCycles = 2000000) {
   assembler::AsmResult R = assembler::assemble(Src);
   ASSERT_TRUE(R.succeeded()) << What << ":\n" << R.errorText();
-  Fingerprint Ref = runWith(R.Prog, Cfg, /*Threads=*/1, MaxCycles);
+
+  SimConfig SCfg = Cfg;
+  SCfg.CollectStallStats = true;
+  Fingerprint Ref = runWith(R.Prog, SCfg, /*Threads=*/1, MaxCycles);
   for (unsigned T : {2u, 4u, 8u}) {
-    Fingerprint Par = runWith(R.Prog, Cfg, T, MaxCycles);
-    expectSame(Ref, Par, What + formatString(" [threads=%u]", T));
+    Fingerprint Par = runWith(R.Prog, SCfg, T, MaxCycles);
+    expectSame(Ref, Par, What + formatString(" [stalls threads=%u]", T));
   }
+
+  SimConfig FCfg = Cfg;
+  FCfg.CollectStallStats = false;
+  FCfg.FastPath = false;
+  Fingerprint FRef = runWith(R.Prog, FCfg, /*Threads=*/1, MaxCycles);
+  FCfg.FastPath = true;
+  expectSame(FRef, runWith(R.Prog, FCfg, /*Threads=*/1, MaxCycles),
+             What + " [fastpath]");
+  expectSame(FRef, runWith(R.Prog, FCfg, /*Threads=*/4, MaxCycles),
+             What + " [fast threads=4]");
 }
 
 /// The fault matrix every workload below is swept through: clean, one
@@ -263,6 +291,96 @@ TEST(ThreadSweep, TruncationUnderFaults) {
   for (const FaultCase &F : FaultCases)
     expectThreadInvariant(Src, withFaults(SimConfig::lbp(4), F, 0xD1CEull),
                           std::string("barrier truncated/") + F.Name, 777);
+}
+
+/// Perfetto + JSONL bytes for one run; the sinks observe the canonical
+/// stream, so these must be identical for every engine.
+struct TimelineCapture {
+  std::string Perfetto;
+  std::string Jsonl;
+};
+
+TimelineCapture captureTimelines(const assembler::Program &Prog,
+                                 SimConfig Cfg, unsigned Threads) {
+  Cfg.HostThreads = Threads;
+  std::ostringstream POut, JOut;
+  Machine M(Cfg);
+  obs::PerfettoSink Perfetto(POut, Cfg);
+  obs::JsonlSink Jsonl(JOut);
+  M.addTraceSink(&Perfetto);
+  M.addTraceSink(&Jsonl);
+  M.load(Prog);
+  M.run(2000000);
+  Perfetto.finish(M.cycles());
+  return {POut.str(), JOut.str()};
+}
+
+TEST(ThreadSweep, TimelineExportsAreEngineInvariant) {
+  std::string Src = barrierProgram(/*NumHarts=*/16, /*Rounds=*/3);
+  assembler::AsmResult R = assembler::assemble(Src);
+  ASSERT_TRUE(R.succeeded()) << R.errorText();
+  for (const FaultCase &F : {FaultCases[0], FaultCases[5]}) {
+    SimConfig Cfg = withFaults(SimConfig::lbp(4), F, 0xBEEFull);
+    Cfg.FastPath = false;
+    TimelineCapture Ref = captureTimelines(R.Prog, Cfg, 1);
+    EXPECT_FALSE(Ref.Perfetto.empty());
+    EXPECT_EQ(Ref.Perfetto.substr(Ref.Perfetto.size() - 3), "]}\n");
+    Cfg.FastPath = true;
+    TimelineCapture Fast = captureTimelines(R.Prog, Cfg, 1);
+    EXPECT_EQ(Ref.Perfetto, Fast.Perfetto) << F.Name;
+    EXPECT_EQ(Ref.Jsonl, Fast.Jsonl) << F.Name;
+    for (unsigned T : {2u, 8u}) {
+      TimelineCapture Par = captureTimelines(R.Prog, Cfg, T);
+      EXPECT_EQ(Ref.Perfetto, Par.Perfetto) << F.Name << " T=" << T;
+      EXPECT_EQ(Ref.Jsonl, Par.Jsonl) << F.Name << " T=" << T;
+    }
+  }
+}
+
+TEST(ThreadSweep, StallStatsNoLongerDowngradeTheEngine) {
+  // Stall tallies are staged per shard now, so CollectStallStats plus
+  // HostThreads > 1 must select the sharded engine — and say nothing.
+  assembler::AsmResult R =
+      assembler::assemble(barrierProgram(/*NumHarts=*/16, /*Rounds=*/2));
+  ASSERT_TRUE(R.succeeded()) << R.errorText();
+  SimConfig Cfg = SimConfig::lbp(4);
+  Cfg.CollectStallStats = true;
+  Cfg.HostThreads = 4;
+  Machine M(Cfg);
+  M.load(R.Prog);
+  ASSERT_EQ(static_cast<int>(M.run(2000000)),
+            static_cast<int>(RunStatus::Exited));
+  EXPECT_EQ(static_cast<int>(M.engineUsed()),
+            static_cast<int>(Machine::EngineKind::Parallel));
+  EXPECT_TRUE(M.engineNote().empty()) << M.engineNote();
+  EXPECT_GT(M.issuedCoreCycles(), 0u);
+}
+
+TEST(ThreadSweep, MemLogDowngradeIsDiagnosed) {
+  // The one remaining forced downgrade: the mem-log needs the serial
+  // reference access order. It must still happen — and now explain
+  // itself through engineNote().
+  assembler::AsmResult R =
+      assembler::assemble(barrierProgram(/*NumHarts=*/16, /*Rounds=*/2));
+  ASSERT_TRUE(R.succeeded()) << R.errorText();
+  SimConfig Cfg = SimConfig::lbp(4);
+  Cfg.CollectMemLog = true;
+  Cfg.HostThreads = 4;
+  Machine M(Cfg);
+  M.load(R.Prog);
+  ASSERT_EQ(static_cast<int>(M.run(2000000)),
+            static_cast<int>(RunStatus::Exited));
+  EXPECT_NE(static_cast<int>(M.engineUsed()),
+            static_cast<int>(Machine::EngineKind::Parallel));
+  EXPECT_FALSE(M.engineNote().empty());
+
+  // With one host thread nothing is downgraded, so nothing is noted.
+  Cfg.HostThreads = 1;
+  Machine S(Cfg);
+  S.load(R.Prog);
+  ASSERT_EQ(static_cast<int>(S.run(2000000)),
+            static_cast<int>(RunStatus::Exited));
+  EXPECT_TRUE(S.engineNote().empty()) << S.engineNote();
 }
 
 } // namespace
