@@ -152,6 +152,18 @@ struct WorkloadResult {
   double ParallelSpeedup = 0.0; ///< fastpath time / best parallel time.
 };
 
+/// One engine cell that broke bit-identity. Divergences no longer kill
+/// the bench before the JSON lands: they are collected here, written
+/// into the payload (exit_reason + divergences), and only then turn
+/// into the nonzero exit status — so CI artifacts always say *why* the
+/// bench failed, not just that it did.
+struct DivergenceRecord {
+  std::string Workload;
+  std::string RefEngine, Engine;
+  Fingerprint Ref, Got;
+};
+std::vector<DivergenceRecord> Divergences;
+
 long peakRssKb() {
   struct rusage Ru;
   if (getrusage(RUSAGE_SELF, &Ru) != 0)
@@ -232,11 +244,11 @@ runWorkload(const Options &Opt, const std::string &Name,
     return W;
 
   const Fingerprint &Ref = W.Engines.front().Fp;
-  bool Diverged = false;
   for (EngineResult &E : W.Engines) {
     E.Identical = E.Fp == Ref;
     if (!E.Identical) {
-      Diverged = true;
+      Divergences.push_back(
+          {Name, W.Engines.front().Engine, E.Engine, Ref, E.Fp});
       std::fprintf(
           stderr,
           "bench_simspeed: ENGINE DIVERGENCE on %s (%s):\n"
@@ -251,8 +263,8 @@ runWorkload(const Options &Opt, const std::string &Name,
           static_cast<unsigned long long>(E.Fp.Hash));
     }
   }
-  if (Diverged)
-    std::exit(1); // hard failure in every mode, --quick included
+  // A divergence is still a hard failure in every mode (--quick
+  // included), but the exit happens in main, after writeJson.
 
   const EngineResult *RefE = nullptr, *FastE = nullptr, *BestPar = nullptr;
   for (const EngineResult &E : W.Engines) {
@@ -502,6 +514,28 @@ void writeJson(const Options &Opt, const std::vector<WorkloadResult> &Results,
   }
   std::fprintf(F, "{\n  \"bench\": \"simspeed\",\n  \"quick\": %s,\n",
                Opt.Quick ? "true" : "false");
+  std::fprintf(F, "  \"exit_reason\": \"%s\",\n",
+               Divergences.empty() ? "ok" : "engine-divergence");
+  std::fprintf(F, "  \"divergences\": [");
+  for (size_t I = 0; I != Divergences.size(); ++I) {
+    const DivergenceRecord &D = Divergences[I];
+    std::fprintf(F,
+                 "%s\n    {\"workload\": \"%s\", \"engine\": \"%s\", "
+                 "\"reference_engine\": \"%s\",\n"
+                 "     \"reference\": {\"cycles\": %llu, \"retired\": %llu, "
+                 "\"trace_hash\": \"%016llx\"},\n"
+                 "     \"got\": {\"cycles\": %llu, \"retired\": %llu, "
+                 "\"trace_hash\": \"%016llx\"}}",
+                 I ? "," : "", D.Workload.c_str(), D.Engine.c_str(),
+                 D.RefEngine.c_str(),
+                 static_cast<unsigned long long>(D.Ref.Cycles),
+                 static_cast<unsigned long long>(D.Ref.Retired),
+                 static_cast<unsigned long long>(D.Ref.Hash),
+                 static_cast<unsigned long long>(D.Got.Cycles),
+                 static_cast<unsigned long long>(D.Got.Retired),
+                 static_cast<unsigned long long>(D.Got.Hash));
+  }
+  std::fprintf(F, "%s],\n", Divergences.empty() ? "" : "\n  ");
   std::fprintf(F, "  \"host_threads\": %u,\n",
                std::thread::hardware_concurrency());
   std::fprintf(F, "  \"thread_list\": [");
@@ -692,6 +726,14 @@ int main(int argc, char **argv) {
     Counters = benchCounters(Opt);
   writeJson(Opt, Results, RefAllocs, FastAllocs,
             Opt.Counters ? &Counters : nullptr);
+
+  if (!Divergences.empty()) {
+    std::fprintf(stderr,
+                 "bench_simspeed: %zu engine divergence(s); see "
+                 "\"divergences\" in %s\n",
+                 Divergences.size(), Opt.OutPath.c_str());
+    return 1;
+  }
 
   if (!Opt.Quick) {
     // Acceptance gates. The FastPath one is unconditional; the parallel

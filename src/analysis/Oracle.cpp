@@ -28,6 +28,8 @@ const char *statusName(RunStatus S) {
     return "livelock";
   case RunStatus::Fault:
     return "fault";
+  case RunStatus::Deadline:
+    return "deadline";
   }
   return "unknown";
 }

@@ -1,0 +1,250 @@
+//===- fleet/FleetMain.cpp - lbp_fleet command-line driver --------------------===//
+//
+// Part of the LBP reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// lbp_fleet: run a campaign of independent simulations across worker
+/// processes and emit the canonical aggregate report.
+///
+///   lbp_fleet [options]
+///     --workload W         phases | matmul | pipeline (default phases)
+///     --asm FILE.s         assembly file instead of a workload
+///     --cores N            machine size per run (default 4)
+///     --runs N             queue length (default 4)
+///     --seed-base N        run i uses fault seed N + i (default 1)
+///     --drops/--delays/--flips/--stuck N
+///                          injected faults per run (default 0)
+///     --threads N          host threads per worker (default 1)
+///     --engine E           reference | fast (default fast)
+///     --deadline-cycles N  deterministic per-run deadline
+///                          (default 10000000)
+///     --workers N          concurrent worker processes (default 4)
+///     --max-attempts N     attempts per run before incomplete
+///                          (default 2)
+///     --checkpoint-interval N
+///                          checkpoint every N simulated cycles
+///                          (default 0 = off)
+///     --checkpoint-dir D   where checkpoints live (default ".")
+///     --wall-timeout-ms N  wall-clock watchdog per attempt
+///                          (default 0 = off)
+///     --inject-crash I     run I's first attempt aborts (CI smoke)
+///     --inject-hang I      run I's first attempt hangs (CI smoke)
+///     --out FILE           report destination (default stdout)
+///     --strict             exit 1 on any non-pass verdict
+///
+/// Exit status: 0 = campaign complete (and, with --strict, all pass);
+/// 1 = degraded report (incomplete verdicts) or --strict failure;
+/// 2 = usage/input error. The report is written in every case but 2.
+///
+//===----------------------------------------------------------------------===//
+
+#include "fleet/Fleet.h"
+
+#include "asm/Assembler.h"
+#include "support/StringUtils.h"
+#include "workloads/MatMul.h"
+#include "workloads/Phases.h"
+#include "workloads/Pipeline.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+using namespace lbp;
+
+namespace {
+
+struct Options {
+  std::string Workload = "phases";
+  std::string AsmFile;
+  unsigned Cores = 4;
+  unsigned Runs = 4;
+  uint64_t SeedBase = 1;
+  unsigned Drops = 0, Delays = 0, Flips = 0, Stuck = 0;
+  unsigned Threads = 1;
+  bool FastPath = true;
+  uint64_t DeadlineCycles = 10000000;
+  fleet::FleetConfig FC;
+  std::string Out;
+  bool Strict = false;
+};
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: lbp_fleet [--workload phases|matmul|pipeline] [--asm F.s]\n"
+      "  --cores N  --runs N  --seed-base N\n"
+      "  --drops N  --delays N  --flips N  --stuck N\n"
+      "  --threads N  --engine reference|fast  --deadline-cycles N\n"
+      "  --workers N  --max-attempts N\n"
+      "  --checkpoint-interval N  --checkpoint-dir D\n"
+      "  --wall-timeout-ms N  --inject-crash I  --inject-hang I\n"
+      "  --out FILE  --strict\n"
+      "See docs/ROBUSTNESS.md (\"Fleet failure taxonomy\").\n");
+  return 2;
+}
+
+bool parseArgs(int Argc, char **Argv, Options &O) {
+  auto Num = [&](int &I) -> std::optional<int64_t> {
+    if (I + 1 >= Argc)
+      return std::nullopt;
+    return parseInteger(Argv[++I]);
+  };
+  for (int I = 1; I < Argc; ++I) {
+    std::string A = Argv[I];
+    std::optional<int64_t> V;
+    if (A == "--workload" && I + 1 < Argc)
+      O.Workload = Argv[++I];
+    else if (A == "--asm" && I + 1 < Argc)
+      O.AsmFile = Argv[++I];
+    else if (A == "--engine" && I + 1 < Argc) {
+      std::string E = Argv[++I];
+      if (E == "reference")
+        O.FastPath = false;
+      else if (E == "fast")
+        O.FastPath = true;
+      else
+        return false;
+    } else if (A == "--checkpoint-dir" && I + 1 < Argc)
+      O.FC.CheckpointDir = Argv[++I];
+    else if (A == "--out" && I + 1 < Argc)
+      O.Out = Argv[++I];
+    else if (A == "--strict")
+      O.Strict = true;
+    else if (A == "--cores" && (V = Num(I)))
+      O.Cores = static_cast<unsigned>(*V);
+    else if (A == "--runs" && (V = Num(I)))
+      O.Runs = static_cast<unsigned>(*V);
+    else if (A == "--seed-base" && (V = Num(I)))
+      O.SeedBase = static_cast<uint64_t>(*V);
+    else if (A == "--drops" && (V = Num(I)))
+      O.Drops = static_cast<unsigned>(*V);
+    else if (A == "--delays" && (V = Num(I)))
+      O.Delays = static_cast<unsigned>(*V);
+    else if (A == "--flips" && (V = Num(I)))
+      O.Flips = static_cast<unsigned>(*V);
+    else if (A == "--stuck" && (V = Num(I)))
+      O.Stuck = static_cast<unsigned>(*V);
+    else if (A == "--threads" && (V = Num(I)))
+      O.Threads = static_cast<unsigned>(*V);
+    else if (A == "--deadline-cycles" && (V = Num(I)))
+      O.DeadlineCycles = static_cast<uint64_t>(*V);
+    else if (A == "--workers" && (V = Num(I)))
+      O.FC.Workers = static_cast<unsigned>(*V);
+    else if (A == "--max-attempts" && (V = Num(I)))
+      O.FC.MaxAttempts = static_cast<unsigned>(*V);
+    else if (A == "--checkpoint-interval" && (V = Num(I)))
+      O.FC.CheckpointInterval = static_cast<uint64_t>(*V);
+    else if (A == "--wall-timeout-ms" && (V = Num(I)))
+      O.FC.WallTimeoutMs = static_cast<uint64_t>(*V);
+    else if (A == "--inject-crash" && (V = Num(I)))
+      O.FC.InjectCrashRun = static_cast<int>(*V);
+    else if (A == "--inject-hang" && (V = Num(I)))
+      O.FC.InjectHangRun = static_cast<int>(*V);
+    else
+      return false;
+  }
+  return true;
+}
+
+std::string buildAsmText(const Options &O, std::string &Err) {
+  if (!O.AsmFile.empty()) {
+    std::ifstream In(O.AsmFile);
+    if (!In) {
+      Err = "cannot open '" + O.AsmFile + "'";
+      return std::string();
+    }
+    std::ostringstream SS;
+    SS << In.rdbuf();
+    return SS.str();
+  }
+  if (O.Workload == "phases") {
+    workloads::PhasesSpec S;
+    S.NumHarts = O.Cores * sim::HartsPerCore;
+    return workloads::buildPhasesProgram(S);
+  }
+  if (O.Workload == "matmul") {
+    workloads::MatMulSpec S;
+    S.NumHarts = O.Cores * sim::HartsPerCore;
+    S.Version = workloads::MatMulVersion::Distributed;
+    return workloads::buildMatMulProgram(S);
+  }
+  if (O.Workload == "pipeline") {
+    workloads::PipelineSpec S;
+    S.Stages = std::min(O.Cores * sim::HartsPerCore, 8u);
+    return workloads::buildPipelineProgram(S);
+  }
+  Err = "unknown workload '" + O.Workload + "'";
+  return std::string();
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  Options O;
+  if (!parseArgs(Argc, Argv, O))
+    return usage();
+
+  std::string Err;
+  std::string Asm = buildAsmText(O, Err);
+  if (Asm.empty()) {
+    std::fprintf(stderr, "lbp_fleet: %s\n", Err.c_str());
+    return 2;
+  }
+  assembler::AsmResult R = assembler::assemble(Asm);
+  if (!R.succeeded()) {
+    std::fprintf(stderr, "lbp_fleet: assembly failed:\n%s\n",
+                 R.errorText().c_str());
+    return 2;
+  }
+
+  // One shared read-only image; the workers inherit it copy-on-write.
+  std::vector<assembler::Program> Images;
+  Images.push_back(std::move(R.Prog));
+
+  std::vector<fleet::RunSpec> Specs;
+  for (unsigned I = 0; I != O.Runs; ++I) {
+    fleet::RunSpec S;
+    uint64_t Seed = O.SeedBase + I;
+    S.Name = (O.AsmFile.empty() ? O.Workload : O.AsmFile) + "-seed" +
+             std::to_string(Seed);
+    S.Cfg = sim::SimConfig::lbp(O.Cores);
+    S.Cfg.FastPath = O.FastPath;
+    S.Cfg.HostThreads = O.Threads;
+    S.Cfg.Faults.Seed = Seed;
+    S.Cfg.Faults.Drops = O.Drops;
+    S.Cfg.Faults.Delays = O.Delays;
+    S.Cfg.Faults.BitFlips = O.Flips;
+    S.Cfg.Faults.StuckBanks = O.Stuck;
+    S.DeadlineCycles = O.DeadlineCycles;
+    Specs.push_back(std::move(S));
+  }
+
+  fleet::CampaignResult Result =
+      fleet::runCampaign(Images, Specs, O.FC);
+  std::string Json = fleet::campaignToJson(Result);
+
+  if (O.Out.empty()) {
+    std::fwrite(Json.data(), 1, Json.size(), stdout);
+  } else {
+    std::ofstream Out(O.Out, std::ios::trunc);
+    if (!Out) {
+      std::fprintf(stderr, "lbp_fleet: cannot write '%s'\n",
+                   O.Out.c_str());
+      return 2;
+    }
+    Out << Json;
+  }
+
+  if (!Result.Complete)
+    return 1;
+  if (O.Strict)
+    for (const fleet::RunResult &Run : Result.Runs)
+      if (Run.V != fleet::Verdict::Pass)
+        return 1;
+  return 0;
+}

@@ -39,6 +39,9 @@
 #include <vector>
 
 namespace lbp {
+namespace sim {
+struct SnapshotAccess; // checkpoint serializer (sim/Snapshot.cpp)
+} // namespace sim
 namespace obs {
 
 /// Log-scaled latency histogram: bucket B counts samples whose latency
@@ -144,6 +147,7 @@ public:
                uint64_t B) override;
 
 private:
+  friend struct sim::SnapshotAccess;
   bool En = false;
   unsigned BankShift = 16;
   /// Per target hart: cycle of the last token injection, UINT64_MAX

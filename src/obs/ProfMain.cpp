@@ -39,6 +39,7 @@
 #include "obs/Perfetto.h"
 #include "obs/Report.h"
 #include "sim/Machine.h"
+#include "support/StringUtils.h"
 #include "workloads/Dma.h"
 #include "workloads/MatMul.h"
 #include "workloads/Phases.h"
@@ -300,7 +301,15 @@ int main(int Argc, char **Argv) {
                    Opts.CountersOut.c_str());
       return 2;
     }
-    Out << obs::countersToJson(M) << '\n';
+    // The counter snapshot, wrapped with run metadata: which engine
+    // actually executed (engineNote() records fallbacks, e.g. the
+    // sharded engine declining an odd topology) and the terminal
+    // message — for a livelock, the per-hart wait report.
+    Out << "{\n  \"meta\": {\"engine\": \"" << jsonEscape(M.engineName())
+        << "\", \"engine_note\": \"" << jsonEscape(M.engineNote())
+        << "\", \"status\": \"" << sim::runStatusName(St)
+        << "\", \"message\": \"" << jsonEscape(M.faultMessage())
+        << "\"},\n  \"counters\": " << obs::countersToJson(M) << "}\n";
   }
   return St == sim::RunStatus::Exited ? 0 : 1;
 }

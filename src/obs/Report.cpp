@@ -17,20 +17,6 @@ using sim::Machine;
 
 namespace {
 
-const char *statusName(sim::RunStatus S) {
-  switch (S) {
-  case sim::RunStatus::Exited:
-    return "exited";
-  case sim::RunStatus::MaxCycles:
-    return "max-cycles";
-  case sim::RunStatus::Livelock:
-    return "livelock";
-  case sim::RunStatus::Fault:
-    return "fault";
-  }
-  return "?";
-}
-
 const char *linkClassName(sim::Interconnect::LinkClass C) {
   using LC = sim::Interconnect::LinkClass;
   switch (C) {
@@ -98,7 +84,7 @@ std::string obs::countersToJson(const Machine &M) {
   appendField(J, "cycles", M.cycles());
   J += ',';
   appendField(J, "retired", M.retired());
-  J += formatString(",\"status\":\"%s\"", statusName(M.status()));
+  J += formatString(",\"status\":\"%s\"", sim::runStatusName(M.status()));
   J += formatString(",\"trace_hash\":\"0x%016llx\"",
                     static_cast<unsigned long long>(M.traceHash()));
   J += ',';
@@ -281,7 +267,7 @@ std::string obs::buildReport(const Machine &M, const PhaseProfiler *Prof,
   std::string R;
   R += formatString("run: %s after %llu cycles, %llu retired (ipc %.3f), "
                     "engine %s\n",
-                    statusName(M.status()),
+                    sim::runStatusName(M.status()),
                     static_cast<unsigned long long>(Cycles),
                     static_cast<unsigned long long>(M.retired()), M.ipc(),
                     M.engineName());

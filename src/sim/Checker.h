@@ -70,7 +70,10 @@ uint8_t deliveryParity(const Delivery &D);
 /// The checker state machine. The Machine calls the hooks; sweep() runs
 /// every SimConfig::CheckInterval cycles. Any violation is recorded and
 /// escalated through Machine::fault().
+struct SnapshotAccess; // checkpoint serializer (sim/Snapshot.cpp)
+
 class Checker {
+  friend struct SnapshotAccess;
   std::vector<MachineCheck> Checks;
 
   // Conservation counters, maintained by the schedule/deliver hooks.

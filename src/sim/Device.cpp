@@ -42,6 +42,22 @@ void SensorDevice::write(uint32_t Offset, uint32_t Value, uint64_t Cycle) {
   Armed = true;
 }
 
+void SensorDevice::saveState(ByteWriter &W) const {
+  W.u64(NextSample);
+  W.u64(Rng.state());
+  W.u64(ReadyCycle);
+  W.u32(Current);
+  W.b(Armed);
+}
+
+void SensorDevice::restoreState(ByteReader &R) {
+  NextSample = R.u64();
+  Rng.setState(R.u64());
+  ReadyCycle = R.u64();
+  Current = R.u32();
+  Armed = R.b();
+}
+
 //===----------------------------------------------------------------------===//
 // ActuatorDevice
 //===----------------------------------------------------------------------===//
@@ -59,6 +75,26 @@ uint32_t ActuatorDevice::read(uint32_t Offset, uint64_t Cycle) {
 void ActuatorDevice::write(uint32_t Offset, uint32_t Value, uint64_t Cycle) {
   if (Offset == DevDataReg)
     Log.push_back({Cycle, Value});
+}
+
+void ActuatorDevice::saveState(ByteWriter &W) const {
+  W.u64(Log.size());
+  for (const Record &Rec : Log) {
+    W.u64(Rec.Cycle);
+    W.u32(Rec.Value);
+  }
+}
+
+void ActuatorDevice::restoreState(ByteReader &R) {
+  Log.clear();
+  uint64_t N = R.u64();
+  Log.reserve(N);
+  for (uint64_t I = 0; I != N && R.ok(); ++I) {
+    Record Rec;
+    Rec.Cycle = R.u64();
+    Rec.Value = R.u32();
+    Log.push_back(Rec);
+  }
 }
 
 //===----------------------------------------------------------------------===//
@@ -98,6 +134,10 @@ void StreamInDevice::write(uint32_t Offset, uint32_t Value, uint64_t Cycle) {
   (void)Cycle;
 }
 
+void StreamInDevice::saveState(ByteWriter &W) const { W.u64(Next); }
+
+void StreamInDevice::restoreState(ByteReader &R) { Next = R.u64(); }
+
 uint32_t StreamOutDevice::read(uint32_t Offset, uint64_t Cycle) {
   (void)Cycle;
   if (Offset == DevStatusReg)
@@ -110,3 +150,7 @@ void StreamOutDevice::write(uint32_t Offset, uint32_t Value, uint64_t Cycle) {
   if (Offset == DevDataReg)
     Data.push_back(Value);
 }
+
+void StreamOutDevice::saveState(ByteWriter &W) const { W.vecU32(Data); }
+
+void StreamOutDevice::restoreState(ByteReader &R) { Data = R.vecU32(); }

@@ -22,6 +22,7 @@
 #ifndef LBP_SIM_DEVICE_H
 #define LBP_SIM_DEVICE_H
 
+#include "support/Serialize.h"
 #include "support/SplitMix64.h"
 
 #include <cstdint>
@@ -45,6 +46,13 @@ public:
 
   /// Register write at \p Offset served at \p Cycle.
   virtual void write(uint32_t Offset, uint32_t Value, uint64_t Cycle) = 0;
+
+  /// Checkpoint hooks (sim/Snapshot.h): serialize the device's mutable
+  /// state (not its construction parameters — a restore targets a
+  /// machine whose devices were constructed identically). The defaults
+  /// cover stateless devices.
+  virtual void saveState(ByteWriter &W) const { (void)W; }
+  virtual void restoreState(ByteReader &R) { (void)R; }
 };
 
 /// An input sensor: arming it (a STATUS write) schedules the next sample
@@ -66,6 +74,8 @@ public:
 
   uint32_t read(uint32_t Offset, uint64_t Cycle) override;
   void write(uint32_t Offset, uint32_t Value, uint64_t Cycle) override;
+  void saveState(ByteWriter &W) const override;
+  void restoreState(ByteReader &R) override;
 };
 
 /// An output actuator: DATA writes are recorded with their service cycle.
@@ -78,6 +88,8 @@ public:
 
   uint32_t read(uint32_t Offset, uint64_t Cycle) override;
   void write(uint32_t Offset, uint32_t Value, uint64_t Cycle) override;
+  void saveState(ByteWriter &W) const override;
+  void restoreState(ByteReader &R) override;
 
   const std::vector<Record> &records() const { return Log; }
 
@@ -104,6 +116,8 @@ public:
 
   uint32_t read(uint32_t Offset, uint64_t Cycle) override;
   void write(uint32_t Offset, uint32_t Value, uint64_t Cycle) override;
+  void saveState(ByteWriter &W) const override;
+  void restoreState(ByteReader &R) override;
 };
 
 /// A stream sink: DATA writes append to a buffer readable by the host.
@@ -113,6 +127,8 @@ class StreamOutDevice : public IoDevice {
 public:
   uint32_t read(uint32_t Offset, uint64_t Cycle) override;
   void write(uint32_t Offset, uint32_t Value, uint64_t Cycle) override;
+  void saveState(ByteWriter &W) const override;
+  void restoreState(ByteReader &R) override;
 
   const std::vector<uint32_t> &data() const { return Data; }
 };

@@ -73,8 +73,11 @@ struct FaultEvent {
   std::string describe() const;
 };
 
+struct SnapshotAccess; // checkpoint serializer (sim/Snapshot.cpp)
+
 /// The full, pre-drawn fault schedule of one run.
 class FaultPlan {
+  friend struct SnapshotAccess;
   std::vector<FaultEvent> Events;
   bool Enabled = false;
 

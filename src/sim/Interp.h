@@ -76,6 +76,13 @@ public:
 
   uint32_t pc() const { return Pc; }
 
+  /// Checkpointing (sim/Snapshot.h): serializes pc, registers, step
+  /// count, the result mailbox and the written-memory page overlay.
+  /// restore targets an Interp constructed over the same program; on
+  /// success execution continues exactly where the snapshot was taken.
+  void saveSnapshot(std::vector<uint8_t> &Out) const;
+  bool restoreSnapshot(const std::vector<uint8_t> &Blob, std::string &Err);
+
 private:
   const assembler::Program &Prog;
   uint32_t Pc;

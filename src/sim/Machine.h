@@ -40,7 +40,19 @@ enum class RunStatus : uint8_t {
              ///< per-hart wait report is in faultMessage().
   Fault,     ///< Invalid instruction, protocol violation or machine
              ///< check; see faultMessage() and machineChecks().
+  Deadline,  ///< A caller-imposed cycle deadline expired (the fleet
+             ///< runner's deterministic timeout classification,
+             ///< src/fleet/). run() itself never returns this: a run
+             ///< that exhausts its budget reports MaxCycles, and the
+             ///< fleet promotes that to Deadline when the budget was
+             ///< the campaign's per-run deadline. Distinct from
+             ///< Livelock, which means the machine itself stopped
+             ///< making progress.
 };
+
+/// Stable kebab-case name of a run status ("exited", "max-cycles",
+/// "livelock", "fault", "deadline"), shared by reports and fleet JSON.
+const char *runStatusName(RunStatus S);
 
 /// One in-flight message on the machine's links: memory responses,
 /// fork/join protocol messages, the ending-signal token. Every field is
@@ -108,6 +120,28 @@ public:
 
   /// Runs until exit, fault, livelock or \p MaxCycles.
   RunStatus run(uint64_t MaxCycles = UINT64_MAX);
+
+  // -- Checkpointing (sim/Snapshot.h; docs/ROBUSTNESS.md) --------------
+  /// Serializes the complete mutable run state — memory banks and code
+  /// image, every hart and core, interconnect reservations and traffic
+  /// counters, the delivery wheel and overflow heap, the fault-plan
+  /// cursor, checker accounting, device state, the perf-counter set and
+  /// the trace hash chain — into a versioned binary blob. Taking a
+  /// snapshot never perturbs the run: save, continue, and the trace
+  /// hash is bit-identical to a run that never snapshotted.
+  void saveSnapshot(std::vector<uint8_t> &Out) const;
+
+  /// Restores a saveSnapshot() blob into this machine. The machine must
+  /// have been constructed with a behaviorally identical SimConfig (a
+  /// config digest in the blob is verified; host-only knobs — FastPath,
+  /// HostThreads, trace recording — may differ) and the same devices
+  /// added in the same order. On success the machine continues exactly
+  /// where the snapshot was taken: running it to completion yields the
+  /// same trace hash, cycle count and counter snapshot as the
+  /// uninterrupted run, on every engine. Returns false and fills \p Err
+  /// on a malformed or mismatched blob, leaving no guarantee about the
+  /// machine's state (discard it).
+  bool restoreSnapshot(const std::vector<uint8_t> &Blob, std::string &Err);
 
   // Observation.
   /// Outcome of the last run() (MaxCycles before the first run).
@@ -226,6 +260,7 @@ public:
 private:
   friend class Checker;   // read-only sweeps over the machine state
   friend struct ParEngine; // the epoch orchestrator (ParallelEngine.cpp)
+  friend struct SnapshotAccess; // checkpoint serializer (Snapshot.cpp)
 
   // -- Deliveries -----------------------------------------------------
   void schedule(uint64_t At, Delivery D);

@@ -43,8 +43,11 @@ namespace sim {
 /// parallel engine advance each shard a full epoch between merges.
 unsigned minCrossCoreLatency(const SimConfig &Cfg);
 
+struct SnapshotAccess; // checkpoint serializer (sim/Snapshot.cpp)
+
 /// Raw storage behind the address map.
 class MemorySystem {
+  friend struct SnapshotAccess;
   std::vector<uint8_t> Code;
   std::vector<std::vector<uint8_t>> LocalBanks;  // one per core
   std::vector<std::vector<uint8_t>> GlobalBanks; // one per core
@@ -154,6 +157,7 @@ public:
   }
 
 private:
+  friend struct SnapshotAccess;
   const SimConfig Cfg;
   unsigned NumCores;
 

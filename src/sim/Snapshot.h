@@ -1,0 +1,71 @@
+//===- sim/Snapshot.h - Deterministic machine checkpointing -----------------===//
+//
+// Part of the LBP reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The checkpoint format behind Machine::saveSnapshot / restoreSnapshot
+/// and Interp::saveSnapshot / restoreSnapshot (docs/ROBUSTNESS.md,
+/// "Checkpoint format"). A snapshot captures the *complete mutable run
+/// state* of a machine between cycles, so a restored run is
+/// observationally indistinguishable from an uninterrupted one: same
+/// trace hash chain, same cycle count, same counter snapshot, same
+/// RunStatus — on the reference loop, the fast path and the sharded
+/// parallel engine alike. That property is what lets the fleet runner
+/// (src/fleet/) retry a crashed or preempted worker from its last
+/// checkpoint without perturbing the campaign's deterministic report.
+///
+/// Blob layout (all little-endian, support/Serialize.h):
+///
+///   u32 magic 'LBPS'   u32 format version
+///   u64 config digest  — FNV over the behavior-relevant SimConfig
+///                        fields (structure, latencies, checkers,
+///                        collection modes, fault plan). Host-only
+///                        knobs (FastPath, HostThreads, trace
+///                        recording) are excluded: they cannot change
+///                        the simulated state, so a snapshot moves
+///                        freely between engines and thread counts.
+///   sections           — memory, interconnect, cores/harts, delivery
+///                        wheel + overflow heap, machine scalars,
+///                        fault-plan cursor, checker accounting, trace
+///                        hash, perf counters, devices
+///   u32 trailer magic  — truncation guard
+///
+/// Versioning: SnapshotFormatVersion bumps on any layout change;
+/// restore rejects a mismatched version or digest outright (no
+/// cross-version migration — checkpoints are campaign-lifetime
+/// artifacts, not archives).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LBP_SIM_SNAPSHOT_H
+#define LBP_SIM_SNAPSHOT_H
+
+#include "sim/Config.h"
+
+#include <cstdint>
+
+namespace lbp {
+namespace sim {
+
+/// 'L' 'B' 'P' 'S' in little-endian byte order.
+constexpr uint32_t SnapshotMagic = 0x5350424Cu;
+
+/// Bumped on any change to the blob layout.
+constexpr uint32_t SnapshotFormatVersion = 1;
+
+/// Trailer sentinel appended after the last section.
+constexpr uint32_t SnapshotTrailer = 0x50414E53u; // 'S' 'N' 'A' 'P'
+
+/// Digest of the SimConfig fields that determine simulated behavior.
+/// Two configs with equal digests evolve a loaded machine through the
+/// identical state sequence; restore refuses a digest mismatch.
+/// Host-side observation knobs (FastPath, HostThreads, EpochOverride,
+/// RecordTrace, trace line options) are deliberately not folded in.
+uint64_t snapshotConfigDigest(const SimConfig &Cfg);
+
+} // namespace sim
+} // namespace lbp
+
+#endif // LBP_SIM_SNAPSHOT_H

@@ -116,6 +116,12 @@ public:
   /// Order-sensitive fingerprint of everything seen so far.
   uint64_t hash() const { return Hash.value(); }
 
+  /// Checkpoint restore (sim/Snapshot.h): resets the accumulator to a
+  /// captured value so the chain continues exactly where the snapshot
+  /// left it. Formatted lines recorded before the snapshot are not part
+  /// of the checkpoint — the hash chain is the identity of the prefix.
+  void restoreHash(uint64_t V) { Hash.restore(V); }
+
   const std::vector<std::string> &lines() const { return Lines; }
 
   /// Formatted lines discarded after the cap was hit.

@@ -43,6 +43,12 @@ public:
   }
 
   uint64_t value() const { return Value; }
+
+  /// Restores a previously captured accumulator value (checkpoint
+  /// restore, sim/Snapshot.h). The chain property is preserved: folding
+  /// the same future events after a restore reproduces the value an
+  /// uninterrupted accumulation would have reached.
+  void restore(uint64_t V) { Value = V; }
 };
 
 } // namespace lbp

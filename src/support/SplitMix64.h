@@ -42,6 +42,11 @@ public:
   uint64_t nextInRange(uint64_t Lo, uint64_t Hi) {
     return Lo + nextBelow(Hi - Lo + 1);
   }
+
+  /// Stream-position capture/restore for checkpointing (sim/Snapshot.h):
+  /// a generator restored to a saved state continues the exact sequence.
+  uint64_t state() const { return State; }
+  void setState(uint64_t S) { State = S; }
 };
 
 } // namespace lbp

@@ -39,6 +39,12 @@ std::optional<int64_t> parseInteger(std::string_view S);
 std::string formatString(const char *Fmt, ...)
     __attribute__((format(printf, 1, 2)));
 
+/// Minimal JSON string escaping: quotes, backslashes, and control
+/// characters. Fault messages and livelock wait reports carry newlines
+/// and may quote register/label names; everything else the tools emit
+/// is identifier-shaped.
+std::string jsonEscape(const std::string &S);
+
 } // namespace lbp
 
 #endif // LBP_SUPPORT_STRINGUTILS_H

@@ -1,0 +1,445 @@
+//===- tests/snapshot_test.cpp - Checkpoint/restore determinism -------------===//
+//
+// Part of the LBP reproduction project.
+//
+//===----------------------------------------------------------------------===//
+//
+// The restore guarantee of sim/Snapshot.h (docs/ROBUSTNESS.md "Restore
+// guarantees"): a run that is snapshotted at an arbitrary cycle and
+// resumed on a *fresh* machine finishes with the exact observable
+// fingerprint — RunStatus, cycle count, retired count, trace hash chain,
+// fault message, machine-check list and the canonical counter snapshot —
+// of the run that was never interrupted. Swept across all three engines
+// (reference, fast path, sharded parallel), across host thread counts,
+// through open fault-injection windows and through the X_PAR fork/join
+// handshake, because those are exactly the states a fleet worker dies
+// in. Also: save -> restore -> save is byte-identical (the blob is a
+// pure function of machine state), and malformed blobs are rejected
+// without crashing.
+//
+//===----------------------------------------------------------------------===//
+
+#include "asm/Assembler.h"
+#include "obs/Report.h"
+#include "sim/Interp.h"
+#include "sim/Machine.h"
+#include "sim/Snapshot.h"
+#include "support/StringUtils.h"
+#include "workloads/Phases.h"
+#include "workloads/Pipeline.h"
+#include "workloads/SensorFusion.h"
+
+#include <gtest/gtest.h>
+
+using namespace lbp;
+using namespace lbp::sim;
+
+namespace {
+
+/// One engine/thread cell of the sweep.
+struct EngineCell {
+  const char *Name;
+  bool FastPath;
+  unsigned Threads;
+};
+constexpr EngineCell Cells[] = {
+    {"reference", false, 1},
+    {"fastpath", true, 1},
+    {"parallel-2", true, 2},
+    {"parallel-4", true, 4},
+};
+
+SimConfig cellConfig(SimConfig Cfg, const EngineCell &C) {
+  Cfg.FastPath = C.FastPath;
+  Cfg.HostThreads = C.Threads;
+  Cfg.CollectCounters = true;
+  return Cfg;
+}
+
+/// The full observable outcome of a finished run.
+struct Fingerprint {
+  RunStatus Status;
+  uint64_t Cycles;
+  uint64_t Retired;
+  uint64_t Hash;
+  std::string Message;
+  size_t NumChecks;
+  std::string Counters;
+
+  bool operator==(const Fingerprint &O) const {
+    return Status == O.Status && Cycles == O.Cycles &&
+           Retired == O.Retired && Hash == O.Hash && Message == O.Message &&
+           NumChecks == O.NumChecks && Counters == O.Counters;
+  }
+};
+
+Fingerprint fingerprint(const Machine &M, RunStatus S) {
+  return {S,
+          M.cycles(),
+          M.retired(),
+          M.traceHash(),
+          M.faultMessage(),
+          M.machineChecks().size(),
+          obs::countersToJson(M)};
+}
+
+assembler::Program assembleOrDie(const std::string &Src) {
+  assembler::AsmResult R = assembler::assemble(Src);
+  EXPECT_TRUE(R.succeeded()) << R.errorText();
+  return R.Prog;
+}
+
+/// Runs \p Prog uninterrupted under \p Cfg; then re-runs it snapshotting
+/// at \p SnapAt cycles, restores the blob into a fresh machine built
+/// with \p ResumeCfg (never load()ed — the blob carries the code image),
+/// finishes there, and expects the identical fingerprint. Also checks
+/// save -> restore -> save byte-identity on the way through.
+void expectResumeIdentical(const assembler::Program &Prog, SimConfig Cfg,
+                           SimConfig ResumeCfg, uint64_t SnapAt,
+                           const std::string &What,
+                           uint64_t Budget = 4000000) {
+  Machine Full(Cfg);
+  Full.load(Prog);
+  Fingerprint Want = fingerprint(Full, Full.run(Budget));
+
+  Machine First(Cfg);
+  First.load(Prog);
+  First.run(SnapAt);
+  std::vector<uint8_t> Blob;
+  First.saveSnapshot(Blob);
+
+  Machine Second(ResumeCfg);
+  std::string Err;
+  ASSERT_TRUE(Second.restoreSnapshot(Blob, Err)) << What << ": " << Err;
+
+  // The blob is a pure function of the state it captured.
+  std::vector<uint8_t> Blob2;
+  Second.saveSnapshot(Blob2);
+  EXPECT_EQ(Blob, Blob2) << What << ": save/restore/save not byte-identical";
+
+  Fingerprint Got = fingerprint(Second, Second.run(Budget));
+  EXPECT_TRUE(Want == Got)
+      << What << formatString(" (snapshot at %llu cycles): resumed run "
+                              "diverged from the uninterrupted one",
+                              static_cast<unsigned long long>(SnapAt))
+      << "\n  status " << runStatusName(Want.Status) << " vs "
+      << runStatusName(Got.Status) << "\n  cycles " << Want.Cycles << " vs "
+      << Got.Cycles << "\n  hash " << Want.Hash << " vs " << Got.Hash;
+}
+
+std::string phasesSrc() {
+  workloads::PhasesSpec Spec;
+  Spec.NumHarts = 16;
+  return workloads::buildPhasesProgram(Spec);
+}
+
+std::string pipelineSrc() {
+  workloads::PipelineSpec Spec;
+  Spec.Stages = 8;
+  Spec.Items = 32;
+  return workloads::buildPipelineProgram(Spec);
+}
+
+//===----------------------------------------------------------------------===//
+// Engine x thread-count sweep at assorted snapshot cycles
+//===----------------------------------------------------------------------===//
+
+TEST(Snapshot, ResumeMatchesUninterruptedAcrossEnginesPhases) {
+  assembler::Program Prog = assembleOrDie(phasesSrc());
+  for (const EngineCell &C : Cells) {
+    SimConfig Cfg = cellConfig(SimConfig::lbp(4), C);
+    for (uint64_t SnapAt : {1ull, 37ull, 200ull, 1000ull})
+      expectResumeIdentical(Prog, Cfg, Cfg, SnapAt,
+                            std::string("phases/") + C.Name);
+  }
+}
+
+TEST(Snapshot, ResumeMatchesUninterruptedAcrossEnginesPipeline) {
+  assembler::Program Prog = assembleOrDie(pipelineSrc());
+  for (const EngineCell &C : Cells) {
+    SimConfig Cfg = cellConfig(SimConfig::lbp(4), C);
+    for (uint64_t SnapAt : {5ull, 333ull, 2048ull})
+      expectResumeIdentical(Prog, Cfg, Cfg, SnapAt,
+                            std::string("pipeline/") + C.Name);
+  }
+}
+
+/// The fork/join handshake window: the phases team forks within the
+/// first couple hundred cycles, so a dense sweep over that range lands
+/// snapshots between p_fc allocation, start-message flight, token
+/// passes and the join — the protocol states a checkpoint must carry.
+TEST(Snapshot, ResumeMidXParHandshake) {
+  assembler::Program Prog = assembleOrDie(phasesSrc());
+  for (const EngineCell &C : Cells) {
+    SimConfig Cfg = cellConfig(SimConfig::lbp(4), C);
+    for (uint64_t SnapAt = 2; SnapAt < 160; SnapAt += 13)
+      expectResumeIdentical(Prog, Cfg, Cfg, SnapAt,
+                            std::string("handshake/") + C.Name);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Cross-engine restore (host-only knobs may differ between save/resume)
+//===----------------------------------------------------------------------===//
+
+TEST(Snapshot, BlobIsPortableAcrossEngines) {
+  assembler::Program Prog = assembleOrDie(phasesSrc());
+  for (const EngineCell &From : Cells) {
+    for (const EngineCell &To : Cells) {
+      SimConfig FromCfg = cellConfig(SimConfig::lbp(4), From);
+      SimConfig ToCfg = cellConfig(SimConfig::lbp(4), To);
+      expectResumeIdentical(Prog, FromCfg, ToCfg, /*SnapAt=*/97,
+                            std::string("cross/") + From.Name + "->" +
+                                To.Name);
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Mid fault-injection window
+//===----------------------------------------------------------------------===//
+
+TEST(Snapshot, ResumeInsideOpenFaultWindow) {
+  assembler::Program Prog = assembleOrDie(phasesSrc());
+  SimConfig Base = SimConfig::lbp(4);
+  Base.Faults.Seed = 7;
+  Base.Faults.Drops = 1;
+  Base.Faults.Delays = 2;
+  Base.Faults.StuckBanks = 1;
+  Base.Faults.WindowBegin = 20;
+  Base.Faults.WindowEnd = 600;
+  Base.Faults.StuckDuration = 256;
+  for (const EngineCell &C : Cells) {
+    SimConfig Cfg = cellConfig(Base, C);
+    // Snapshots straddle the window: before it opens, inside it (some
+    // events fired, some armed, a stuck-bank window possibly mid-flight)
+    // and after it closes.
+    for (uint64_t SnapAt : {10ull, 64ull, 300ull, 900ull})
+      expectResumeIdentical(Prog, Cfg, Cfg, SnapAt,
+                            std::string("faults/") + C.Name);
+  }
+}
+
+TEST(Snapshot, FaultCursorSurvivesRestore) {
+  assembler::Program Prog = assembleOrDie(phasesSrc());
+  SimConfig Cfg = SimConfig::lbp(4);
+  Cfg.Faults.Seed = 11;
+  Cfg.Faults.Delays = 3;
+  Cfg.Faults.WindowBegin = 1;
+  Cfg.Faults.WindowEnd = 400;
+
+  Machine M(Cfg);
+  M.load(Prog);
+  M.run(4000000);
+  unsigned WantFired = M.faultPlan().firedCount();
+  ASSERT_GT(WantFired, 0u) << "plan never fired; pick another seed";
+
+  Machine First(Cfg);
+  First.load(Prog);
+  First.run(200);
+  std::vector<uint8_t> Blob;
+  First.saveSnapshot(Blob);
+  Machine Second(Cfg);
+  std::string Err;
+  ASSERT_TRUE(Second.restoreSnapshot(Blob, Err)) << Err;
+  EXPECT_EQ(Second.faultPlan().firedCount(), First.faultPlan().firedCount());
+  Second.run(4000000);
+  EXPECT_EQ(Second.faultPlan().firedCount(), WantFired);
+}
+
+//===----------------------------------------------------------------------===//
+// Devices
+//===----------------------------------------------------------------------===//
+
+/// Builds the sensor-fusion machine (4 seeded sensors + actuator).
+/// Device state — RNG cursors, armed samples, the actuator log — is
+/// part of the snapshot, so a mid-round resume must not replay or skip
+/// an actuation.
+void addFusionDevices(Machine &M, uint64_t Seed, unsigned Rounds) {
+  for (unsigned S = 0; S != 4; ++S) {
+    std::vector<uint32_t> Samples;
+    for (unsigned K = 0; K != Rounds; ++K)
+      Samples.push_back(100 * (S + 1) + K);
+    M.addDevice(workloads::SensorBase(S), 0x100,
+                std::make_unique<SensorDevice>(Samples, Seed + S, 20, 400));
+  }
+  M.addDevice(workloads::ActuatorBase, 0x100,
+              std::make_unique<ActuatorDevice>());
+}
+
+TEST(Snapshot, DeviceStateRoundTrips) {
+  workloads::SensorFusionSpec Spec;
+  Spec.Rounds = 6;
+  assembler::Program Prog =
+      assembleOrDie(workloads::buildSensorFusionProgram(Spec));
+  SimConfig Cfg = SimConfig::lbp(1);
+  Cfg.CollectCounters = true;
+
+  Machine Full(Cfg);
+  Full.load(Prog);
+  addFusionDevices(Full, /*Seed=*/5, Spec.Rounds);
+  Fingerprint Want = fingerprint(Full, Full.run(10000000));
+  ASSERT_EQ(Want.Status, RunStatus::Exited) << Full.faultMessage();
+
+  for (uint64_t SnapAt : {50ull, 777ull, 3000ull}) {
+    Machine First(Cfg);
+    First.load(Prog);
+    addFusionDevices(First, /*Seed=*/5, Spec.Rounds);
+    First.run(SnapAt);
+    std::vector<uint8_t> Blob;
+    First.saveSnapshot(Blob);
+
+    Machine Second(Cfg);
+    addFusionDevices(Second, /*Seed=*/5, Spec.Rounds);
+    std::string Err;
+    ASSERT_TRUE(Second.restoreSnapshot(Blob, Err)) << Err;
+    Fingerprint Got = fingerprint(Second, Second.run(10000000));
+    EXPECT_TRUE(Want == Got) << "sensor-fusion resume at " << SnapAt
+                             << " diverged (cycles " << Want.Cycles << " vs "
+                             << Got.Cycles << ")";
+  }
+}
+
+TEST(Snapshot, DeviceCountMismatchRejected) {
+  workloads::SensorFusionSpec Spec;
+  assembler::Program Prog =
+      assembleOrDie(workloads::buildSensorFusionProgram(Spec));
+  SimConfig Cfg = SimConfig::lbp(1);
+  Machine First(Cfg);
+  First.load(Prog);
+  addFusionDevices(First, /*Seed=*/5, Spec.Rounds);
+  First.run(100);
+  std::vector<uint8_t> Blob;
+  First.saveSnapshot(Blob);
+
+  Machine Second(Cfg); // no devices added
+  std::string Err;
+  EXPECT_FALSE(Second.restoreSnapshot(Blob, Err));
+  EXPECT_NE(Err.find("device count"), std::string::npos) << Err;
+}
+
+//===----------------------------------------------------------------------===//
+// Terminal states and rejection paths
+//===----------------------------------------------------------------------===//
+
+TEST(Snapshot, FinishedRunStatePersists) {
+  assembler::Program Prog = assembleOrDie(phasesSrc());
+  SimConfig Cfg = SimConfig::lbp(4);
+  Machine M(Cfg);
+  M.load(Prog);
+  ASSERT_EQ(M.run(4000000), RunStatus::Exited) << M.faultMessage();
+  std::vector<uint8_t> Blob;
+  M.saveSnapshot(Blob);
+
+  Machine R(Cfg);
+  std::string Err;
+  ASSERT_TRUE(R.restoreSnapshot(Blob, Err)) << Err;
+  EXPECT_EQ(R.status(), RunStatus::Exited);
+  EXPECT_EQ(R.cycles(), M.cycles());
+  EXPECT_EQ(R.traceHash(), M.traceHash());
+  EXPECT_EQ(R.retired(), M.retired());
+}
+
+TEST(Snapshot, RejectsBadMagicVersionDigestAndTruncation) {
+  assembler::Program Prog = assembleOrDie(phasesSrc());
+  SimConfig Cfg = SimConfig::lbp(4);
+  Machine M(Cfg);
+  M.load(Prog);
+  M.run(100);
+  std::vector<uint8_t> Blob;
+  M.saveSnapshot(Blob);
+  std::string Err;
+
+  { // Bad magic.
+    std::vector<uint8_t> B = Blob;
+    B[0] ^= 0xff;
+    Machine R(Cfg);
+    EXPECT_FALSE(R.restoreSnapshot(B, Err));
+    EXPECT_NE(Err.find("magic"), std::string::npos) << Err;
+  }
+  { // Wrong format version.
+    std::vector<uint8_t> B = Blob;
+    B[4] ^= 0xff;
+    Machine R(Cfg);
+    EXPECT_FALSE(R.restoreSnapshot(B, Err));
+    EXPECT_NE(Err.find("version"), std::string::npos) << Err;
+  }
+  { // Behaviorally different config: digest must refuse.
+    SimConfig Other = Cfg;
+    Other.AluLatency += 1;
+    Machine R(Other);
+    EXPECT_FALSE(R.restoreSnapshot(Blob, Err));
+    EXPECT_NE(Err.find("digest"), std::string::npos) << Err;
+  }
+  { // Host-only knobs do NOT change the digest.
+    SimConfig Host = Cfg;
+    Host.FastPath = !Host.FastPath;
+    Host.HostThreads = 8;
+    Host.RecordTrace = true;
+    EXPECT_EQ(snapshotConfigDigest(Host), snapshotConfigDigest(Cfg));
+  }
+  { // Truncation at every prefix length of the tail must fail cleanly.
+    for (size_t Cut : {Blob.size() - 1, Blob.size() / 2, size_t(12)}) {
+      std::vector<uint8_t> B(Blob.begin(), Blob.begin() + Cut);
+      Machine R(Cfg);
+      EXPECT_FALSE(R.restoreSnapshot(B, Err)) << "cut=" << Cut;
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Interp checkpointing
+//===----------------------------------------------------------------------===//
+
+TEST(Snapshot, InterpRoundTrip) {
+  // A loop with enough memory traffic to populate the page overlay.
+  assembler::Program Prog = assembleOrDie(R"(
+      .text
+  main:
+      li t0, -1
+      li sp, 0x00110000
+      li a0, 0            # i
+      li a1, 200          # n
+      li a2, 0x10000000   # base
+  loop:
+      slli a3, a0, 2
+      add a3, a3, a2
+      sw a0, 0(a3)
+      lw a4, 0(a3)
+      add a5, a5, a4
+      addi a0, a0, 1
+      blt a0, a1, loop
+      p_ret
+  )");
+
+  Interp Full(Prog);
+  InterpStatus WantStatus = Full.run(100000);
+  uint64_t WantSteps = Full.steps();
+
+  Interp First(Prog);
+  First.run(137);
+  std::vector<uint8_t> Blob;
+  First.saveSnapshot(Blob);
+
+  Interp Second(Prog);
+  std::string Err;
+  ASSERT_TRUE(Second.restoreSnapshot(Blob, Err)) << Err;
+  EXPECT_EQ(Second.pc(), First.pc());
+  EXPECT_EQ(Second.steps(), First.steps());
+
+  InterpStatus GotStatus = Second.run(100000);
+  EXPECT_EQ(static_cast<int>(GotStatus), static_cast<int>(WantStatus));
+  EXPECT_EQ(Second.steps(), WantSteps);
+  for (unsigned R = 0; R != 32; ++R)
+    EXPECT_EQ(Second.reg(R), Full.reg(R)) << "x" << R;
+  for (unsigned I = 0; I != 200; ++I)
+    EXPECT_EQ(Second.readWord(0x10000000 + 4 * I),
+              Full.readWord(0x10000000 + 4 * I))
+        << "word " << I;
+
+  std::vector<uint8_t> Bad(Blob.begin(), Blob.begin() + Blob.size() / 3);
+  Interp Third(Prog);
+  EXPECT_FALSE(Third.restoreSnapshot(Bad, Err));
+}
+
+} // namespace
