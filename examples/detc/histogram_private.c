@@ -1,0 +1,26 @@
+// Det-C: privatized histogram. The bin index is data-dependent
+// (pixels[i] & 16383 is non-affine), but each member's bins live in
+// its own 64 KiB global bank: hist spans banks 0 and 1 exactly and
+// member t only touches bank t. The analyzer cannot know the word
+// index, yet the bank-disjointness rule proves the members private —
+// the accesses are certified "banked" and the region is clean.
+// Part of the lbp_lint clean corpus (see docs/ANALYSIS.md).
+
+int hist[32768];
+int pixels[64] = { 7 };
+
+void bin_pixels(int t) {
+  int i;
+  int b;
+  for (i = 0; i < 64; i++) {
+    b = (t * 16384) + (pixels[i] & 16383);
+    hist[b] = hist[b] + 1;
+  }
+}
+
+void main() {
+  int t;
+  #pragma omp parallel for
+  for (t = 0; t < 2; t++)
+    bin_pixels(t);
+}

@@ -1,0 +1,27 @@
+// Det-C: shared histogram — the classic non-affine race. Both members
+// increment hist[pixels[..] & 255]; the bin index is data-dependent and
+// the whole table is visible to every member, so nothing discharges
+// the write-write pair. The analyzer reports race.may, and because the
+// pixel buffer is zero-filled every member really does hammer bin 0:
+// --oracle-refine upgrades the finding to race.confirmed with the
+// concrete hart/address/cycle witness.
+// Part of the lbp_lint flagged corpus (see docs/ANALYSIS.md).
+
+int hist[256];
+int pixels[64];
+
+void bin_pixels(int t) {
+  int i;
+  int b;
+  for (i = 0; i < 32; i++) {
+    b = pixels[(t * 32) + i] & 255;
+    hist[b] = hist[b] + 1;
+  }
+}
+
+void main() {
+  int t;
+  #pragma omp parallel for
+  for (t = 0; t < 2; t++)
+    bin_pixels(t);
+}

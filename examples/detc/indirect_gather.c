@@ -1,0 +1,21 @@
+// Det-C: indirect scatter through an index array. out[idx[t]] is as
+// non-affine as it gets — the target word is whatever idx holds at run
+// time, so no static rule can separate the members. The analyzer
+// reports race.may; the zero-filled index array sends every member to
+// out[0], so --oracle-refine upgrades it to race.confirmed with the
+// observed harts, address and cycles.
+// Part of the lbp_lint flagged corpus (see docs/ANALYSIS.md).
+
+int idx[8];
+int out[8];
+
+void scatter(int t) {
+  out[idx[t]] = t;
+}
+
+void main() {
+  int t;
+  #pragma omp parallel for
+  for (t = 0; t < 8; t++)
+    scatter(t);
+}

@@ -1,0 +1,27 @@
+// Det-C: indirect scatter, masked into a member-private block. The
+// low bits of the index are data-dependent (idx[i] & 7), but each
+// member writes inside its own 8-word slice of out: the imprecise
+// part is bounded to [0, 7] and the member stride is 8 words, so the
+// difference between two members' footprints can never reach zero.
+// The residue/interval rule discharges every pair — clean, with the
+// writes certified "may" in class but raceless.
+// Part of the lbp_lint clean corpus (see docs/ANALYSIS.md).
+
+int idx[64];
+int out[64];
+
+void gather(int t) {
+  int i;
+  int b;
+  for (i = 0; i < 8; i++) {
+    b = (t * 8) + (idx[i] & 7);
+    out[b] = out[b] + 1;
+  }
+}
+
+void main() {
+  int t;
+  #pragma omp parallel for
+  for (t = 0; t < 8; t++)
+    gather(t);
+}

@@ -1,0 +1,22 @@
+// Det-C: stencil with a data-dependent halo read. Each member writes
+// only its own dst[t] (exact affine), but reads src at an offset taken
+// from a table (off[t] & 15 is non-affine). The reads are imprecise —
+// classified "may" — yet src is never written inside the region, and
+// the interval reasoning proves the imprecise reads cannot reach dst:
+// no pair survives, the region is clean.
+// Part of the lbp_lint clean corpus (see docs/ANALYSIS.md).
+
+int src[32] = { 5 };
+int off[16];
+int dst[16];
+
+void smooth(int t) {
+  dst[t] = src[t + (off[t] & 15)] + src[t];
+}
+
+void main() {
+  int t;
+  #pragma omp parallel for
+  for (t = 0; t < 16; t++)
+    smooth(t);
+}

@@ -1,0 +1,22 @@
+// Det-C: rotating stencil — dst[(t + 1) % 8] = src[t]. The modulo
+// makes the write index non-affine, so the analyzer cannot prove the
+// members disjoint and reports race.may. Dynamically the rotation is a
+// bijection: every member lands on a different word, so the oracle
+// observes no conflict and --oracle-refine annotates the finding
+// unconfirmed-on-corpus instead of upgrading it. This is exactly the
+// imprecision gap the race.may tier exists for.
+// Part of the lbp_lint flagged corpus (see docs/ANALYSIS.md).
+
+int src[8] = { 9 };
+int dst[8];
+
+void rotate(int t) {
+  dst[(t + 1) % 8] = src[t];
+}
+
+void main() {
+  int t;
+  #pragma omp parallel for
+  for (t = 0; t < 8; t++)
+    rotate(t);
+}

@@ -4,29 +4,50 @@
 //
 //===----------------------------------------------------------------------===//
 //
-// Abstract domain: every 32-bit value is approximated by an affine form
+// Layered may-race abstract domain. Every 32-bit value is approximated
+// by the form
 //
-//     Sym + A*t + [Lo, Hi]
+//     Sym + A*t + [Lo, Hi] + M*Z
 //
 // where t is the team index of the executing member, Sym is an optional
-// global symbol base and [Lo, Hi] a constant interval. The form is
-// closed under the address arithmetic the frontend emits (base + index
-// * stride + constant) and under the widening of recognized
-// constant-step loops, which is exactly what the canonical Det-C access
-// shapes v[t] and v[t*stride+k] need. Anything else falls to "top" and
-// the affected access is skipped (documented unsoundness, see
-// docs/ANALYSIS.md).
+// global symbol base, [Lo, Hi] a constant interval and M*Z an optional
+// "any multiple" term that keeps the residue class of values built by
+// scaling an unknown quantity (an indirect index, a loaded bound). A
+// value is *exact* when it is fully affine (M = 0 and every operation
+// that produced it stayed in the affine fragment) and *may* otherwise.
+//
+// Addresses are recorded for every load and store — there is no
+// silently-skipped case. Conflicts are then layered:
+//
+//   1. exact x exact pairs use the precise affine overlap solver and
+//      yield race.ww / race.rw errors (the original domain);
+//   2. pairs with an imprecise side first try bank-disjointness — both
+//      footprints confined to member-private global banks under the
+//      machine's bank geometry discharges the pair even when the word
+//      index is unknown (privatized histograms);
+//   3. then residue/interval disjointness — the difference set must
+//      contain a multiple of gcd(Mx, My) inside the overlap window
+//      (cyclic distributions, masked chunk indices);
+//   4. what survives is a race.may warning with the imprecise-address
+//      note, which --oracle-refine either upgrades to race.confirmed
+//      with a dynamic witness or annotates unconfirmed-on-corpus.
+//
+// Residues are truncated to their power-of-two part so they stay sound
+// under the machine's mod-2^32 arithmetic (gcd(M, 2^32) divides every
+// wrapped multiple of M).
 //
 //===----------------------------------------------------------------------===//
 
 #include "analysis/DetRace.h"
 
+#include "isa/AddressMap.h"
 #include "romp/Runtime.h"
 #include "sim/Config.h"
 #include "support/StringUtils.h"
 
 #include <algorithm>
 #include <map>
+#include <numeric>
 #include <set>
 #include <string>
 
@@ -39,6 +60,14 @@ namespace {
 /// Saturation bound for reduction-send counting.
 constexpr uint64_t SendCap = 1ull << 30;
 
+/// Interval bound of the value domain: beyond this the interval term is
+/// dropped in favor of the M*Z term (see AV::norm).
+constexpr int64_t RangeCap = int64_t(1) << 45;
+
+/// Pair-enumeration budget shared by one region's conflict detection;
+/// exhausting it is a conservative may-conflict, never a discharge.
+constexpr uint64_t PairBudget = 1ull << 22;
+
 uint64_t satAdd(uint64_t A, uint64_t B) {
   return std::min(SendCap, A + std::min(B, SendCap));
 }
@@ -50,46 +79,122 @@ uint64_t satMul(uint64_t A, uint64_t B) {
   return A * B;
 }
 
-/// The affine abstract value.
+/// The abstract value: Sym + A*t + [Lo, Hi] (+ M*Z when !Exact).
 struct AV {
-  bool Valid = false;
+  bool Exact = true;
   std::string Sym; ///< Empty = pure numeric value.
   int64_t A = 0;   ///< Coefficient of the team index t.
   int64_t Lo = 0, Hi = 0;
+  int64_t M = 0;   ///< Residue term; only meaningful when !Exact.
 
-  static AV top() { return {}; }
-  static AV cst(int64_t V) { return {true, "", 0, V, V}; }
-  static AV teamIndex() { return {true, "", 1, 0, 0}; }
+  static AV cst(int64_t V) { return {true, "", 0, V, V, 0}; }
+  static AV teamIndex() { return {true, "", 1, 0, 0, 0}; }
+  static AV sym(const std::string &S, int64_t Off) {
+    return {true, S, 0, Off, Off, 0};
+  }
+  /// No information at all: any value (0 + 1*Z).
+  static AV unknown() { return {false, "", 0, 0, 0, 1}; }
+  /// A bounded but imprecise value.
+  static AV mayRange(int64_t Lo, int64_t Hi) {
+    return {false, "", 0, Lo, Hi, 0};
+  }
 
-  bool isSingleton() const { return Valid && Sym.empty() && Lo == Hi; }
+  bool isSingleton() const { return Exact && Sym.empty() && Lo == Hi; }
   bool operator==(const AV &O) const {
-    if (Valid != O.Valid)
-      return false;
-    if (!Valid)
-      return true;
-    return Sym == O.Sym && A == O.A && Lo == O.Lo && Hi == O.Hi;
+    return Exact == O.Exact && Sym == O.Sym && A == O.A && Lo == O.Lo &&
+           Hi == O.Hi && M == O.M;
   }
 };
 
+/// Keeps the domain sound under the machine's mod-2^32 arithmetic and
+/// the int64 carrier: residues fall to their power-of-two part (only
+/// gcd(M, 2^32) survives wraparound) and intervals that leave the cap
+/// degrade to a pure residue term.
+AV norm(AV V) {
+  if (V.Exact) {
+    V.M = 0;
+    if (V.Lo < -RangeCap || V.Hi > RangeCap) {
+      V.Exact = false;
+      V.Sym.clear();
+      V.A = 0;
+      V.Lo = V.Hi = 0;
+      V.M = 1;
+    }
+    return V;
+  }
+  if (V.M < 0)
+    V.M = -V.M;
+  if (V.M)
+    V.M = std::min<int64_t>(V.M & -V.M, int64_t(1) << 32);
+  if (V.Lo < -RangeCap || V.Hi > RangeCap) {
+    V.Lo = V.Hi = 0;
+    if (!V.M)
+      V.M = 1;
+  }
+  return V;
+}
+
 AV avAdd(const AV &L, const AV &R) {
-  if (!L.Valid || !R.Valid || (!L.Sym.empty() && !R.Sym.empty()))
-    return AV::top();
-  return {true, L.Sym.empty() ? R.Sym : L.Sym, L.A + R.A, L.Lo + R.Lo,
-          L.Hi + R.Hi};
+  if (!L.Sym.empty() && !R.Sym.empty())
+    return AV::unknown();
+  AV V;
+  V.Exact = L.Exact && R.Exact;
+  V.Sym = L.Sym.empty() ? R.Sym : L.Sym;
+  V.A = L.A + R.A;
+  V.Lo = L.Lo + R.Lo;
+  V.Hi = L.Hi + R.Hi;
+  V.M = std::gcd(L.M, R.M);
+  return norm(V);
 }
 
 AV avSub(const AV &L, const AV &R) {
-  if (!L.Valid || !R.Valid || !R.Sym.empty())
-    return AV::top();
-  return {true, L.Sym, L.A - R.A, L.Lo - R.Hi, L.Hi - R.Lo};
+  if (!R.Sym.empty())
+    return AV::unknown();
+  AV V;
+  V.Exact = L.Exact && R.Exact;
+  V.Sym = L.Sym;
+  V.A = L.A - R.A;
+  V.Lo = L.Lo - R.Hi;
+  V.Hi = L.Hi - R.Lo;
+  V.M = std::gcd(L.M, R.M);
+  return norm(V);
 }
 
 /// V scaled by the compile-time constant C (addresses don't scale).
 AV avScale(const AV &V, int64_t C) {
-  if (!V.Valid || !V.Sym.empty())
-    return AV::top();
-  int64_t A = V.Lo * C, B = V.Hi * C;
-  return {true, "", V.A * C, std::min(A, B), std::max(A, B)};
+  if (C == 0)
+    return AV::cst(0);
+  if (!V.Sym.empty())
+    return AV::unknown();
+  if (C < -(int64_t(1) << 31) || C > int64_t(1) << 31)
+    return AV::unknown();
+  const int64_t AbsC = C < 0 ? -C : C;
+  const __int128 Cap = RangeCap;
+  __int128 MA = __int128(V.A) * C;
+  if (MA < -Cap || MA > Cap)
+    return AV::unknown();
+  auto ScaleM = [&](int64_t M) -> int64_t {
+    __int128 MM = __int128(M) * AbsC;
+    return MM > (__int128(1) << 32) ? int64_t(1) << 32 : int64_t(MM);
+  };
+  AV R;
+  R.A = int64_t(MA);
+  __int128 P1 = __int128(V.Lo) * C, P2 = __int128(V.Hi) * C;
+  if (P1 > P2)
+    std::swap(P1, P2);
+  if (P1 < -Cap || P2 > Cap) {
+    // Interval term blown: C*x is still a multiple of C (and of C*M),
+    // so keep the affine part and fall back to a residue offset.
+    R.Exact = false;
+    R.Lo = R.Hi = 0;
+    R.M = ScaleM(V.M ? V.M : 1);
+  } else {
+    R.Exact = V.Exact;
+    R.Lo = int64_t(P1);
+    R.Hi = int64_t(P2);
+    R.M = V.M ? ScaleM(V.M) : 0;
+  }
+  return norm(R);
 }
 
 AV avMul(const AV &L, const AV &R) {
@@ -97,7 +202,11 @@ AV avMul(const AV &L, const AV &R) {
     return avScale(R, L.Lo);
   if (R.isSingleton() && R.A == 0)
     return avScale(L, R.Lo);
-  return AV::top();
+  // The product of two imprecise-but-scaled values: an unknown times
+  // anything keeps only the unknown side's residue as a divisor of the
+  // result when the other side is a pure multiple; too subtle to pay
+  // for — give up the structure.
+  return AV::unknown();
 }
 
 bool cmpHolds(CmpOp Op, int64_t L, int64_t R) {
@@ -125,10 +234,13 @@ bool cmpHolds(CmpOp Op, int64_t L, int64_t R) {
 /// One recorded shared-memory access of a team member.
 struct Access {
   bool IsWrite = false;
-  bool Abs = false;  ///< Base resolved to an absolute address.
-  std::string Sym;   ///< Original symbol (for messages; may be empty).
-  int64_t Base = 0;  ///< Absolute base when Abs.
+  bool Exact = false; ///< Address stayed in the affine fragment.
+  bool Abs = false;   ///< Base resolved to an absolute address.
+  bool InSend = false; ///< Read feeding a __reduce_send value.
+  std::string Sym;    ///< Original symbol (for messages; may be empty).
+  int64_t Base = 0;   ///< Absolute base when Abs.
   int64_t A = 0, Lo = 0, Hi = 0;
+  int64_t M = 0;      ///< Residue term of the address (0 = bounded).
   unsigned Width = 4;
   unsigned Line = 0;
   std::vector<char> Allow; ///< Team indices that can perform it.
@@ -140,7 +252,8 @@ struct GlobalRange {
 };
 
 /// Per-region analysis of one thread function: walks the body with the
-/// affine environment and collects accesses plus reduction-send counts.
+/// abstract environment and collects accesses plus reduction-send
+/// counts.
 class RegionAnalyzer {
 public:
   RegionAnalyzer(AnalysisResult &Res, unsigned N,
@@ -155,7 +268,7 @@ public:
     if (!Params.empty())
       Env[Params[0]] = AV::teamIndex();
     if (Params.size() > 1 && !DataSymbol.empty())
-      Env[Params[1]] = AV{true, DataSymbol, 0, 0, 0};
+      Env[Params[1]] = AV::sym(DataSymbol, 0);
     if (Params.size() > 2)
       Env[Params[2]] = AV::cst(static_cast<int64_t>(N));
     InlineStack.insert(&ThreadFn);
@@ -181,23 +294,27 @@ private:
   std::vector<char> Allow;
   uint64_t MulMin = 1, MulMax = 1;
   bool Record = true;
+  bool InSendValue = false;
   std::set<const Function *> InlineStack;
 
   AV envOf(const Local *L) const {
     auto It = Env.find(L);
-    return It == Env.end() ? AV::top() : It->second;
+    return It == Env.end() ? AV::unknown() : It->second;
   }
 
   void recordAccess(bool IsWrite, const AV &Addr, unsigned Width,
                     unsigned Line) {
-    if (!Record || !Addr.Valid)
+    if (!Record)
       return;
     Access Acc;
     Acc.IsWrite = IsWrite;
+    Acc.Exact = Addr.Exact;
+    Acc.InSend = InSendValue && !IsWrite;
     Acc.Sym = Addr.Sym;
     Acc.A = Addr.A;
     Acc.Lo = Addr.Lo;
     Acc.Hi = Addr.Hi;
+    Acc.M = Addr.M;
     Acc.Width = Width;
     Acc.Line = Line;
     Acc.Allow = Allow;
@@ -210,21 +327,79 @@ private:
     Accesses.push_back(std::move(Acc));
   }
 
+  /// The smallest value A*t + Lo can take for t in [0, N).
+  int64_t minOverTeam(const AV &V) const {
+    int64_t TMax = int64_t(N) - 1;
+    return (V.A >= 0 ? 0 : V.A * TMax) + V.Lo;
+  }
+
+  /// Non-affine binary operations: bounded may-values instead of a
+  /// blanket give-up. Every bound below holds for the machine's 32-bit
+  /// two's-complement result regardless of the operand abstraction.
+  AV evalBinMay(BinOp Op, const AV &L, const AV &R) {
+    const bool RConst = R.isSingleton() && R.A == 0;
+    switch (Op) {
+    case BinOp::And:
+      if (RConst) {
+        if (R.Lo >= 0)
+          return AV::mayRange(0, R.Lo); // x & mask is within the mask
+        // Negative mask: low zero bits survive — the result is a
+        // multiple of the mask's lowest set bit.
+        return norm(AV{false, "", 0, 0, 0, R.Lo & -R.Lo});
+      }
+      if (L.isSingleton() && L.A == 0 && L.Lo >= 0)
+        return AV::mayRange(0, L.Lo);
+      return AV::unknown();
+    case BinOp::Rem:
+      if (RConst && R.Lo != 0) {
+        int64_t C = R.Lo < 0 ? -R.Lo : R.Lo;
+        if (C > int64_t(1) << 31)
+          return AV::unknown();
+        // rem follows the dividend's sign; a provably non-negative
+        // dividend tightens the range to [0, C).
+        if (L.Sym.empty() && L.M == 0 && minOverTeam(L) >= 0)
+          return AV::mayRange(0, C - 1);
+        return AV::mayRange(-(C - 1), C - 1);
+      }
+      return AV::unknown();
+    case BinOp::Div:
+      if (RConst && R.Lo > 0 && L.Sym.empty() && L.A == 0 && L.M == 0) {
+        int64_t A = L.Lo / R.Lo, B = L.Hi / R.Lo; // trunc, monotone
+        AV V = AV::mayRange(std::min(A, B), std::max(A, B));
+        return V;
+      }
+      return AV::unknown();
+    case BinOp::Shr:
+      if (RConst && R.Lo > 0 && R.Lo < 32)
+        return AV::mayRange(0, int64_t(0xFFFFFFFFu >> R.Lo));
+      return AV::unknown();
+    case BinOp::Sra:
+      if (RConst && R.Lo > 0 && R.Lo < 32)
+        return AV::mayRange(INT32_MIN >> R.Lo, INT32_MAX >> R.Lo);
+      return AV::unknown();
+    case BinOp::Slt:
+    case BinOp::Sltu:
+      return AV::mayRange(0, 1);
+    default:
+      return AV::unknown();
+    }
+  }
+
   /// Evaluates \p E, recording every Load it contains as a read.
   AV evalExpr(const Expr *E, unsigned Line) {
     if (!E)
-      return AV::top();
+      return AV::unknown();
     switch (E->K) {
     case Expr::Kind::Const:
       return AV::cst(E->IVal);
     case Expr::Kind::LocalRef:
       return envOf(E->L);
     case Expr::Kind::AddrOf:
-      return {true, E->Symbol, 0, E->IVal, E->IVal};
+      return AV::sym(E->Symbol, E->IVal);
     case Expr::Kind::Load: {
       AV Base = evalExpr(E->Lhs, Line);
       recordAccess(false, avAdd(Base, AV::cst(E->IVal)), E->Width, Line);
-      return AV::top();
+      return AV::unknown(); // the loaded value itself is data-dependent
     }
     case Expr::Kind::Bin: {
       AV L = evalExpr(E->Lhs, Line);
@@ -239,18 +414,18 @@ private:
       case BinOp::Shl:
         if (R.isSingleton() && R.A == 0 && R.Lo >= 0 && R.Lo < 31)
           return avScale(L, int64_t(1) << R.Lo);
-        return AV::top();
+        return AV::unknown();
       default:
-        return AV::top();
+        return evalBinMay(E->Op, L, R);
       }
     }
     case Expr::Kind::HartId:
     case Expr::Kind::CycleCount:
     case Expr::Kind::InstretCount:
     case Expr::Kind::RecvResult:
-      return AV::top();
+      return AV::unknown();
     }
-    return AV::top();
+    return AV::unknown();
   }
 
   /// Intersection join: keep only bindings equal on both paths.
@@ -335,56 +510,61 @@ private:
     return Count == 1 ? Found : 0;
   }
 
+  /// True when \p V is usable as a loop boundary: a bounded value with
+  /// no residue term (imprecise is fine — the widened range is just a
+  /// may-range then).
+  static bool boundedBoundary(const AV &V) { return V.M == 0; }
+
   /// Range of the loop variable inside the body of a recognized loop.
   AV widen(const AV &Init, const AV &Bound, CmpOp Op, int64_t Step) const {
-    if (!Init.Valid || !Bound.Valid || Step == 0)
-      return AV::top();
+    if (Step == 0 || !boundedBoundary(Init) || !boundedBoundary(Bound))
+      return AV::unknown();
     if (Init.Sym != Bound.Sym || Init.A != Bound.A)
-      return AV::top();
+      return AV::unknown();
     AV R;
-    R.Valid = true;
+    R.Exact = Init.Exact && Bound.Exact;
     R.Sym = Init.Sym;
     R.A = Init.A;
     switch (Op) {
     case CmpOp::Lt:
       if (Step <= 0)
-        return AV::top();
+        return AV::unknown();
       R.Lo = Init.Lo;
       R.Hi = std::max(Init.Lo, Bound.Hi - 1);
-      return R;
+      return norm(R);
     case CmpOp::Ne:
       if (Step != 1)
-        return AV::top();
+        return AV::unknown();
       R.Lo = Init.Lo;
       R.Hi = std::max(Init.Lo, Bound.Hi - 1);
-      return R;
+      return norm(R);
     case CmpOp::Le:
       if (Step <= 0)
-        return AV::top();
+        return AV::unknown();
       R.Lo = Init.Lo;
       R.Hi = std::max(Init.Lo, Bound.Hi);
-      return R;
+      return norm(R);
     case CmpOp::Gt:
       if (Step >= 0)
-        return AV::top();
+        return AV::unknown();
       R.Lo = std::min(Init.Hi, Bound.Lo + 1);
       R.Hi = Init.Hi;
-      return R;
+      return norm(R);
     case CmpOp::Ge:
       if (Step >= 0)
-        return AV::top();
+        return AV::unknown();
       R.Lo = std::min(Init.Hi, Bound.Lo);
       R.Hi = Init.Hi;
-      return R;
+      return norm(R);
     default:
-      return AV::top();
+      return AV::unknown();
     }
   }
 
   /// Iteration-count interval of a recognized loop; false = unknown.
   bool tripCount(const AV &Init, const AV &Bound, CmpOp Op, int64_t Step,
                  uint64_t &TMin, uint64_t &TMax) const {
-    if (!Init.Valid || !Bound.Valid || Step == 0 ||
+    if (!Init.Exact || !Bound.Exact || Step == 0 ||
         Init.Sym != Bound.Sym || Init.A != Bound.A)
       return false;
     int64_t DLo = Bound.Lo - Init.Hi, DHi = Bound.Hi - Init.Lo;
@@ -416,7 +596,7 @@ private:
     const Local *LV =
         S->CmpLhs && S->CmpLhs->K == Expr::Kind::LocalRef ? S->CmpLhs->L
                                                           : nullptr;
-    AV Init = LV ? envOf(LV) : AV::top();
+    AV Init = LV ? envOf(LV) : AV::unknown();
     Record = false;
     AV Bound = evalExpr(S->CmpRhs, S->Line);
     Record = true;
@@ -428,8 +608,8 @@ private:
     for (const Local *L : Assigned)
       Env.erase(L);
 
-    AV Widened = Step ? widen(Init, Bound, S->Cmp, Step) : AV::top();
-    if (LV && Widened.Valid)
+    AV Widened = Step ? widen(Init, Bound, S->Cmp, Step) : AV::unknown();
+    if (LV)
       Env[LV] = Widened;
 
     uint64_t TMin = 0, TMax = SendCap;
@@ -556,8 +736,10 @@ private:
       NestedRegionLine = S->Line;
       return;
 
-    case Stmt::Kind::ReduceSend:
+    case Stmt::Kind::ReduceSend: {
+      InSendValue = true;
       evalExpr(S->Value, S->Line);
+      InSendValue = false;
       for (unsigned T = 0; T != N; ++T) {
         if (!Allow[T])
           continue;
@@ -565,6 +747,7 @@ private:
         SendMax[T] = satAdd(SendMax[T], MulMax);
       }
       return;
+    }
 
     case Stmt::Kind::ReduceCollect:
       SawCollect = true;
@@ -602,8 +785,15 @@ private:
 // Conflict detection
 //===----------------------------------------------------------------------===//
 
-/// True when members t1 != t2 can touch overlapping bytes through
-/// accesses \p X (as t1) and \p Y (as t2).
+int64_t ceilDiv(int64_t A, int64_t B) {
+  return A >= 0 ? (A + B - 1) / B : -((-A) / B);
+}
+int64_t floorDiv(int64_t A, int64_t B) {
+  return A >= 0 ? A / B : -((-A + B - 1) / B);
+}
+
+/// True when members t1 != t2 can touch overlapping bytes through the
+/// exact affine accesses \p X (as t1) and \p Y (as t2).
 bool conflictExists(const Access &X, const Access &Y, unsigned N,
                     unsigned &T1Out, unsigned &T2Out) {
   // Comparable only when both resolve into the same address space.
@@ -622,20 +812,13 @@ bool conflictExists(const Access &X, const Access &Y, unsigned N,
                  (BY + Y.Lo);
     if (Lo > Hi)
       continue;
-    // Exact ceil/floor for possibly-negative operands (B > 0).
-    auto CeilDiv = [](int64_t A, int64_t B) {
-      return A >= 0 ? (A + B - 1) / B : -((-A) / B);
-    };
-    auto FloorDiv = [](int64_t A, int64_t B) {
-      return A >= 0 ? A / B : -((-A + B - 1) / B);
-    };
     int64_t T2Lo = 0, T2Hi = int64_t(N) - 1;
     if (Y.A > 0) {
-      T2Lo = std::max<int64_t>(0, CeilDiv(Lo, Y.A));
-      T2Hi = std::min<int64_t>(int64_t(N) - 1, FloorDiv(Hi, Y.A));
+      T2Lo = std::max<int64_t>(0, ceilDiv(Lo, Y.A));
+      T2Hi = std::min<int64_t>(int64_t(N) - 1, floorDiv(Hi, Y.A));
     } else if (Y.A < 0) {
-      T2Lo = std::max<int64_t>(0, CeilDiv(-Hi, -Y.A));
-      T2Hi = std::min<int64_t>(int64_t(N) - 1, FloorDiv(-Lo, -Y.A));
+      T2Lo = std::max<int64_t>(0, ceilDiv(-Hi, -Y.A));
+      T2Hi = std::min<int64_t>(int64_t(N) - 1, floorDiv(-Lo, -Y.A));
     } else if (Lo > 0 || Hi < 0) {
       continue; // constant-address access that never overlaps
     }
@@ -650,8 +833,119 @@ bool conflictExists(const Access &X, const Access &Y, unsigned N,
   return false;
 }
 
+/// Byte span of access \p A as member \p T: [Lo, Hi], valid only when
+/// the address has no residue term.
+void spanAt(const Access &A, unsigned T, int64_t &Lo, int64_t &Hi) {
+  Lo = A.Base + A.A * int64_t(T) + A.Lo;
+  Hi = A.Base + A.A * int64_t(T) + A.Hi + int64_t(A.Width) - 1;
+}
+
+/// True when every allowed member's footprint of \p A is confined to
+/// the shared-global region and the footprints of distinct members land
+/// in disjoint banks — the access is "banked": member-private by the
+/// machine's bank geometry even though the word index is unknown.
+bool bankSelfDisjoint(const Access &A, unsigned N, unsigned BankLog2) {
+  if (!A.Abs || A.M != 0)
+    return false;
+  std::vector<std::pair<int64_t, int64_t>> Banks;
+  for (unsigned T = 0; T != N; ++T) {
+    if (!A.Allow[T])
+      continue;
+    int64_t SLo, SHi;
+    spanAt(A, T, SLo, SHi);
+    if (SLo < int64_t(isa::GlobalBase) || SHi >= int64_t(isa::GlobalLimit))
+      return false;
+    Banks.push_back({(SLo - isa::GlobalBase) >> BankLog2,
+                     (SHi - isa::GlobalBase) >> BankLog2});
+  }
+  std::sort(Banks.begin(), Banks.end());
+  for (size_t I = 1; I < Banks.size(); ++I)
+    if (Banks[I].first <= Banks[I - 1].second)
+      return false;
+  return true;
+}
+
+/// Bank-disjointness discharge for a pair: every (t1, t2), t1 != t2,
+/// has X's t1-footprint and Y's t2-footprint in disjoint global banks.
+bool bankPairDisjoint(const Access &X, const Access &Y, unsigned N,
+                      unsigned BankLog2, uint64_t &Budget) {
+  if (!X.Abs || !Y.Abs || X.M != 0 || Y.M != 0)
+    return false;
+  for (unsigned T1 = 0; T1 != N; ++T1) {
+    if (!X.Allow[T1])
+      continue;
+    int64_t XLo, XHi;
+    spanAt(X, T1, XLo, XHi);
+    if (XLo < int64_t(isa::GlobalBase) || XHi >= int64_t(isa::GlobalLimit))
+      return false;
+    int64_t BXLo = (XLo - isa::GlobalBase) >> BankLog2;
+    int64_t BXHi = (XHi - isa::GlobalBase) >> BankLog2;
+    for (unsigned T2 = 0; T2 != N; ++T2) {
+      if (T2 == T1 || !Y.Allow[T2])
+        continue;
+      if (Budget == 0 || --Budget == 0)
+        return false;
+      int64_t YLo, YHi;
+      spanAt(Y, T2, YLo, YHi);
+      if (YLo < int64_t(isa::GlobalBase) ||
+          YHi >= int64_t(isa::GlobalLimit))
+        return false;
+      int64_t BYLo = (YLo - isa::GlobalBase) >> BankLog2;
+      int64_t BYHi = (YHi - isa::GlobalBase) >> BankLog2;
+      if (BXLo <= BYHi && BYLo <= BXHi)
+        return false;
+    }
+  }
+  return true;
+}
+
+/// May-overlap test for pairs with an imprecise side: the difference
+/// set (an interval widened by both widths plus gcd(Mx, My)*Z) must
+/// contain zero. Conservative (returns true) when the bases are
+/// incomparable or the enumeration budget runs out.
+bool mayOverlap(const Access &X, const Access &Y, unsigned N,
+                unsigned &T1Out, unsigned &T2Out, uint64_t &Budget) {
+  T1Out = 0;
+  T2Out = N > 1 ? 1 : 0;
+  int64_t BX = 0, BY = 0;
+  if (X.Abs && Y.Abs) {
+    BX = X.Base;
+    BY = Y.Base;
+  } else if (!(!X.Abs && !Y.Abs && X.Sym == Y.Sym)) {
+    // Incomparable bases with an imprecise side: cannot prove
+    // disjointness, so a shared-state conflict is possible.
+    return true;
+  }
+  int64_t Mg = std::gcd(X.M, Y.M);
+  for (unsigned T1 = 0; T1 != N; ++T1) {
+    if (!X.Allow[T1])
+      continue;
+    for (unsigned T2 = 0; T2 != N; ++T2) {
+      if (T2 == T1 || !Y.Allow[T2])
+        continue;
+      if (Budget == 0 || --Budget == 0)
+        return true; // budget exhausted: conservative may-conflict
+      int64_t BaseD =
+          BX + X.A * int64_t(T1) - (BY + Y.A * int64_t(T2));
+      int64_t DLo = BaseD + X.Lo - (Y.Hi + int64_t(Y.Width) - 1);
+      int64_t DHi = BaseD + X.Hi + int64_t(X.Width) - 1 - Y.Lo;
+      bool Hit = Mg == 0 ? (DLo <= 0 && 0 <= DHi)
+                         : floorDiv(DHi, Mg) >= ceilDiv(DLo, Mg);
+      if (Hit) {
+        T1Out = T1;
+        T2Out = T2;
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
 void reportRaces(AnalysisResult &Res, const std::string &RegionFn,
-                 unsigned N, const std::vector<Access> &Accesses) {
+                 unsigned N, const std::vector<Access> &Accesses,
+                 unsigned BankLog2, RegionCert &Cert,
+                 std::vector<char> &Conflicting) {
+  Conflicting.assign(Accesses.size(), 0);
   if (N < 2)
     return;
   if (N > 8192) {
@@ -661,6 +955,7 @@ void reportRaces(AnalysisResult &Res, const std::string &RegionFn,
                     RegionFn + "' not checked");
     return;
   }
+  uint64_t Budget = PairBudget;
   std::set<std::string> Seen;
   for (size_t I = 0; I != Accesses.size(); ++I) {
     for (size_t J = I; J != Accesses.size(); ++J) {
@@ -668,28 +963,60 @@ void reportRaces(AnalysisResult &Res, const std::string &RegionFn,
       if (!X.IsWrite && !Y.IsWrite)
         continue;
       unsigned T1 = 0, T2 = 0;
-      if (!conflictExists(X, Y, N, T1, T2))
-        continue;
+      bool Exact = X.Exact && Y.Exact;
+      if (Exact) {
+        if (!conflictExists(X, Y, N, T1, T2))
+          continue;
+      } else {
+        if (bankPairDisjoint(X, Y, N, BankLog2, Budget)) {
+          ++Cert.BankDischarged;
+          continue;
+        }
+        if (!mayOverlap(X, Y, N, T1, T2, Budget)) {
+          ++Cert.ResidueDischarged;
+          continue;
+        }
+      }
+      Conflicting[I] = Conflicting[J] = 1;
       std::string Sym = !X.Sym.empty() ? X.Sym : Y.Sym;
       std::string Key = Sym + ":" + std::to_string(std::min(X.Line, Y.Line)) +
                         ":" + std::to_string(std::max(X.Line, Y.Line)) +
-                        (X.IsWrite && Y.IsWrite ? "ww" : "rw");
+                        (Exact ? (X.IsWrite && Y.IsWrite ? "ww" : "rw")
+                               : "may");
       if (!Seen.insert(Key).second)
         continue;
-      const char *Rule = X.IsWrite && Y.IsWrite ? "race.ww" : "race.rw";
       const Access &W = X.IsWrite ? X : Y;
       const Access &O = X.IsWrite ? Y : X;
-      Res.error(
-          W.Line, Rule,
-          formatString("parallel region '%s': members %u and %u of the "
-                       "%u-member team can touch overlapping elements of "
-                       "'%s' (%s at line %u, %s at line %u); the paper's "
-                       "determinism contract requires per-member disjoint "
-                       "writes or a reduction",
-                       RegionFn.c_str(), T1, T2, N,
-                       Sym.empty() ? "an absolute address" : Sym.c_str(),
-                       "write", W.Line, O.IsWrite ? "write" : "read",
-                       O.Line));
+      const char *SymName =
+          Sym.empty() ? "an absolute address" : Sym.c_str();
+      if (Exact) {
+        const char *Rule = X.IsWrite && Y.IsWrite ? "race.ww" : "race.rw";
+        Res.error(
+               W.Line, Rule,
+               formatString(
+                   "parallel region '%s': members %u and %u of the "
+                   "%u-member team can touch overlapping elements of "
+                   "'%s' (%s at line %u, %s at line %u); the paper's "
+                   "determinism contract requires per-member disjoint "
+                   "writes or a reduction",
+                   RegionFn.c_str(), T1, T2, N, SymName, "write", W.Line,
+                   O.IsWrite ? "write" : "read", O.Line))
+            .Sym = Sym;
+      } else {
+        ++Cert.MayRaces;
+        Res.warning(
+               W.Line, "race.may",
+               formatString(
+                   "parallel region '%s': members %u and %u of the "
+                   "%u-member team may touch overlapping elements of "
+                   "'%s' (%s at line %u, %s at line %u); the address is "
+                   "imprecise (non-affine) and neither bank-disjointness "
+                   "nor residue reasoning discharges the pair — run "
+                   "--oracle-refine for a dynamic verdict",
+                   RegionFn.c_str(), T1, T2, N, SymName, "write", W.Line,
+                   O.IsWrite ? "write" : "read", O.Line))
+            .Sym = Sym;
+      }
     }
   }
 }
@@ -722,10 +1049,67 @@ private:
   AnalysisResult &Res;
   std::map<std::string, const Function *> Fns;
   std::map<std::string, GlobalRange> Globals;
+  std::set<unsigned> OrderSensitiveLines;
+
+  static bool containsRecv(const Expr *E) {
+    if (!E)
+      return false;
+    if (E->K == Expr::Kind::RecvResult)
+      return true;
+    return containsRecv(E->Lhs) || containsRecv(E->Rhs);
+  }
+
+  /// Reduction partials must be merged with a commutative+associative
+  /// combinator, or the merged value depends on arrival order and stops
+  /// being portable across machine sizes. Flags any RecvResult under a
+  /// non-commutative operator.
+  void scanMergeExpr(const Expr *E, unsigned Line) {
+    if (!E)
+      return;
+    if (E->K == Expr::Kind::Bin) {
+      bool Sensitive = false;
+      switch (E->Op) {
+      case BinOp::Sub:
+      case BinOp::Div:
+      case BinOp::Rem:
+      case BinOp::Shl:
+      case BinOp::Shr:
+      case BinOp::Sra:
+      case BinOp::Slt:
+      case BinOp::Sltu:
+        Sensitive = containsRecv(E->Lhs) || containsRecv(E->Rhs);
+        break;
+      default:
+        break; // add/mul/and/or/xor merge the same regardless of order
+      }
+      if (Sensitive && OrderSensitiveLines.insert(Line).second) {
+        Res.error(Line, "reduce.pattern.order-sensitive",
+                  "reduction partials are merged with a non-commutative "
+                  "combinator; the result depends on the members' "
+                  "arrival order and is not portable across machine "
+                  "sizes — merge with a commutative+associative "
+                  "operation (the __reduce_collect sum) or collect into "
+                  "per-member slots");
+        return;
+      }
+    }
+    scanMergeExpr(E->Lhs, Line);
+    scanMergeExpr(E->Rhs, Line);
+  }
+
+  void scanMergeStmt(const Stmt *S) {
+    scanMergeExpr(S->Value, S->Line);
+    scanMergeExpr(S->Base, S->Line);
+    scanMergeExpr(S->CmpLhs, S->Line);
+    scanMergeExpr(S->CmpRhs, S->Line);
+    for (const Expr *A : S->Args)
+      scanMergeExpr(A, S->Line);
+  }
 
   void scanSeq(const std::vector<const Stmt *> &List, bool InMain) {
     for (size_t I = 0; I != List.size(); ++I) {
       const Stmt *S = List[I];
+      scanMergeStmt(S);
       switch (S->K) {
       case Stmt::Kind::ParallelFor: {
         const Stmt *Collect = nullptr;
@@ -826,7 +1210,49 @@ private:
                   "thread function '" + S->Callee +
                       "' contains raw assembly the analyzer cannot see");
 
-    reportRaces(Res, S->Callee, N, RA.Accesses);
+    // Classify every recorded access: affine (exact), banked (imprecise
+    // but member-private under the bank geometry), or may. The counts
+    // are the region's certificate — the sum is the total number of
+    // shared accesses, so nothing is silently skipped.
+    RegionCert Cert;
+    Cert.Region = S->Callee;
+    Cert.Line = S->Line;
+    Cert.Team = N;
+    for (const Access &A : RA.Accesses) {
+      if (A.Exact)
+        ++Cert.Affine;
+      else if (bankSelfDisjoint(A, N, Opts.GlobalBankSizeLog2))
+        ++Cert.Banked;
+      else
+        ++Cert.May;
+    }
+
+    std::vector<char> Conflicting;
+    reportRaces(Res, S->Callee, N, RA.Accesses, Opts.GlobalBankSizeLog2,
+                Cert, Conflicting);
+
+    // Partial privatization: a reduction partial computed from state
+    // other members touch concurrently is ordered by the race, not by
+    // the reduction protocol.
+    bool Partial = false;
+    std::set<unsigned> PartialLines;
+    for (size_t I = 0; I != RA.Accesses.size(); ++I) {
+      const Access &A = RA.Accesses[I];
+      if (!A.InSend || A.IsWrite || !Conflicting[I])
+        continue;
+      Partial = true;
+      if (PartialLines.insert(A.Line).second)
+        Res.error(A.Line, "reduce.pattern.partial",
+                  formatString(
+                      "reduction partial sent at line %u is computed "
+                      "from '%s', which other members of '%s' access "
+                      "concurrently (partial privatization); privatize "
+                      "the accumulator fully before __reduce_send",
+                      A.Line,
+                      A.Sym.empty() ? "shared memory" : A.Sym.c_str(),
+                      S->Callee.c_str()))
+            .Sym = A.Sym;
+    }
 
     // Reduction arity: the collect count must equal what the team
     // provably sends (the frontend convention is one send per member,
@@ -866,6 +1292,11 @@ private:
                                  static_cast<unsigned long long>(TotalMax),
                                  static_cast<unsigned long long>(
                                      Collect->NumHarts)));
+      } else if (!Partial) {
+        // The canonical privatize-then-send shape: every member sends
+        // exactly once from fully private state and the head collects
+        // with the commutative builtin sum (reduce.pattern.certified).
+        Cert.ReductionCertified = true;
       }
     } else if (TotalMax > 0) {
       Res.warning(S->Line, "reduce.uncollected",
@@ -874,6 +1305,8 @@ private:
                       "collected; the values sit in the head's result "
                       "slot and corrupt the next reduction");
     }
+
+    Res.Certs.push_back(std::move(Cert));
   }
 };
 

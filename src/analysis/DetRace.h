@@ -7,25 +7,31 @@
 /// \file
 /// The static determinism analyzer over the kernel-language AST
 /// (docs/ANALYSIS.md). For every parallel region it computes, per team
-/// member t, the read and write sets of shared globals as affine
-/// intervals `symbol + A*t + [lo,hi]` (which captures the canonical
-/// `v[t]` and `v[t*stride+k]` access shapes plus `if (t == k)` section
-/// dispatchers) and reports:
+/// member t, the read and write sets of shared globals in a layered
+/// may-race lattice and reports:
 ///
 ///   * write-write and read-write conflicts between different members
-///     that are not provably index-disjoint (rules race.ww / race.rw);
-///   * reduction misuse: __reduce_send arity vs. the collect count,
-///     collects outside the team head, collects that would block
-///     forever (rules reduce.*);
+///     that are provably reachable through exact affine addresses
+///     `symbol + A*t + [lo,hi]` (rules race.ww / race.rw);
+///   * possible conflicts through imprecise (non-affine) addresses that
+///     neither bank-disjointness nor residue/interval reasoning can
+///     discharge (rule race.may; upgraded to race.confirmed by the
+///     dynamic oracle, see Oracle.h);
+///   * reduction misuse and reduction-pattern violations: arity vs. the
+///     collect count, collects outside the team head, partials computed
+///     from state other members touch concurrently, merge-order-
+///     sensitive combinators (rules reduce.*, reduce.pattern.*);
 ///   * region-shape errors: unknown or non-thread callees, zero or
 ///     oversized teams, team sizes that contradict the source's
 ///     omp_set_num_threads call (rules region.*).
 ///
-/// The analysis is intentionally unsound-but-useful in the LLOV
-/// tradition: accesses whose address falls outside the affine domain
-/// are skipped (documented caveat), so a clean verdict is evidence, not
-/// proof — the dynamic oracle (Oracle.h) exists to keep the verdicts
-/// honest on the test corpus.
+/// Every shared access is recorded and classified — affine, banked
+/// (imprecise index but provably confined to member-private global
+/// banks) or may — and the per-region classification is returned as a
+/// RegionCert, so there are no silently-skipped addresses: a clean
+/// verdict is a proof over the abstraction, not an artifact of the
+/// analyzer's domain (the LLOV-style unsound skipping of earlier
+/// versions is gone; remaining caveats are in docs/ANALYSIS.md).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -42,6 +48,13 @@ struct DetRaceOptions {
   /// Hart count of the machine the program targets; 0 = unknown (the
   /// architectural MaxTeamHarts bound still applies).
   unsigned MachineHarts = 0;
+
+  /// log2 of the shared global bank size in bytes, matching
+  /// sim::SimConfig::GlobalBankSizeLog2 (bank b spans
+  /// [GlobalBase + b<<Log2, GlobalBase + (b+1)<<Log2)). The
+  /// bank-disjointness rule discharges imprecise accesses confined to
+  /// member-private banks under this geometry.
+  unsigned GlobalBankSizeLog2 = 16;
 };
 
 /// Runs the determinism analyzer over every parallel region of \p M.

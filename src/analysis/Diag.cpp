@@ -24,3 +24,41 @@ std::string AnalysisResult::text() const {
   }
   return Text;
 }
+
+std::string analysis::diagToJson(const Diag &D) {
+  return formatString(
+      "{\"rule\":\"%s\",\"severity\":\"%s\",\"line\":%u,"
+      "\"symbol\":\"%s\",\"oracle\":\"%s\",\"message\":\"%s\"}",
+      jsonEscape(D.Rule).c_str(),
+      D.Sev == Severity::Error ? "error" : "warning", D.Line,
+      jsonEscape(D.Sym).c_str(), jsonEscape(D.Oracle).c_str(),
+      jsonEscape(D.Message).c_str());
+}
+
+std::string analysis::certToJson(const RegionCert &C) {
+  return formatString(
+      "{\"region\":\"%s\",\"line\":%u,\"team\":%u,"
+      "\"accesses\":{\"affine\":%u,\"banked\":%u,\"may\":%u},"
+      "\"discharged\":{\"bank\":%u,\"residue\":%u},"
+      "\"may_races\":%u,\"reduction_certified\":%s}",
+      jsonEscape(C.Region).c_str(), C.Line, C.Team, C.Affine, C.Banked,
+      C.May, C.BankDischarged, C.ResidueDischarged, C.MayRaces,
+      C.ReductionCertified ? "true" : "false");
+}
+
+std::string analysis::resultToJson(const AnalysisResult &Res) {
+  std::string S = "{\"diagnostics\":[";
+  for (size_t I = 0; I != Res.Diags.size(); ++I) {
+    if (I)
+      S += ',';
+    S += diagToJson(Res.Diags[I]);
+  }
+  S += "],\"certificates\":[";
+  for (size_t I = 0; I != Res.Certs.size(); ++I) {
+    if (I)
+      S += ',';
+    S += certToJson(Res.Certs[I]);
+  }
+  S += "]}";
+  return S;
+}

@@ -8,9 +8,19 @@
 /// The diagnostic currency of the lbp_lint passes (docs/ANALYSIS.md).
 /// Each finding carries a severity, a rule tag, a source line (Det-C
 /// line for the determinism analyzer, assembly line for the X_PAR
-/// verifier, 0 when unknown) and a message; the shape mirrors
-/// frontend::FrontendError so the frontend can forward findings as
-/// compile warnings unchanged.
+/// verifier, 0 when unknown), a message, and two structured fields the
+/// tooling layers use: the global symbol the finding is about (when it
+/// is about one) and the dynamic oracle's verdict after --oracle-refine
+/// ("confirmed" / "unconfirmed-on-corpus", empty before refinement).
+/// The shape mirrors frontend::FrontendError so the frontend can
+/// forward findings as compile warnings with their rule ids intact.
+///
+/// Besides findings, a pass can emit region certificates: per parallel
+/// region, how every recorded shared access was classified (affine /
+/// banked / may) and how many potentially-conflicting pairs each
+/// discharge rule cleared. Certificates are positive evidence — they
+/// never affect clean()/hasErrors() — and are what makes "zero
+/// silently-skipped addresses" checkable from the outside.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -35,11 +45,30 @@ struct Diag {
   unsigned Line = 0;     ///< Source line (0 = no location).
   std::string Rule;      ///< Stable rule tag, e.g. "race.ww".
   std::string Message;
+  std::string Sym;       ///< Global the finding is about (may be empty).
+  std::string Oracle;    ///< Oracle verdict after refinement; empty before.
+};
+
+/// Per-region access-classification certificate: every shared access a
+/// team member can perform falls in exactly one class, so
+/// Affine + Banked + May is the total access count of the region.
+struct RegionCert {
+  std::string Region;    ///< Thread function of the parallel region.
+  unsigned Line = 0;     ///< Line of the region launch.
+  unsigned Team = 0;     ///< Team size the region was analyzed at.
+  unsigned Affine = 0;   ///< Exact affine addresses (sym + A*t + [lo,hi]).
+  unsigned Banked = 0;   ///< Imprecise but confined to member-private banks.
+  unsigned May = 0;      ///< Imprecise and not provably member-private.
+  unsigned BankDischarged = 0;    ///< Pairs cleared by bank-disjointness.
+  unsigned ResidueDischarged = 0; ///< Pairs cleared by residue/interval.
+  unsigned MayRaces = 0;          ///< Pairs that became race.may findings.
+  bool ReductionCertified = false; ///< reduce.pattern: privatize-then-send OK.
 };
 
 /// The outcome of one analysis pass.
 struct AnalysisResult {
   std::vector<Diag> Diags;
+  std::vector<RegionCert> Certs;
 
   bool hasErrors() const {
     for (const Diag &D : Diags)
@@ -49,21 +78,34 @@ struct AnalysisResult {
   }
   bool clean() const { return Diags.empty(); }
 
-  void error(unsigned Line, const std::string &Rule,
-             const std::string &Message) {
-    Diags.push_back({Severity::Error, Line, Rule, Message});
+  Diag &error(unsigned Line, const std::string &Rule,
+              const std::string &Message) {
+    Diags.push_back({Severity::Error, Line, Rule, Message, {}, {}});
+    return Diags.back();
   }
-  void warning(unsigned Line, const std::string &Rule,
-               const std::string &Message) {
-    Diags.push_back({Severity::Warning, Line, Rule, Message});
+  Diag &warning(unsigned Line, const std::string &Rule,
+                const std::string &Message) {
+    Diags.push_back({Severity::Warning, Line, Rule, Message, {}, {}});
+    return Diags.back();
   }
   void append(const AnalysisResult &Other) {
     Diags.insert(Diags.end(), Other.Diags.begin(), Other.Diags.end());
+    Certs.insert(Certs.end(), Other.Certs.begin(), Other.Certs.end());
   }
 
   /// "line N: error: [rule] message" lines, one per finding.
   std::string text() const;
 };
+
+/// Canonical JSON for the machine-readable lint report (lbp_lint
+/// --json): fixed key set in a fixed order, strings escaped with
+/// lbp::jsonEscape, no whitespace — byte-identical for identical
+/// findings so reports can be diffed across runs.
+std::string diagToJson(const Diag &D);
+std::string certToJson(const RegionCert &C);
+
+/// {"diagnostics":[...],"certificates":[...]} for one analysis result.
+std::string resultToJson(const AnalysisResult &Res);
 
 } // namespace analysis
 } // namespace lbp

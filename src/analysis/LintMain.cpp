@@ -13,8 +13,17 @@
 ///   lbp_lint [options] file.c ... file.s ... | -
 ///     --Werror            treat warnings as errors (exit 1)
 ///     --machine-harts N   validate team sizes against an N-hart machine
-///     --cores N           simulator size for --oracle (default 4)
+///     --cores N           simulator size for the oracle (default 4)
+///     --bank-bits N       log2 of the global bank size for the
+///                         bank-disjointness rule (default 16)
 ///     --oracle            run the program and cross-check the verdict
+///     --oracle-refine     run the oracle and refine race.may findings:
+///                         a dynamic witness upgrades them to
+///                         race.confirmed errors with hart/address/cycle
+///                         evidence; no witness annotates them
+///                         unconfirmed-on-corpus
+///     --json              emit one machine-readable JSON report on
+///                         stdout instead of text diagnostics
 ///     --asm               treat every input (and stdin) as assembly
 ///     --workloads         verify the built-in workload generators
 ///
@@ -28,6 +37,7 @@
 #include "asm/Assembler.h"
 #include "dsl/CodeGen.h"
 #include "frontend/Compiler.h"
+#include "support/StringUtils.h"
 #include "workloads/Dma.h"
 #include "workloads/MatMul.h"
 #include "workloads/Phases.h"
@@ -50,11 +60,26 @@ namespace {
 struct Options {
   bool Werror = false;
   bool Oracle = false;
+  bool OracleRefine = false;
+  bool Json = false;
   bool ForceAsm = false;
   bool Workloads = false;
   unsigned MachineHarts = 0;
   unsigned Cores = 4;
+  unsigned BankBits = 16;
   std::vector<std::string> Inputs;
+};
+
+/// Everything lbp_lint learned about one input, kept structured so the
+/// --json report is assembled from the same data the text path prints.
+struct InputReport {
+  std::string File;
+  std::string Kind; ///< "detc", "asm" or "workload".
+  AnalysisResult Res; ///< Static + X_PAR findings, oracle-refined.
+  bool OracleRan = false;
+  unsigned OracleConflicts = 0;
+  std::string HardError; ///< Parse/assembly failure; implies Status 2.
+  int Status = 0; ///< 0 = clean, 1 = findings, 2 = hard error.
 };
 
 void printDiags(const std::string &Name, const AnalysisResult &Res) {
@@ -67,6 +92,24 @@ void printDiags(const std::string &Name, const AnalysisResult &Res) {
       std::printf("%s: %s: [%s] %s\n", Name.c_str(), Sev, D.Rule.c_str(),
                   D.Message.c_str());
   }
+  for (const RegionCert &C : Res.Certs)
+    std::printf("%s:%u: note: [region.certificate] parallel region '%s' "
+                "(team %u): %u affine, %u banked, %u may accesses; "
+                "discharged %u by banks, %u by residue; %u may-race "
+                "finding%s; reduction %s\n",
+                Name.c_str(), C.Line, C.Region.c_str(), C.Team, C.Affine,
+                C.Banked, C.May, C.BankDischarged, C.ResidueDischarged,
+                C.MayRaces, C.MayRaces == 1 ? "" : "s",
+                C.ReductionCertified ? "certified" : "not certified");
+}
+
+std::string reportToJson(const InputReport &R) {
+  return formatString(
+      "{\"file\":\"%s\",\"kind\":\"%s\",\"hard_error\":\"%s\","
+      "\"oracle_ran\":%s,\"oracle_conflicts\":%u,\"report\":%s}",
+      jsonEscape(R.File).c_str(), jsonEscape(R.Kind).c_str(),
+      jsonEscape(R.HardError).c_str(), R.OracleRan ? "true" : "false",
+      R.OracleConflicts, resultToJson(R.Res).c_str());
 }
 
 bool endsWith(const std::string &S, const char *Suffix) {
@@ -75,71 +118,110 @@ bool endsWith(const std::string &S, const char *Suffix) {
          S.compare(S.size() - Suf.size(), Suf.size(), Suf) == 0;
 }
 
-/// 0 = clean, 1 = findings, 2 = hard input error.
-int lintAsm(const std::string &Name, const std::string &Text,
-            const Options &Opts, const dsl::Module *M) {
+int statusOf(const AnalysisResult &Res, const Options &Opts) {
+  return Res.hasErrors() || (Opts.Werror && !Res.clean()) ? 1 : 0;
+}
+
+/// Assembles \p Text, runs the X_PAR verifier and (when requested) the
+/// dynamic oracle, accumulating into \p Rep. \p Static, when non-null,
+/// receives the oracle refinement before the X_PAR findings are merged
+/// into it — the race.may lifecycle belongs to the Det-C analyzer.
+void lintAsmInto(const std::string &Text, const Options &Opts,
+                 const dsl::Module *M, AnalysisResult *Static,
+                 InputReport &Rep) {
   assembler::AsmResult R = assembler::assemble(Text);
   if (!R.succeeded()) {
-    std::fprintf(stderr, "%s: assembly failed:\n%s", Name.c_str(),
-                 R.errorText().c_str());
-    return 2;
+    Rep.HardError = "assembly failed: " + R.errorText();
+    Rep.Status = 2;
+    return;
   }
   XParVerifyOptions VOpts;
   VOpts.MachineHarts = Opts.MachineHarts;
-  AnalysisResult Res = verifyProgram(R.Prog, VOpts);
-  printDiags(Name, Res);
-  int Status = Res.hasErrors() || (Opts.Werror && !Res.clean()) ? 1 : 0;
+  AnalysisResult XRes = verifyProgram(R.Prog, VOpts);
 
-  if (Opts.Oracle) {
+  OracleResult Dyn;
+  if (Opts.Oracle || Opts.OracleRefine) {
     OracleOptions OOpts;
     OOpts.Cores = Opts.Cores;
-    OracleResult Dyn = runOracle(R.Prog, M, OOpts);
+    Dyn = runOracle(R.Prog, M, OOpts);
+    Rep.OracleRan = Dyn.Ran;
+    Rep.OracleConflicts = static_cast<unsigned>(Dyn.Conflicts.size());
     if (!Dyn.Ran) {
-      std::printf("%s: oracle: %s\n", Name.c_str(), Dyn.RunError.c_str());
-      Status = std::max(Status, 1);
-    } else {
+      if (!Opts.Json)
+        std::printf("%s: oracle: %s\n", Rep.File.c_str(),
+                    Dyn.RunError.c_str());
+      Rep.Res.error(0, "oracle.run-error", Dyn.RunError);
+      Rep.Status = std::max(Rep.Status, 1);
+    } else if (!Opts.Json) {
       for (const DynamicConflict &C : Dyn.Conflicts) {
         std::string Where =
             C.Symbol.empty() ? std::string() : C.Symbol + " at ";
         std::printf("%s: oracle: harts %u and %u conflict on %s0x%x in "
                     "epoch %llu (%s)\n",
-                    Name.c_str(), C.HartA, C.HartB, Where.c_str(), C.Addr,
-                    static_cast<unsigned long long>(C.Epoch),
+                    Rep.File.c_str(), C.HartA, C.HartB, Where.c_str(),
+                    C.Addr, static_cast<unsigned long long>(C.Epoch),
                     C.WriteWrite ? "write-write" : "read-write");
       }
-      if (Dyn.dynamicallyRacy())
-        Status = std::max(Status, 1);
     }
+    if (Dyn.dynamicallyRacy())
+      Rep.Status = std::max(Rep.Status, 1);
   }
-  return Status;
+
+  if (Static) {
+    if (Opts.OracleRefine && Dyn.Ran)
+      refineWithOracle(*Static, Dyn);
+    Static->append(XRes);
+    Rep.Res.append(*Static);
+  } else {
+    Rep.Res.append(XRes);
+  }
+  Rep.Status = std::max(Rep.Status, statusOf(Rep.Res, Opts));
 }
 
-int lintDetC(const std::string &Name, const std::string &Text,
-             const Options &Opts) {
+InputReport lintAsm(const std::string &Name, const std::string &Text,
+                    const std::string &Kind, const Options &Opts,
+                    const dsl::Module *M) {
+  InputReport Rep;
+  Rep.File = Name;
+  Rep.Kind = Kind;
+  lintAsmInto(Text, Opts, M, nullptr, Rep);
+  return Rep;
+}
+
+InputReport lintDetC(const std::string &Name, const std::string &Text,
+                     const Options &Opts) {
+  InputReport Rep;
+  Rep.File = Name;
+  Rep.Kind = "detc";
   frontend::FrontendResult FR = frontend::parseDetC(Text);
   if (!FR.succeeded()) {
-    std::fprintf(stderr, "%s: parse failed:\n%s", Name.c_str(),
-                 FR.errorText().c_str());
-    return 2;
+    Rep.HardError = "parse failed: " + FR.errorText();
+    Rep.Status = 2;
+    return Rep;
   }
   DetRaceOptions DOpts;
   DOpts.MachineHarts = Opts.MachineHarts;
+  DOpts.GlobalBankSizeLog2 = Opts.BankBits;
   AnalysisResult Res = analyzeModule(*FR.M, DOpts);
-  printDiags(Name, Res);
-  int Status = Res.hasErrors() || (Opts.Werror && !Res.clean()) ? 1 : 0;
 
   // Region-shape errors mean codegen would refuse (fatal) or emit a
   // protocol the machine cannot run; stop at the static verdict.
+  bool RegionErrors = false;
   for (const Diag &D : Res.Diags)
     if (D.Sev == Severity::Error && D.Rule.rfind("region.", 0) == 0)
-      return Status;
+      RegionErrors = true;
+  if (RegionErrors) {
+    Rep.Res = std::move(Res);
+    Rep.Status = statusOf(Rep.Res, Opts);
+    return Rep;
+  }
 
   std::string Asm = dsl::compileModule(*FR.M);
-  int AsmStatus = lintAsm(Name, Asm, Opts, FR.M.get());
-  return std::max(Status, AsmStatus);
+  lintAsmInto(Asm, Opts, FR.M.get(), &Res, Rep);
+  return Rep;
 }
 
-int lintWorkloads(const Options &Opts) {
+void lintWorkloads(const Options &Opts, std::vector<InputReport> &Out) {
   struct Gen {
     const char *Name;
     std::string Text;
@@ -159,20 +241,22 @@ int lintWorkloads(const Options &Opts) {
       {"workload:pipeline", workloads::buildPipelineProgram({})});
   Gens.push_back(
       {"workload:sensor-fusion", workloads::buildSensorFusionProgram({})});
-  int Status = 0;
   for (const Gen &G : Gens)
-    Status = std::max(Status, lintAsm(G.Name, G.Text, Opts, nullptr));
-  return Status;
+    Out.push_back(lintAsm(G.Name, G.Text, "workload", Opts, nullptr));
 }
 
 int usage() {
   std::fprintf(
       stderr,
       "usage: lbp_lint [--Werror] [--machine-harts N] [--cores N]\n"
-      "                [--oracle] [--asm] [--workloads] [file|-]...\n"
+      "                [--bank-bits N] [--oracle] [--oracle-refine]\n"
+      "                [--json] [--asm] [--workloads] [file|-]...\n"
       "  .c/.detc inputs run the Det-C determinism analyzer, then the\n"
       "  X_PAR protocol verifier on the compiled assembly; .s/.asm\n"
-      "  inputs run the verifier only. See docs/ANALYSIS.md.\n");
+      "  inputs run the verifier only. --oracle-refine upgrades\n"
+      "  race.may warnings with a dynamic witness to race.confirmed\n"
+      "  errors. --json prints one lbp-lint-report-v1 object on\n"
+      "  stdout. See docs/ANALYSIS.md.\n");
   return 2;
 }
 
@@ -186,19 +270,28 @@ int main(int Argc, char **Argv) {
       Opts.Werror = true;
     } else if (A == "--oracle") {
       Opts.Oracle = true;
+    } else if (A == "--oracle-refine") {
+      Opts.OracleRefine = true;
+    } else if (A == "--json") {
+      Opts.Json = true;
     } else if (A == "--asm") {
       Opts.ForceAsm = true;
     } else if (A == "--workloads") {
       Opts.Workloads = true;
-    } else if (A == "--machine-harts" || A == "--cores") {
+    } else if (A == "--machine-harts" || A == "--cores" ||
+               A == "--bank-bits") {
       if (I + 1 >= Argc)
         return usage();
       char *End = nullptr;
       long V = std::strtol(Argv[++I], &End, 0);
       if (!End || *End || V <= 0)
         return usage();
-      (A == "--cores" ? Opts.Cores : Opts.MachineHarts) =
-          static_cast<unsigned>(V);
+      if (A == "--cores")
+        Opts.Cores = static_cast<unsigned>(V);
+      else if (A == "--bank-bits")
+        Opts.BankBits = static_cast<unsigned>(V);
+      else
+        Opts.MachineHarts = static_cast<unsigned>(V);
     } else if (A == "--help" || A == "-h") {
       usage();
       return 0;
@@ -212,10 +305,11 @@ int main(int Argc, char **Argv) {
   if (Opts.Inputs.empty() && !Opts.Workloads)
     return usage();
 
-  int Status = 0;
+  std::vector<InputReport> Reports;
   if (Opts.Workloads)
-    Status = std::max(Status, lintWorkloads(Opts));
+    lintWorkloads(Opts, Reports);
 
+  int Status = 0;
   for (const std::string &Input : Opts.Inputs) {
     std::string Name = Input == "-" ? "<stdin>" : Input;
     std::string Text;
@@ -236,11 +330,31 @@ int main(int Argc, char **Argv) {
     }
     bool IsAsm = Opts.ForceAsm || endsWith(Name, ".s") ||
                  endsWith(Name, ".asm");
-    int One = IsAsm ? lintAsm(Name, Text, Opts, nullptr)
-                    : lintDetC(Name, Text, Opts);
-    if (One == 2)
-      return 2;
-    Status = std::max(Status, One);
+    Reports.push_back(IsAsm ? lintAsm(Name, Text, "asm", Opts, nullptr)
+                            : lintDetC(Name, Text, Opts));
+  }
+
+  for (const InputReport &R : Reports) {
+    if (!Opts.Json) {
+      if (!R.HardError.empty())
+        std::fprintf(stderr, "%s: %s", R.File.c_str(),
+                     R.HardError.c_str());
+      printDiags(R.File, R.Res);
+    }
+    Status = std::max(Status, R.Status);
+  }
+
+  if (Opts.Json) {
+    std::string S = formatString("{\"tool\":\"lbp-lint-report-v1\","
+                                 "\"exit\":%d,\"inputs\":[",
+                                 Status);
+    for (size_t I = 0; I != Reports.size(); ++I) {
+      if (I)
+        S += ',';
+      S += reportToJson(Reports[I]);
+    }
+    S += "]}";
+    std::printf("%s\n", S.c_str());
   }
   return Status;
 }

@@ -106,6 +106,8 @@ OracleResult analysis::runOracle(const assembler::Program &Prog,
     C.Epoch = Key.second;
     C.WriteWrite = WriteWrite;
     C.Symbol = symbolAt(M, C.Addr);
+    C.CycleA = W0->Cycle;
+    C.CycleB = Other->Cycle;
     R.Conflicts.push_back(std::move(C));
   }
   return R;
@@ -113,9 +115,57 @@ OracleResult analysis::runOracle(const assembler::Program &Prog,
 
 bool analysis::verdictsAgree(const AnalysisResult &Static,
                              const OracleResult &Dyn) {
-  bool StaticRacy = false;
-  for (const Diag &D : Static.Diags)
-    if (D.Rule.rfind("race.", 0) == 0)
-      StaticRacy = true;
-  return StaticRacy == Dyn.dynamicallyRacy();
+  bool StaticMust = false, StaticMay = false;
+  for (const Diag &D : Static.Diags) {
+    if (D.Rule.rfind("race.", 0) != 0)
+      continue;
+    (D.Rule == "race.may" ? StaticMay : StaticMust) = true;
+  }
+  if (StaticMust)
+    return Dyn.dynamicallyRacy();
+  if (StaticMay)
+    return true; // a possibility claim agrees with either outcome
+  return !Dyn.dynamicallyRacy();
+}
+
+unsigned analysis::refineWithOracle(AnalysisResult &Static,
+                                    const OracleResult &Dyn) {
+  if (!Dyn.Ran)
+    return 0;
+  auto Witness = [&](const Diag &D) -> const DynamicConflict * {
+    for (const DynamicConflict &C : Dyn.Conflicts)
+      if (D.Sym.empty() || C.Symbol == D.Sym)
+        return &C;
+    return nullptr;
+  };
+  unsigned Upgraded = 0;
+  for (Diag &D : Static.Diags) {
+    if (D.Rule.rfind("race.", 0) != 0)
+      continue;
+    const DynamicConflict *C = Witness(D);
+    if (D.Rule == "race.may" && C) {
+      D.Rule = "race.confirmed";
+      D.Sev = Severity::Error;
+      D.Oracle = "confirmed";
+      D.Message += formatString(
+          "; confirmed by the dynamic oracle: harts %u and %u %s on "
+          "0x%x%s%s (cycles %llu and %llu, epoch %llu)",
+          C->HartA, C->HartB,
+          C->WriteWrite ? "both write" : "write and read",
+          C->Addr, C->Symbol.empty() ? "" : " in ",
+          C->Symbol.c_str(),
+          static_cast<unsigned long long>(C->CycleA),
+          static_cast<unsigned long long>(C->CycleB),
+          static_cast<unsigned long long>(C->Epoch));
+      ++Upgraded;
+    } else if (C) {
+      D.Oracle = "confirmed";
+    } else {
+      D.Oracle = "unconfirmed-on-corpus";
+      if (D.Rule == "race.may")
+        D.Message += "; the dynamic oracle observed no conflicting "
+                     "access pair on this corpus run";
+    }
+  }
+  return Upgraded;
 }

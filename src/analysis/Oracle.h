@@ -44,6 +44,8 @@ struct DynamicConflict {
   uint64_t Epoch = 0;
   bool WriteWrite = false;
   std::string Symbol; ///< Enclosing global, when a module is provided.
+  uint64_t CycleA = 0; ///< Commit cycle of HartA's access.
+  uint64_t CycleB = 0; ///< Commit cycle of HartB's access.
 };
 
 struct OracleResult {
@@ -61,9 +63,22 @@ OracleResult runOracle(const assembler::Program &Prog,
                        const OracleOptions &Opts = {});
 
 /// True when the static verdict and the dynamic observation agree:
-/// a race.* diagnostic must come with an observed conflict, a clean
-/// bill with none. (Only meaningful when the oracle actually ran.)
+/// a must-race diagnostic (race.ww / race.rw / race.confirmed) must
+/// come with an observed conflict, a clean bill with none. race.may
+/// warnings agree with either outcome — they claim possibility, not
+/// inevitability on this corpus. (Only meaningful when the oracle
+/// actually ran.)
 bool verdictsAgree(const AnalysisResult &Static, const OracleResult &Dyn);
+
+/// Oracle-backed counterexample refinement: every race.may warning in
+/// \p Static is matched against the observed conflicts. A match on the
+/// same global (or any conflict, for symbol-less findings) upgrades the
+/// warning to a race.confirmed error carrying the concrete hart /
+/// address / cycle witness; no match annotates it
+/// "unconfirmed-on-corpus". Must-race findings (race.ww / race.rw) get
+/// the same annotation without a severity change. No-op when the
+/// oracle did not run. Returns the number of upgraded findings.
+unsigned refineWithOracle(AnalysisResult &Static, const OracleResult &Dyn);
 
 } // namespace analysis
 } // namespace lbp

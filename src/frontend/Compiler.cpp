@@ -77,11 +77,12 @@ private:
   }
   void error(const std::string &Msg) {
     if (!Dead)
-      Out.Errors.push_back({peek().Line, Msg});
+      Out.Errors.push_back({peek().Line, Msg, {}});
     Dead = true;
   }
-  void warn(unsigned Line, const std::string &Msg) {
-    Out.Warnings.push_back({Line, Msg});
+  void warn(unsigned Line, const std::string &Msg,
+            const std::string &Rule = {}) {
+    Out.Warnings.push_back({Line, Msg, Rule});
   }
   bool expect(Tok K, const char *What) {
     if (match(K))
@@ -784,7 +785,8 @@ const Expr *Parser::parseBinary(int MinPrec) {
                  (K == Tok::AmpAmp ? "&&" : "||") +
                  "' contains a builtin call; Det-C evaluates both sides "
                  "(no short-circuit), so it runs even when C would skip "
-                 "it");
+                 "it",
+             "detc.no-short-circuit");
       L = M->bin(K == Tok::AmpAmp ? BinOp::And : BinOp::Or, boolify(L),
                  boolify(R));
       break;
@@ -987,9 +989,14 @@ std::string FrontendResult::errorText() const {
 
 std::string FrontendResult::warningText() const {
   std::string Text;
-  for (const FrontendError &E : Warnings)
-    Text += formatString("line %u: warning: %s\n", E.Line,
-                         E.Message.c_str());
+  for (const FrontendError &E : Warnings) {
+    if (E.Rule.empty())
+      Text += formatString("line %u: warning: %s\n", E.Line,
+                           E.Message.c_str());
+    else
+      Text += formatString("line %u: warning: [%s] %s\n", E.Line,
+                           E.Rule.c_str(), E.Message.c_str());
+  }
   return Text;
 }
 
@@ -997,7 +1004,7 @@ FrontendResult frontend::parseDetC(std::string_view Source) {
   FrontendResult Result;
   LexResult Lexed = tokenize(Source);
   for (const LexError &E : Lexed.Errors)
-    Result.Errors.push_back({E.Line, E.Message});
+    Result.Errors.push_back({E.Line, E.Message, {}});
   if (!Result.Errors.empty())
     return Result;
   Parser P(std::move(Lexed.Tokens), Result);
@@ -1011,7 +1018,7 @@ FrontendResult frontend::parseDetC(std::string_view Source) {
   // flows keep working — lbp_lint is the strict gate.
   analysis::AnalysisResult AR = analysis::analyzeModule(*Result.M);
   for (const analysis::Diag &D : AR.Diags)
-    Result.Warnings.push_back({D.Line, "[" + D.Rule + "] " + D.Message});
+    Result.Warnings.push_back({D.Line, D.Message, D.Rule});
   return Result;
 }
 

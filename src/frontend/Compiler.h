@@ -56,6 +56,11 @@ namespace frontend {
 struct FrontendError {
   unsigned Line;
   std::string Message;
+  /// Stable rule id when the finding comes from a named rule (parser
+  /// deviations and every analyzer diagnostic); empty for plain parse
+  /// errors. warningText() prints it as "[rule]" so findings can be
+  /// grepped or suppressed by id.
+  std::string Rule;
 };
 
 struct FrontendResult {
@@ -73,7 +78,8 @@ struct FrontendResult {
   /// All diagnostics as "line N: message" lines.
   std::string errorText() const;
 
-  /// All warnings as "line N: warning: message" lines.
+  /// All warnings as "line N: warning: [rule] message" lines (the
+  /// "[rule]" tag is omitted for warnings without a rule id).
   std::string warningText() const;
 };
 

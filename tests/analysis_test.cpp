@@ -507,4 +507,351 @@ TEST(Oracle, DisagreementIsVisible) {
   EXPECT_TRUE(verdictsAgree(CleanVerdict, CleanRun));
 }
 
+//===----------------------------------------------------------------------===//
+// Non-affine may-race analysis
+//===----------------------------------------------------------------------===//
+
+const Diag *findRule(const AnalysisResult &Res, const std::string &Rule) {
+  for (const Diag &D : Res.Diags)
+    if (D.Rule == Rule)
+      return &D;
+  return nullptr;
+}
+
+TEST(NonAffine, IndirectIndexRaceIsMay) {
+  AnalysisResult Res = analyzeSource(regionProgram(
+      "int idx[8];\nint out[8];", "  out[idx[t]] = t;", 8));
+  const Diag *D = findRule(Res, "race.may");
+  ASSERT_NE(D, nullptr) << Res.text();
+  EXPECT_EQ(D->Sev, Severity::Warning);
+  EXPECT_NE(D->Message.find("imprecise"), std::string::npos);
+  // The may tier never masquerades as a proven race.
+  EXPECT_FALSE(hasRule(Res, "race.ww")) << Res.text();
+  EXPECT_FALSE(hasRule(Res, "race.rw")) << Res.text();
+}
+
+TEST(NonAffine, MaskedSharedWriteIsMay) {
+  AnalysisResult Res = analyzeSource(regionProgram(
+      "int v[16];\nint sel[4];", "  v[sel[t] & 15] = t;", 4));
+  EXPECT_TRUE(hasRule(Res, "race.may")) << Res.text();
+  EXPECT_FALSE(Res.hasErrors()) << Res.text();
+}
+
+TEST(NonAffine, PrivatizedHistogramCleanViaBanks) {
+  // hist spans global banks 0 and 1 exactly; member t only touches
+  // bank t, so the data-dependent bin index is discharged by the
+  // machine's bank geometry.
+  std::string Src = regionProgram(
+      "int hist[32768];\nint pixels[64];",
+      "  int i;\n  int b;\n"
+      "  for (i = 0; i < 64; i++) {\n"
+      "    b = (t * 16384) + (pixels[i] & 16383);\n"
+      "    hist[b] = hist[b] + 1;\n  }",
+      2);
+  AnalysisResult Res = analyzeSource(Src);
+  EXPECT_TRUE(Res.clean()) << Res.text();
+  ASSERT_EQ(Res.Certs.size(), 1u);
+  const RegionCert &C = Res.Certs[0];
+  EXPECT_EQ(C.Banked, 2u) << "hist read and write are bank-private";
+  EXPECT_EQ(C.May, 0u);
+  EXPECT_GT(C.BankDischarged, 0u);
+  EXPECT_EQ(C.MayRaces, 0u);
+}
+
+TEST(NonAffine, SharedHistogramIsMayRace) {
+  AnalysisResult Res = analyzeSource(regionProgram(
+      "int hist[256];\nint pixels[8];",
+      "  int b;\n  b = pixels[t] & 255;\n  hist[b] = hist[b] + 1;", 4));
+  const Diag *D = findRule(Res, "race.may");
+  ASSERT_NE(D, nullptr) << Res.text();
+  EXPECT_EQ(D->Sym, "hist");
+}
+
+TEST(NonAffine, MaskedBlockScatterCleanViaResidue) {
+  // Member stride 8 words, imprecise part bounded to [0, 7]: the
+  // difference between two members' footprints never reaches zero, so
+  // the residue/interval rule discharges every pair.
+  AnalysisResult Res = analyzeSource(regionProgram(
+      "int idx[64];\nint out[64];",
+      "  int i;\n  int b;\n"
+      "  for (i = 0; i < 8; i++) {\n"
+      "    b = (t * 8) + (idx[i] & 7);\n"
+      "    out[b] = out[b] + 1;\n  }",
+      8));
+  EXPECT_TRUE(Res.clean()) << Res.text();
+  ASSERT_EQ(Res.Certs.size(), 1u);
+  EXPECT_GT(Res.Certs[0].ResidueDischarged, 0u);
+  EXPECT_EQ(Res.Certs[0].MayRaces, 0u);
+}
+
+TEST(NonAffine, CyclicModWriteIsMay) {
+  // dst[(t + 1) % 8] is a bijection at run time, but statically only
+  // the range [0, 7] survives — a may-race, not a proven one.
+  AnalysisResult Res = analyzeSource(regionProgram(
+      "int src[8];\nint dst[8];", "  dst[(t + 1) % 8] = src[t];", 8));
+  EXPECT_TRUE(hasRule(Res, "race.may")) << Res.text();
+  EXPECT_FALSE(Res.hasErrors()) << Res.text();
+}
+
+TEST(NonAffine, EveryAccessIsClassified) {
+  // The certificate's class counts sum to the region's total access
+  // count — nothing is silently skipped, even the unbounded indirect
+  // store.
+  AnalysisResult Res = analyzeSource(regionProgram(
+      "int idx[8];\nint out[8];", "  out[idx[t]] = t;", 8));
+  ASSERT_EQ(Res.Certs.size(), 1u);
+  const RegionCert &C = Res.Certs[0];
+  EXPECT_EQ(C.Affine, 1u) << "the idx[t] read";
+  EXPECT_EQ(C.May, 1u) << "the indirect store";
+  EXPECT_EQ(C.Banked, 0u);
+  EXPECT_EQ(C.Affine + C.Banked + C.May, 2u);
+}
+
+TEST(NonAffine, BankGeometryIsConfigurable) {
+  // With 256 KiB banks the two 64 KiB halves share bank 0: the
+  // accesses stop being "banked" and the bank rule gets no credit
+  // (the interval reasoning still discharges the pairs — the members'
+  // windows are address-disjoint either way).
+  std::string Src = regionProgram(
+      "int hist[32768];\nint pixels[64];",
+      "  int i;\n  int b;\n"
+      "  for (i = 0; i < 64; i++) {\n"
+      "    b = (t * 16384) + (pixels[i] & 16383);\n"
+      "    hist[b] = hist[b] + 1;\n  }",
+      2);
+  frontend::FrontendResult R = frontend::parseDetC(Src);
+  ASSERT_TRUE(R.succeeded()) << R.errorText();
+  DetRaceOptions Wide;
+  Wide.GlobalBankSizeLog2 = 18;
+  AnalysisResult Res = analyzeModule(*R.M, Wide);
+  ASSERT_EQ(Res.Certs.size(), 1u);
+  EXPECT_EQ(Res.Certs[0].Banked, 0u);
+  EXPECT_EQ(Res.Certs[0].May, 2u);
+  EXPECT_EQ(Res.Certs[0].BankDischarged, 0u);
+  EXPECT_GT(Res.Certs[0].ResidueDischarged, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Reduction-pattern verification
+//===----------------------------------------------------------------------===//
+
+TEST(ReducePattern, FullyPrivatizedReductionIsCertified) {
+  std::string Src =
+      "int data[32];\n"
+      "void worker(int t) {\n"
+      "  int acc;\n  int n;\n  acc = 0;\n"
+      "  for (n = t * 8; n < (t + 1) * 8; n++)\n"
+      "    acc = acc + data[n];\n"
+      "  __reduce_send(acc);\n}\n"
+      "void main() {\n  int t;\n  int total;\n  total = 0;\n"
+      "  #pragma omp parallel for reduction(+:total)\n"
+      "  for (t = 0; t < 4; t++)\n    worker(t);\n}\n";
+  AnalysisResult Res = analyzeSource(Src);
+  EXPECT_TRUE(Res.clean()) << Res.text();
+  ASSERT_EQ(Res.Certs.size(), 1u);
+  EXPECT_TRUE(Res.Certs[0].ReductionCertified);
+}
+
+TEST(ReducePattern, PartialPrivatizationCaught) {
+  // The partial is read back from a global every member writes — the
+  // value sent is ordered by the race, not by the reduction protocol.
+  std::string Src =
+      "int scratch[4];\n"
+      "void worker(int t) {\n"
+      "  scratch[0] = t;\n"
+      "  __reduce_send(scratch[0]);\n}\n"
+      "void main() {\n  int t;\n  int total;\n  total = 0;\n"
+      "  #pragma omp parallel for reduction(+:total)\n"
+      "  for (t = 0; t < 4; t++)\n    worker(t);\n}\n";
+  AnalysisResult Res = analyzeSource(Src);
+  EXPECT_TRUE(hasRule(Res, "reduce.pattern.partial")) << Res.text();
+  ASSERT_EQ(Res.Certs.size(), 1u);
+  EXPECT_FALSE(Res.Certs[0].ReductionCertified);
+}
+
+TEST(ReducePattern, DisjointScratchReductionIsNotPartial) {
+  // Per-member scratch slots: the read feeding the send conflicts with
+  // nothing, so the partial-privatization rule stays quiet.
+  std::string Src =
+      "int scratch[4];\n"
+      "void worker(int t) {\n"
+      "  scratch[t] = t * 3;\n"
+      "  __reduce_send(scratch[t]);\n}\n"
+      "void main() {\n  int t;\n  int total;\n  total = 0;\n"
+      "  #pragma omp parallel for reduction(+:total)\n"
+      "  for (t = 0; t < 4; t++)\n    worker(t);\n}\n";
+  AnalysisResult Res = analyzeSource(Src);
+  EXPECT_FALSE(hasRule(Res, "reduce.pattern.partial")) << Res.text();
+  ASSERT_EQ(Res.Certs.size(), 1u);
+  EXPECT_TRUE(Res.Certs[0].ReductionCertified);
+}
+
+TEST(ReducePattern, OrderSensitiveMergeCaught) {
+  // total = total - p_lwre: subtraction makes the merged value depend
+  // on the members' arrival order. Only expressible through the DSL —
+  // the Det-C reduction pragma always merges with the builtin sum.
+  dsl::Module M;
+  dsl::Function *Th = M.function("worker", dsl::FnKind::Thread);
+  Th->param("t");
+  dsl::Function *Main = M.function("main", dsl::FnKind::Main);
+  const dsl::Local *Tot = Main->local("total");
+  Main->append(M.assign(Tot, M.c(100)));
+  Main->append(M.parallelFor("worker", 4));
+  Main->append(M.assign(
+      Tot, M.bin(dsl::BinOp::Sub, M.v(Tot), M.recvResult(0))));
+  AnalysisResult Res = analyzeModule(M);
+  EXPECT_TRUE(hasRule(Res, "reduce.pattern.order-sensitive"))
+      << Res.text();
+}
+
+TEST(ReducePattern, CommutativeMergeIsNotOrderSensitive) {
+  dsl::Module M;
+  dsl::Function *Th = M.function("worker", dsl::FnKind::Thread);
+  Th->param("t");
+  dsl::Function *Main = M.function("main", dsl::FnKind::Main);
+  const dsl::Local *Tot = Main->local("total");
+  Main->append(M.assign(Tot, M.c(0)));
+  Main->append(M.parallelFor("worker", 4));
+  Main->append(M.assign(
+      Tot, M.bin(dsl::BinOp::Add, M.v(Tot), M.recvResult(0))));
+  AnalysisResult Res = analyzeModule(M);
+  EXPECT_FALSE(hasRule(Res, "reduce.pattern.order-sensitive"))
+      << Res.text();
+}
+
+//===----------------------------------------------------------------------===//
+// Oracle-backed refinement of race.may findings
+//===----------------------------------------------------------------------===//
+
+TEST(OracleRefine, UpgradesMayToConfirmedWithWitness) {
+  // Zero-filled idx sends every member to out[0]: the static race.may
+  // has a dynamic witness and becomes a race.confirmed error carrying
+  // the harts and the address.
+  frontend::FrontendResult R = frontend::parseDetC(regionProgram(
+      "int idx[8];\nint out[8];", "  out[idx[t]] = t;", 8));
+  ASSERT_TRUE(R.succeeded()) << R.errorText();
+  AnalysisResult Static = analyzeModule(*R.M);
+  ASSERT_TRUE(hasRule(Static, "race.may")) << Static.text();
+  OracleResult Dyn = oracleOn(*R.M);
+  ASSERT_TRUE(Dyn.Ran) << Dyn.RunError;
+  ASSERT_TRUE(Dyn.dynamicallyRacy());
+  unsigned Upgraded = refineWithOracle(Static, Dyn);
+  EXPECT_GE(Upgraded, 1u);
+  const Diag *D = findRule(Static, "race.confirmed");
+  ASSERT_NE(D, nullptr) << Static.text();
+  EXPECT_EQ(D->Sev, Severity::Error);
+  EXPECT_EQ(D->Oracle, "confirmed");
+  EXPECT_NE(D->Message.find("harts"), std::string::npos);
+  EXPECT_NE(D->Message.find("cycles"), std::string::npos);
+  EXPECT_TRUE(verdictsAgree(Static, Dyn));
+}
+
+TEST(OracleRefine, AnnotatesUnwitnessedMayAsUnconfirmed) {
+  // The rotation is dynamically a bijection: no conflict, so the
+  // race.may stays a warning and is marked unconfirmed-on-corpus.
+  frontend::FrontendResult R = frontend::parseDetC(regionProgram(
+      "int src[8];\nint dst[8];", "  dst[(t + 1) % 8] = src[t];", 8));
+  ASSERT_TRUE(R.succeeded()) << R.errorText();
+  AnalysisResult Static = analyzeModule(*R.M);
+  ASSERT_TRUE(hasRule(Static, "race.may")) << Static.text();
+  OracleResult Dyn = oracleOn(*R.M);
+  ASSERT_TRUE(Dyn.Ran) << Dyn.RunError;
+  EXPECT_FALSE(Dyn.dynamicallyRacy());
+  EXPECT_EQ(refineWithOracle(Static, Dyn), 0u);
+  EXPECT_FALSE(hasRule(Static, "race.confirmed"));
+  const Diag *D = findRule(Static, "race.may");
+  ASSERT_NE(D, nullptr);
+  EXPECT_EQ(D->Sev, Severity::Warning);
+  EXPECT_EQ(D->Oracle, "unconfirmed-on-corpus");
+  EXPECT_TRUE(verdictsAgree(Static, Dyn));
+}
+
+TEST(OracleRefine, MayAgreesWithEitherDynamicOutcome) {
+  AnalysisResult MayVerdict;
+  MayVerdict.warning(3, "race.may", "possible");
+  OracleResult RacyRun;
+  RacyRun.Ran = true;
+  RacyRun.Conflicts.push_back({0x20000000, 0, 1, 0, true, "v"});
+  OracleResult CleanRun;
+  CleanRun.Ran = true;
+  EXPECT_TRUE(verdictsAgree(MayVerdict, RacyRun));
+  EXPECT_TRUE(verdictsAgree(MayVerdict, CleanRun));
+}
+
+TEST(OracleRefine, WitnessMatchesOnSymbol) {
+  AnalysisResult Static;
+  Static.warning(3, "race.may", "possible").Sym = "a";
+  Static.warning(4, "race.may", "possible").Sym = "b";
+  OracleResult Dyn;
+  Dyn.Ran = true;
+  Dyn.Conflicts.push_back({0x20000000, 0, 1, 0, true, "b"});
+  EXPECT_EQ(refineWithOracle(Static, Dyn), 1u);
+  EXPECT_EQ(Static.Diags[0].Rule, "race.may");
+  EXPECT_EQ(Static.Diags[0].Oracle, "unconfirmed-on-corpus");
+  EXPECT_EQ(Static.Diags[1].Rule, "race.confirmed");
+  EXPECT_EQ(Static.Diags[1].Oracle, "confirmed");
+}
+
+//===----------------------------------------------------------------------===//
+// Canonical JSON serialization (lbp_lint --json)
+//===----------------------------------------------------------------------===//
+
+TEST(LintJson, DiagSchemaIsCanonical) {
+  Diag D;
+  D.Sev = Severity::Warning;
+  D.Line = 12;
+  D.Rule = "race.may";
+  D.Sym = "hist";
+  D.Oracle = "unconfirmed-on-corpus";
+  D.Message = "maybe";
+  EXPECT_EQ(diagToJson(D),
+            "{\"rule\":\"race.may\",\"severity\":\"warning\",\"line\":12,"
+            "\"symbol\":\"hist\",\"oracle\":\"unconfirmed-on-corpus\","
+            "\"message\":\"maybe\"}");
+}
+
+TEST(LintJson, EscapesQuotesAndBackslashes) {
+  Diag D;
+  D.Sev = Severity::Error;
+  D.Line = 1;
+  D.Rule = "race.ww";
+  D.Message = "touch 'v' \"twice\" a\\b\nend";
+  std::string S = diagToJson(D);
+  EXPECT_NE(S.find("\\\"twice\\\""), std::string::npos) << S;
+  EXPECT_NE(S.find("a\\\\b"), std::string::npos) << S;
+  EXPECT_NE(S.find("\\n"), std::string::npos) << S;
+  // No raw control characters or unescaped interior quotes survive.
+  EXPECT_EQ(S.find('\n'), std::string::npos);
+}
+
+TEST(LintJson, CertSchemaIsCanonical) {
+  RegionCert C;
+  C.Region = "bin_pixels";
+  C.Line = 23;
+  C.Team = 2;
+  C.Affine = 1;
+  C.Banked = 2;
+  C.BankDischarged = 3;
+  C.ReductionCertified = true;
+  EXPECT_EQ(certToJson(C),
+            "{\"region\":\"bin_pixels\",\"line\":23,\"team\":2,"
+            "\"accesses\":{\"affine\":1,\"banked\":2,\"may\":0},"
+            "\"discharged\":{\"bank\":3,\"residue\":0},"
+            "\"may_races\":0,\"reduction_certified\":true}");
+}
+
+TEST(LintJson, ResultWrapsDiagnosticsAndCertificates) {
+  AnalysisResult Res;
+  EXPECT_EQ(resultToJson(Res),
+            "{\"diagnostics\":[],\"certificates\":[]}");
+  Res.warning(2, "race.may", "m");
+  Res.Certs.push_back({});
+  std::string S = resultToJson(Res);
+  EXPECT_EQ(S.find("{\"diagnostics\":[{"), 0u) << S;
+  EXPECT_NE(S.find("\"certificates\":[{"), std::string::npos) << S;
+  // Byte-identical for identical findings: serialization is a pure
+  // function of the result.
+  EXPECT_EQ(S, resultToJson(Res));
+}
+
 } // namespace

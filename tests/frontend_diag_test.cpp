@@ -160,6 +160,34 @@ void main() {
   EXPECT_NE(W.find("'||'"), std::string::npos) << W;
 }
 
+TEST(FrontendDiag, WarningsCarryRuleIds) {
+  // Findings forwarded from the analyzer and the parser's own
+  // deviations print a grep-able "[rule]" tag.
+  std::string W = warningOf(R"(
+int flag;
+void main() {
+  int x;
+  if (flag && __hart_id())
+    x = 1;
+}
+)");
+  EXPECT_NE(W.find("[detc.no-short-circuit]"), std::string::npos) << W;
+
+  std::string R = warningOf(R"(
+int v[16];
+void worker(int t) {
+  v[0] = t;
+}
+void main() {
+  int t;
+  #pragma omp parallel for
+  for (t = 0; t < 4; t++)
+    worker(t);
+}
+)");
+  EXPECT_NE(R.find("[race.ww]"), std::string::npos) << R;
+}
+
 TEST(FrontendDiag, ShortCircuitPureRhsIsSilent) {
   std::string W = warningOf(R"(
 int a;
