@@ -142,6 +142,9 @@ struct EngineResult {
   double Mips = 0.0;
   long PeakRssKb = 0;
   bool Identical = true; ///< Fingerprint matches the reference engine.
+  std::string EngineUsed; ///< Machine::engineName() after the run.
+  std::string EngineNote; ///< Non-empty when a knob changed the engine.
+  sim::Machine::EngineStats Stats; ///< Epoch machinery statistics.
 };
 
 struct WorkloadResult {
@@ -180,6 +183,11 @@ EngineResult timedRun(const assembler::Program &Prog, sim::SimConfig Cfg,
                       const std::function<void(sim::Machine &)> &Verify) {
   Cfg.FastPath = FastPath;
   Cfg.HostThreads = HostThreads;
+  // The bench measures the sharded engine itself, not the host's cpu
+  // count: spawn the requested workers even when oversubscribed. The
+  // JSON records the hardware concurrency next to each cell so readers
+  // can judge which timings had real cpus behind them.
+  Cfg.OversubscribeHost = true;
   sim::Machine M(Cfg);
   M.load(Prog);
   auto T0 = std::chrono::steady_clock::now();
@@ -201,6 +209,9 @@ EngineResult timedRun(const assembler::Program &Prog, sim::SimConfig Cfg,
     R.Mips = static_cast<double>(R.Fp.Retired) / R.HostSeconds / 1e6;
   }
   R.PeakRssKb = peakRssKb();
+  R.EngineUsed = M.engineName();
+  R.EngineNote = M.engineNote();
+  R.Stats = M.engineStats();
   return R;
 }
 
@@ -576,11 +587,36 @@ void writeJson(const Options &Opt, const std::vector<WorkloadResult> &Results,
                    "        {\"engine\": \"%s\", \"host_threads\": %u, "
                    "\"host_seconds\": %.6f, \"cycles_per_sec\": %.1f, "
                    "\"mips\": %.3f, \"peak_rss_kb\": %ld, "
-                   "\"identical\": %s}%s\n",
+                   "\"identical\": %s, \"engine_used\": \"%s\"",
                    E.Engine.c_str(), E.HostThreads, E.HostSeconds,
                    E.CyclesPerSec, E.Mips, E.PeakRssKb,
-                   E.Identical ? "true" : "false",
-                   J + 1 == W.Engines.size() ? "" : ",");
+                   E.Identical ? "true" : "false", E.EngineUsed.c_str());
+      if (!E.EngineNote.empty())
+        std::fprintf(F, ",\n         \"engine_note\": \"%s\"",
+                     E.EngineNote.c_str());
+      if (E.EngineUsed == "parallel") {
+        const sim::Machine::EngineStats &S = E.Stats;
+        std::fprintf(
+            F,
+            ",\n         \"engine_stats\": {\"workers_used\": %u, "
+            "\"epochs_merged\": %llu, \"window_cycles\": %llu, "
+            "\"gated_cycles\": %llu, \"skipped_cycles\": %llu, "
+            "\"rebalances\": %llu, \"shard_seconds\": %.6f, "
+            "\"merge_seconds\": %.6f, \"window_hist\": [",
+            S.WorkersUsed, static_cast<unsigned long long>(S.EpochsMerged),
+            static_cast<unsigned long long>(S.WindowCycles),
+            static_cast<unsigned long long>(S.GatedCycles),
+            static_cast<unsigned long long>(S.SkippedCycles),
+            static_cast<unsigned long long>(S.Rebalances),
+            static_cast<double>(S.ShardNanos) / 1e9,
+            static_cast<double>(S.MergeNanos) / 1e9);
+        for (size_t K = 0; K != sizeof(S.WindowHist) / sizeof(uint64_t);
+             ++K)
+          std::fprintf(F, "%s%llu", K ? ", " : "",
+                       static_cast<unsigned long long>(S.WindowHist[K]));
+        std::fprintf(F, "]}");
+      }
+      std::fprintf(F, "}%s\n", J + 1 == W.Engines.size() ? "" : ",");
     }
     std::fprintf(F, "      ],\n");
     std::fprintf(F,
@@ -733,6 +769,33 @@ int main(int argc, char **argv) {
                  "\"divergences\" in %s\n",
                  Divergences.size(), Opt.OutPath.c_str());
     return 1;
+  }
+
+  // Scaling smoke gate (quick and full): on the barrier workload, two
+  // shard workers must not regress more than 25% below one. Only
+  // meaningful with at least two host cpus behind the threads; on a
+  // single-cpu runner the cells still ran (oversubscribed) for the
+  // bit-identity matrix, but their timings measure the scheduler.
+  if (std::thread::hardware_concurrency() >= 2) {
+    for (const WorkloadResult &W : Results) {
+      if (W.Name.rfind("barrier", 0) != 0)
+        continue;
+      const EngineResult *T1 = nullptr, *T2 = nullptr;
+      for (const EngineResult &E : W.Engines) {
+        if (E.Engine == "parallel-t1")
+          T1 = &E;
+        else if (E.Engine == "parallel-t2")
+          T2 = &E;
+      }
+      if (T1 && T2 && T1->HostSeconds > 0.0 &&
+          T2->HostSeconds > 1.25 * T1->HostSeconds) {
+        std::fprintf(stderr,
+                     "bench_simspeed: %s parallel-t2 (%.3fs) regresses "
+                     "more than 25%% below parallel-t1 (%.3fs)\n",
+                     W.Name.c_str(), T2->HostSeconds, T1->HostSeconds);
+        return 1;
+      }
+    }
   }
 
   if (!Opt.Quick) {

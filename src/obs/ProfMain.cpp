@@ -73,6 +73,7 @@ struct Options {
   uint64_t MaxCycles = 100000000;
   uint64_t Seed = 0;
   unsigned Drops = 0, Delays = 0, Flips = 0;
+  bool Oversubscribe = false;
 };
 
 int usage() {
@@ -81,7 +82,7 @@ int usage() {
       "usage: lbp_prof [options] file.c|file.s|-\n"
       "       lbp_prof [options] --workload "
       "phases|matmul|pipeline|dma|sensor-fusion\n"
-      "  --cores N  --threads N  --engine reference|fast\n"
+      "  --cores N  --threads N  --oversubscribe  --engine reference|fast\n"
       "  --max-cycles N  --seed N  --drops N  --delays N  --flips N\n"
       "  --no-stalls  --top N\n"
       "  --perfetto OUT.json  --jsonl OUT.jsonl  --counters OUT.json\n"
@@ -204,6 +205,8 @@ int main(int Argc, char **Argv) {
     } else if (A == "--flips") {
       if (!NextUnsigned(Opts.Flips))
         return usage();
+    } else if (A == "--oversubscribe") {
+      Opts.Oversubscribe = true;
     } else if (A == "--no-stalls") {
       Opts.Stalls = false;
     } else if (A == "--top") {
@@ -249,6 +252,7 @@ int main(int Argc, char **Argv) {
   sim::SimConfig Cfg = sim::SimConfig::lbp(Opts.Cores);
   Cfg.FastPath = Opts.FastPath;
   Cfg.HostThreads = Opts.Threads;
+  Cfg.OversubscribeHost = Opts.Oversubscribe;
   Cfg.CollectCounters = true;
   Cfg.CollectStallStats = Opts.Stalls;
   Cfg.Faults.Seed = Opts.Seed;
@@ -308,8 +312,27 @@ int main(int Argc, char **Argv) {
     Out << "{\n  \"meta\": {\"engine\": \"" << jsonEscape(M.engineName())
         << "\", \"engine_note\": \"" << jsonEscape(M.engineNote())
         << "\", \"status\": \"" << sim::runStatusName(St)
-        << "\", \"message\": \"" << jsonEscape(M.faultMessage())
-        << "\"},\n  \"counters\": " << obs::countersToJson(M) << "}\n";
+        << "\", \"message\": \"" << jsonEscape(M.faultMessage()) << "\"";
+    // Host-side epoch statistics for the sharded engine: how often the
+    // adaptive windows engaged and where the wall time went (shard
+    // execution vs serial merge). Host-only — never part of the
+    // deterministic counter set below.
+    if (std::string(M.engineName()) == "parallel") {
+      const sim::Machine::EngineStats &S = M.engineStats();
+      Out << ",\n           \"engine_stats\": {\"workers_used\": "
+          << S.WorkersUsed << ", \"epochs_merged\": " << S.EpochsMerged
+          << ", \"window_cycles\": " << S.WindowCycles
+          << ", \"gated_cycles\": " << S.GatedCycles
+          << ", \"skipped_cycles\": " << S.SkippedCycles
+          << ", \"rebalances\": " << S.Rebalances
+          << ", \"shard_seconds\": " << (double)S.ShardNanos / 1e9
+          << ", \"merge_seconds\": " << (double)S.MergeNanos / 1e9
+          << ", \"window_hist\": [";
+      for (size_t K = 0; K != sizeof(S.WindowHist) / sizeof(uint64_t); ++K)
+        Out << (K ? ", " : "") << S.WindowHist[K];
+      Out << "]}";
+    }
+    Out << "},\n  \"counters\": " << obs::countersToJson(M) << "}\n";
   }
   return St == sim::RunStatus::Exited ? 0 : 1;
 }

@@ -178,13 +178,35 @@ struct SimConfig {
   unsigned HostThreads = 1;
 
   /// Epoch (merge-cadence) override for the parallel engine, in cycles.
-  /// 0 means "use the derived lookahead L" (Interconnect's minimum
-  /// cross-core delivery latency; see minCrossCoreLatency()). Values
-  /// above L are clamped to L — merging less often than the lookahead
-  /// allows would be unsound; merging more often is always correct.
-  /// With the calibrated latency table every cross-core link takes one
-  /// cycle, so L = 1 and the engine synchronizes every cycle.
+  /// 0 means "adaptive": the engine computes a per-epoch lookahead
+  /// window from in-flight state (docs/PERFORMANCE.md "Adaptive
+  /// multi-cycle epochs") and merges only at window boundaries. Any
+  /// nonzero value forces the legacy fixed cadence of 1 (per-cycle
+  /// merges) — merging less often than the in-flight state allows
+  /// would be unsound; merging more often is always correct.
   uint64_t EpochOverride = 0;
+
+  /// By default the parallel engine clamps its worker count to the
+  /// host's hardware concurrency: running 8 shard workers on 2 cpus
+  /// only adds barrier latency, and the observable run is bit-identical
+  /// at every worker count anyway. Set this to force exactly
+  /// HostThreads workers regardless of the host (the thread-sweep
+  /// tests do, so shard interleaving is really exercised).
+  bool OversubscribeHost = false;
+
+  /// Cycle stride at which the parallel engine recomputes the
+  /// core→shard partition from per-core retire tallies (deterministic
+  /// shard rebalancing; docs/PERFORMANCE.md). The tallies are simulated
+  /// state, so the partition sequence — and therefore every staged
+  /// merge — is a pure function of the program, never of host timing.
+  /// 0 disables rebalancing.
+  uint64_t ShardRebalanceInterval = 4096;
+
+  /// Test knob: deterministically perturbs the *initial* core→shard
+  /// partition (each unit moves one boundary core between neighbouring
+  /// shards). Exists so the rebalancing-determinism tests can prove
+  /// placement never affects output; 0 keeps the even split.
+  unsigned InitialShardSkew = 0;
 
   /// Transient-fault injection plan; inactive by default.
   FaultPlanConfig Faults;

@@ -58,8 +58,11 @@ struct RobEntry {
   uint64_t RenameSeq = 0;
 };
 
-/// One hardware thread.
-struct Hart {
+/// One hardware thread. Cache-line aligned: neighbouring harts are hot
+/// state for (possibly different) shard workers, and a hart straddling
+/// a line shared with another shard's hart is exactly the false sharing
+/// the parallel engine's SoA layout exists to kill.
+struct alignas(64) Hart {
   HartState State = HartState::Free;
   /// Cycle of the last State transition; the machine-check layer uses it
   /// to spot harts stuck in Reserved (a lost start message).
@@ -116,6 +119,15 @@ struct Hart {
   /// engines maintain it but never read it.
   uint8_t PendingGateOps = 0;
 
+  /// Decoded-but-not-yet-performed send-class ops: p_swre (sends its
+  /// value backward at issue) and p_ret (sends the token / join at
+  /// commit). The parallel engine sums these into Machine::SendCount —
+  /// while any is in flight a multi-cycle window could see a cross-shard
+  /// arrival land inside itself, so the engine stays on per-cycle
+  /// epochs. Decremented when the send happens (p_swre issue, p_ret
+  /// commit) and settled by freeHart. Not architectural state.
+  uint8_t PendingSendOps = 0;
+
   // Remote-result buffers (p_swre targets) plus overflow queue.
   bool SlotFull[ResultSlots] = {false};
   uint32_t SlotVal[ResultSlots] = {0};
@@ -154,6 +166,7 @@ struct Hart {
     RbEntry = -1;
     Token = false;
     PendingGateOps = 0;
+    PendingSendOps = 0;
     // A hart only reaches Free through a p_ret commit, which requires
     // OutstandingMem == 0, so no store acknowledgement can be in flight.
     OutstandingMem = 0;
@@ -166,7 +179,11 @@ struct Hart {
 
 /// One core: four harts plus the per-stage round-robin pointers ("each
 /// stage selects one active hart at every cycle", paper Sec. 5.2).
-struct Core {
+/// The per-core sleep cycle (WakeAt) deliberately does NOT live here:
+/// it is the one word of core state written from outside the owning
+/// shard (wakes), so the machine keeps it in a separate SoA vector
+/// (Machine::CoreWake) where a wake never dirties the core's hot line.
+struct alignas(64) Core {
   Hart Harts[HartsPerCore];
   uint8_t FetchRR = 0;
   uint8_t DecodeRR = 0;
@@ -177,12 +194,6 @@ struct Core {
   /// allocated last, so teams fill a core's harts in order even when an
   /// earlier member has already ended (stable placement, paper Fig. 3).
   uint8_t AllocRR = 0;
-  /// Fast-path sleep state (SimConfig::FastPath): the earliest cycle at
-  /// which a stage on this core could act again. The scheduling loop
-  /// skips the core's stages while Cycle < WakeAt; deliveries and hart
-  /// frees pull it forward. Spurious wakes are harmless (the stages
-  /// no-op and the core re-sleeps); the reference path ignores it.
-  uint64_t WakeAt = 0;
 };
 
 } // namespace sim

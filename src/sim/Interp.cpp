@@ -24,20 +24,28 @@ Interp::Interp(const assembler::Program &Prog) : Prog(Prog) {
 }
 
 const Interp::Page *Interp::findPage(uint32_t Base) const {
+  if (LastPage && LastPage->Base == Base)
+    return LastPage;
   auto It = std::lower_bound(
       Pages.begin(), Pages.end(), Base,
       [](const std::unique_ptr<Page> &P, uint32_t B) { return P->Base < B; });
-  return It != Pages.end() && (*It)->Base == Base ? It->get() : nullptr;
+  if (It == Pages.end() || (*It)->Base != Base)
+    return nullptr;
+  LastPage = It->get();
+  return LastPage;
 }
 
 Interp::Page &Interp::pageFor(uint32_t Base) {
+  if (LastPage && LastPage->Base == Base)
+    return *const_cast<Page *>(LastPage);
   auto It = std::lower_bound(
       Pages.begin(), Pages.end(), Base,
       [](const std::unique_ptr<Page> &P, uint32_t B) { return P->Base < B; });
-  if (It != Pages.end() && (*It)->Base == Base)
-    return **It;
-  It = Pages.insert(It, std::make_unique<Page>());
-  (*It)->Base = Base;
+  if (It == Pages.end() || (*It)->Base != Base) {
+    It = Pages.insert(It, std::make_unique<Page>());
+    (*It)->Base = Base;
+  }
+  LastPage = It->get();
   return **It;
 }
 

@@ -101,6 +101,11 @@ private:
     uint64_t Written[PageWords / 64] = {};
   };
   std::vector<std::unique_ptr<Page>> Pages; ///< Sorted by Base.
+  /// Memoized last-touched page: accesses cluster (stack frames, array
+  /// sweeps), so most lookups hit here and skip the binary search.
+  /// Page objects are heap-stable (unique_ptr), so inserting into Pages
+  /// never invalidates it; snapshot restore rebuilds Pages and resets it.
+  mutable const Page *LastPage = nullptr;
   uint64_t Steps = 0;
 
   const Page *findPage(uint32_t Base) const;

@@ -16,12 +16,19 @@
 #include "support/StringUtils.h"
 
 #include <algorithm>
+#include <thread>
 
 using namespace lbp;
 using namespace lbp::sim;
 using namespace lbp::isa;
 
 thread_local ShardBuf *lbp::sim::TlStage = nullptr;
+
+uint64_t Machine::now() const {
+  if (const ShardBuf *S = TlStage)
+    return S->Now;
+  return Cycle;
+}
 
 //===----------------------------------------------------------------------===//
 // Side-effect hooks
@@ -36,9 +43,12 @@ thread_local ShardBuf *lbp::sim::TlStage = nullptr;
 
 void Machine::emit(EventKind K, uint64_t A, uint64_t B) {
   if (ShardBuf *S = TlStage) {
+    // The event's cycle is not stored: replay stamps it with the unit's
+    // merge cycle, which equals now() here by construction.
     StagedOp &Op = S->push();
     Op.Kind = StagedOp::K::Event;
-    Op.Ev = {Cycle, A, B, K};
+    Op.EvK = K;
+    Op.Ev = {A, B};
     return;
   }
   Tr.event(Cycle, K, A, B);
@@ -46,6 +56,27 @@ void Machine::emit(EventKind K, uint64_t A, uint64_t B) {
 
 void Machine::stageOrSchedule(uint64_t At, const Delivery &D) {
   if (ShardBuf *S = TlStage) {
+    if (S->WindowEnd != 0 && At <= S->WindowEnd) {
+      // The arrival lands inside the open multi-cycle window. The
+      // window planner guaranteed every in-window source targets its
+      // own shard (only local memory responses get here: BankAccess on
+      // the requesting core, and the RbFill/MemAck it produces), so the
+      // worker can run the wheel insert locally and consume the
+      // delivery itself at offset At - WindowBase. The merge replays
+      // the checker's schedule accounting and records the shard in the
+      // window's canonical due order via the LocalSched op.
+      assert(At > S->Now && "local schedule must be in the future");
+      assert(D.K == Delivery::Kind::BankAccess ||
+             D.K == Delivery::Kind::RbFill || D.K == Delivery::Kind::MemAck);
+      Delivery Sealed = D;
+      Sealed.Parity = deliveryParity(Sealed);
+      S->WinDue[At - S->WindowBase].push_back(Sealed);
+      StagedOp &Op = S->push();
+      Op.Kind = StagedOp::K::LocalSched;
+      Op.At = At;
+      Op.D = Sealed;
+      return;
+    }
     StagedOp &Op = S->push();
     Op.Kind = StagedOp::K::Schedule;
     Op.At = At;
@@ -83,7 +114,9 @@ void Machine::routeBackwardAndSchedule(unsigned FromCore, unsigned ToCore,
 
 void Machine::noteProgress() {
   if (ShardBuf *S = TlStage) {
-    S->Progress = true;
+    // S->Now is monotone within an epoch, so assignment keeps the max:
+    // the latest shard-local cycle that made progress.
+    S->ProgressCycle = S->Now;
     return;
   }
   LastProgress = Cycle;
@@ -95,6 +128,14 @@ void Machine::noteGate(int Delta) {
     return;
   }
   GateCount = static_cast<uint64_t>(static_cast<int64_t>(GateCount) + Delta);
+}
+
+void Machine::noteSend(int Delta) {
+  if (ShardBuf *S = TlStage) {
+    S->SendDelta += Delta;
+    return;
+  }
+  SendCount = static_cast<uint64_t>(static_cast<int64_t>(SendCount) + Delta);
 }
 
 void Machine::noteAccess(bool Local) {
@@ -175,6 +216,7 @@ Machine::Machine(const SimConfig &Config)
     fault(formatString("cannot open trace line file '%s'",
                        Cfg.TraceLineFile.c_str()));
   StallByCore.assign(Cfg.NumCores * NumStallSlots, 0);
+  CoreWake.assign(Cfg.NumCores, 0);
   if (Cfg.CollectCounters) {
     Obs = std::make_unique<obs::PerfCounters>();
     Obs->init(Cfg);
@@ -248,6 +290,8 @@ void Machine::load(const assembler::Program &Prog) {
     }
   }
 
+  buildWindowClass();
+
   // Hart 0 of core 0 boots at the entry point holding the token, with
   // ra = 0 and t0 = -1 so a bare `p_ret` in main exits (Fig. 6's
   // convention).
@@ -260,6 +304,45 @@ void Machine::load(const assembler::Program &Prog) {
   H0.Regs[RegT0] = HartRefExit;
   H0.Token = true;
   Tr.event(Cycle, EventKind::HartStart, 0, H0.Pc);
+}
+
+void Machine::buildWindowClass() {
+  // Hazard-lookahead table for the parallel engine's adaptive window
+  // planner (see Machine.h WinClass). Hazard-class instructions are the
+  // gate ops (whose issue reads cross-core state the same cycle) and
+  // p_swre (whose issue sends a cross-shard delivery that could arrive
+  // inside a window). Invalid words count as hazardous — conservative,
+  // and they only appear where the program is about to fault anyway.
+  // Skipped when the parallel engine can never run (the table is only
+  // read by its window planner).
+  if (Cfg.HostThreads <= 1)
+    return;
+  uint32_t Words = (Mem.codeSize() + 3) / 4;
+  auto Hazard = [](const isa::Instr &I) {
+    return !I.isValid() || isGateOp(I) || I.Op == Opcode::P_SWRE;
+  };
+  auto At = [&](uint32_t W) { return decode(Mem.fetchWord(W * 4)); };
+  WinClass.assign(Words, 0);
+  for (uint32_t W = 0; W != Words; ++W) {
+    isa::Instr I = At(W);
+    if (Hazard(I))
+      continue; // 0
+    uint32_t Next;
+    if (I.Op == Opcode::JAL)
+      Next = (W * 4 + static_cast<uint32_t>(I.Imm)) / 4;
+    else if (I.nextPcKnownAtDecode())
+      Next = W + 1;
+    else {
+      // A branch/jalr publishes its target at issue or later; the
+      // successor's decode is then too late to issue inside any window
+      // this table admits.
+      WinClass[W] = 2;
+      continue;
+    }
+    bool NextBad = (I.Op == Opcode::JAL && (W * 4 + I.Imm) % 4 != 0) ||
+                   Next >= Words || Hazard(At(Next));
+    WinClass[W] = NextBad ? 1 : 2;
+  }
 }
 
 void Machine::addDevice(uint32_t Base, uint32_t Size,
@@ -284,7 +367,7 @@ void Machine::fault(std::string Msg) {
     // reached in canonical order) and stop this shard's work.
     StagedOp &Op = S->push();
     Op.Kind = StagedOp::K::Fault;
-    Op.Msg = std::move(Msg);
+    Op.MsgIdx = S->internMsg(std::move(Msg));
     S->Halted = true;
     return;
   }
@@ -415,9 +498,10 @@ void Machine::finishRb(Hart &H, uint32_t Value, uint64_t ReadyCycle) {
 }
 
 void Machine::deliver(const Delivery &D) {
+  const uint64_t Now = now();
   // Whatever this delivery enables, the target core can act on it this
   // very cycle (deliveries precede the stages), so wake it now.
-  wake(D.HartId / HartsPerCore, Cycle);
+  wake(D.HartId / HartsPerCore, Now);
   if (Cfg.EnableCheckers) {
     if (ShardBuf *S = TlStage) {
       // Split checker: the global accounting is staged (its counters
@@ -434,7 +518,7 @@ void Machine::deliver(const Delivery &D) {
         Op.B = 1; // violation attached
         Op.CheckK = V.Kind;
         Op.A = V.Hart;
-        Op.Msg = std::move(V.Message);
+        Op.MsgIdx = S->internMsg(std::move(V.Message));
         S->Halted = true;
         return; // a machine check stops the delivery from applying
       }
@@ -449,7 +533,7 @@ void Machine::deliver(const Delivery &D) {
 
   switch (D.K) {
   case Delivery::Kind::RbFill:
-    finishRb(H, D.Value, Cycle);
+    finishRb(H, D.Value, Now);
     if (D.CountsMem) {
       assert(H.OutstandingMem > 0 && "memory op count underflow");
       --H.OutstandingMem;
@@ -487,7 +571,7 @@ void Machine::deliver(const Delivery &D) {
     } else {
       assert(isGlobalAddr(Addr) && "bank access outside banked memory");
       if (Cfg.CollectMemLog)
-        MemLog.push_back({Cycle, JoinEpoch, D.HartId, Addr, D.Width,
+        MemLog.push_back({Now, JoinEpoch, D.HartId, Addr, D.Width,
                           D.IsWrite, D.HartId != 0 || Hart0InTeam});
       uint32_t Rel = Addr - GlobalBase;
       unsigned Bank = Rel >> Cfg.GlobalBankSizeLog2;
@@ -554,10 +638,10 @@ void Machine::deliver(const Delivery &D) {
       return;
     }
     H.State = HartState::Running;
-    H.StateSince = Cycle;
+    H.StateSince = Now;
     H.Pc = D.Value;
     H.PcValid = true;
-    H.NoFetchUntil = Cycle + 1;
+    H.NoFetchUntil = Now + 1;
     H.Token = true;
     emit(EventKind::Join, D.HartId, D.Value);
     // A join completes a team barrier: accesses on opposite sides can
@@ -609,6 +693,7 @@ int Machine::allocateHart(unsigned CoreId, unsigned ByHart) {
 }
 
 void Machine::startHart(unsigned HartId, uint32_t StartPc) {
+  const uint64_t Now = now();
   Hart &H = hart(HartId);
   if (H.State != HartState::Reserved) {
     fault(formatString("start message reached hart %u which is not "
@@ -621,21 +706,25 @@ void Machine::startHart(unsigned HartId, uint32_t StartPc) {
     R = 0;
   H.Regs[RegSP] = Sp;
   H.State = HartState::Running;
-  H.StateSince = Cycle;
+  H.StateSince = Now;
   H.Pc = StartPc;
   H.PcValid = true;
-  H.NoFetchUntil = Cycle + 1;
+  H.NoFetchUntil = Now + 1;
   noteProgress();
   emit(EventKind::HartStart, HartId, StartPc);
 }
 
 void Machine::freeHart(unsigned HartId) {
+  const uint64_t Now = now();
   Hart &H = hart(HartId);
   emit(EventKind::HartEnd, HartId);
-  // Gate ops decoded but never issued die with the hart; settle their
-  // contribution to the serial gate before the reset wipes the count.
+  // Gate and send ops decoded but never performed die with the hart;
+  // settle their contribution to the global counts before the reset
+  // wipes them.
   if (H.PendingGateOps != 0)
     noteGate(-static_cast<int>(H.PendingGateOps));
+  if (H.PendingSendOps != 0)
+    noteSend(-static_cast<int>(H.PendingSendOps));
   H.clearForFree();
   // A freed hart un-blocks p_fc retries on this core and p_fn retries
   // on the previous one. This core's own issue stage runs later this
@@ -643,9 +732,9 @@ void Machine::freeHart(unsigned HartId) {
   // already ran, so its retry lands next cycle — exactly when the
   // reference path would succeed.
   unsigned CoreId = HartId / HartsPerCore;
-  wake(CoreId, Cycle + 1);
+  wake(CoreId, Now + 1);
   if (CoreId != 0)
-    wake(CoreId - 1, Cycle + 1);
+    wake(CoreId - 1, Now + 1);
 }
 
 void Machine::sendToken(unsigned FromHart, unsigned ToHart) {
@@ -686,9 +775,16 @@ static bool retCommittable(const Hart &H, uint32_t Ra, uint32_t T0,
 
 void Machine::commitRet(unsigned CoreId, unsigned HartInCore, Hart &H,
                         RobEntry &E) {
+  const uint64_t Now = now();
   unsigned SelfId = hartId(CoreId, HartInCore);
   uint32_t Ra = E.SrcVal[0];
   uint32_t T0 = E.SrcVal[1];
+
+  // The ret's send (token / join / exit) happens here: it no longer
+  // holds a window open.
+  assert(H.PendingSendOps != 0 && "p_ret commit without a pending send");
+  --H.PendingSendOps;
+  noteSend(-1);
 
   // Type 1: exit the process.
   if (Ra == 0 && T0 == HartRefExit) {
@@ -722,7 +818,7 @@ void Machine::commitRet(unsigned CoreId, unsigned HartInCore, Hart &H,
     H.Token = false;
     sendToken(SelfId, Succ);
     H.State = HartState::WaitingJoin;
-    H.StateSince = Cycle;
+    H.StateSince = Now;
     H.PcValid = false;
     return;
   }
@@ -739,7 +835,7 @@ void Machine::commitRet(unsigned CoreId, unsigned HartInCore, Hart &H,
     // Type 4: sequential return-to-self (keeps the token if any).
     H.Pc = Ra;
     H.PcValid = true;
-    H.NoFetchUntil = Cycle + 1;
+    H.NoFetchUntil = Now + 1;
     return;
   }
 
@@ -761,6 +857,7 @@ void Machine::commitRet(unsigned CoreId, unsigned HartInCore, Hart &H,
 }
 
 bool Machine::stageCommit(unsigned CoreId) {
+  const uint64_t Now = now();
   Core &C = Cores[CoreId];
   for (unsigned K = 0; K != HartsPerCore; ++K) {
     unsigned HIdx = (C.CommitRR + K) % HartsPerCore;
@@ -768,7 +865,7 @@ bool Machine::stageCommit(unsigned CoreId) {
     if (H.RobCount == 0)
       continue;
     RobEntry &E = H.Rob[H.RobHead];
-    if (E.State != RobEntry::St::Done || E.DoneCycle > Cycle)
+    if (E.State != RobEntry::St::Done || E.DoneCycle > Now)
       continue;
 
     bool IsRet = E.I.Op == Opcode::P_JALR && E.I.Rd == 0;
@@ -809,11 +906,12 @@ bool Machine::stageCommit(unsigned CoreId) {
 //===----------------------------------------------------------------------===//
 
 bool Machine::stageWriteback(unsigned CoreId) {
+  const uint64_t Now = now();
   Core &C = Cores[CoreId];
   for (unsigned K = 0; K != HartsPerCore; ++K) {
     unsigned HIdx = (C.WbRR + K) % HartsPerCore;
     Hart &H = C.Harts[HIdx];
-    if (!H.RbBusy || !H.RbReady || H.RbReadyCycle > Cycle)
+    if (!H.RbBusy || !H.RbReady || H.RbReadyCycle > Now)
       continue;
 
     C.WbRR = (HIdx + 1) % HartsPerCore;
@@ -846,7 +944,7 @@ bool Machine::stageWriteback(unsigned CoreId) {
     }
 
     E.State = RobEntry::St::Done;
-    E.DoneCycle = Cycle;
+    E.DoneCycle = Now;
     H.RbBusy = false;
     H.RbReady = false;
     H.RbEntry = -1;
@@ -967,6 +1065,7 @@ void Machine::classifyIssueStall(unsigned CoreId) {
 
 bool Machine::tryIssue(unsigned CoreId, unsigned HartInCore,
                        unsigned RobIdx) {
+  const uint64_t Now = now();
   Hart &H = Cores[CoreId].Harts[HartInCore];
   RobEntry &E = H.Rob[RobIdx];
   const isa::Instr &I = E.I;
@@ -985,7 +1084,7 @@ bool Machine::tryIssue(unsigned CoreId, unsigned HartInCore,
   };
   auto FinishNoResult = [&](unsigned Lat) {
     E.State = RobEntry::St::Done;
-    E.DoneCycle = Cycle + Lat;
+    E.DoneCycle = Now + Lat;
   };
 
   switch (Info.Class) {
@@ -996,16 +1095,16 @@ bool Machine::tryIssue(unsigned CoreId, unsigned HartInCore,
     // pure evaluator cannot see. Reading at issue keeps them
     // deterministic (issue timing is deterministic).
     if (I.Op == Opcode::RDCYCLE) {
-      GrabRb(static_cast<uint32_t>(Cycle), Cycle + Cfg.AluLatency);
+      GrabRb(static_cast<uint32_t>(Now), Now + Cfg.AluLatency);
       return true;
     }
     if (I.Op == Opcode::RDINSTRET) {
-      GrabRb(static_cast<uint32_t>(H.Retired), Cycle + Cfg.AluLatency);
+      GrabRb(static_cast<uint32_t>(H.Retired), Now + Cfg.AluLatency);
       return true;
     }
     uint32_t Value = evalOp(I, A, B, E.Pc);
     if (I.writesReg())
-      GrabRb(Value, Cycle + latencyFor(Cfg, Info.Class));
+      GrabRb(Value, Now + latencyFor(Cfg, Info.Class));
     else
       FinishNoResult(latencyFor(Cfg, Info.Class));
     return true;
@@ -1015,7 +1114,7 @@ bool Machine::tryIssue(unsigned CoreId, unsigned HartInCore,
     bool Taken = evalBranch(I.Op, A, B);
     H.Pc = E.Pc + (Taken ? static_cast<uint32_t>(I.Imm) : 4u);
     H.PcValid = true;
-    H.NoFetchUntil = Cycle + Cfg.AluLatency;
+    H.NoFetchUntil = Now + Cfg.AluLatency;
     FinishNoResult(Cfg.AluLatency);
     return true;
   }
@@ -1024,11 +1123,11 @@ bool Machine::tryIssue(unsigned CoreId, unsigned HartInCore,
     if (I.Op == Opcode::JALR) {
       H.Pc = (A + static_cast<uint32_t>(I.Imm)) & ~1u;
       H.PcValid = true;
-      H.NoFetchUntil = Cycle + Cfg.AluLatency;
+      H.NoFetchUntil = Now + Cfg.AluLatency;
     }
     // JAL resolved its target at decode; both produce the link value.
     if (I.writesReg())
-      GrabRb(E.Pc + 4, Cycle + Cfg.AluLatency);
+      GrabRb(E.Pc + 4, Now + Cfg.AluLatency);
     else
       FinishNoResult(Cfg.AluLatency);
     return true;
@@ -1050,6 +1149,7 @@ bool Machine::issueMemOp(unsigned CoreId, unsigned HartInCore, Hart &H,
                          RobEntry &E, unsigned RobIdx) {
   const isa::Instr &I = E.I;
   unsigned SelfId = hartId(CoreId, HartInCore);
+  const uint64_t Now = now();
 
   // Decode access shape.
   unsigned Width = 4;
@@ -1146,10 +1246,10 @@ bool Machine::issueMemOp(unsigned CoreId, unsigned HartInCore, Hart &H,
            "p_swcv issued under a shard worker");
     uint64_t Extra =
         I.Op == Opcode::P_SWCV && LocalCore != CoreId
-            ? Net.routeForward(CoreId, LocalCore, Cycle) - Cycle
+            ? Net.routeForward(CoreId, LocalCore, Now) - Now
             : 0;
-    AccessCycle = Cycle + Extra + 1;
-    RespCycle = Cycle + Extra + Cfg.LocalMemLatency;
+    AccessCycle = Now + Extra + 1;
+    RespCycle = Now + Extra + Cfg.LocalMemLatency;
     IsLocal = true;
     noteAccess(true);
   } else if (isGlobalAddr(Addr)) {
@@ -1180,7 +1280,7 @@ bool Machine::issueMemOp(unsigned CoreId, unsigned HartInCore, Hart &H,
     H.RbBusy = true;
     H.RbReady = true;
     H.RbValue = Value;
-    H.RbReadyCycle = Cycle + Cfg.LocalMemLatency;
+    H.RbReadyCycle = Now + Cfg.LocalMemLatency;
     H.RbEntry = static_cast<int>(RobIdx);
     E.State = RobEntry::St::Issued;
     return true;
@@ -1196,7 +1296,7 @@ bool Machine::issueMemOp(unsigned CoreId, unsigned HartInCore, Hart &H,
     ++H.OutstandingMem;
     H.PendingStoreWords.push_back(Addr & ~3u);
     E.State = RobEntry::St::Done;
-    E.DoneCycle = Cycle + Cfg.AluLatency;
+    E.DoneCycle = Now + Cfg.AluLatency;
   } else {
     H.RbBusy = true;
     H.RbReady = false;
@@ -1284,6 +1384,7 @@ bool Machine::issueXPar(unsigned CoreId, unsigned HartInCore, Hart &H,
                         RobEntry &E, unsigned RobIdx) {
   const isa::Instr &I = E.I;
   unsigned SelfId = hartId(CoreId, HartInCore);
+  const uint64_t Now = now();
   uint32_t A = E.SrcVal[0];
   uint32_t B = E.SrcVal[1];
 
@@ -1299,25 +1400,25 @@ bool Machine::issueXPar(unsigned CoreId, unsigned HartInCore, Hart &H,
 
   switch (I.Op) {
   case Opcode::P_SET:
-    GrabRb(hartRefSet(A, SelfId), Cycle + Cfg.AluLatency);
+    GrabRb(hartRefSet(A, SelfId), Now + Cfg.AluLatency);
     return true;
 
   case Opcode::P_MERGE:
-    GrabRb(hartRefMerge(A, B), Cycle + Cfg.AluLatency);
+    GrabRb(hartRefMerge(A, B), Now + Cfg.AluLatency);
     return true;
 
   case Opcode::P_SYNCM:
     // The fetch block was raised at decode; the instruction itself is a
     // one-cycle no-op in the window.
     E.State = RobEntry::St::Done;
-    E.DoneCycle = Cycle + Cfg.AluLatency;
+    E.DoneCycle = Now + Cfg.AluLatency;
     return true;
 
   case Opcode::P_FC: {
     int Target = allocateHart(CoreId, SelfId);
     if (Target < 0)
       return false; // retry when a hart frees up
-    GrabRb(static_cast<uint32_t>(Target), Cycle + Cfg.AluLatency);
+    GrabRb(static_cast<uint32_t>(Target), Now + Cfg.AluLatency);
     return true;
   }
 
@@ -1332,7 +1433,7 @@ bool Machine::issueXPar(unsigned CoreId, unsigned HartInCore, Hart &H,
     if (Target < 0)
       return false;
     GrabRb(static_cast<uint32_t>(Target),
-           Cycle + 1 + 2 * Cfg.ForwardLinkLatency);
+           Now + 1 + 2 * Cfg.ForwardLinkLatency);
     return true;
   }
 
@@ -1342,7 +1443,7 @@ bool Machine::issueXPar(unsigned CoreId, unsigned HartInCore, Hart &H,
     if (IsRet) {
       // Ending protocol: values captured, decision at commit.
       E.State = RobEntry::St::Done;
-      E.DoneCycle = Cycle + Cfg.AluLatency;
+      E.DoneCycle = Now + Cfg.AluLatency;
       return true;
     }
     // Fork-calls read the target hart's state (possibly on the next
@@ -1368,7 +1469,7 @@ bool Machine::issueXPar(unsigned CoreId, unsigned HartInCore, Hart &H,
                          SelfId, Target));
       return false;
     }
-    uint64_t Arrive = Net.routeForward(CoreId, TargetCore, Cycle);
+    uint64_t Arrive = Net.routeForward(CoreId, TargetCore, Now);
     schedule(Arrive,
              {Delivery::Kind::StartHart, static_cast<uint16_t>(Target),
               E.Pc + 4, 0, 0, 0, 4, 0, false, false, false});
@@ -1376,9 +1477,9 @@ bool Machine::issueXPar(unsigned CoreId, unsigned HartInCore, Hart &H,
     if (I.Op == Opcode::P_JALR) {
       H.Pc = B;
       H.PcValid = true;
-      H.NoFetchUntil = Cycle + Cfg.AluLatency;
+      H.NoFetchUntil = Now + Cfg.AluLatency;
     }
-    GrabRb(0, Cycle + Cfg.AluLatency); // "clear rd"
+    GrabRb(0, Now + Cfg.AluLatency); // "clear rd"
     return true;
   }
 
@@ -1404,8 +1505,13 @@ bool Machine::issueXPar(unsigned CoreId, unsigned HartInCore, Hart &H,
     D.Value = B;
     D.Slot = static_cast<uint8_t>(Slot);
     routeBackwardAndSchedule(CoreId, TargetCore, D);
+    // The send happened: this p_swre no longer blocks multi-cycle
+    // windows (decode armed the counter, see stageDecode).
+    assert(H.PendingSendOps != 0 && "p_swre issue without a pending send");
+    --H.PendingSendOps;
+    noteSend(-1);
     E.State = RobEntry::St::Done;
-    E.DoneCycle = Cycle + Cfg.AluLatency;
+    E.DoneCycle = Now + Cfg.AluLatency;
     return true;
   }
 
@@ -1428,7 +1534,7 @@ bool Machine::issueXPar(unsigned CoreId, unsigned HartInCore, Hart &H,
         break;
       }
     }
-    GrabRb(Value, Cycle + Cfg.AluLatency);
+    GrabRb(Value, Now + Cfg.AluLatency);
     return true;
   }
 
@@ -1515,6 +1621,16 @@ bool Machine::stageDecode(unsigned CoreId) {
       noteGate(+1);
     }
 
+    // Send-class ops (p_swre, p_ret) arm the multi-cycle window block
+    // the same way: until the send is performed (p_swre issue / p_ret
+    // commit) a cross-shard arrival could land inside a window, so the
+    // parallel engine stays on per-cycle epochs while any is in flight.
+    if (I.Op == Opcode::P_SWRE ||
+        (I.Op == Opcode::P_JALR && I.Rd == 0)) {
+      ++H.PendingSendOps;
+      noteSend(+1);
+    }
+
     // Resolve the next pc when it is known at decode.
     if (I.Op == Opcode::JAL || I.Op == Opcode::P_JAL) {
       H.Pc = E.Pc + static_cast<uint32_t>(I.Imm);
@@ -1537,6 +1653,7 @@ bool Machine::stageDecode(unsigned CoreId) {
 
 bool Machine::stageFetch(unsigned CoreId) {
   Core &C = Cores[CoreId];
+  const uint64_t Now = now();
 
   // Clear satisfied p_syncm fetch blocks first. Not an "action" for the
   // fast path: the enabling edge (OutstandingMem hitting zero) is a
@@ -1550,7 +1667,7 @@ bool Machine::stageFetch(unsigned CoreId) {
     unsigned HIdx = (C.FetchRR + K) % HartsPerCore;
     Hart &H = C.Harts[HIdx];
     if (H.State != HartState::Running || !H.PcValid || H.IbFull ||
-        H.SyncmWait || H.NoFetchUntil > Cycle)
+        H.SyncmWait || H.NoFetchUntil > Now)
       continue;
     if (!isCodeAddr(H.Pc)) {
       fault(formatString("fetch outside the code bank at 0x%08x (hart "
@@ -1575,7 +1692,7 @@ bool Machine::stageFetch(unsigned CoreId) {
 // Cycle loop
 //===----------------------------------------------------------------------===//
 
-uint64_t Machine::coreWakeCycle(const Core &C) const {
+uint64_t Machine::coreWakeCycle(const Core &C, uint64_t Now) const {
   // The only stage conditions that depend on the cycle number are the
   // three timers below; everything else a stage tests is machine state
   // that can only change through a stage action or a delivery. So with
@@ -1585,15 +1702,15 @@ uint64_t Machine::coreWakeCycle(const Core &C) const {
   for (const Hart &H : C.Harts) {
     if (H.State == HartState::Free)
       continue;
-    if (H.State == HartState::Running && H.NoFetchUntil > Cycle &&
+    if (H.State == HartState::Running && H.NoFetchUntil > Now &&
         H.NoFetchUntil < Wake)
       Wake = H.NoFetchUntil; // fetch unblocks
-    if (H.RbBusy && H.RbReady && H.RbReadyCycle > Cycle &&
+    if (H.RbBusy && H.RbReady && H.RbReadyCycle > Now &&
         H.RbReadyCycle < Wake)
       Wake = H.RbReadyCycle; // writeback becomes possible
     for (unsigned P = 0; P != H.RobCount; ++P) {
       const RobEntry &E = H.Rob[H.robIndex(P)];
-      if (E.State == RobEntry::St::Done && E.DoneCycle > Cycle &&
+      if (E.State == RobEntry::St::Done && E.DoneCycle > Now &&
           E.DoneCycle < Wake)
         Wake = E.DoneCycle; // commit becomes possible
     }
@@ -1625,7 +1742,7 @@ bool Machine::cycleStagesSerial() {
     // before its WakeAt (deliveries and hart frees pull it forward),
     // and the round-robin pointers only advance on actions, so
     // skipping its stages is invisible to the event stream.
-    if (FastRun && Cycle < C.WakeAt)
+    if (FastRun && Cycle < CoreWake[CoreId])
       continue;
     bool CoreActed = stageCommit(CoreId);
     if (Halted)
@@ -1642,15 +1759,24 @@ bool Machine::cycleStagesSerial() {
       break;
     if (FastRun) {
       if (CoreActed) {
-        C.WakeAt = Cycle; // stay hot: more work may be ready next cycle
+        CoreWake[CoreId] = Cycle; // stay hot: more work next cycle
         Acted = true;
       } else {
         // Later same-cycle wakeCore calls still pull this forward.
-        C.WakeAt = coreWakeCycle(C);
+        CoreWake[CoreId] = coreWakeCycle(C, Cycle);
       }
     }
   }
   return Acted;
+}
+
+unsigned Machine::effectiveHostThreads() const {
+  if (Cfg.OversubscribeHost)
+    return Cfg.HostThreads;
+  unsigned Hw = std::thread::hardware_concurrency();
+  if (Hw == 0) // unknown host: trust the configuration
+    return Cfg.HostThreads;
+  return std::min(Cfg.HostThreads, Hw);
 }
 
 RunStatus Machine::run(uint64_t MaxCycles) {
@@ -1661,9 +1787,19 @@ RunStatus Machine::run(uint64_t MaxCycles) {
     return runParallel(MaxCycles);
   }
   Engine = FastRun ? EngineKind::FastPath : EngineKind::Reference;
-  if (Cfg.HostThreads > 1 && EngineNote.empty())
-    EngineNote = "HostThreads > 1 ignored: CollectMemLog needs the "
-                 "single-threaded reference access order";
+  if (Cfg.HostThreads > 1 && EngineNote.empty()) {
+    if (Cfg.CollectMemLog)
+      EngineNote =
+          "HostThreads > 1 ignored: SimConfig::CollectMemLog forces the "
+          "single-threaded reference access order; clear CollectMemLog "
+          "to re-enable the parallel engine";
+    else
+      EngineNote = formatString(
+          "HostThreads = %u clamped to the host's hardware concurrency "
+          "(%u); set SimConfig::OversubscribeHost to force real shard "
+          "workers anyway",
+          Cfg.HostThreads, std::thread::hardware_concurrency());
+  }
   Status = RunStatus::MaxCycles;
   Halted = false;
   uint64_t Budget = MaxCycles;
@@ -1708,9 +1844,9 @@ RunStatus Machine::run(uint64_t MaxCycles) {
     // observable, so the event stream is bit-identical.
     if (FastRun && !Acted) {
       uint64_t Target = nextDeliveryCycle();
-      for (const Core &C : Cores)
-        if (C.WakeAt < Target)
-          Target = C.WakeAt;
+      for (uint64_t W : CoreWake)
+        if (W < Target)
+          Target = W;
       uint64_t LivelockAt = Cfg.ProgressGuard >= UINT64_MAX - LastProgress
                                 ? UINT64_MAX
                                 : LastProgress + Cfg.ProgressGuard + 1;

@@ -169,11 +169,15 @@ public:
   uint64_t contentionCycles() const { return Net.contentionCycles(); }
   const Interconnect &interconnect() const { return Net; }
 
-  /// The parallel engine's epoch length in cycles: the cross-shard
-  /// lookahead derived from the latency table (minCrossCoreLatency),
-  /// optionally tightened by SimConfig::EpochOverride. Reported by the
-  /// benchmarks; with the shipped latencies this is 1, so the engine's
-  /// per-cycle merge is exactly one epoch.
+  /// The classical single-hop lookahead derived from the latency table
+  /// (minCrossCoreLatency), optionally tightened by
+  /// SimConfig::EpochOverride; 1 with the shipped latencies. Kept as a
+  /// reported diagnostic. The parallel engine's adaptive windows use a
+  /// sharper bound — the minimum latency of any cross-shard arrival a
+  /// window can *produce* (bank ports, routed paths, the earliest
+  /// in-window p_ret commit), refined per epoch against in-flight state
+  /// (docs/PERFORMANCE.md "Adaptive multi-cycle epochs") — so merges
+  /// routinely cover several cycles even though this value is 1.
   uint64_t epochLength() const {
     uint64_t L = minCrossCoreLatency(Cfg);
     if (Cfg.EpochOverride != 0 && Cfg.EpochOverride < L)
@@ -216,8 +220,31 @@ public:
   /// Non-empty when a configuration combination silently changed the
   /// engine choice (e.g. CollectMemLog forcing the serial engines while
   /// HostThreads > 1) — the explicit diagnostic for what used to be a
-  /// silent downgrade.
+  /// silent downgrade. The note names the exact SimConfig knob to flip.
   const std::string &engineNote() const { return EngineNote; }
+
+  /// Host-side statistics of the parallel engine's epoch machinery
+  /// (docs/PERFORMANCE.md "Adaptive multi-cycle epochs"). These describe
+  /// how the run was *computed*, not what it computed: wall-clock splits
+  /// vary run to run, so they are reported next to the counters (lbp_prof
+  /// meta, bench JSON), never inside the deterministic counter set.
+  struct EngineStats {
+    uint64_t EpochsMerged = 0;  ///< Barrier+merge rounds executed.
+    uint64_t WindowCycles = 0;  ///< Cycles advanced inside multi-cycle
+                                ///< windows.
+    uint64_t GatedCycles = 0;   ///< Cycles run serially (fork-class gate
+                                ///< or the sparse-work heuristic).
+    uint64_t SkippedCycles = 0; ///< Cycles skipped by quiescence
+                                ///< fast-forward.
+    /// Epochs by window length in cycles: index W counts the merges
+    /// whose window spanned W cycles (index 0 = serial/gated rounds).
+    uint64_t WindowHist[9] = {0};
+    uint64_t Rebalances = 0;    ///< Shard-partition recomputations.
+    uint64_t ShardNanos = 0;    ///< Wall time inside parallel phases.
+    uint64_t MergeNanos = 0;    ///< Wall time inside epoch merges.
+    unsigned WorkersUsed = 0;   ///< Effective host worker threads.
+  };
+  const EngineStats &engineStats() const { return EStats; }
 
   /// The deterministic counter set (SimConfig::CollectCounters;
   /// docs/OBSERVABILITY.md). Disabled and empty unless configured.
@@ -300,6 +327,9 @@ private:
   void fault(std::string Msg);
   /// The livelock diagnosis: one wait-state line per non-free hart.
   std::string livelockReport() const;
+  /// (Re)builds WinClass from the loaded code image (load and snapshot
+  /// restore).
+  void buildWindowClass();
 
   // -- Parallel engine (ParallelEngine.cpp; docs/PERFORMANCE.md) --------
   // The sharded engine runs the delivery phase and the stage phase of a
@@ -311,12 +341,26 @@ private:
   // and replayed serially at the barrier in the reference loop's
   // canonical order, making every observable bit-identical.
   RunStatus runParallel(uint64_t MaxCycles);
+  /// Worker threads the parallel engine would actually spin up:
+  /// HostThreads clamped to the host's hardware concurrency unless
+  /// SimConfig::OversubscribeHost lifts the clamp (oversubscribed shard
+  /// workers only add barrier latency; the observable run is identical
+  /// either way). A zero hardware_concurrency() means "unknown" and
+  /// disables the clamp.
+  unsigned effectiveHostThreads() const;
   /// Modes whose bookkeeping needs the single-thread reference order.
   /// Only the mem-log remains: it is one globally ordered vector of
   /// every access. Stall stats and counters are shard-safe (staged).
   bool parallelEligible() const {
-    return Cfg.HostThreads > 1 && !Cfg.CollectMemLog;
+    return effectiveHostThreads() > 1 && !Cfg.CollectMemLog;
   }
+  /// The simulated cycle as seen by the code path currently executing:
+  /// Machine::Cycle on the serial engines and during merges, the shard
+  /// worker's window cycle inside a multi-cycle epoch. Every stage /
+  /// delivery / issue helper computes latencies, wake cycles and event
+  /// stamps from this, which is what keeps them window-correct without
+  /// knowing about windows. Defined in Machine.cpp (needs ShardBuf).
+  uint64_t now() const;
   /// One reference-order pass over every core's stages for the current
   /// cycle (shared by run() and the parallel engine's gated cycles).
   /// Returns true when any core acted; false also on halt.
@@ -335,10 +379,12 @@ private:
   /// Serial tail of a routed global/I-O access: reserve the path, apply
   /// a stuck-bank stall, schedule the Bank/IoAccess delivery.
   void routeAndScheduleMem(const MemIntent &In);
-  /// LastProgress update (per-shard flag under a worker).
+  /// LastProgress update (per-shard progress cycle under a worker).
   void noteProgress();
   /// Serial-gate bookkeeping (see isGateOp / GateCount).
   void noteGate(int Delta);
+  /// Send-class bookkeeping (see Hart::PendingSendOps / SendCount).
+  void noteSend(int Delta);
   /// Local/remote access statistics (per-shard deltas under a worker).
   void noteAccess(bool Local);
   /// Stall/issue tally for \p CoreId: \p Slot is a StallCause index or
@@ -377,17 +423,22 @@ private:
   }
 
   // -- Fast path (SimConfig::FastPath; docs/PERFORMANCE.md) -------------
-  /// Earliest future cycle at which any stage of \p C could act again,
-  /// assuming no further deliveries: the minimum over the core's
-  /// non-free harts of their pending timer expiries (NoFetchUntil,
-  /// result-buffer ready, ROB-entry done). UINT64_MAX when the core is
-  /// fully event-driven (only a delivery can make it act).
-  uint64_t coreWakeCycle(const Core &C) const;
-  /// Pulls \p CoreId's WakeAt forward to \p At (never pushes it back).
+  /// Earliest cycle strictly comparable to \p Now at which any stage of
+  /// \p C could act again, assuming no further deliveries: the minimum
+  /// over the core's non-free harts of their pending timer expiries
+  /// (NoFetchUntil, result-buffer ready, ROB-entry done). UINT64_MAX
+  /// when the core is fully event-driven (only a delivery can make it
+  /// act).
+  uint64_t coreWakeCycle(const Core &C, uint64_t Now) const;
+  /// Pulls \p CoreId's wake cycle forward to \p At (never pushes it
+  /// back). The wake cycles live in their own SoA vector (CoreWake),
+  /// not in Core: they are the one word of core state written from
+  /// outside the owning shard, and keeping them out of the Core block
+  /// stops a wake from bouncing the core's hot cache lines between
+  /// shard workers.
   void wakeCore(unsigned CoreId, uint64_t At) {
-    Core &C = Cores[CoreId];
-    if (At < C.WakeAt)
-      C.WakeAt = At;
+    if (At < CoreWake[CoreId])
+      CoreWake[CoreId] = At;
   }
   /// Cycle of the earliest pending delivery strictly after Cycle, or
   /// UINT64_MAX when none is in flight.
@@ -410,6 +461,13 @@ private:
   FaultPlan FPlan;
   Checker Ck;
   std::vector<Core> Cores;
+  /// Fast-path sleep state, one entry per core (see wakeCore): the
+  /// earliest cycle at which a stage on core i could act again. The
+  /// scheduling loops skip a core's stages while the cycle is below its
+  /// entry; deliveries and hart frees pull it forward. Spurious wakes
+  /// are harmless (the stages no-op and the core re-sleeps); the
+  /// reference path ignores it.
+  std::vector<uint64_t> CoreWake;
 
   uint64_t Cycle = 0;
   uint64_t LastProgress = 0;
@@ -421,6 +479,11 @@ private:
   /// In-flight cross-core-sensitive ops (sum of Hart::PendingGateOps);
   /// the parallel engine runs gated (serial) cycles while nonzero.
   uint64_t GateCount = 0;
+  /// In-flight send-class ops (sum of Hart::PendingSendOps): p_swre
+  /// before its issue, p_ret before its commit. While nonzero, a
+  /// multi-cycle window could see a cross-shard arrival land inside
+  /// itself, so the parallel engine stays on per-cycle epochs.
+  uint64_t SendCount = 0;
   // Dynamic-oracle memory log (CollectMemLog; see memLog()).
   std::vector<MemAccess> MemLog;
   uint64_t JoinEpoch = 0;
@@ -479,6 +542,30 @@ private:
   /// word address W is DecodedText[W]. Valid because LBP code banks are
   /// read-only after load — stores into the code region fault.
   std::vector<isa::Instr> DecodedText;
+
+  /// Per-text-word hazard lookahead for the parallel engine's window
+  /// planner, built at load() alongside DecodedText. WinClass[W] is the
+  /// number of hazard-free decodes guaranteed down the straight-line
+  /// path starting at word W: 0 when the instruction itself is
+  /// hazard-class (a gate op or p_swre — anything whose issue or send
+  /// must not happen inside a window), 1 when it is clean but its
+  /// statically known successor is hazardous (or unknown beyond a
+  /// control transfer that delays the next fetch), 2 when both are
+  /// clean. 2 is enough: with the window bound <= 3, an instruction
+  /// first decoded at window cycle 2 cannot issue before the window
+  /// closes. Read-only after load, like DecodedText.
+  std::vector<uint8_t> WinClass;
+  /// WinClass entry for byte address \p Pc; conservative 0 for
+  /// unaligned / out-of-range pcs.
+  uint8_t windowClassAt(uint32_t Pc) const {
+    uint32_t W = Pc / 4;
+    if ((Pc & 3) != 0 || W >= WinClass.size())
+      return 0;
+    return WinClass[W];
+  }
+
+  /// Parallel-engine epoch statistics (see engineStats()).
+  EngineStats EStats;
 
   struct DeviceMapping {
     uint32_t Base;

@@ -7,27 +7,41 @@
 /// \file
 /// The third engine (after the reference loop and the fast path): the
 /// core line is split into contiguous shards simulated by host worker
-/// threads. Each cycle has two parallel phases — deliveries, then
-/// pipeline stages — separated by barriers; the interval between merges
-/// is the epoch, and with the machine's derived cross-shard lookahead
-/// of one cycle (minCrossCoreLatency() == 1 for every shipped latency
-/// table) the per-cycle merge *is* the epoch merge. All globally
-/// ordered side effects are staged per shard and replayed at the merge
-/// in the serial loop's canonical order (cycle, delivery index / core,
-/// program order), so the trace hash, cycle count, retired count,
-/// RunStatus, machine checks and fault-injection behavior are
-/// bit-identical for every thread count. See docs/PERFORMANCE.md
-/// ("Parallel engine") for the correctness argument.
+/// threads, with all globally ordered side effects staged per shard and
+/// replayed at the epoch merge in the serial loop's canonical order
+/// (cycle, delivery index / core, program order). The trace hash, cycle
+/// count, retired count, RunStatus, machine checks and fault-injection
+/// behavior are bit-identical for every thread count and every shard
+/// partition. See docs/PERFORMANCE.md ("Parallel engine").
+///
+/// Epochs are adaptive and multi-cycle (planWindow): when the delivery
+/// wheel and the per-hart front-end scan show no cross-shard traffic
+/// possible inside a lookahead window, every shard runs the whole
+/// window between two barriers, and the merge walks the window cycle by
+/// cycle. When the window degenerates to one cycle the engine falls
+/// back to the legacy per-cycle two-phase cadence (deliveries barrier,
+/// stages barrier), which handles gates, sends, fault plans and
+/// I/O-dense stretches.
+///
+/// The core->shard partition is itself adaptive: every
+/// SimConfig::ShardRebalanceInterval cycles the engine recomputes the
+/// contiguous partition from per-core retire tallies. The tallies are
+/// simulated state, so the partition sequence is a pure function of the
+/// program — and the staging/replay argument makes every partition
+/// produce the same observables anyway (the thread-sweep tests drive
+/// InitialShardSkew to prove it).
 ///
 //===----------------------------------------------------------------------===//
 
 #include "sim/ParallelEngine.h"
 #include "isa/AddressMap.h"
 #include "sim/Machine.h"
+#include "support/StringUtils.h"
 
 #include <algorithm>
 #include <atomic>
 #include <cassert>
+#include <chrono>
 #include <thread>
 
 using namespace lbp;
@@ -43,6 +57,13 @@ inline void spinWait(unsigned &Backoff) {
     Backoff = 0;
   }
 }
+
+inline uint64_t nowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 } // namespace
 
 namespace lbp {
@@ -52,12 +73,31 @@ struct ParEngine {
   Machine &M;
   unsigned NumShards = 1;
   unsigned NumWorkers = 0; // spawned threads; the main thread also claims
+  /// Sound multi-cycle window bound from the latency table (see
+  /// planWindow); 1 disables windowing.
+  unsigned WindowMax = 1;
 
   std::vector<ShardBuf> Bufs;
   std::vector<uint16_t> CoreShard; // core id -> owning shard
   std::vector<std::vector<uint32_t>> ShardDue; // shard -> due indices
   std::vector<int32_t> DueOwner; // due index -> shard (-1: serial/devices)
-  std::vector<uint32_t> Cursor;  // per-shard merge cursor
+  std::vector<uint32_t> Cursor;  // per-shard per-cycle merge cursor
+
+  // Multi-cycle window state (valid between runWindow and its merge).
+  uint64_t WinBase = 0;
+  unsigned WinLen = 0;
+  /// Canonical delivery order per window offset: one shard id per
+  /// delivery unit, wheel-slot order for the epoch-seeded entries,
+  /// appended at replay time for window-local insertions (LocalSched).
+  std::vector<std::vector<uint16_t>> DueOrder;
+  std::vector<uint32_t> DueCursor;  // per-shard window due-unit cursor
+  std::vector<uint32_t> CoreCursor; // per-shard window core-unit cursor
+
+  // Deterministic rebalancing bookkeeping.
+  std::vector<uint64_t> LastRetired; // per-core retire tally at last cut
+  std::vector<uint64_t> Load;        // scratch: per-core load
+  std::vector<unsigned> Bounds;      // scratch: partition boundaries
+  uint64_t NextRebalance = UINT64_MAX;
 
   // Generation barrier. Publishing a new Phase value releases the
   // merged machine state to the workers; their Arrived increments
@@ -68,7 +108,7 @@ struct ParEngine {
   std::atomic<uint32_t> Arrived{0};
   std::atomic<uint32_t> Claim{0};
   std::atomic<bool> Quit{false};
-  uint8_t PhaseKind = 0; // 0: deliveries, 1: stages
+  uint8_t PhaseKind = 0; // 0: deliveries, 1: stages, 2: window
   std::vector<std::thread> Threads;
 
   explicit ParEngine(Machine &Mach);
@@ -77,21 +117,29 @@ struct ParEngine {
   void workerLoop();
   void claimShards();
   void runPhase(uint8_t Kind);
+  void prepPerCycle();
   void shardDeliveries(unsigned S);
   void shardStages(unsigned S);
+  void shardWindow(unsigned S);
   void classifyDue();
-  void applyOp(StagedOp &Op);
-  void replayRange(ShardBuf &B, ShardBuf::Range R);
+  int32_t windowShardOf(const Delivery &D) const;
+  unsigned planWindow(uint64_t Budget, bool Sweeps) const;
+  bool runWindow(unsigned W);
+  void mergeWindow();
+  void applyOp(unsigned S, StagedOp &Op);
+  void replayRange(unsigned S, ShardBuf::Range R);
   void mergeDeliveries();
   void mergeStages();
   bool foldDeltas();
+  void setPartition();
+  void maybeRebalance();
 };
 
 } // namespace sim
 } // namespace lbp
 
 ParEngine::ParEngine(Machine &Mach) : M(Mach) {
-  const unsigned T = M.Cfg.HostThreads;
+  const unsigned T = M.effectiveHostThreads();
   const unsigned N = M.Cfg.NumCores;
   // More shards than threads so idle workers can steal whole un-started
   // shards; the staging is keyed by shard, never by worker, so the
@@ -101,23 +149,64 @@ ParEngine::ParEngine(Machine &Mach) : M(Mach) {
     NumShards = 1;
   Bufs.resize(NumShards);
   CoreShard.resize(N);
-  unsigned Base = N / NumShards, Rem = N % NumShards, C0 = 0;
+
+  // Even initial split...
+  Bounds.assign(NumShards + 1, 0);
+  unsigned Base = N / NumShards, Rem = N % NumShards;
+  for (unsigned S = 0; S != NumShards; ++S)
+    Bounds[S + 1] = Bounds[S] + Base + (S < Rem ? 1 : 0);
+  // ...optionally perturbed: each skew unit nudges one boundary by one
+  // core (keeping every shard non-empty). The rebalancing-determinism
+  // tests sweep this to prove placement never affects observables.
+  for (unsigned U = 1; U <= M.Cfg.InitialShardSkew && NumShards > 1; ++U) {
+    unsigned B = 1 + (U - 1) % (NumShards - 1);
+    if (Bounds[B] - Bounds[B - 1] >= 2)
+      --Bounds[B];
+    else if (Bounds[B + 1] - Bounds[B] >= 2)
+      ++Bounds[B];
+  }
+  setPartition();
+
   for (unsigned S = 0; S != NumShards; ++S) {
-    unsigned Len = Base + (S < Rem ? 1 : 0);
-    Bufs[S].CoreBegin = C0;
-    Bufs[S].CoreEnd = C0 + Len;
-    for (unsigned C = C0; C != C0 + Len; ++C)
-      CoreShard[C] = static_cast<uint16_t>(S);
-    C0 += Len;
     Bufs[S].Ops.reserve(64);
     Bufs[S].DueRanges.reserve(32);
-    Bufs[S].CoreRanges.reserve(Len);
+    Bufs[S].CoreRanges.reserve(Bufs[S].CoreEnd - Bufs[S].CoreBegin);
+    Bufs[S].WinDue.resize(MaxEpochWindow + 1);
   }
   ShardDue.resize(NumShards);
   for (std::vector<uint32_t> &V : ShardDue)
     V.reserve(32);
   DueOwner.reserve(64);
   Cursor.assign(NumShards, 0);
+  DueOrder.resize(MaxEpochWindow + 1);
+  DueCursor.assign(NumShards, 0);
+  CoreCursor.assign(NumShards, 0);
+
+  LastRetired.assign(N, 0);
+  for (unsigned C = 0; C != N; ++C)
+    for (const Hart &H : M.Cores[C].Harts)
+      LastRetired[C] += H.Retired;
+  Load.resize(N);
+  if (M.Cfg.ShardRebalanceInterval != 0 && NumShards > 1)
+    NextRebalance = (M.Cycle / M.Cfg.ShardRebalanceInterval + 1) *
+                    M.Cfg.ShardRebalanceInterval;
+
+  // The sound window bound (docs/PERFORMANCE.md "Adaptive multi-cycle
+  // epochs"): every cross-shard arrival produced inside a window must
+  // land strictly after it. The three binding latencies are the global
+  // bank's own-core port (GlobalLocalPortLatency), the shortest router
+  // path (2 hops + bank service), and the earliest send a p_ret decoded
+  // inside the window can commit (2 + AluLatency; p_swre cannot issue
+  // in-window at all — it is hazard-class in WinClass).
+  uint64_t Wm = M.Cfg.GlobalLocalPortLatency;
+  Wm = std::min<uint64_t>(
+      Wm, 2 * M.Cfg.RouterHopLatency + M.Cfg.BankServiceLatency);
+  Wm = std::min<uint64_t>(Wm, 2 + M.Cfg.AluLatency);
+  WindowMax = static_cast<unsigned>(
+      std::max<uint64_t>(1, std::min<uint64_t>(Wm, MaxEpochWindow)));
+  if (M.Cfg.EpochOverride != 0)
+    WindowMax = 1; // forced legacy per-cycle cadence
+
   NumWorkers = T - 1;
   Threads.reserve(NumWorkers);
   for (unsigned I = 0; I != NumWorkers; ++I)
@@ -129,6 +218,53 @@ ParEngine::~ParEngine() {
   Phase.fetch_add(1, std::memory_order_release);
   for (std::thread &T : Threads)
     T.join();
+}
+
+void ParEngine::setPartition() {
+  for (unsigned S = 0; S != NumShards; ++S) {
+    Bufs[S].CoreBegin = Bounds[S];
+    Bufs[S].CoreEnd = Bounds[S + 1];
+    for (unsigned C = Bounds[S]; C != Bounds[S + 1]; ++C)
+      CoreShard[C] = static_cast<uint16_t>(S);
+  }
+}
+
+void ParEngine::maybeRebalance() {
+  if (M.Cycle < NextRebalance)
+    return;
+  const uint64_t Interval = M.Cfg.ShardRebalanceInterval;
+  NextRebalance = (M.Cycle / Interval + 1) * Interval;
+
+  // Per-core load since the last cut (+1 keeps an all-idle stretch on
+  // the even split and every prefix strictly increasing).
+  const unsigned N = M.Cfg.NumCores;
+  uint64_t Total = 0;
+  for (unsigned C = 0; C != N; ++C) {
+    uint64_t R = 0;
+    for (const Hart &H : M.Cores[C].Harts)
+      R += H.Retired;
+    Load[C] = R - LastRetired[C] + 1;
+    LastRetired[C] = R;
+    Total += Load[C];
+  }
+
+  // Greedy contiguous partition: cut after the core whose load prefix
+  // reaches the next ideal share, forcing a cut early enough that every
+  // remaining shard keeps at least one core. Pure function of simulated
+  // state (retire tallies), so the partition sequence — and through the
+  // staging argument, everything else — is host-timing independent.
+  Bounds[0] = 0;
+  Bounds[NumShards] = N;
+  uint64_t Acc = 0;
+  unsigned S = 1;
+  for (unsigned C = 0; C != N && S != NumShards; ++C) {
+    Acc += Load[C];
+    bool Forced = C + 1 == N - (NumShards - S);
+    if (Forced || Acc * NumShards >= Total * S)
+      Bounds[S++] = C + 1;
+  }
+  setPartition();
+  ++M.EStats.Rebalances;
 }
 
 void ParEngine::workerLoop() {
@@ -153,14 +289,14 @@ void ParEngine::claimShards() {
       return;
     if (PhaseKind == 0)
       shardDeliveries(S);
-    else
+    else if (PhaseKind == 1)
       shardStages(S);
+    else
+      shardWindow(S);
   }
 }
 
 void ParEngine::runPhase(uint8_t Kind) {
-  for (ShardBuf &B : Bufs)
-    B.clearPhase();
   PhaseKind = Kind;
   Claim.store(0, std::memory_order_relaxed);
   Arrived.store(0, std::memory_order_relaxed);
@@ -170,6 +306,17 @@ void ParEngine::runPhase(uint8_t Kind) {
   while (Arrived.load(std::memory_order_acquire) != NumWorkers)
     spinWait(Backoff);
 }
+
+void ParEngine::prepPerCycle() {
+  for (ShardBuf &B : Bufs) {
+    B.clearEpoch(); // leaves WindowEnd == 0: per-cycle mode
+    B.Now = M.Cycle;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Legacy per-cycle phases
+//===----------------------------------------------------------------------===//
 
 void ParEngine::classifyDue() {
   const std::vector<Delivery> &Due = M.DueBuf;
@@ -210,7 +357,7 @@ void ParEngine::shardDeliveries(unsigned S) {
     // The serial loop checks Halted after every delivery.
     if (B.Ops.size() > B.UnitBegin)
       B.Ops.back().Check = true;
-    B.endDueUnit();
+    B.endDueUnit(B.Now);
     if (B.Halted)
       break;
   }
@@ -227,55 +374,340 @@ void ParEngine::shardStages(unsigned S) {
       B.Ops.back().Check = true;
   };
   TlStage = &B;
+  const uint64_t Now = B.Now;
   for (unsigned CoreId = B.CoreBegin; CoreId != B.CoreEnd; ++CoreId) {
     Core &C = M.Cores[CoreId];
     B.beginUnit();
-    if (M.FastRun && M.Cycle < C.WakeAt) {
-      B.endCoreUnit(); // empty unit keeps the merge cursors aligned
+    if (M.FastRun && Now < M.CoreWake[CoreId]) {
+      B.endCoreUnit(Now); // empty unit keeps the merge cursors aligned
       continue;
     }
     bool CoreActed = M.stageCommit(CoreId);
     FlagCheck();
     if (B.Halted) {
-      B.endCoreUnit();
+      B.endCoreUnit(Now);
       break;
     }
     CoreActed |= M.stageWriteback(CoreId);
     CoreActed |= M.stageIssue(CoreId);
     FlagCheck();
     if (B.Halted) {
-      B.endCoreUnit();
+      B.endCoreUnit(Now);
       break;
     }
     CoreActed |= M.stageDecode(CoreId);
     FlagCheck();
     if (B.Halted) {
-      B.endCoreUnit();
+      B.endCoreUnit(Now);
       break;
     }
     CoreActed |= M.stageFetch(CoreId);
     FlagCheck();
     if (B.Halted) {
-      B.endCoreUnit();
+      B.endCoreUnit(Now);
       break;
     }
     if (M.FastRun) {
       if (CoreActed) {
-        C.WakeAt = M.Cycle;
+        M.CoreWake[CoreId] = Now;
         B.Acted = true;
       } else {
-        C.WakeAt = M.coreWakeCycle(C);
+        M.CoreWake[CoreId] = M.coreWakeCycle(C, Now);
       }
     }
-    B.endCoreUnit();
+    B.endCoreUnit(Now);
   }
   TlStage = nullptr;
 }
 
-void ParEngine::applyOp(StagedOp &Op) {
+//===----------------------------------------------------------------------===//
+// Adaptive multi-cycle windows
+//===----------------------------------------------------------------------===//
+
+int32_t ParEngine::windowShardOf(const Delivery &D) const {
+  switch (D.K) {
+  case Delivery::Kind::IoAccess:
+    // Devices are global objects; an in-window I/O access would need
+    // the serial merge — clip instead.
+    return -1;
+  case Delivery::Kind::BankAccess: {
+    // Applied at the serving bank, but its response (RbFill/MemAck at
+    // D.RespCycle) may land back inside the window, where the worker
+    // consumes it locally — sound only when the requester's harts are
+    // on the same shard as the bank.
+    unsigned Server =
+        isa::isLocalAddr(D.Addr)
+            ? D.Value
+            : (D.Addr - isa::GlobalBase) >> M.Cfg.GlobalBankSizeLog2;
+    unsigned Requester = D.HartId / HartsPerCore;
+    if (CoreShard[Server] != CoreShard[Requester])
+      return -1;
+    return CoreShard[Server];
+  }
+  default:
+    // Start/token/join/rb/ack/slot messages mutate only the target
+    // hart's core.
+    return CoreShard[D.HartId / HartsPerCore];
+  }
+}
+
+unsigned ParEngine::planWindow(uint64_t Budget, bool Sweeps) const {
+  const uint64_t C0 = M.Cycle;
+  uint64_t W = WindowMax;
+  if (W > Budget)
+    W = Budget;
+
+  // A checker sweep may only land on the window's last cycle (the main
+  // loop runs it right after the merge, exactly where the serial loop
+  // would).
+  if (Sweeps) {
+    uint64_t Next = (C0 / M.Cfg.CheckInterval + 1) * M.Cfg.CheckInterval;
+    if (Next - C0 < W)
+      W = Next - C0;
+  }
+
+  // The serial loop tests the livelock guard after every cycle; never
+  // run past the cycle where it could fire. (The test at C0 already
+  // passed, so FireAt > C0.)
+  if (M.Cfg.ProgressGuard < UINT64_MAX - M.LastProgress) {
+    uint64_t FireAt = M.LastProgress + M.Cfg.ProgressGuard + 1;
+    if (FireAt - C0 < W)
+      W = FireAt - C0;
+  }
+
+  // The window seeds its deliveries from the wheel only; clip before
+  // any far-future (overflow-heap) arrival.
+  if (!M.Overflow.empty()) {
+    uint64_t At = M.Overflow.front().At; // > C0: C0's dues already ran
+    if (At - C0 - 1 < W)
+      W = At - C0 - 1;
+  }
+  if (W <= 1)
+    return static_cast<unsigned>(W);
+
+  // Per-hart front-end scan: bound the window so no hazard-class
+  // instruction (gate op or p_swre, see Machine::buildWindowClass) can
+  // reach its issue stage inside it. Ops already decoded are covered by
+  // the caller's GateCount/SendCount test; this scan covers the ib and
+  // the fetch stream. A blocked front end (no pc, empty ib) cannot
+  // issue anything new before C0+4 on any resume path.
+  for (const Core &C : M.Cores) {
+    for (const Hart &H : C.Harts) {
+      if (H.State == HartState::Free)
+        continue;
+      uint64_t Wh;
+      if (H.IbFull)
+        Wh = 1 + M.windowClassAt(H.IbPc);
+      else if (H.PcValid)
+        Wh = std::min<uint64_t>(3, 2 + M.windowClassAt(H.Pc));
+      else
+        Wh = 3;
+      if (Wh < W)
+        W = Wh;
+      if (W <= 1)
+        return 1;
+    }
+  }
+
+  // Wheel scan: every arrival due inside the window must be consumable
+  // by one shard alone (windowShardOf); clip the window before the
+  // first one that is not. (Entries in slot (C0+K) % WheelSize are due
+  // exactly at C0+K: the wheel spans WheelSize cycles and K is tiny.)
+  size_t DueInWindow = 0;
+  for (uint64_t K = 1; K <= W; ++K) {
+    const std::vector<Delivery> &Slot =
+        M.Wheel[(C0 + K) % Machine::WheelSize];
+    bool Clip = false;
+    for (const Delivery &D : Slot)
+      if (windowShardOf(D) < 0) {
+        Clip = true;
+        break;
+      }
+    if (Clip) {
+      W = K - 1;
+      break;
+    }
+    DueInWindow += Slot.size();
+  }
+  if (W <= 1)
+    return static_cast<unsigned>(W);
+
+  // Worth heuristic (deterministic): a window buys one barrier for W
+  // cycles, but a near-idle machine is better served by the serial
+  // loop and its quiescence fast-forward.
+  unsigned Awake = M.Cfg.NumCores;
+  if (M.FastRun) {
+    Awake = 0;
+    for (uint64_t Wake : M.CoreWake)
+      Awake += Wake <= C0 + W ? 1 : 0;
+  }
+  constexpr size_t MinParallelDue = 4;
+  constexpr unsigned MinParallelCores = 2;
+  if (Awake < MinParallelCores && DueInWindow < MinParallelDue)
+    return 1;
+  return static_cast<unsigned>(W);
+}
+
+bool ParEngine::runWindow(unsigned W) {
+  const uint64_t C0 = M.Cycle;
+  WinBase = C0;
+  WinLen = W;
+
+  // Seed every shard's window state and pull the window's deliveries
+  // off the wheel, recording the canonical (slot-order) due sequence.
+  for (ShardBuf &B : Bufs) {
+    B.clearEpoch();
+    B.WindowBase = C0;
+    B.WindowEnd = C0 + W;
+    B.Now = C0;
+  }
+  for (std::vector<uint16_t> &V : DueOrder)
+    V.clear();
+  for (uint64_t K = 1; K <= W; ++K) {
+    std::vector<Delivery> &Slot = M.Wheel[(C0 + K) % Machine::WheelSize];
+    for (const Delivery &D : Slot) {
+      int32_t S = windowShardOf(D);
+      assert(S >= 0 && "window planner admitted a serial delivery");
+      Bufs[S].WinDue[K].push_back(D);
+      DueOrder[K].push_back(static_cast<uint16_t>(S));
+    }
+    M.WheelCount -= Slot.size();
+    Slot.clear();
+  }
+
+  uint64_t T0 = nowNanos();
+  runPhase(2);
+  uint64_t T1 = nowNanos();
+  mergeWindow();
+  bool Acted = foldDeltas();
+  uint64_t T2 = nowNanos();
+
+  M.EStats.ShardNanos += T1 - T0;
+  M.EStats.MergeNanos += T2 - T1;
+  ++M.EStats.EpochsMerged;
+  M.EStats.WindowCycles += W;
+  ++M.EStats.WindowHist[std::min<unsigned>(W, MaxEpochWindow)];
+  return Acted;
+}
+
+void ParEngine::shardWindow(unsigned S) {
+  ShardBuf &B = Bufs[S];
+  auto FlagCheck = [&B] {
+    if (B.Ops.size() > B.UnitBegin)
+      B.Ops.back().Check = true;
+  };
+  TlStage = &B;
+  for (uint64_t Now = B.WindowBase + 1; Now <= B.WindowEnd && !B.Halted;
+       ++Now) {
+    B.Now = Now;
+    unsigned K = static_cast<unsigned>(Now - B.WindowBase);
+    // Deliveries first, as in the serial loop. Window-local responses
+    // land in later offsets only (their arrival is strictly in the
+    // future), so indexing stays valid while the vector grows.
+    std::vector<Delivery> &Due = B.WinDue[K];
+    for (size_t I = 0; I != Due.size(); ++I) {
+      B.beginUnit();
+      M.deliver(Due[I]);
+      FlagCheck();
+      B.endDueUnit(Now);
+      if (B.Halted)
+        break;
+    }
+    if (B.Halted)
+      break;
+    for (unsigned CoreId = B.CoreBegin; CoreId != B.CoreEnd; ++CoreId) {
+      Core &C = M.Cores[CoreId];
+      B.beginUnit();
+      if (M.FastRun && Now < M.CoreWake[CoreId]) {
+        B.endCoreUnit(Now);
+        continue;
+      }
+      bool CoreActed = M.stageCommit(CoreId);
+      FlagCheck();
+      if (B.Halted) {
+        B.endCoreUnit(Now);
+        break;
+      }
+      CoreActed |= M.stageWriteback(CoreId);
+      CoreActed |= M.stageIssue(CoreId);
+      FlagCheck();
+      if (B.Halted) {
+        B.endCoreUnit(Now);
+        break;
+      }
+      CoreActed |= M.stageDecode(CoreId);
+      FlagCheck();
+      if (B.Halted) {
+        B.endCoreUnit(Now);
+        break;
+      }
+      CoreActed |= M.stageFetch(CoreId);
+      FlagCheck();
+      if (B.Halted) {
+        B.endCoreUnit(Now);
+        break;
+      }
+      if (M.FastRun) {
+        if (CoreActed) {
+          M.CoreWake[CoreId] = Now;
+          B.Acted = true;
+        } else {
+          M.CoreWake[CoreId] = M.coreWakeCycle(C, Now);
+        }
+      }
+      B.endCoreUnit(Now);
+    }
+  }
+  TlStage = nullptr;
+}
+
+void ParEngine::mergeWindow() {
+  std::fill(DueCursor.begin(), DueCursor.end(), 0);
+  std::fill(CoreCursor.begin(), CoreCursor.end(), 0);
+  const uint64_t C0 = WinBase;
+  const unsigned W = WinLen;
+  for (unsigned K = 1; K <= W && !M.Halted; ++K) {
+    M.Cycle = C0 + K;
+    // Delivery units in canonical order. DueOrder[K] may grow while we
+    // walk it — LocalSched replays append — but only for offsets
+    // strictly beyond the op's creation cycle, never the current one.
+    std::vector<uint16_t> &Ord = DueOrder[K];
+    for (size_t I = 0; I != Ord.size() && !M.Halted; ++I) {
+      unsigned S = Ord[I];
+      ShardBuf &B = Bufs[S];
+      if (DueCursor[S] >= B.DueRanges.size())
+        break; // shard stopped early (its halt already replayed)
+      ShardBuf::Range R = B.DueRanges[DueCursor[S]++];
+      assert(R.Cyc == C0 + K && "window due replay out of step");
+      replayRange(S, R);
+    }
+    if (M.Halted)
+      break;
+    for (unsigned C = 0; C != M.Cfg.NumCores && !M.Halted; ++C) {
+      unsigned S = CoreShard[C];
+      ShardBuf &B = Bufs[S];
+      if (CoreCursor[S] >= B.CoreRanges.size())
+        break; // shard stopped early (its halt already replayed)
+      ShardBuf::Range R = B.CoreRanges[CoreCursor[S]++];
+      assert(R.Cyc == C0 + K && "window core replay out of step");
+      replayRange(S, R);
+    }
+  }
+  // A halt leaves Cycle at the halting cycle, exactly like the serial
+  // loop; otherwise the whole window was merged.
+  if (!M.Halted)
+    M.Cycle = C0 + W;
+}
+
+//===----------------------------------------------------------------------===//
+// Replay
+//===----------------------------------------------------------------------===//
+
+void ParEngine::applyOp(unsigned S, StagedOp &Op) {
+  ShardBuf &B = Bufs[S];
   switch (Op.Kind) {
   case StagedOp::K::Event:
-    M.Tr.replay(Op.Ev);
+    M.Tr.replay({M.Cycle, Op.Ev.A, Op.Ev.B, Op.EvK});
     return;
   case StagedOp::K::Schedule:
     M.schedule(Op.At, Op.D);
@@ -292,10 +724,10 @@ void ParEngine::applyOp(StagedOp &Op) {
   case StagedOp::K::Account:
     M.Ck.accountDelivered(M, Op.D);
     if (Op.B != 0)
-      M.Ck.reportStaged(M, Op.CheckK, Op.A, std::move(Op.Msg));
+      M.Ck.reportStaged(M, Op.CheckK, Op.A, std::move(B.Msgs[Op.MsgIdx]));
     return;
   case StagedOp::K::Fault:
-    M.fault(std::move(Op.Msg));
+    M.fault(std::move(B.Msgs[Op.MsgIdx]));
     return;
   case StagedOp::K::Exit:
     M.Halted = true;
@@ -317,13 +749,26 @@ void ParEngine::applyOp(StagedOp &Op) {
   case StagedOp::K::SlotHigh:
     M.Obs->raiseSlotHighWater(Op.A, Op.B);
     return;
+  case StagedOp::K::LocalSched:
+    // The worker already ran the wheel insert and consumes the delivery
+    // inside the window itself; replay only the checker's schedule
+    // accounting and record the shard in the canonical due order at the
+    // arrival offset.
+    if (M.Cfg.EnableCheckers) {
+      M.Ck.onScheduled(M, Op.At, Op.D);
+      if (M.Halted)
+        return; // like serial schedule(): the delivery never lands
+    }
+    DueOrder[Op.At - WinBase].push_back(static_cast<uint16_t>(S));
+    return;
   }
 }
 
-void ParEngine::replayRange(ShardBuf &B, ShardBuf::Range R) {
+void ParEngine::replayRange(unsigned S, ShardBuf::Range R) {
+  ShardBuf &B = Bufs[S];
   for (uint32_t I = R.Begin; I != R.End; ++I) {
     StagedOp &Op = B.Ops[I];
-    applyOp(Op);
+    applyOp(S, Op);
     if (Op.Check && M.Halted)
       return; // a serial halt checkpoint fired
   }
@@ -341,7 +786,7 @@ void ParEngine::mergeDeliveries() {
     ShardBuf &B = Bufs[S];
     if (Cursor[S] >= B.DueRanges.size())
       break; // shard stopped early (its halt already replayed)
-    replayRange(B, B.DueRanges[Cursor[S]++]);
+    replayRange(S, B.DueRanges[Cursor[S]++]);
   }
 }
 
@@ -352,7 +797,7 @@ void ParEngine::mergeStages() {
     ShardBuf &B = Bufs[S];
     if (Cursor[S] >= B.CoreRanges.size())
       break; // shard stopped early (its halt already replayed)
-    replayRange(B, B.CoreRanges[Cursor[S]++]);
+    replayRange(S, B.CoreRanges[Cursor[S]++]);
   }
 }
 
@@ -361,15 +806,22 @@ bool ParEngine::foldDeltas() {
   for (ShardBuf &B : Bufs) {
     M.GateCount = static_cast<uint64_t>(
         static_cast<int64_t>(M.GateCount) + B.GateDelta);
+    M.SendCount = static_cast<uint64_t>(
+        static_cast<int64_t>(M.SendCount) + B.SendDelta);
     M.JoinEpoch += B.JoinEpochDelta;
     M.LocalAccesses += B.LocalAcc;
     M.RemoteAccesses += B.RemoteAcc;
-    if (B.Progress)
-      M.LastProgress = M.Cycle;
+    // Max-fold reproduces the serial "cycle of the last progress".
+    if (B.ProgressCycle > M.LastProgress)
+      M.LastProgress = B.ProgressCycle;
     Acted |= B.Acted;
   }
   return Acted;
 }
+
+//===----------------------------------------------------------------------===//
+// The engine loop
+//===----------------------------------------------------------------------===//
 
 RunStatus Machine::runParallel(uint64_t MaxCycles) {
   assert(parallelEligible() && "parallel engine on an ineligible config");
@@ -386,51 +838,96 @@ RunStatus Machine::runParallel(uint64_t MaxCycles) {
   constexpr unsigned MinParallelCores = 2;
 
   ParEngine E(*this);
+  EStats.WorkersUsed = E.NumWorkers + 1;
+  if (EngineNote.empty() && effectiveHostThreads() < Cfg.HostThreads)
+    EngineNote = formatString(
+        "HostThreads = %u clamped to %u (host hardware concurrency); set "
+        "SimConfig::OversubscribeHost to force the full worker count",
+        Cfg.HostThreads, effectiveHostThreads());
 
-  while (!Halted && Budget-- != 0) {
-    ++Cycle;
+  while (!Halted && Budget != 0) {
+    E.maybeRebalance();
 
-    collectDue();
-    if (!DueBuf.empty()) {
-      if (DueBuf.size() < MinParallelDue) {
-        for (const Delivery &D : DueBuf) {
-          deliver(D);
-          if (Halted)
-            break;
+    // Multi-cycle windows need an empty cross-shard in-flight set: no
+    // decoded gate/send ops, no fault plan (its triggers key on the
+    // serial schedule cycle), no forced per-cycle cadence.
+    unsigned W = 0;
+    if (E.WindowMax > 1 && GateCount == 0 && SendCount == 0 &&
+        !FPlan.enabled())
+      W = E.planWindow(Budget, Sweeps);
+
+    bool Acted = false;
+    if (W >= 2) {
+      Budget -= W;
+      Acted = E.runWindow(W);
+      if (Halted)
+        break;
+    } else {
+      --Budget;
+      ++Cycle;
+
+      collectDue();
+      bool Merged = false;
+      if (!DueBuf.empty()) {
+        if (DueBuf.size() < MinParallelDue) {
+          for (const Delivery &D : DueBuf) {
+            deliver(D);
+            if (Halted)
+              break;
+          }
+        } else {
+          uint64_t T0 = nowNanos();
+          E.prepPerCycle();
+          E.classifyDue();
+          E.runPhase(0);
+          uint64_t T1 = nowNanos();
+          E.mergeDeliveries();
+          E.foldDeltas();
+          EStats.ShardNanos += T1 - T0;
+          EStats.MergeNanos += nowNanos() - T1;
+          Merged = true;
         }
+        if (Halted)
+          break;
+      }
+
+      unsigned Awake = Cfg.NumCores;
+      if (FastRun) {
+        Awake = 0;
+        for (uint64_t Wake : CoreWake)
+          Awake += Wake <= Cycle ? 1 : 0;
+      }
+      if (Awake != 0) {
+        // The serial gate: while any cross-core-sensitive op (fork,
+        // p_swcv, fork-call) is decoded but not yet issued, the whole
+        // stage phase runs in exact reference order. Sound because
+        // issue precedes decode, so an op decoded in cycle T issues at
+        // T+1 at the earliest — after this gate has been merged.
+        if (GateCount != 0 || Awake < MinParallelCores) {
+          if (GateCount != 0)
+            ++EStats.GatedCycles;
+          Acted = cycleStagesSerial();
+        } else {
+          uint64_t T0 = nowNanos();
+          E.prepPerCycle();
+          E.runPhase(1);
+          uint64_t T1 = nowNanos();
+          E.mergeStages();
+          Acted = E.foldDeltas();
+          EStats.ShardNanos += T1 - T0;
+          EStats.MergeNanos += nowNanos() - T1;
+          Merged = true;
+        }
+      }
+      if (Merged) {
+        ++EStats.EpochsMerged;
+        ++EStats.WindowHist[1];
       } else {
-        E.classifyDue();
-        E.runPhase(0);
-        E.mergeDeliveries();
-        E.foldDeltas();
+        ++EStats.WindowHist[0];
       }
       if (Halted)
         break;
     }
-
-    unsigned Awake = Cfg.NumCores;
-    if (FastRun) {
-      Awake = 0;
-      for (const Core &C : Cores)
-        Awake += C.WakeAt <= Cycle ? 1 : 0;
-    }
-    bool Acted = false;
-    if (Awake != 0) {
-      // The serial gate: while any cross-core-sensitive op (fork,
-      // p_swcv, fork-call) is decoded but not yet issued, the whole
-      // stage phase runs in exact reference order. Sound because issue
-      // precedes decode, so an op decoded in cycle T issues at T+1 at
-      // the earliest — after this gate has been merged.
-      if (GateCount != 0 || Awake < MinParallelCores) {
-        Acted = cycleStagesSerial();
-      } else {
-        E.runPhase(1);
-        E.mergeStages();
-        Acted = E.foldDeltas();
-      }
-    }
-    if (Halted)
-      break;
 
     if (Sweeps && Cycle % Cfg.CheckInterval == 0) {
       Ck.sweep(*this);
@@ -449,9 +946,9 @@ RunStatus Machine::runParallel(uint64_t MaxCycles) {
     // livelock-guard or sweep concern.
     if (FastRun && !Acted) {
       uint64_t Target = nextDeliveryCycle();
-      for (const Core &C : Cores)
-        if (C.WakeAt < Target)
-          Target = C.WakeAt;
+      for (uint64_t Wake : CoreWake)
+        if (Wake < Target)
+          Target = Wake;
       uint64_t LivelockAt = Cfg.ProgressGuard >= UINT64_MAX - LastProgress
                                 ? UINT64_MAX
                                 : LastProgress + Cfg.ProgressGuard + 1;
@@ -471,6 +968,7 @@ RunStatus Machine::runParallel(uint64_t MaxCycles) {
             Ck.onSkip(Cycle, Cycle + Span, Cfg.CheckInterval);
           Cycle += Span;
           Budget -= Span;
+          EStats.SkippedCycles += Span;
         }
       }
     }

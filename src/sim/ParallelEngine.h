@@ -17,6 +17,13 @@
 /// race-free because ownership is disjoint and the phases are separated
 /// by barriers.
 ///
+/// Epochs are adaptive and multi-cycle: when the delivery wheel and the
+/// per-hart hazard scan show no cross-shard traffic due inside a
+/// lookahead window, a shard runs every cycle of the window between two
+/// barriers, tagging each replay unit with its cycle so the merge can
+/// walk the window cycle by cycle and replay the exact serial
+/// interleaving (see ParEngine::planWindow in ParallelEngine.cpp).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef LBP_SIM_PARALLELENGINE_H
@@ -26,6 +33,7 @@
 #include "sim/Machine.h"
 #include "sim/Trace.h"
 
+#include <cassert>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -33,10 +41,17 @@
 namespace lbp {
 namespace sim {
 
-/// One deferred side effect, replayed at the epoch merge.
+/// Hard cap on the adaptive epoch window, in cycles. The sound bound
+/// derived from the latency table (ParEngine::WindowMax) is 3 with the
+/// calibrated defaults; the cap only sizes the per-offset vectors.
+constexpr unsigned MaxEpochWindow = 8;
+
+/// One deferred side effect, replayed at the epoch merge. Kept small —
+/// a payload union plus an index into the shard's string table — since
+/// the staging streams are the parallel engine's main memory traffic.
 struct StagedOp {
   enum class K : uint8_t {
-    Event,    ///< Tr.replay(Ev).
+    Event,    ///< Tr.event(M.Cycle, EvK, EvA, EvB).
     Schedule, ///< schedule(At, D) — arrival precomputed (no routing).
     Mem,      ///< routeAndScheduleMem(MI): reserve path, schedule.
     Forward,  ///< routeForward(A, B) then schedule(arrival, D).
@@ -54,6 +69,13 @@ struct StagedOp {
               ///< so replay order and stale worker reads are harmless.
     SlotHigh, ///< Obs.raiseSlotHighWater(hart A, depth B); same
               ///< max-update semantics as RobHigh.
+    LocalSched, ///< A delivery the worker scheduled *and will consume*
+                ///< inside the current multi-cycle window (local memory
+                ///< response to its own shard). The worker already ran
+                ///< the wheel insert locally; the merge replays only the
+                ///< checker's onScheduled accounting and records the
+                ///< shard in the window's canonical due order at cycle
+                ///< At (ParEngine::noteLocalSched).
   };
   K Kind = K::Event;
   /// Replay stops (if Machine::Halted) only after ops carrying this
@@ -64,63 +86,116 @@ struct StagedOp {
   /// and the merge must reproduce that.
   bool Check = false;
   CheckKind CheckK = CheckKind::LinkParity;
+  EventKind EvK = EventKind::Commit;
   uint32_t A = 0;
   uint32_t B = 0;
   uint64_t At = 0;
-  StagedEvent Ev;
-  Delivery D;
-  MemIntent MI;
-  std::string Msg;
+  /// Index into ShardBuf::Msgs for Fault / Account-violation text;
+  /// UINT32_MAX when the op carries no message.
+  uint32_t MsgIdx = UINT32_MAX;
+  /// Payload. All members are trivially copyable; Kind selects.
+  union {
+    Delivery D;                     ///< Schedule/Forward/Backward/
+                                    ///< Account/LocalSched.
+    MemIntent MI;                   ///< Mem.
+    struct {
+      uint64_t A, B;
+    } Ev;                           ///< Event operands (cycle is the
+                                    ///< unit's merge cycle).
+  };
+  StagedOp() : Ev{0, 0} {}
 };
 
-/// One shard's per-phase staging state. Reused across cycles (the op
+/// One shard's per-epoch staging state. Reused across epochs (the op
 /// and range vectors keep their capacity), so the steady state stages
 /// without allocating.
-struct ShardBuf {
+struct alignas(64) ShardBuf {
   unsigned CoreBegin = 0; ///< Owned core range [CoreBegin, CoreEnd).
   unsigned CoreEnd = 0;
 
+  /// The shard-local simulated cycle. Equal to Machine::Cycle on the
+  /// per-cycle path; inside a multi-cycle window it walks the window
+  /// while Machine::Cycle still holds the epoch base. Machine::now()
+  /// reads it, so every latency/wake/event computation in the machine
+  /// is window-correct without the hooks knowing about windows.
+  uint64_t Now = 0;
+
+  /// Multi-cycle window bounds: the window covers simulated cycles
+  /// (WindowBase, WindowEnd]. WindowEnd == 0 means per-cycle mode.
+  uint64_t WindowBase = 0;
+  uint64_t WindowEnd = 0;
+
   std::vector<StagedOp> Ops;
+  /// Message text referenced by StagedOp::MsgIdx.
+  std::vector<std::string> Msgs;
   /// Half-open index range into Ops for one replay unit (one delivery
-  /// in the delivery phase, one core in the stage phase).
+  /// in the delivery phase, one core in the stage phase), tagged with
+  /// the simulated cycle it ran at so a multi-cycle merge can walk the
+  /// window cycle by cycle.
   struct Range {
     uint32_t Begin = 0;
     uint32_t End = 0;
+    uint64_t Cyc = 0;
   };
-  std::vector<Range> DueRanges;  ///< Delivery phase, in due-index order.
-  std::vector<Range> CoreRanges; ///< Stage phase, in core order.
+  std::vector<Range> DueRanges;  ///< Delivery units, shard-serial order.
+  std::vector<Range> CoreRanges; ///< Stage units, cycle-major core order.
+
+  /// Deliveries to apply inside the open window, indexed by offset from
+  /// WindowBase (1..window length). Seeded from the global wheel at
+  /// window setup; grows during the window when a core's local memory
+  /// response lands back inside it (Machine::stageOrSchedule). Within
+  /// one offset the order is canonical by construction: wheel-seeded
+  /// entries first (their global slot order), then local insertions in
+  /// shard-serial order.
+  std::vector<std::vector<Delivery>> WinDue;
 
   // Deltas folded commutatively at the barrier (their exact in-cycle
   // order is unobservable).
   int64_t GateDelta = 0;
+  int64_t SendDelta = 0;
   uint64_t JoinEpochDelta = 0;
   uint64_t LocalAcc = 0;
   uint64_t RemoteAcc = 0;
-  bool Progress = false; ///< Something advanced LastProgress this cycle.
-  bool Acted = false;    ///< A core of this shard acted (fast path).
-  bool Halted = false;   ///< A staged fault/exit: stop this shard's work.
+  /// Latest cycle at which this shard advanced progress (0 = none);
+  /// folded into Machine::LastProgress with max, which reproduces the
+  /// serial loop's "cycle of the last progress event".
+  uint64_t ProgressCycle = 0;
+  bool Acted = false;  ///< A core of this shard acted (fast path).
+  bool Halted = false; ///< A staged fault/exit: stop this shard's work.
 
   uint32_t UnitBegin = 0;
   void beginUnit() { UnitBegin = static_cast<uint32_t>(Ops.size()); }
-  void endDueUnit() {
-    DueRanges.push_back({UnitBegin, static_cast<uint32_t>(Ops.size())});
+  void endDueUnit(uint64_t Cyc) {
+    DueRanges.push_back({UnitBegin, static_cast<uint32_t>(Ops.size()), Cyc});
   }
-  void endCoreUnit() {
-    CoreRanges.push_back({UnitBegin, static_cast<uint32_t>(Ops.size())});
+  void endCoreUnit(uint64_t Cyc) {
+    CoreRanges.push_back({UnitBegin, static_cast<uint32_t>(Ops.size()), Cyc});
   }
   StagedOp &push() {
     Ops.emplace_back();
     return Ops.back();
   }
-  void clearPhase() {
+  uint32_t internMsg(std::string S) {
+    Msgs.push_back(std::move(S));
+    return static_cast<uint32_t>(Msgs.size() - 1);
+  }
+  void clearEpoch() {
     Ops.clear();
+    Msgs.clear();
     DueRanges.clear();
     CoreRanges.clear();
+    if (WinDue.size() != MaxEpochWindow + 1)
+      WinDue.resize(MaxEpochWindow + 1);
+    for (std::vector<Delivery> &V : WinDue)
+      V.clear();
+    WindowBase = 0;
+    WindowEnd = 0;
     GateDelta = 0;
+    SendDelta = 0;
     JoinEpochDelta = 0;
     LocalAcc = 0;
     RemoteAcc = 0;
-    Progress = false;
+    ProgressCycle = 0;
     Acted = false;
     Halted = false;
   }

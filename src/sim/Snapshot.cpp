@@ -172,6 +172,7 @@ struct SnapshotAccess {
     W.vecU32(H.PendingStoreWords);
     W.b(H.Token);
     W.u8(H.PendingGateOps);
+    W.u8(H.PendingSendOps);
     for (unsigned I = 0; I != ResultSlots; ++I) {
       W.b(H.SlotFull[I]);
       W.u32(H.SlotVal[I]);
@@ -223,6 +224,7 @@ struct SnapshotAccess {
     H.PendingStoreWords = R.vecU32();
     H.Token = R.b();
     H.PendingGateOps = R.u8();
+    H.PendingSendOps = R.u8();
     for (unsigned I = 0; I != ResultSlots; ++I) {
       H.SlotFull[I] = R.b();
       H.SlotVal[I] = R.u32();
@@ -465,7 +467,8 @@ struct SnapshotAccess {
     saveInterconnect(W, M.Net);
 
     W.u64(M.Cores.size());
-    for (const Core &C : M.Cores) {
+    for (size_t CoreId = 0; CoreId != M.Cores.size(); ++CoreId) {
+      const Core &C = M.Cores[CoreId];
       for (const Hart &H : C.Harts)
         saveHart(W, H);
       W.u8(C.FetchRR);
@@ -474,7 +477,7 @@ struct SnapshotAccess {
       W.u8(C.WbRR);
       W.u8(C.CommitRR);
       W.u8(C.AllocRR);
-      W.u64(C.WakeAt);
+      W.u64(M.CoreWake[CoreId]); // per-core sleep cycle (SoA, Machine.h)
     }
 
     // Delivery wheel, sparse: only non-empty slots. The slot index is
@@ -512,6 +515,7 @@ struct SnapshotAccess {
     W.str(M.FaultMsg);
     W.u64(M.TotalRetired);
     W.u64(M.GateCount);
+    W.u64(M.SendCount);
     W.u64(M.JoinEpoch);
     W.b(M.Hart0InTeam);
     W.u64(M.RemoteAccesses);
@@ -569,7 +573,8 @@ struct SnapshotAccess {
       Err = "snapshot: core count mismatch";
       return false;
     }
-    for (Core &C : M.Cores) {
+    for (size_t CoreId = 0; CoreId != M.Cores.size(); ++CoreId) {
+      Core &C = M.Cores[CoreId];
       for (Hart &H : C.Harts)
         restoreHart(R, H);
       C.FetchRR = R.u8();
@@ -578,7 +583,7 @@ struct SnapshotAccess {
       C.WbRR = R.u8();
       C.CommitRR = R.u8();
       C.AllocRR = R.u8();
-      C.WakeAt = R.u64();
+      M.CoreWake[CoreId] = R.u64();
     }
 
     for (auto &Slot : M.Wheel)
@@ -622,6 +627,7 @@ struct SnapshotAccess {
     M.FaultMsg = R.str();
     M.TotalRetired = R.u64();
     M.GateCount = R.u64();
+    M.SendCount = R.u64();
     M.JoinEpoch = R.u64();
     M.Hart0InTeam = R.b();
     M.RemoteAccesses = R.u64();
@@ -686,6 +692,9 @@ struct SnapshotAccess {
     } else {
       M.DecodedText.clear();
     }
+    // The window planner's hazard-lookahead table mirrors the restored
+    // code image (no-op when the parallel engine can never run).
+    M.buildWindowClass();
     return true;
   }
 };
@@ -750,6 +759,7 @@ bool Interp::restoreSnapshot(const std::vector<uint8_t> &Blob,
     M = R.u32();
   uint64_t N = R.u64();
   Pages.clear();
+  LastPage = nullptr; // memoized pointer into the old page set
   Pages.reserve(R.ok() ? N : 0);
   for (uint64_t I = 0; I != N && R.ok(); ++I) {
     auto P = std::make_unique<Page>();

@@ -53,7 +53,9 @@ namespace sim {
 constexpr uint32_t SnapshotMagic = 0x5350424Cu;
 
 /// Bumped on any change to the blob layout.
-constexpr uint32_t SnapshotFormatVersion = 1;
+/// v2: per-hart PendingSendOps, machine SendCount, per-core sleep cycle
+/// now sourced from Machine::CoreWake (SoA layout).
+constexpr uint32_t SnapshotFormatVersion = 2;
 
 /// Trailer sentinel appended after the last section.
 constexpr uint32_t SnapshotTrailer = 0x50414E53u; // 'S' 'N' 'A' 'P'

@@ -21,6 +21,8 @@
 
 #include "asm/Assembler.h"
 #include "obs/Report.h"
+#include "romp/AsmText.h"
+#include "romp/Runtime.h"
 #include "sim/Interp.h"
 #include "sim/Machine.h"
 #include "sim/Snapshot.h"
@@ -52,6 +54,9 @@ constexpr EngineCell Cells[] = {
 SimConfig cellConfig(SimConfig Cfg, const EngineCell &C) {
   Cfg.FastPath = C.FastPath;
   Cfg.HostThreads = C.Threads;
+  // Real shard workers even on a small CI host, so the parallel cells
+  // checkpoint actual sharded runs.
+  Cfg.OversubscribeHost = true;
   Cfg.CollectCounters = true;
   return Cfg;
 }
@@ -192,6 +197,57 @@ TEST(Snapshot, BlobIsPortableAcrossEngines) {
                             std::string("cross/") + From.Name + "->" +
                                 To.Name);
     }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Mid multi-cycle-epoch stretch
+//===----------------------------------------------------------------------===//
+
+/// Harts spinning in private ALU loops: the shape where the parallel
+/// engine's adaptive planner runs multi-cycle epochs nearly all the
+/// time (see ThreadSweep.QuiescentStretchesUseMultiCycleEpochs).
+std::string spinSrc() {
+  romp::AsmText Head;
+  romp::emitMainPrologue(Head);
+  Head.line("li s1, 3");
+  Head.label("round");
+  romp::emitParallelCall(Head, "worker", 16, "0");
+  Head.line("addi s1, s1, -1");
+  Head.line("bnez s1, round");
+  romp::AsmText Tail;
+  romp::emitMainEpilogue(Tail);
+  romp::emitParallelStart(Tail);
+  return Head.str() + Tail.str() + R"(
+    .equ OUT, 0x20000200
+worker:
+    li a2, 250
+spin:
+    addi a2, a2, -1
+    bnez a2, spin
+    slli a4, a0, 2
+    la a5, OUT
+    add a4, a4, a5
+    sw a0, 0(a4)
+    p_syncm
+    p_ret
+)";
+}
+
+TEST(Snapshot, ResumeMidMultiCycleEpochStretch) {
+  // Snapshot budgets landing inside the long windowed stretches. The
+  // engine clips every window to the remaining budget, so run(N) always
+  // stops on a fully merged epoch boundary and the blob is an ordinary
+  // between-cycles state — portable to every engine, including back to
+  // a windowed parallel run that re-plans from the restored wheel.
+  assembler::Program Prog = assembleOrDie(spinSrc());
+  SimConfig Par = cellConfig(SimConfig::lbp(4), Cells[3]); // parallel-4
+  for (const EngineCell &To : Cells) {
+    SimConfig ToCfg = cellConfig(SimConfig::lbp(4), To);
+    for (uint64_t SnapAt : {150ull, 731ull, 1500ull})
+      expectResumeIdentical(Prog, Par, ToCfg, SnapAt,
+                            std::string("midwindow/parallel-4->") +
+                                To.Name);
   }
 }
 

@@ -25,6 +25,7 @@
 #include "romp/AsmText.h"
 #include "romp/Runtime.h"
 #include "sim/Machine.h"
+#include "sim/ParallelEngine.h"
 #include "support/SplitMix64.h"
 #include "support/StringUtils.h"
 #include "workloads/MatMul.h"
@@ -57,6 +58,9 @@ struct Fingerprint {
 Fingerprint runWith(const assembler::Program &Prog, SimConfig Cfg,
                     unsigned Threads, uint64_t MaxCycles) {
   Cfg.HostThreads = Threads;
+  // Spawn real shard workers even on a small CI host — the sweep's
+  // whole point is exercising actual cross-thread interleaving.
+  Cfg.OversubscribeHost = true;
   Cfg.CollectCounters = true;
   Machine M(Cfg);
   M.load(Prog);
@@ -184,6 +188,146 @@ TEST(ThreadSweep, BarrierWorkload) {
               SimConfig::lbp(4), "barrier");
 }
 
+/// Long quiescent stretches: each hart spins in a private ALU loop with
+/// no memory traffic at all between the fork and the join, which is
+/// exactly the shape the adaptive multi-cycle window planner exists for
+/// (no deliveries due, no gate/send ops in flight).
+std::string quiescentProgram(unsigned NumHarts, unsigned Rounds,
+                             unsigned SpinIters) {
+  romp::AsmText Head;
+  romp::emitMainPrologue(Head);
+  Head.line("li s1, %u", Rounds);
+  Head.label("round");
+  romp::emitParallelCall(Head, "worker", NumHarts, "0");
+  Head.line("addi s1, s1, -1");
+  Head.line("bnez s1, round");
+  romp::AsmText Tail;
+  romp::emitMainEpilogue(Tail);
+  romp::emitParallelStart(Tail);
+  return Head.str() + Tail.str() +
+         formatString(R"(
+    .equ OUT, 0x20000200
+worker:
+    li a2, %u
+spin:
+    addi a2, a2, -1
+    bnez a2, spin
+    slli a4, a0, 2
+    la a5, OUT
+    add a4, a4, a5
+    sw a0, 0(a4)
+    p_syncm
+    p_ret
+)",
+                      SpinIters);
+}
+
+TEST(ThreadSweep, QuiescentStretchesWorkload) {
+  sweepFaults(quiescentProgram(/*NumHarts=*/16, /*Rounds=*/3,
+                               /*SpinIters=*/300),
+              SimConfig::lbp(4), "quiescent");
+}
+
+TEST(ThreadSweep, QuiescentStretchesUseMultiCycleEpochs) {
+  // Beyond fingerprint invariance, prove the window machinery actually
+  // engages on this shape: some epochs must span more than one cycle.
+  assembler::AsmResult R = assembler::assemble(
+      quiescentProgram(/*NumHarts=*/16, /*Rounds=*/3, /*SpinIters=*/300));
+  ASSERT_TRUE(R.succeeded()) << R.errorText();
+  SimConfig Cfg = SimConfig::lbp(4);
+  Cfg.HostThreads = 4;
+  Cfg.OversubscribeHost = true;
+  Machine M(Cfg);
+  M.load(R.Prog);
+  ASSERT_EQ(static_cast<int>(M.run(2000000)),
+            static_cast<int>(RunStatus::Exited));
+
+  ASSERT_EQ(static_cast<int>(M.engineUsed()),
+            static_cast<int>(Machine::EngineKind::Parallel));
+  const Machine::EngineStats &ES = M.engineStats();
+  EXPECT_GT(ES.EpochsMerged, 0u);
+  EXPECT_GT(ES.WindowCycles, 0u) << "no multi-cycle epoch ever ran";
+  uint64_t MultiCycleEpochs = 0;
+  for (unsigned W = 2; W <= MaxEpochWindow; ++W)
+    MultiCycleEpochs += ES.WindowHist[W];
+  EXPECT_GT(MultiCycleEpochs, 0u);
+}
+
+/// Dense cross-shard traffic: every hart hammers the *next* core's
+/// global bank, so nearly every delivery crosses a shard boundary and
+/// the window planner must keep clipping back to per-cycle epochs —
+/// the adversarial case for the window due-scan.
+std::string crossBankProgram(unsigned NumHarts, unsigned Rounds,
+                             unsigned Iters) {
+  romp::AsmText Head;
+  romp::emitMainPrologue(Head);
+  Head.line("li s1, %u", Rounds);
+  Head.label("round");
+  romp::emitParallelCall(Head, "worker", NumHarts, "0");
+  Head.line("addi s1, s1, -1");
+  Head.line("bnez s1, round");
+  romp::AsmText Tail;
+  romp::emitMainEpilogue(Tail);
+  romp::emitParallelStart(Tail);
+  return Head.str() + Tail.str() +
+         formatString(R"(
+worker:
+    srli a4, a0, 2          # core id (4 harts per core)
+    addi a4, a4, 1
+    andi a4, a4, 3          # (core + 1) %% NumCores: always remote
+    slli a4, a4, 16         # << GlobalBankSizeLog2 (64 KiB banks)
+    li a5, 0x20000000
+    add a4, a4, a5
+    slli a6, a0, 2
+    add a4, a4, a6          # per-hart word in the remote bank
+    li a2, %u
+loop:
+    sw a0, 0(a4)
+    p_syncm
+    lw a6, 0(a4)
+    p_syncm
+    addi a2, a2, -1
+    bnez a2, loop
+    p_ret
+)",
+                      Iters);
+}
+
+TEST(ThreadSweep, DenseCrossShardTraffic) {
+  sweepFaults(crossBankProgram(/*NumHarts=*/16, /*Rounds=*/2,
+                               /*Iters=*/25),
+              SimConfig::lbp(4), "crossbank");
+}
+
+TEST(ThreadSweep, RebalancingIsPlacementInvariant) {
+  // The deterministic-rebalancing contract: neither the initial shard
+  // partition nor the rebalance cadence may leave any observable mark.
+  // Sweep both knobs against the serial reference on workloads with
+  // skewed per-core load (quiescent spin) and heavy traffic (barrier).
+  struct Cell {
+    const char *Name;
+    std::string Src;
+  } Cells[] = {
+      {"quiescent", quiescentProgram(16, 2, 200)},
+      {"barrier", barrierProgram(16, 4)},
+  };
+  for (const Cell &C : Cells) {
+    assembler::AsmResult R = assembler::assemble(C.Src);
+    ASSERT_TRUE(R.succeeded()) << C.Name << ":\n" << R.errorText();
+    SimConfig Cfg = SimConfig::lbp(4);
+    Fingerprint Ref = runWith(R.Prog, Cfg, /*Threads=*/1, 2000000);
+    for (unsigned Skew : {0u, 1u, 3u})
+      for (uint64_t Interval : {0ull, 256ull, 4096ull}) {
+        SimConfig PCfg = Cfg;
+        PCfg.InitialShardSkew = Skew;
+        PCfg.ShardRebalanceInterval = Interval;
+        expectSame(Ref, runWith(R.Prog, PCfg, /*Threads=*/4, 2000000),
+                   formatString("%s skew=%u interval=%llu", C.Name, Skew,
+                                static_cast<unsigned long long>(Interval)));
+      }
+  }
+}
+
 TEST(ThreadSweep, PhasesWorkload) {
   workloads::PhasesSpec Spec;
   Spec.NumHarts = 16;
@@ -303,6 +447,7 @@ struct TimelineCapture {
 TimelineCapture captureTimelines(const assembler::Program &Prog,
                                  SimConfig Cfg, unsigned Threads) {
   Cfg.HostThreads = Threads;
+  Cfg.OversubscribeHost = true;
   std::ostringstream POut, JOut;
   Machine M(Cfg);
   obs::PerfettoSink Perfetto(POut, Cfg);
@@ -346,6 +491,7 @@ TEST(ThreadSweep, StallStatsNoLongerDowngradeTheEngine) {
   SimConfig Cfg = SimConfig::lbp(4);
   Cfg.CollectStallStats = true;
   Cfg.HostThreads = 4;
+  Cfg.OversubscribeHost = true;
   Machine M(Cfg);
   M.load(R.Prog);
   ASSERT_EQ(static_cast<int>(M.run(2000000)),
@@ -366,6 +512,7 @@ TEST(ThreadSweep, MemLogDowngradeIsDiagnosed) {
   SimConfig Cfg = SimConfig::lbp(4);
   Cfg.CollectMemLog = true;
   Cfg.HostThreads = 4;
+  Cfg.OversubscribeHost = true;
   Machine M(Cfg);
   M.load(R.Prog);
   ASSERT_EQ(static_cast<int>(M.run(2000000)),
@@ -373,6 +520,9 @@ TEST(ThreadSweep, MemLogDowngradeIsDiagnosed) {
   EXPECT_NE(static_cast<int>(M.engineUsed()),
             static_cast<int>(Machine::EngineKind::Parallel));
   EXPECT_FALSE(M.engineNote().empty());
+  // The note must name the exact knob that forced the downgrade.
+  EXPECT_NE(M.engineNote().find("CollectMemLog"), std::string::npos)
+      << M.engineNote();
 
   // With one host thread nothing is downgraded, so nothing is noted.
   Cfg.HostThreads = 1;
