@@ -35,6 +35,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "asm/Assembler.h"
+#include "obs/Triage.h"
 #include "romp/AsmText.h"
 #include "romp/Runtime.h"
 #include "sim/Machine.h"
@@ -159,11 +160,17 @@ struct WorkloadResult {
 /// the bench before the JSON lands: they are collected here, written
 /// into the payload (exit_reason + divergences), and only then turn
 /// into the nonzero exit status — so CI artifacts always say *why* the
-/// bench failed, not just that it did.
+/// bench failed, not just that it did. Both cells of the mismatched
+/// pair are named in full (engine + host threads each side) so a triage
+/// run is launchable from the JSON alone — and one is in fact launched
+/// right here: TriageJson holds the embedded lbp-triage-report-v1
+/// document localizing the first divergent trace event.
 struct DivergenceRecord {
   std::string Workload;
   std::string RefEngine, Engine;
+  unsigned RefThreads = 1, Threads = 1;
   Fingerprint Ref, Got;
+  std::string TriageJson;
 };
 std::vector<DivergenceRecord> Divergences;
 
@@ -221,7 +228,23 @@ struct Options {
   std::string OutPath = "BENCH_simspeed.json";
   std::vector<unsigned> Threads = {1, 2, 4, 8};
   bool RunReference = true, RunFastPath = true, RunParallel = true;
+  /// Nonzero arms SimConfig::PerturbForTest at that cycle on every
+  /// workload cell — a seeded divergence that exercises the whole
+  /// divergence -> triage -> JSON pipeline (CI smoke).
+  uint64_t Perturb = 0;
 };
+
+/// Rebuilds the exact config of a matrix cell for the triage replay.
+obs::TriageRunSpec triageSpecFor(const EngineResult &E,
+                                 sim::SimConfig Cfg) {
+  Cfg.FastPath = E.Engine != "reference";
+  Cfg.HostThreads = E.HostThreads;
+  Cfg.OversubscribeHost = true; // timedRun forces real shard workers
+  obs::TriageRunSpec S;
+  S.Name = E.Engine;
+  S.Cfg = Cfg;
+  return S;
+}
 
 WorkloadResult
 runWorkload(const Options &Opt, const std::string &Name,
@@ -236,6 +259,7 @@ runWorkload(const Options &Opt, const std::string &Name,
   WorkloadResult W;
   W.Name = Name;
   W.Cores = Cfg.NumCores;
+  Cfg.PerturbForTest = Opt.Perturb;
 
   // The reference fingerprint every other cell is compared against.
   // When --engines excludes "reference", the fastpath run seeds it
@@ -258,8 +282,22 @@ runWorkload(const Options &Opt, const std::string &Name,
   for (EngineResult &E : W.Engines) {
     E.Identical = E.Fp == Ref;
     if (!E.Identical) {
-      Divergences.push_back(
-          {Name, W.Engines.front().Engine, E.Engine, Ref, E.Fp});
+      // Triage the pair on the spot: bisect the digest sequences, replay
+      // from the last agreeing snapshot and embed the first-divergent-
+      // event report in the JSON payload instead of a bare exit.
+      obs::TriageResult TR = obs::triageDivergence(
+          R.Prog, triageSpecFor(W.Engines.front(), Cfg),
+          triageSpecFor(E, Cfg));
+      DivergenceRecord D;
+      D.Workload = Name;
+      D.RefEngine = W.Engines.front().Engine;
+      D.Engine = E.Engine;
+      D.RefThreads = W.Engines.front().HostThreads;
+      D.Threads = E.HostThreads;
+      D.Ref = Ref;
+      D.Got = E.Fp;
+      D.TriageJson = obs::triageReportToJson(TR, Name);
+      Divergences.push_back(std::move(D));
       std::fprintf(
           stderr,
           "bench_simspeed: ENGINE DIVERGENCE on %s (%s):\n"
@@ -514,9 +552,116 @@ CounterCost benchCounters(const Options &Opt) {
   return Cost;
 }
 
+/// The interval-digest cost on the same barrier workload: digesting off
+/// (DigestInterval = 0) vs on (the default 4096). The final hashes must
+/// match bit for bit (digesting only *reads* the hash accumulator) and
+/// the steady state must stay allocation-free (the ring is preallocated
+/// by configureDigests) — both are hard assertions. The timing gate
+/// (<= 1% on top of the baseline) is enforced in full mode only; quick
+/// CI runs record the number without gating on host noise.
+struct DigestCost {
+  double DisabledSeconds = 0.0;
+  double EnabledSeconds = 0.0;
+  double OverheadPct = 0.0;
+  uint64_t SteadyAllocs = 0;
+};
+
+DigestCost benchDigests(const Options &Opt) {
+  unsigned Cores = Opt.Quick ? 4 : 16;
+  unsigned Rounds = Opt.Quick ? 8 : 16;
+  unsigned Harts = 4 * Cores;
+  assembler::AsmResult R = assembler::assemble(barrierProgram(Harts, Rounds));
+  if (!R.succeeded()) {
+    std::fprintf(stderr, "bench_simspeed: digest-bench assembly failed\n");
+    std::exit(1);
+  }
+  sim::SimConfig Cfg = sim::SimConfig::lbp(Cores);
+
+  auto Timed = [&](uint64_t Interval, uint64_t &HashOut) -> double {
+    double Best = 0.0;
+    for (int Rep = 0; Rep != 3; ++Rep) { // best-of-3 damps host noise
+      sim::SimConfig C = Cfg;
+      C.DigestInterval = Interval;
+      sim::Machine M(C);
+      M.load(R.Prog);
+      auto T0 = std::chrono::steady_clock::now();
+      if (M.run() != sim::RunStatus::Exited) {
+        std::fprintf(stderr, "bench_simspeed: digest-bench run failed\n");
+        std::exit(1);
+      }
+      auto T1 = std::chrono::steady_clock::now();
+      verifyBarrier(M, Harts);
+      HashOut = M.traceHash();
+      double Sec = std::chrono::duration<double>(T1 - T0).count();
+      if (Rep == 0 || Sec < Best)
+        Best = Sec;
+    }
+    return Best;
+  };
+
+  DigestCost Cost;
+  uint64_t HashOff = 0, HashOn = 0;
+  Cost.DisabledSeconds = Timed(0, HashOff);
+  Cost.EnabledSeconds = Timed(4096, HashOn);
+  if (HashOff != HashOn) {
+    std::fprintf(stderr,
+                 "bench_simspeed: interval digests perturbed the trace "
+                 "hash (%016llx vs %016llx)\n",
+                 static_cast<unsigned long long>(HashOff),
+                 static_cast<unsigned long long>(HashOn));
+    std::exit(1);
+  }
+  if (Cost.DisabledSeconds > 0.0)
+    Cost.OverheadPct = (Cost.EnabledSeconds - Cost.DisabledSeconds) /
+                       Cost.DisabledSeconds * 100.0;
+  std::printf("digests: overhead %.1f%% (off %.3fs, on %.3fs)\n",
+              Cost.OverheadPct, Cost.DisabledSeconds, Cost.EnabledSeconds);
+
+  // Steady-state allocations with digesting armed: the ring is
+  // preallocated, so the zero-alloc property must survive.
+  {
+    sim::SimConfig C = Cfg;
+    C.DigestInterval = 4096;
+    sim::Machine Probe(C);
+    Probe.load(R.Prog);
+    if (Probe.run() != sim::RunStatus::Exited) {
+      std::fprintf(stderr, "bench_simspeed: digest alloc probe failed\n");
+      std::exit(1);
+    }
+    sim::Machine M(C);
+    M.load(R.Prog);
+    if (M.run(Probe.cycles() / 2) != sim::RunStatus::MaxCycles) {
+      std::fprintf(stderr, "bench_simspeed: digest warm-up ended early\n");
+      std::exit(1);
+    }
+    uint64_t Before = GAllocCount.load(std::memory_order_relaxed);
+    if (M.run() != sim::RunStatus::Exited) {
+      std::fprintf(stderr, "bench_simspeed: digest measured run failed\n");
+      std::exit(1);
+    }
+    Cost.SteadyAllocs = GAllocCount.load(std::memory_order_relaxed) - Before;
+    if (Cost.SteadyAllocs != 0) {
+      std::fprintf(stderr,
+                   "bench_simspeed: %llu steady-state allocations with "
+                   "digests on (expected zero)\n",
+                   static_cast<unsigned long long>(Cost.SteadyAllocs));
+      std::exit(1);
+    }
+  }
+
+  if (!Opt.Quick && Cost.OverheadPct > 1.0) {
+    std::fprintf(stderr,
+                 "bench_simspeed: interval-digest overhead %.2f%% exceeds "
+                 "the 1%% budget\n",
+                 Cost.OverheadPct);
+    std::exit(1);
+  }
+  return Cost;
+}
+
 void writeJson(const Options &Opt, const std::vector<WorkloadResult> &Results,
                uint64_t RefAllocs, uint64_t FastAllocs,
-               const CounterCost *Counters) {
+               const CounterCost *Counters, const DigestCost *Digests) {
   std::FILE *F = std::fopen(Opt.OutPath.c_str(), "w");
   if (!F) {
     std::fprintf(stderr, "bench_simspeed: cannot open %s\n",
@@ -529,22 +674,29 @@ void writeJson(const Options &Opt, const std::vector<WorkloadResult> &Results,
                Divergences.empty() ? "ok" : "engine-divergence");
   std::fprintf(F, "  \"divergences\": [");
   for (size_t I = 0; I != Divergences.size(); ++I) {
+    // Both cells of the mismatched pair are named in full — engine and
+    // host threads each side — so a triage run is launchable from the
+    // JSON alone; the embedded "triage" object already holds one.
     const DivergenceRecord &D = Divergences[I];
     std::fprintf(F,
                  "%s\n    {\"workload\": \"%s\", \"engine\": \"%s\", "
-                 "\"reference_engine\": \"%s\",\n"
+                 "\"host_threads\": %u,\n"
+                 "     \"reference_engine\": \"%s\", "
+                 "\"reference_host_threads\": %u,\n"
                  "     \"reference\": {\"cycles\": %llu, \"retired\": %llu, "
                  "\"trace_hash\": \"%016llx\"},\n"
                  "     \"got\": {\"cycles\": %llu, \"retired\": %llu, "
-                 "\"trace_hash\": \"%016llx\"}}",
+                 "\"trace_hash\": \"%016llx\"},\n"
+                 "     \"triage\": %s}",
                  I ? "," : "", D.Workload.c_str(), D.Engine.c_str(),
-                 D.RefEngine.c_str(),
+                 D.Threads, D.RefEngine.c_str(), D.RefThreads,
                  static_cast<unsigned long long>(D.Ref.Cycles),
                  static_cast<unsigned long long>(D.Ref.Retired),
                  static_cast<unsigned long long>(D.Ref.Hash),
                  static_cast<unsigned long long>(D.Got.Cycles),
                  static_cast<unsigned long long>(D.Got.Retired),
-                 static_cast<unsigned long long>(D.Got.Hash));
+                 static_cast<unsigned long long>(D.Got.Hash),
+                 D.TriageJson.empty() ? "null" : D.TriageJson.c_str());
   }
   std::fprintf(F, "%s],\n", Divergences.empty() ? "" : "\n  ");
   std::fprintf(F, "  \"host_threads\": %u,\n",
@@ -567,6 +719,15 @@ void writeJson(const Options &Opt, const std::vector<WorkloadResult> &Results,
                  Counters->DisabledSeconds, Counters->EnabledSeconds,
                  Counters->OverheadPct,
                  static_cast<unsigned long long>(Counters->SteadyAllocs));
+  if (Digests)
+    std::fprintf(F,
+                 "  \"digests\": {\"disabled_seconds\": %.6f, "
+                 "\"enabled_seconds\": %.6f, \"overhead_pct\": %.2f, "
+                 "\"steady_state_allocs\": %llu, "
+                 "\"hash_identical\": true},\n",
+                 Digests->DisabledSeconds, Digests->EnabledSeconds,
+                 Digests->OverheadPct,
+                 static_cast<unsigned long long>(Digests->SteadyAllocs));
   std::fprintf(F, "  \"workloads\": [\n");
   for (size_t I = 0; I != Results.size(); ++I) {
     const WorkloadResult &W = Results[I];
@@ -645,8 +806,12 @@ void printUsage(const char *Argv0) {
       "  --engines LIST   comma-separated subset of\n"
       "                   reference,fastpath,parallel (default all)\n"
       "  --counters       also measure the deterministic counter set's\n"
-      "                   overhead (hash-neutrality and steady-state\n"
-      "                   allocation asserted; docs/OBSERVABILITY.md)\n"
+      "                   and the interval-digest ring's overhead\n"
+      "                   (hash-neutrality and steady-state allocation\n"
+      "                   asserted; docs/OBSERVABILITY.md)\n"
+      "  --perturb N      arm SimConfig::PerturbForTest at cycle N so the\n"
+      "                   differential matrix diverges on purpose; the\n"
+      "                   divergence records then embed triage reports\n"
       "\n"
       "Exit status: 0 ok; 1 divergence, gate failure or bad run;\n"
       "2 bad command line (e.g. unknown engine name).\n",
@@ -687,6 +852,14 @@ int main(int argc, char **argv) {
       Opt.Counters = true;
     } else if (std::strcmp(argv[I], "--out") == 0 && I + 1 < argc) {
       Opt.OutPath = argv[++I];
+    } else if (std::strcmp(argv[I], "--perturb") == 0 && I + 1 < argc) {
+      char *End = nullptr;
+      Opt.Perturb = std::strtoull(argv[++I], &End, 0);
+      if (!End || *End || Opt.Perturb == 0) {
+        std::fprintf(stderr, "bench_simspeed: bad --perturb cycle '%s'\n",
+                     argv[I]);
+        return 2;
+      }
     } else if (std::strcmp(argv[I], "--threads") == 0 && I + 1 < argc) {
       if (!parseThreadList(argv[++I], Opt.Threads)) {
         std::fprintf(stderr, "bench_simspeed: bad --threads list '%s'\n",
@@ -758,10 +931,14 @@ int main(int argc, char **argv) {
   }
 
   CounterCost Counters;
-  if (Opt.Counters)
+  DigestCost Digests;
+  if (Opt.Counters) {
     Counters = benchCounters(Opt);
+    Digests = benchDigests(Opt);
+  }
   writeJson(Opt, Results, RefAllocs, FastAllocs,
-            Opt.Counters ? &Counters : nullptr);
+            Opt.Counters ? &Counters : nullptr,
+            Opt.Counters ? &Digests : nullptr);
 
   if (!Divergences.empty()) {
     std::fprintf(stderr,

@@ -148,6 +148,14 @@ CampaignResult runCampaign(const std::vector<assembler::Program> &Images,
 /// deterministic campaign.
 std::string campaignToJson(const CampaignResult &R);
 
+/// Same report with caller-supplied extra top-level members spliced in
+/// before "complete". \p ExtraJson must be zero or more pre-rendered
+/// `"key": value` members, each terminated by ",\n" and indented two
+/// spaces — e.g. the "divergence_triage" array lbp_fleet embeds when a
+/// cross-check campaign diverges. Canonical iff the extra bytes are.
+std::string campaignToJson(const CampaignResult &R,
+                           const std::string &ExtraJson);
+
 } // namespace fleet
 } // namespace lbp
 

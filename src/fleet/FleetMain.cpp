@@ -31,18 +31,28 @@
 ///                          (default 0 = off)
 ///     --inject-crash I     run I's first attempt aborts (CI smoke)
 ///     --inject-hang I      run I's first attempt hangs (CI smoke)
+///     --cross-check LIST   run every queue entry once per engine
+///                          variant (comma list of reference | fast |
+///                          parallel-tN) and compare fingerprints
+///                          within each group; a mismatch is triaged
+///                          in-process (obs/Triage.h) and the report
+///                          gains a "divergence_triage" array
+///     --perturb N          arm SimConfig::PerturbForTest at cycle N on
+///                          every run (seeded divergence for CI)
 ///     --out FILE           report destination (default stdout)
 ///     --strict             exit 1 on any non-pass verdict
 ///
 /// Exit status: 0 = campaign complete (and, with --strict, all pass);
-/// 1 = degraded report (incomplete verdicts) or --strict failure;
-/// 2 = usage/input error. The report is written in every case but 2.
+/// 1 = degraded report (incomplete verdicts), cross-check divergence,
+/// or --strict failure; 2 = usage/input error. The report is written
+/// in every case but 2.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "fleet/Fleet.h"
 
 #include "asm/Assembler.h"
+#include "obs/Triage.h"
 #include "support/StringUtils.h"
 #include "workloads/MatMul.h"
 #include "workloads/Phases.h"
@@ -71,7 +81,46 @@ struct Options {
   fleet::FleetConfig FC;
   std::string Out;
   bool Strict = false;
+  std::vector<std::string> CrossCheck;
+  uint64_t Perturb = 0;
 };
+
+/// One --cross-check engine variant. FastPath/HostThreads mirror the
+/// specs lbp_triage accepts, spelled with '-' ("parallel-t4") so the
+/// variant can ride inside a run name.
+struct EngineVariant {
+  std::string Name;
+  bool FastPath = false;
+  unsigned Threads = 1;
+};
+
+bool parseEngineVariant(const std::string &Spec, EngineVariant &V) {
+  V.Name = Spec;
+  if (Spec == "reference") {
+    V.FastPath = false;
+    V.Threads = 1;
+    return true;
+  }
+  if (Spec == "fast") {
+    V.FastPath = true;
+    V.Threads = 1;
+    return true;
+  }
+  if (Spec.rfind("parallel", 0) == 0) {
+    V.FastPath = true;
+    V.Threads = 4;
+    if (Spec.size() > 8) {
+      if (Spec.compare(8, 2, "-t") != 0)
+        return false;
+      std::optional<int64_t> T = parseInteger(Spec.substr(10));
+      if (!T || *T < 2 || *T > 1024)
+        return false;
+      V.Threads = static_cast<unsigned>(*T);
+    }
+    return true;
+  }
+  return false;
+}
 
 int usage() {
   std::fprintf(
@@ -83,6 +132,7 @@ int usage() {
       "  --workers N  --max-attempts N\n"
       "  --checkpoint-interval N  --checkpoint-dir D\n"
       "  --wall-timeout-ms N  --inject-crash I  --inject-hang I\n"
+      "  --cross-check reference,fast,parallel-tN  --perturb N\n"
       "  --out FILE  --strict\n"
       "See docs/ROBUSTNESS.md (\"Fleet failure taxonomy\").\n");
   return 2;
@@ -109,6 +159,19 @@ bool parseArgs(int Argc, char **Argv, Options &O) {
         O.FastPath = true;
       else
         return false;
+    } else if (A == "--cross-check" && I + 1 < Argc) {
+      std::string List = Argv[++I];
+      size_t Pos = 0;
+      while (Pos <= List.size()) {
+        size_t Comma = List.find(',', Pos);
+        O.CrossCheck.push_back(List.substr(
+            Pos, Comma == std::string::npos ? Comma : Comma - Pos));
+        if (Comma == std::string::npos)
+          break;
+        Pos = Comma + 1;
+      }
+      if (O.CrossCheck.size() < 2)
+        return false; // a cross-check needs something to compare
     } else if (A == "--checkpoint-dir" && I + 1 < Argc)
       O.FC.CheckpointDir = Argv[++I];
     else if (A == "--out" && I + 1 < Argc)
@@ -133,6 +196,8 @@ bool parseArgs(int Argc, char **Argv, Options &O) {
       O.Threads = static_cast<unsigned>(*V);
     else if (A == "--deadline-cycles" && (V = Num(I)))
       O.DeadlineCycles = static_cast<uint64_t>(*V);
+    else if (A == "--perturb" && (V = Num(I)))
+      O.Perturb = static_cast<uint64_t>(*V);
     else if (A == "--workers" && (V = Num(I)))
       O.FC.Workers = static_cast<unsigned>(*V);
     else if (A == "--max-attempts" && (V = Num(I)))
@@ -206,27 +271,99 @@ int main(int Argc, char **Argv) {
   std::vector<assembler::Program> Images;
   Images.push_back(std::move(R.Prog));
 
+  // The cross-check variant list; a plain campaign is the degenerate
+  // single-variant case with the --engine/--threads configuration.
+  std::vector<EngineVariant> Variants;
+  if (O.CrossCheck.empty()) {
+    EngineVariant V;
+    V.FastPath = O.FastPath;
+    V.Threads = O.Threads;
+    Variants.push_back(V);
+  } else {
+    for (const std::string &Spec : O.CrossCheck) {
+      EngineVariant V;
+      if (!parseEngineVariant(Spec, V)) {
+        std::fprintf(stderr,
+                     "lbp_fleet: bad --cross-check variant '%s' (want "
+                     "reference | fast | parallel-tN)\n",
+                     Spec.c_str());
+        return 2;
+      }
+      Variants.push_back(std::move(V));
+    }
+  }
+
+  // Queue order is group-major: every variant of seed i before any of
+  // seed i+1, so the report reads as consecutive comparable groups.
   std::vector<fleet::RunSpec> Specs;
   for (unsigned I = 0; I != O.Runs; ++I) {
-    fleet::RunSpec S;
-    uint64_t Seed = O.SeedBase + I;
-    S.Name = (O.AsmFile.empty() ? O.Workload : O.AsmFile) + "-seed" +
-             std::to_string(Seed);
-    S.Cfg = sim::SimConfig::lbp(O.Cores);
-    S.Cfg.FastPath = O.FastPath;
-    S.Cfg.HostThreads = O.Threads;
-    S.Cfg.Faults.Seed = Seed;
-    S.Cfg.Faults.Drops = O.Drops;
-    S.Cfg.Faults.Delays = O.Delays;
-    S.Cfg.Faults.BitFlips = O.Flips;
-    S.Cfg.Faults.StuckBanks = O.Stuck;
-    S.DeadlineCycles = O.DeadlineCycles;
-    Specs.push_back(std::move(S));
+    for (const EngineVariant &V : Variants) {
+      fleet::RunSpec S;
+      uint64_t Seed = O.SeedBase + I;
+      S.Name = (O.AsmFile.empty() ? O.Workload : O.AsmFile) + "-seed" +
+               std::to_string(Seed);
+      if (!O.CrossCheck.empty())
+        S.Name += ":" + V.Name;
+      S.Cfg = sim::SimConfig::lbp(O.Cores);
+      S.Cfg.FastPath = V.FastPath;
+      S.Cfg.HostThreads = V.Threads;
+      S.Cfg.PerturbForTest = O.Perturb;
+      S.Cfg.Faults.Seed = Seed;
+      S.Cfg.Faults.Drops = O.Drops;
+      S.Cfg.Faults.Delays = O.Delays;
+      S.Cfg.Faults.BitFlips = O.Flips;
+      S.Cfg.Faults.StuckBanks = O.Stuck;
+      S.DeadlineCycles = O.DeadlineCycles;
+      Specs.push_back(std::move(S));
+    }
   }
 
   fleet::CampaignResult Result =
       fleet::runCampaign(Images, Specs, O.FC);
-  std::string Json = fleet::campaignToJson(Result);
+
+  // Cross-check: compare fingerprints within each group and triage
+  // every mismatching pair in-process against the group's first
+  // completed run. Reports are canonical, so the campaign JSON stays
+  // byte-identical across repeat invocations.
+  bool Diverged = false;
+  std::string Extra;
+  if (Variants.size() > 1) {
+    std::string Reports;
+    size_t G = Variants.size();
+    for (size_t Base = 0; Base + G <= Result.Runs.size(); Base += G) {
+      size_t Ref = Base;
+      while (Ref != Base + G &&
+             Result.Runs[Ref].V == fleet::Verdict::Incomplete)
+        ++Ref;
+      if (Ref == Base + G)
+        continue; // nothing in this group completed
+      for (size_t I = Ref + 1; I != Base + G; ++I) {
+        const fleet::RunResult &A = Result.Runs[Ref];
+        const fleet::RunResult &B = Result.Runs[I];
+        if (B.V == fleet::Verdict::Incomplete)
+          continue;
+        if (A.Status == B.Status && A.Cycles == B.Cycles &&
+            A.TraceHash == B.TraceHash)
+          continue;
+        Diverged = true;
+        obs::TriageRunSpec SA{A.Name, Specs[Ref].Cfg};
+        obs::TriageRunSpec SB{B.Name, Specs[I].Cfg};
+        obs::TriageOptions TOpts;
+        TOpts.MaxCycles = O.DeadlineCycles;
+        obs::TriageResult TR =
+            obs::triageDivergence(Images[0], SA, SB, TOpts);
+        if (!Reports.empty())
+          Reports += ",\n    ";
+        Reports += obs::triageReportToJson(
+            TR, O.AsmFile.empty() ? O.Workload : O.AsmFile);
+      }
+    }
+    Extra = formatString("  \"divergence_triage\": [%s],\n",
+                         Reports.empty()
+                             ? ""
+                             : ("\n    " + Reports + "\n  ").c_str());
+  }
+  std::string Json = fleet::campaignToJson(Result, Extra);
 
   if (O.Out.empty()) {
     std::fwrite(Json.data(), 1, Json.size(), stdout);
@@ -240,6 +377,11 @@ int main(int Argc, char **Argv) {
     Out << Json;
   }
 
+  if (Diverged) {
+    std::fprintf(stderr, "lbp_fleet: cross-check divergence; see "
+                         "\"divergence_triage\" in the report\n");
+    return 1;
+  }
   if (!Result.Complete)
     return 1;
   if (O.Strict)

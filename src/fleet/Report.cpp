@@ -21,6 +21,11 @@ using namespace lbp;
 using namespace lbp::fleet;
 
 std::string lbp::fleet::campaignToJson(const CampaignResult &R) {
+  return campaignToJson(R, std::string());
+}
+
+std::string lbp::fleet::campaignToJson(const CampaignResult &R,
+                                       const std::string &ExtraJson) {
   std::string J = "{\n  \"schema\": \"lbp-fleet-report-v1\",\n";
 
   unsigned Counts[5] = {0, 0, 0, 0, 0};
@@ -72,6 +77,7 @@ std::string lbp::fleet::campaignToJson(const CampaignResult &R) {
                     "\"incomplete\": %u},\n",
                     R.Runs.size(), Counts[0], Counts[1], Counts[2],
                     Counts[3], Counts[4]);
+  J += ExtraJson; // pre-rendered `"key": value,\n` members, if any
   J += formatString("  \"complete\": %s\n}\n",
                     R.Complete ? "true" : "false");
   return J;

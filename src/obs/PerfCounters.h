@@ -209,6 +209,8 @@ inline void PerfCounters::onEvent(uint64_t Cycle, sim::EventKind Kind,
   case EventKind::MachineCheck:
     ++MachineChecks;
     return;
+  case EventKind::Perturb:
+    return; // Test-only divergence seed; nothing to count.
   }
 }
 

@@ -139,6 +139,9 @@ void PerfettoSink::onEvent(uint64_t Cycle, EventKind Kind, uint64_t A,
   case EventKind::MachineCheck:
     instant(Cycle, static_cast<unsigned>(B), "machine-check", A);
     return;
+  case EventKind::Perturb:
+    instant(Cycle, static_cast<unsigned>(A), "perturb", B);
+    return;
   }
 }
 

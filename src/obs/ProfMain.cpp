@@ -28,6 +28,10 @@
 ///     --perfetto OUT.json  write a Chrome/Perfetto timeline
 ///     --jsonl OUT.jsonl    write the raw event stream as JSON lines
 ///     --counters OUT.json  write the canonical counter snapshot
+///     --digests            print the interval-digest ring (newest
+///                          entries of the running trace-hash chain;
+///                          docs/OBSERVABILITY.md "Divergence triage")
+///     --digest-interval N  override the digest stride (0 disables)
 ///
 /// Exit status: 0 = run exited cleanly, 1 = run failed (fault, livelock,
 /// cycle budget), 2 = usage/input error.
@@ -74,6 +78,8 @@ struct Options {
   uint64_t Seed = 0;
   unsigned Drops = 0, Delays = 0, Flips = 0;
   bool Oversubscribe = false;
+  bool Digests = false;          ///< Print the interval-digest ring.
+  uint64_t DigestInterval = 0;   ///< Override stride; 0 keeps default.
 };
 
 int usage() {
@@ -86,6 +92,7 @@ int usage() {
       "  --max-cycles N  --seed N  --drops N  --delays N  --flips N\n"
       "  --no-stalls  --top N\n"
       "  --perfetto OUT.json  --jsonl OUT.jsonl  --counters OUT.json\n"
+      "  --digests  --digest-interval N\n"
       "See docs/OBSERVABILITY.md.\n");
   return 2;
 }
@@ -221,6 +228,11 @@ int main(int Argc, char **Argv) {
     } else if (A == "--counters") {
       if (!NextString(Opts.CountersOut))
         return usage();
+    } else if (A == "--digests") {
+      Opts.Digests = true;
+    } else if (A == "--digest-interval") {
+      if (!NextU64(Opts.DigestInterval))
+        return usage();
     } else if (A == "--help" || A == "-h") {
       usage();
       return 0;
@@ -255,6 +267,8 @@ int main(int Argc, char **Argv) {
   Cfg.OversubscribeHost = Opts.Oversubscribe;
   Cfg.CollectCounters = true;
   Cfg.CollectStallStats = Opts.Stalls;
+  if (Opts.DigestInterval != 0)
+    Cfg.DigestInterval = Opts.DigestInterval;
   Cfg.Faults.Seed = Opts.Seed;
   Cfg.Faults.Drops = Opts.Drops;
   Cfg.Faults.Delays = Opts.Delays;
@@ -298,6 +312,24 @@ int main(int Argc, char **Argv) {
   ROpts.TopN = Opts.TopN;
   std::fputs(obs::buildReport(M, &Phases, ROpts).c_str(), stdout);
 
+  if (Opts.Digests) {
+    const sim::Trace &Tr = M.trace();
+    std::printf("\ninterval digests (interval %llu, ring cap %u, "
+                "%llu recorded):\n",
+                static_cast<unsigned long long>(Tr.digestInterval()),
+                Tr.digestRingCap(),
+                static_cast<unsigned long long>(Tr.digestCount()));
+    if (Tr.digestInterval() == 0)
+      std::printf("  digesting disabled (interval 0)\n");
+    else if (Tr.digestCount() == 0)
+      std::printf("  no boundary crossed (run shorter than the "
+                  "interval)\n");
+    for (const sim::TraceDigest &D : Tr.digestEntries())
+      std::printf("  @%-12llu 0x%016llx\n",
+                  static_cast<unsigned long long>(D.Boundary),
+                  static_cast<unsigned long long>(D.Hash));
+  }
+
   if (!Opts.CountersOut.empty()) {
     std::ofstream Out(Opts.CountersOut);
     if (!Out) {
@@ -312,7 +344,11 @@ int main(int Argc, char **Argv) {
     Out << "{\n  \"meta\": {\"engine\": \"" << jsonEscape(M.engineName())
         << "\", \"engine_note\": \"" << jsonEscape(M.engineNote())
         << "\", \"status\": \"" << sim::runStatusName(St)
-        << "\", \"message\": \"" << jsonEscape(M.faultMessage()) << "\"";
+        << "\", \"message\": \"" << jsonEscape(M.faultMessage())
+        << "\",\n           \"digest_interval\": "
+        << M.trace().digestInterval()
+        << ", \"digest_ring_cap\": " << M.trace().digestRingCap()
+        << ", \"digest_count\": " << M.trace().digestCount();
     // Host-side epoch statistics for the sharded engine: how often the
     // adaptive windows engaged and where the wall time went (shard
     // execution vs serial merge). Host-only — never part of the

@@ -208,6 +208,31 @@ struct SimConfig {
   /// placement never affects output; 0 keeps the even split.
   unsigned InitialShardSkew = 0;
 
+  /// Interval-digest stride in cycles (docs/OBSERVABILITY.md
+  /// "Divergence triage"): every DigestInterval cycles the running
+  /// order-sensitive trace hash is recorded into a bounded ring
+  /// (Trace::digestEntries()) and offered to sinks. Purely an
+  /// observation of the hash accumulator — provably hash-neutral, the
+  /// fingerprint and final hash are unchanged with digests on or off.
+  /// 0 disables digesting.
+  uint64_t DigestInterval = 4096;
+
+  /// Capacity of the interval-digest ring; when more than this many
+  /// boundaries are crossed, the ring keeps the most recent entries and
+  /// Trace::digestCount() still reports the total (triage attaches a
+  /// sink to capture the full sequence when it needs it).
+  unsigned DigestRingCap = 64;
+
+  /// Deliberate divergence seed for tests and CI (docs/OBSERVABILITY.md
+  /// "Divergence triage"): when nonzero, the first event at or after
+  /// this cycle is preceded by a synthetic EventKind::Perturb event
+  /// whose payload encodes the engine and requested host-thread count —
+  /// so two runs that differ only in host-side knobs produce hash
+  /// chains that diverge at exactly this cycle. Never set outside
+  /// divergence-triage testing: it deliberately breaks the
+  /// engine-bit-identity guarantee.
+  uint64_t PerturbForTest = 0;
+
   /// Transient-fault injection plan; inactive by default.
   FaultPlanConfig Faults;
 

@@ -212,6 +212,7 @@ Machine::Machine(const SimConfig &Config)
       Wheel(WheelSize) {
   Tr.setRecording(Cfg.RecordTrace);
   Tr.setLineCap(Cfg.TraceLineCap);
+  Tr.configureDigests(Cfg.DigestInterval, Cfg.DigestRingCap);
   if (!Cfg.TraceLineFile.empty() && !Tr.setLineFile(Cfg.TraceLineFile))
     fault(formatString("cannot open trace line file '%s'",
                        Cfg.TraceLineFile.c_str()));
@@ -1784,9 +1785,13 @@ RunStatus Machine::run(uint64_t MaxCycles) {
     return Status;
   if (parallelEligible()) {
     Engine = EngineKind::Parallel;
-    return runParallel(MaxCycles);
+    armPerturb();
+    RunStatus S = runParallel(MaxCycles);
+    Tr.flushDigests(Cycle);
+    return S;
   }
   Engine = FastRun ? EngineKind::FastPath : EngineKind::Reference;
+  armPerturb();
   if (Cfg.HostThreads > 1 && EngineNote.empty()) {
     if (Cfg.CollectMemLog)
       EngineNote =
@@ -1873,7 +1878,22 @@ RunStatus Machine::run(uint64_t MaxCycles) {
       }
     }
   }
+  Tr.flushDigests(Cycle);
   return Status;
+}
+
+/// Arms the PerturbForTest divergence seed for this run. The payload
+/// encodes the *host-side* identity of the run — selected engine and
+/// requested HostThreads — so two runs that the determinism guarantee
+/// would make bit-identical diverge at exactly Cfg.PerturbForTest.
+/// Requested (not effective) threads, so parallel t1 x t4 diverges even
+/// on a host whose concurrency clamps both to the same worker count.
+void Machine::armPerturb() {
+  if (Cfg.PerturbForTest == 0 || Tr.perturbFired())
+    return;
+  uint64_t Payload = (static_cast<uint64_t>(Engine) << 16) |
+                     (Cfg.HostThreads & 0xffff);
+  Tr.setPerturb(Cfg.PerturbForTest, Payload);
 }
 
 //===----------------------------------------------------------------------===//

@@ -341,6 +341,9 @@ private:
   // and replayed serially at the barrier in the reference loop's
   // canonical order, making every observable bit-identical.
   RunStatus runParallel(uint64_t MaxCycles);
+  /// Arms SimConfig::PerturbForTest on the trace for this run (run()
+  /// calls it once the engine is selected — the payload encodes it).
+  void armPerturb();
   /// Worker threads the parallel engine would actually spin up:
   /// HostThreads clamped to the host's hardware concurrency unless
   /// SimConfig::OversubscribeHost lifts the clamp (oversubscribed shard

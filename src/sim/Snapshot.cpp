@@ -76,6 +76,12 @@ uint64_t lbp::sim::snapshotConfigDigest(const SimConfig &Cfg) {
   H.addWord(Cfg.Faults.WindowEnd);
   H.addWord(Cfg.Faults.MaxDelay);
   H.addWord(Cfg.Faults.StuckDuration);
+  // The digest ring and the perturb fired-flag are serialized run
+  // state, so their governing knobs must match on restore; PerturbForTest
+  // additionally changes the hash chain itself.
+  H.addWord(Cfg.DigestInterval);
+  H.addWord(Cfg.DigestRingCap);
+  H.addWord(Cfg.PerturbForTest);
   return H.value();
 }
 
@@ -393,6 +399,42 @@ struct SnapshotAccess {
     return R.ok();
   }
 
+  static void saveTraceDigests(ByteWriter &W, const Trace &T) {
+    // v3 section: digest/perturb run state, adjacent to the hash it
+    // extends. Interval and ring capacity are config (folded into the
+    // config digest), so only the evolving state is serialized.
+    W.b(T.perturbFired());
+    W.u64(T.digestNextBoundary());
+    W.u64(T.digestCount());
+    std::vector<TraceDigest> Entries = T.digestEntries();
+    W.u64(Entries.size());
+    for (const TraceDigest &D : Entries) {
+      W.u64(D.Boundary);
+      W.u64(D.Hash);
+    }
+  }
+  static bool restoreTraceDigests(ByteReader &R, Trace &T,
+                                  std::string &Err) {
+    bool Fired = R.b();
+    uint64_t NextBoundary = R.u64();
+    uint64_t Total = R.u64();
+    uint64_t N = R.u64();
+    if (N > Total || (T.digestRingCap() != 0 && N > T.digestRingCap())) {
+      Err = "snapshot: digest ring larger than its declared capacity";
+      return false;
+    }
+    std::vector<TraceDigest> Entries;
+    Entries.reserve(R.ok() ? N : 0);
+    for (uint64_t I = 0; I != N && R.ok(); ++I) {
+      TraceDigest D;
+      D.Boundary = R.u64();
+      D.Hash = R.u64();
+      Entries.push_back(D);
+    }
+    T.restoreDigestState(NextBoundary, Total, Entries, Fired);
+    return R.ok();
+  }
+
   static void saveCounters(ByteWriter &W, const obs::PerfCounters *C) {
     W.b(C != nullptr);
     if (!C)
@@ -535,6 +577,7 @@ struct SnapshotAccess {
     saveFaultCursor(W, M.FPlan);
     saveChecker(W, M.Ck);
     W.u64(M.Tr.hash());
+    saveTraceDigests(W, M.Tr);
     saveCounters(W, M.Obs.get());
 
     // Devices: length-prefixed so a size-mismatched restore fails
@@ -653,6 +696,8 @@ struct SnapshotAccess {
       return false;
     restoreChecker(R, M.Ck);
     M.Tr.restoreHash(R.u64());
+    if (!restoreTraceDigests(R, M.Tr, Err))
+      return false;
     if (!restoreCounters(R, M.Obs.get(), Err))
       return false;
 

@@ -55,7 +55,9 @@ constexpr uint32_t SnapshotMagic = 0x5350424Cu;
 /// Bumped on any change to the blob layout.
 /// v2: per-hart PendingSendOps, machine SendCount, per-core sleep cycle
 /// now sourced from Machine::CoreWake (SoA layout).
-constexpr uint32_t SnapshotFormatVersion = 2;
+/// v3: interval-digest ring + PerturbForTest fired-flag section after
+/// the trace hash (docs/OBSERVABILITY.md "Divergence triage").
+constexpr uint32_t SnapshotFormatVersion = 3;
 
 /// Trailer sentinel appended after the last section.
 constexpr uint32_t SnapshotTrailer = 0x50414E53u; // 'S' 'N' 'A' 'P'

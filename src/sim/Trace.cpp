@@ -38,6 +38,8 @@ const char *lbp::sim::eventKindName(EventKind K) {
     return "fault-inject";
   case EventKind::MachineCheck:
     return "machine-check";
+  case EventKind::Perturb:
+    return "perturb";
   }
   return "?";
 }
@@ -45,7 +47,11 @@ const char *lbp::sim::eventKindName(EventKind K) {
 Trace::Trace(Trace &&O) noexcept
     : Hash(O.Hash), Recording(O.Recording), LineCap(O.LineCap),
       DroppedLines(O.DroppedLines), Lines(std::move(O.Lines)),
-      LineFile(O.LineFile), Sinks(std::move(O.Sinks)) {
+      LineFile(O.LineFile), Sinks(std::move(O.Sinks)),
+      Interval(O.Interval), RingCap(O.RingCap), Ring(std::move(O.Ring)),
+      DigestTotal(O.DigestTotal), NextBoundary(O.NextBoundary),
+      PerturbAt(O.PerturbAt), PerturbPayload(O.PerturbPayload),
+      PerturbFiredFlag(O.PerturbFiredFlag), Watermark(O.Watermark) {
   O.LineFile = nullptr;
 }
 
@@ -61,7 +67,103 @@ bool Trace::setLineFile(const std::string &Path) {
   return LineFile != nullptr;
 }
 
+void Trace::configureDigests(uint64_t IntervalCycles, unsigned Cap) {
+  Interval = IntervalCycles;
+  RingCap = Interval != 0 ? Cap : 0;
+  Ring.clear();
+  Ring.reserve(RingCap);
+  DigestTotal = 0;
+  NextBoundary = Interval != 0 ? Interval : UINT64_MAX;
+  updateWatermark();
+}
+
+void Trace::setPerturb(uint64_t Cycle, uint64_t Payload) {
+  PerturbAt = Cycle;
+  PerturbPayload = Payload;
+  updateWatermark();
+}
+
+void Trace::recordDigest(uint64_t Boundary) {
+  uint64_t H = Hash.value();
+  if (RingCap != 0) {
+    if (Ring.size() < RingCap)
+      Ring.push_back({Boundary, H});
+    else
+      Ring[DigestTotal % RingCap] = {Boundary, H};
+  }
+  ++DigestTotal;
+  for (TraceSink *S : Sinks)
+    S->onDigest(Boundary, H);
+}
+
+void Trace::crossWatermark(uint64_t Cycle) {
+  if (Cycle >= PerturbAt) {
+    uint64_t At = PerturbAt;
+    PerturbAt = UINT64_MAX;
+    PerturbFiredFlag = true;
+    updateWatermark();
+    // Recurse so boundaries <= At are recorded before the synthetic
+    // event is folded — exactly as if the stream really contained it.
+    event(At, EventKind::Perturb, 0, PerturbPayload);
+  }
+  while (Cycle >= NextBoundary) {
+    recordDigest(NextBoundary);
+    NextBoundary += Interval;
+  }
+  updateWatermark();
+}
+
+void Trace::flushDigests(uint64_t FinalCycle) {
+  while (NextBoundary <= FinalCycle) {
+    recordDigest(NextBoundary);
+    NextBoundary += Interval;
+  }
+  updateWatermark();
+}
+
+std::vector<TraceDigest> Trace::digestEntries() const {
+  std::vector<TraceDigest> Out;
+  Out.reserve(Ring.size());
+  // Before wraparound the ring is in order; after, the oldest retained
+  // entry sits at the next overwrite position.
+  size_t Start = Ring.size() < RingCap ? 0 : DigestTotal % RingCap;
+  for (size_t I = 0; I != Ring.size(); ++I)
+    Out.push_back(Ring[(Start + I) % Ring.size()]);
+  return Out;
+}
+
+void Trace::restoreDigestState(uint64_t SavedNextBoundary, uint64_t Total,
+                               const std::vector<TraceDigest> &Entries,
+                               bool SavedPerturbFired) {
+  NextBoundary = SavedNextBoundary;
+  DigestTotal = Total;
+  Ring.clear();
+  Ring.reserve(RingCap);
+  // Replace the ring with the saved tail, laid out so the next
+  // overwrite position (DigestTotal % RingCap) stays consistent.
+  if (RingCap != 0 && !Entries.empty()) {
+    size_t N = Entries.size() < RingCap ? Entries.size() : RingCap;
+    if (DigestTotal <= RingCap) {
+      for (size_t I = 0; I != N; ++I)
+        Ring.push_back(Entries[Entries.size() - N + I]);
+    } else {
+      Ring.resize(RingCap);
+      size_t Start = DigestTotal % RingCap;
+      for (size_t I = 0; I != N; ++I)
+        Ring[(Start + I) % RingCap] = Entries[Entries.size() - N + I];
+    }
+  }
+  PerturbFiredFlag = SavedPerturbFired;
+  if (SavedPerturbFired)
+    PerturbAt = UINT64_MAX;
+  updateWatermark();
+}
+
 void Trace::event(uint64_t Cycle, EventKind Kind, uint64_t A, uint64_t B) {
+  // One compare covers both cold features (digests + perturb); with
+  // neither armed the watermark is UINT64_MAX and this never takes.
+  if (Cycle >= Watermark)
+    crossWatermark(Cycle);
   Hash.addEvent(Cycle, static_cast<uint64_t>(Kind), A, B);
   // Sinks observe the exact hashed sequence and never feed back into it.
   for (TraceSink *S : Sinks)
